@@ -1,0 +1,192 @@
+//! Group-by-mean heatmaps (Figures 3 and 4).
+//!
+//! A [`Heatmap`] accumulates samples keyed by `(row, column)` and renders a
+//! dense matrix of means, with `None` for never-observed cells — the
+//! paper's "NA" cells for instance types unsupported in a region.
+
+use std::collections::BTreeMap;
+
+/// A mean-aggregating two-dimensional table with string-keyed rows and
+/// columns.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Heatmap {
+    cells: BTreeMap<(String, String), (f64, u64)>,
+    rows: Vec<String>,
+    cols: Vec<String>,
+}
+
+impl Heatmap {
+    /// Creates an empty heatmap. Rows and columns appear in first-seen
+    /// order unless pre-declared with [`Heatmap::declare_rows`] /
+    /// [`Heatmap::declare_cols`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-declares row order (e.g. the paper's family ordering: general,
+    /// compute-, memory-, accelerated-, storage-optimized).
+    pub fn declare_rows<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, rows: I) {
+        for r in rows {
+            let r = r.into();
+            if !self.rows.contains(&r) {
+                self.rows.push(r);
+            }
+        }
+    }
+
+    /// Pre-declares column order.
+    pub fn declare_cols<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cols: I) {
+        for c in cols {
+            let c = c.into();
+            if !self.cols.contains(&c) {
+                self.cols.push(c);
+            }
+        }
+    }
+
+    /// Adds one sample to cell `(row, col)`.
+    pub fn add(&mut self, row: &str, col: &str, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        if !self.rows.iter().any(|r| r == row) {
+            self.rows.push(row.to_owned());
+        }
+        if !self.cols.iter().any(|c| c == col) {
+            self.cols.push(col.to_owned());
+        }
+        let cell = self
+            .cells
+            .entry((row.to_owned(), col.to_owned()))
+            .or_insert((0.0, 0));
+        cell.0 += value;
+        cell.1 += 1;
+    }
+
+    /// Row labels in display order.
+    pub fn rows(&self) -> &[String] {
+        &self.rows
+    }
+
+    /// Column labels in display order.
+    pub fn cols(&self) -> &[String] {
+        &self.cols
+    }
+
+    /// The mean of cell `(row, col)`, or `None` if never observed.
+    pub fn cell(&self, row: &str, col: &str) -> Option<f64> {
+        self.cells
+            .get(&(row.to_owned(), col.to_owned()))
+            .map(|&(sum, n)| sum / n as f64)
+    }
+
+    /// The dense matrix of means in declared order (`None` = NA).
+    pub fn matrix(&self) -> Vec<Vec<Option<f64>>> {
+        self.rows
+            .iter()
+            .map(|r| self.cols.iter().map(|c| self.cell(r, c)).collect())
+            .collect()
+    }
+
+    /// Mean across an entire row, ignoring NA cells.
+    pub fn row_mean(&self, row: &str) -> Option<f64> {
+        let (sum, n) = self
+            .cells
+            .iter()
+            .filter(|((r, _), _)| r == row)
+            .fold((0.0, 0u64), |(s, n), (_, &(cs, cn))| (s + cs, n + cn));
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Grand mean over all samples.
+    pub fn grand_mean(&self) -> Option<f64> {
+        let (sum, n) = self
+            .cells
+            .values()
+            .fold((0.0, 0u64), |(s, n), &(cs, cn)| (s + cs, n + cn));
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Renders the heatmap as an aligned text table with `NA` cells —
+    /// what the figure binaries print.
+    pub fn render(&self, value_width: usize) -> String {
+        let row_w = self.rows.iter().map(String::len).max().unwrap_or(3).max(3);
+        let mut out = String::new();
+        out.push_str(&format!("{:row_w$}", ""));
+        for c in &self.cols {
+            out.push_str(&format!(" {c:>value_width$.value_width$}"));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("{r:row_w$}"));
+            for c in &self.cols {
+                match self.cell(r, c) {
+                    Some(v) => out.push_str(&format!(" {v:>value_width$.2}")),
+                    None => out.push_str(&format!(" {:>value_width$}", "NA")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_and_na_cells() {
+        let mut h = Heatmap::new();
+        h.add("P", "us-east-1", 1.0);
+        h.add("P", "us-east-1", 2.0);
+        h.add("M", "eu-west-1", 3.0);
+        assert_eq!(h.cell("P", "us-east-1"), Some(1.5));
+        assert_eq!(h.cell("P", "eu-west-1"), None);
+        let m = h.matrix();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0][0], Some(1.5));
+        assert_eq!(m[0][1], None);
+        assert_eq!(m[1][1], Some(3.0));
+    }
+
+    #[test]
+    fn declared_order_wins() {
+        let mut h = Heatmap::new();
+        h.declare_rows(["T", "M", "P"]);
+        h.add("P", "r1", 1.0);
+        h.add("T", "r1", 2.0);
+        assert_eq!(h.rows(), &["T", "M", "P"]);
+        // Row M exists but has no samples.
+        assert_eq!(h.row_mean("M"), None);
+    }
+
+    #[test]
+    fn aggregate_means() {
+        let mut h = Heatmap::new();
+        h.add("A", "c1", 1.0);
+        h.add("A", "c2", 3.0);
+        h.add("B", "c1", 5.0);
+        assert_eq!(h.row_mean("A"), Some(2.0));
+        assert_eq!(h.grand_mean(), Some(3.0));
+        assert_eq!(Heatmap::new().grand_mean(), None);
+    }
+
+    #[test]
+    fn render_contains_na_and_values() {
+        let mut h = Heatmap::new();
+        h.declare_cols(["r1", "r2"]);
+        h.add("fam", "r1", 2.5);
+        let text = h.render(6);
+        assert!(text.contains("2.50"));
+        assert!(text.contains("NA"));
+        assert!(text.contains("fam"));
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let mut h = Heatmap::new();
+        h.add("A", "c", f64::NAN);
+        assert_eq!(h.cell("A", "c"), None);
+    }
+}

@@ -1,0 +1,151 @@
+//! Fixed-bin histograms (Figure 9, Table 2).
+
+/// A histogram over explicit bin centers: each sample is counted into the
+/// nearest center. Used for the discrete score domains of the paper (score
+/// values 1.0–3.0 in 0.5 steps, score differences 0.0–2.0 in 0.5 steps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    centers: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given bin centers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centers` is empty or not strictly increasing.
+    pub fn with_centers(centers: Vec<f64>) -> Self {
+        assert!(!centers.is_empty(), "histogram needs at least one bin");
+        assert!(
+            centers.windows(2).all(|w| w[0] < w[1]),
+            "bin centers must be strictly increasing"
+        );
+        let counts = vec![0; centers.len()];
+        Histogram { centers, counts }
+    }
+
+    /// The score-value histogram of Table 2: centers 1.0, 1.5, 2.0, 2.5,
+    /// 3.0.
+    pub fn score_bins() -> Self {
+        Histogram::with_centers(vec![1.0, 1.5, 2.0, 2.5, 3.0])
+    }
+
+    /// The score-difference histogram of Figure 9: centers 0.0–2.0 in 0.5
+    /// steps.
+    pub fn difference_bins() -> Self {
+        Histogram::with_centers(vec![0.0, 0.5, 1.0, 1.5, 2.0])
+    }
+
+    /// Adds one sample (counted into the nearest center; non-finite samples
+    /// are ignored).
+    pub fn add(&mut self, sample: f64) {
+        if !sample.is_finite() {
+            return;
+        }
+        let idx = self
+            .centers
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (*a - sample).abs().total_cmp(&(*b - sample).abs())
+            })
+            .map(|(i, _)| i)
+            .expect("centers are non-empty");
+        self.counts[idx] += 1;
+    }
+
+    /// Adds many samples.
+    pub fn extend(&mut self, samples: impl IntoIterator<Item = f64>) {
+        for s in samples {
+            self.add(s);
+        }
+    }
+
+    /// The bin centers.
+    pub fn centers(&self) -> &[f64] {
+        &self.centers
+    }
+
+    /// Raw counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples counted.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Percentage share per bin (zeros when the histogram is empty).
+    pub fn shares(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| 100.0 * c as f64 / total as f64)
+            .collect()
+    }
+
+    /// `(center, share%)` pairs, ready for tabular output.
+    pub fn rows(&self) -> Vec<(f64, f64)> {
+        self.centers
+            .iter()
+            .copied()
+            .zip(self.shares())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_center_binning() {
+        let mut h = Histogram::score_bins();
+        h.extend([1.0, 1.2, 1.3, 2.9, 3.0, 3.4]);
+        // 1.0,1.2 -> 1.0; 1.3 -> 1.5; 2.9,3.0,3.4 -> 3.0.
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 3]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn shares_sum_to_100() {
+        let mut h = Histogram::difference_bins();
+        h.extend([0.0, 0.5, 0.5, 2.0]);
+        let shares = h.shares();
+        assert!((shares.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert_eq!(shares[1], 50.0);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::score_bins();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.shares(), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut h = Histogram::score_bins();
+        h.add(f64::NAN);
+        h.add(f64::NEG_INFINITY);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_centers() {
+        Histogram::with_centers(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn rows_pair_centers_with_shares() {
+        let mut h = Histogram::with_centers(vec![0.0, 1.0]);
+        h.extend([0.0, 1.0, 1.0, 0.9]);
+        assert_eq!(h.rows(), vec![(0.0, 25.0), (1.0, 75.0)]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Statistics toolkit for the spot dataset analysis of Section 5.
+//!
+//! Everything operates on plain `(time, value)` series and sample slices,
+//! so the same code serves the archive (via `spotlake-timestream` rows),
+//! the experiment harness, and the figure-regeneration binaries:
+//!
+//! * [`pearson`] — the Pearson correlation coefficient of Section 5.3 /
+//!   Figure 8, plus step-function resampling to align series collected at
+//!   different cadences.
+//! * [`Ecdf`] — empirical CDFs (Figures 8, 10, 11).
+//! * [`Histogram`] — fixed-bin histograms (Figure 9, Table 2).
+//! * [`Heatmap`] — group-by-mean matrices with NA cells (Figures 3, 4).
+//! * [`update_intervals`] — inter-update times of a change-event series
+//!   (Figure 10).
+//! * [`mean`] / [`median`] / [`quantile`] / [`stddev`] — scalar summaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ecdf;
+mod heatmap;
+mod histogram;
+mod pearson;
+mod summary;
+mod updates;
+
+pub use ecdf::Ecdf;
+pub use heatmap::Heatmap;
+pub use histogram::Histogram;
+pub use pearson::{align_step, pearson, resample_step, spearman};
+pub use summary::{mean, median, quantile, stddev};
+pub use updates::update_intervals;

@@ -1,0 +1,214 @@
+//! Pearson correlation and series alignment (Section 5.3).
+
+/// The Pearson correlation coefficient of two equal-length sample slices,
+/// exactly as defined in Section 5.3 of the paper:
+///
+/// ```text
+/// R = Σ (xᵢ-x̄)(yᵢ-ȳ) / (√Σ(xᵢ-x̄)² · √Σ(yᵢ-ȳ)²)
+/// ```
+///
+/// Returns `None` when the slices differ in length, hold fewer than two
+/// points, or either side has zero variance (the coefficient is undefined —
+/// this happens often with the sticky post-2017 spot price).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Spearman rank correlation: Pearson over the ranks, with average ranks
+/// for ties. More robust than Pearson for the heavily discretized spot
+/// scores; reported alongside Pearson as a robustness check on Figure 8.
+///
+/// Returns `None` under the same conditions as [`pearson`].
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Average ranks (1-based) with ties sharing their mean rank.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Resamples a change-event series as a step function at the given sample
+/// times: each output is the latest value at or before the sample time.
+/// Sample times strictly before the first event yield no output, so the
+/// result may be shorter than `at`; both inputs must be sorted by time.
+pub fn resample_step(series: &[(u64, f64)], at: &[u64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(at.len());
+    let mut idx = 0usize;
+    let mut current: Option<f64> = None;
+    for &t in at {
+        while idx < series.len() && series[idx].0 <= t {
+            current = Some(series[idx].1);
+            idx += 1;
+        }
+        if let Some(v) = current {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Aligns two sorted series on the sample times of `x` (step-sampling `y`),
+/// returning paired samples ready for [`pearson`]. Pairs before `y`'s first
+/// event are dropped.
+pub fn align_step(x: &[(u64, f64)], y: &[(u64, f64)]) -> (Vec<f64>, Vec<f64>) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut idx = 0usize;
+    let mut current: Option<f64> = None;
+    for &(t, xv) in x {
+        while idx < y.len() && y[idx].0 <= t {
+            current = Some(y[idx].1);
+            idx += 1;
+        }
+        if let Some(yv) = current {
+            xs.push(xv);
+            ys.push(yv);
+        }
+    }
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_correlations() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[3.0]), None);
+        // Zero variance (constant series).
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn independent_data_near_zero() {
+        // Deterministic pseudo-random independent-ish sequences via
+        // avalanche-style mixing with two different keys.
+        fn mix(i: u64, key: u64) -> f64 {
+            let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ key;
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            (x % 1000) as f64
+        }
+        let x: Vec<f64> = (0..1000).map(|i| mix(i, 0xA5A5_A5A5)).collect();
+        let y: Vec<f64> = (0..1000).map(|i| mix(i, 0x5A5A_5A5A_0000)).collect();
+        let r = pearson(&x, &y).unwrap();
+        assert!(r.abs() < 0.15, "r = {r}");
+    }
+
+    #[test]
+    fn resample_step_carries_last_value() {
+        let series = [(10u64, 1.0), (30, 2.0)];
+        let at = [0u64, 10, 20, 30, 40];
+        // t=0 has no value yet; 10,20 -> 1.0; 30,40 -> 2.0.
+        assert_eq!(resample_step(&series, &at), vec![1.0, 1.0, 2.0, 2.0]);
+        assert!(resample_step(&[], &at).is_empty());
+    }
+
+    #[test]
+    fn align_step_pairs() {
+        let x = [(0u64, 3.0), (10, 3.0), (20, 2.0), (30, 3.0)];
+        let y = [(5u64, 2.5), (25, 1.0)];
+        let (xs, ys) = align_step(&x, &y);
+        assert_eq!(xs, vec![3.0, 2.0, 3.0]);
+        assert_eq!(ys, vec![2.5, 2.5, 1.0]);
+    }
+
+    #[test]
+    fn spearman_handles_monotone_and_ties() {
+        // Monotone but nonlinear: Spearman is exactly 1, Pearson is not.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+        // Ties get average ranks.
+        assert_eq!(ranks(&[2.0, 1.0, 2.0]), vec![2.5, 1.0, 2.5]);
+        // Constant input is undefined.
+        assert_eq!(spearman(&[1.0, 1.0], &[1.0, 2.0]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn spearman_bounded_and_symmetric(
+            pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..60)
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Some(r) = spearman(&x, &y) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+                prop_assert!((r - spearman(&y, &x).unwrap()).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn pearson_bounded(
+            pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..100)
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Some(r) = pearson(&x, &y) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+        }
+
+        #[test]
+        fn pearson_symmetric(
+            pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..50)
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            match (pearson(&x, &y), pearson(&y, &x)) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+    }
+}

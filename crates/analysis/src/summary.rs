@@ -1,0 +1,70 @@
+//! Scalar summary statistics.
+
+/// Arithmetic mean. `None` for empty input.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    Some(samples.iter().sum::<f64>() / samples.len() as f64)
+}
+
+/// Sample standard deviation (n−1 denominator). `None` for fewer than two
+/// samples.
+pub fn stddev(samples: &[f64]) -> Option<f64> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let m = mean(samples)?;
+    let var = samples.iter().map(|&x| (x - m) * (x - m)).sum::<f64>()
+        / (samples.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// The `q`-quantile by nearest rank. `None` for empty input.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// The median. `None` for empty input.
+pub fn median(samples: &[f64]) -> Option<f64> {
+    quantile(samples, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), Some(2.5));
+        assert_eq!(median(&xs), Some(2.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert!((stddev(&xs).unwrap() - 1.2909944487).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(stddev(&[1.0]), None);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_bad_level() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,56 @@
+//! Inter-update intervals (Figure 10).
+
+/// Extracts the elapsed times (in seconds) between *value changes* of a
+/// time series. Consecutive equal values are treated as one level: only
+/// transitions count as updates, matching Figure 10's "elapsed time between
+/// update events".
+///
+/// The input must be sorted by time. Series with fewer than two distinct
+/// levels yield an empty result.
+pub fn update_intervals(series: &[(u64, f64)]) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut last_change: Option<(u64, f64)> = None;
+    for &(t, v) in series {
+        match last_change {
+            None => last_change = Some((t, v)),
+            Some((lt, lv)) => {
+                if v != lv {
+                    out.push(t - lt);
+                    last_change = Some((t, v));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_changes() {
+        let series = [
+            (0u64, 3.0),
+            (600, 3.0),
+            (1200, 2.0), // change after 1200s
+            (1800, 2.0),
+            (2400, 3.0), // change after 1200s
+        ];
+        assert_eq!(update_intervals(&series), vec![1200, 1200]);
+    }
+
+    #[test]
+    fn constant_series_has_no_updates() {
+        let series = [(0u64, 1.0), (600, 1.0), (1200, 1.0)];
+        assert!(update_intervals(&series).is_empty());
+        assert!(update_intervals(&[]).is_empty());
+        assert!(update_intervals(&[(0, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn every_point_changes() {
+        let series = [(0u64, 1.0), (10, 2.0), (30, 3.0)];
+        assert_eq!(update_intervals(&series), vec![10, 20]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Ablation bench: bin-packing strategies on the full-catalog query-planning
+//! workload (DESIGN.md §5: exact branch-and-bound vs FFD vs BFD vs naive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spotlake_binpack::{best_fit_decreasing, first_fit_decreasing, next_fit, BranchAndBound, Item};
+use spotlake_collector::{PlannerStrategy, QueryPlanner};
+use spotlake_types::Catalog;
+
+/// Raw solver throughput on one realistic instance (a type supported in
+/// many regions).
+fn solver_single_instance(c: &mut Criterion) {
+    let catalog = Catalog::aws_2022();
+    let ty = catalog.instance_type_id("m5.large").expect("cataloged");
+    let items: Vec<Item<u16>> = catalog
+        .support_map(ty)
+        .into_iter()
+        .map(|(region, azs)| Item::new(region.0, azs.min(10)))
+        .collect();
+
+    let mut group = c.benchmark_group("binpack_single");
+    group.bench_function("ffd", |b| {
+        b.iter(|| first_fit_decreasing(std::hint::black_box(&items), 10).unwrap())
+    });
+    group.bench_function("bfd", |b| {
+        b.iter(|| best_fit_decreasing(std::hint::black_box(&items), 10).unwrap())
+    });
+    group.bench_function("next_fit", |b| {
+        b.iter(|| next_fit(std::hint::black_box(&items), 10).unwrap())
+    });
+    group.bench_function("exact", |b| {
+        let solver = BranchAndBound::new();
+        b.iter(|| solver.pack(std::hint::black_box(&items), 10).unwrap())
+    });
+    group.finish();
+}
+
+/// Full-catalog planning: all 547 types, per strategy.
+fn full_catalog_plan(c: &mut Criterion) {
+    let catalog = Catalog::aws_2022();
+    let mut group = c.benchmark_group("binpack_full_catalog");
+    group.sample_size(10);
+    for strategy in PlannerStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, &strategy| {
+                let planner = QueryPlanner::new(strategy);
+                b.iter(|| planner.plan(std::hint::black_box(&catalog), None))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, solver_single_instance, full_catalog_plan);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Collector benches: one full collection round, and the DESIGN.md §5
+//! scheduling ablation (exact-packed plan vs the naive per-region plan —
+//! more queries per round and more accounts needed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spotlake_cloud_sim::{SimCloud, SimConfig};
+use spotlake_collector::{CollectorConfig, CollectorService, PlannerStrategy};
+use spotlake_types::Catalog;
+
+fn collection_round(c: &mut Criterion) {
+    // A 1/8 slice of the catalog keeps a round in the millisecond range.
+    let catalog = Catalog::aws_2022();
+    let filter: Vec<String> = catalog
+        .instance_types()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 8 == 0)
+        .map(|(_, t)| t.name())
+        .collect();
+    let mut cloud = SimCloud::new(catalog, SimConfig::default());
+    cloud.step();
+
+    let mut group = c.benchmark_group("collector_round");
+    group.sample_size(10);
+    for strategy in [PlannerStrategy::Exact, PlannerStrategy::Naive] {
+        let config = CollectorConfig {
+            strategy,
+            type_filter: Some(filter.clone()),
+            ..CollectorConfig::default()
+        };
+        let mut service =
+            CollectorService::new(cloud.catalog(), config).expect("auto-sized pool");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, _| b.iter(|| service.collect_once(&cloud).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, collection_round);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Random-forest benches: training and inference at the Table 4 workload
+//! size (≈ 500 cases × 15 features, 100 trees).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spotlake_ml::{Dataset, RandomForest};
+
+fn table4_sized_dataset() -> Dataset {
+    let mut rng = StdRng::seed_from_u64(7);
+    let features: Vec<Vec<f64>> = (0..500)
+        .map(|_| (0..15).map(|_| rng.gen_range(0.0..3.0)).collect())
+        .collect();
+    let labels: Vec<usize> = features
+        .iter()
+        .map(|row| {
+            let s: f64 = row.iter().sum();
+            if s > 25.0 {
+                0
+            } else if s > 20.0 {
+                1
+            } else {
+                2
+            }
+        })
+        .collect();
+    Dataset::new(features, labels, 3).expect("uniform rows")
+}
+
+fn forest(c: &mut Criterion) {
+    let data = table4_sized_dataset();
+    let mut group = c.benchmark_group("forest");
+    group.sample_size(10);
+    group.bench_function("fit_100_trees", |b| {
+        b.iter(|| RandomForest::default().fit(std::hint::black_box(&data), 42))
+    });
+    let fitted = RandomForest::default().fit(&data, 42);
+    group.bench_function("predict_500_rows", |b| {
+        b.iter(|| fitted.predict_all(std::hint::black_box(&data)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, forest);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Simulator stepping cost: the full 547-type / 63-AZ cloud per tick, and
+//! the score-query surface.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spotlake_cloud_sim::{SimCloud, SimConfig};
+use spotlake_types::Catalog;
+
+fn step_full_catalog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    let mut cloud = SimCloud::new(Catalog::aws_2022(), SimConfig::default());
+    group.bench_function("step_full_catalog_tick", |b| b.iter(|| cloud.step()));
+
+    let catalog = cloud.catalog().clone();
+    let ty = catalog.instance_type_id("p3.2xlarge").unwrap();
+    let az = catalog.az_id("us-east-1a").unwrap();
+    let region = catalog.region_id("us-east-1").unwrap();
+    group.bench_function("placement_score_az", |b| {
+        b.iter(|| cloud.placement_score(std::hint::black_box(ty), az, 1))
+    });
+    group.bench_function("placement_score_region", |b| {
+        b.iter(|| cloud.placement_score_region(std::hint::black_box(ty), region, 1))
+    });
+    let types: Vec<_> = ["m5.large", "c5.large", "r5.large"]
+        .iter()
+        .map(|n| catalog.instance_type_id(n).unwrap())
+        .collect();
+    group.bench_function("composite_score_3types", |b| {
+        b.iter(|| cloud.composite_score(std::hint::black_box(&types), az, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, step_full_catalog);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Timestream substrate benches: ingest (dense vs change-point — the
+//! DESIGN.md §5 storage ablation), range queries, and windowed aggregation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spotlake_timestream::{Aggregate, Database, Query, Record, TableOptions, WriteMode};
+
+fn records(n: usize, changing: bool) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            let value = if changing { (i % 7) as f64 } else { 3.0 };
+            Record::new(i as u64 * 600, "sps", value)
+                .dimension("instance_type", format!("m5.{}", i % 50))
+                .dimension("az", format!("us-east-1{}", (b'a' + (i % 6) as u8) as char))
+        })
+        .collect()
+}
+
+fn ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timestream_ingest");
+    let batch = records(10_000, true);
+    let steady = records(10_000, false);
+
+    group.bench_function("dense_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut db = Database::new();
+                db.create_table("t", TableOptions::default()).unwrap();
+                db
+            },
+            |mut db| db.write("t", &batch).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    // Change-point mode on a barely-changing series: most writes skipped —
+    // the storage ablation for the sticky price/advisor datasets.
+    group.bench_function("changepoint_10k_steady", |b| {
+        b.iter_batched(
+            || {
+                let mut db = Database::new();
+                db.create_table(
+                    "t",
+                    TableOptions {
+                        mode: WriteMode::ChangePoint,
+                        retention: None,
+                    },
+                )
+                .unwrap();
+                db
+            },
+            |mut db| db.write("t", &steady).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn query(c: &mut Criterion) {
+    let mut db = Database::new();
+    db.create_table("t", TableOptions::default()).unwrap();
+    db.write("t", &records(100_000, true)).unwrap();
+
+    let mut group = c.benchmark_group("timestream_query");
+    let q = Query::measure("sps").filter("instance_type", "m5.7");
+    group.bench_function("filtered_scan", |b| b.iter(|| db.query("t", &q).unwrap()));
+    group.bench_function("windowed_mean", |b| {
+        b.iter(|| db.query_window("t", &q, 86_400, Aggregate::Mean).unwrap())
+    });
+    group.bench_function("latest", |b| b.iter(|| db.latest("t", &q).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, ingest, query);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Runs every table/figure regeneration binary in sequence — the output is
+//! what `EXPERIMENTS.md` records.
+//!
+//! Usage: `cargo run --release -p spotlake-bench --bin experiments`
+//! (set `SPOTLAKE_DAYS` / `SPOTLAKE_TICK_MINUTES` / `SPOTLAKE_STRIDE` to
+//! rescale the archive-driven experiments).
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "table01", "figure01", "table02", "figure03", "figure04", "figure05", "figure06",
+    "figure07", "figure08", "figure09", "figure10", "table03", "figure11", "table04",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current_exe is queryable");
+    let dir = me.parent().expect("binary lives in a directory");
+    let mut failures = Vec::new();
+    for name in BINARIES {
+        println!("\n################################################################");
+        println!("# {name}");
+        println!("################################################################\n");
+        let path = dir.join(name);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("!! {name} exited with {status}");
+            failures.push(*name);
+        }
+    }
+    println!("\n================================================================");
+    if failures.is_empty() {
+        println!("all {} experiments completed", BINARIES.len());
+    } else {
+        println!("failed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

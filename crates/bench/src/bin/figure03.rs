@@ -1,0 +1,123 @@
+//! Figure 3: temporal variation of the spot placement score (3a) and the
+//! interruption-free score (3b).
+//!
+//! One row per instance class (in the paper's family order), one column per
+//! day: daily mean score. The paper's headline observations: the placement
+//! score is much brighter (higher) than the interruption-free score
+//! (fleet averages 2.8 vs 2.22); the accelerated-computing family is
+//! darkest; a fleet-wide dip appears around day 152 (June 2, 2022) in the
+//! placement score.
+
+use spotlake_analysis::{resample_step, Heatmap};
+use spotlake_bench::{ArchiveFixture, Scale};
+use spotlake_timestream::{Aggregate, Query};
+use spotlake_types::{InstanceFamily, InstanceGroup};
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.print_header("Figure 3: temporal variation of spot instance scores");
+    let fixture = ArchiveFixture::collect(scale);
+    let db = fixture.lake.archive();
+    let catalog = fixture.lake.cloud().catalog();
+
+    let mut sps_map = Heatmap::new();
+    let mut if_map = Heatmap::new();
+    let family_rows: Vec<String> = InstanceFamily::ALL
+        .iter()
+        .map(|f| f.prefix().to_uppercase())
+        .collect();
+    sps_map.declare_rows(family_rows.iter().cloned());
+    if_map.declare_rows(family_rows.iter().cloned());
+    let day_cols: Vec<String> = (0..scale.days).map(|d| format!("d{d:02}")).collect();
+    sps_map.declare_cols(day_cols.iter().cloned());
+    if_map.declare_cols(day_cols.iter().cloned());
+
+    let tick = scale.tick().as_secs();
+    let day_grid: Vec<u64> = (1..=scale.days * 86_400 / tick).map(|i| i * tick).collect();
+
+    for ty_name in &fixture.types {
+        let family = catalog
+            .instance_type(ty_name)
+            .expect("collected types are cataloged")
+            .family()
+            .prefix()
+            .to_uppercase();
+
+        // Daily mean placement score across this type's pools, from the
+        // archive's windowed aggregation.
+        let windows = db
+            .query_window(
+                "sps",
+                &Query::measure("sps").filter("instance_type", ty_name),
+                86_400,
+                Aggregate::Mean,
+            )
+            .expect("sps table exists");
+        for w in windows {
+            let day = w.window_start / 86_400;
+            sps_map.add(&family, &format!("d{day:02}"), w.value);
+        }
+
+        // Interruption-free score: expand change events onto the tick grid
+        // per region, then fold into daily means.
+        for region in catalog.regions() {
+            let rows = db
+                .query(
+                    "advisor",
+                    &Query::measure("if_score")
+                        .filter("instance_type", ty_name)
+                        .filter("region", region.code()),
+                )
+                .expect("advisor table exists");
+            if rows.is_empty() {
+                continue;
+            }
+            let series: Vec<(u64, f64)> = rows.iter().map(|r| (r.time, r.value)).collect();
+            let values = resample_step(&series, &day_grid);
+            let offset = day_grid.len() - values.len();
+            for (i, v) in values.iter().enumerate() {
+                let day = day_grid[offset + i] / 86_400;
+                if_map.add(&family, &format!("d{day:02}"), *v);
+            }
+        }
+    }
+
+    println!("--- Figure 3a: spot placement score, daily means per class ---");
+    print!("{}", sps_map.render(6));
+    println!();
+    println!("--- Figure 3b: interruption-free score, daily means per class ---");
+    print!("{}", if_map.render(6));
+    println!();
+
+    let sps_avg = sps_map.grand_mean().unwrap_or(f64::NAN);
+    let if_avg = if_map.grand_mean().unwrap_or(f64::NAN);
+    println!("fleet average placement score:       {sps_avg:.2} (paper: 2.80)");
+    println!("fleet average interruption-free:     {if_avg:.2} (paper: 2.22)");
+
+    let accel_avg = |map: &Heatmap| {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for f in InstanceFamily::ALL {
+            if f.group() == InstanceGroup::AcceleratedComputing {
+                if let Some(v) = map.row_mean(&f.prefix().to_uppercase()) {
+                    sum += v;
+                    n += 1;
+                }
+            }
+        }
+        sum / n.max(1) as f64
+    };
+    let a_sps = accel_avg(&sps_map);
+    let a_if = accel_avg(&if_map);
+    println!(
+        "accelerated-computing:  SPS {a_sps:.2} ({:+.2}% vs fleet; paper: -12.07%), IF {a_if:.2} ({:+.2}% vs fleet; paper: -34.98%)",
+        100.0 * (a_sps - sps_avg) / sps_avg,
+        100.0 * (a_if - if_avg) / if_avg
+    );
+    if scale.days >= 20 {
+        let shock_day = scale.days * 5 / 6;
+        println!(
+            "(a demand shock is scheduled on day {shock_day} — look for the darker column, the paper's June 2 dip)"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 4: spatial variation of the spot placement score (4a) and the
+//! interruption-free score (4b).
+//!
+//! One row per instance class, one column per region: mean score over the
+//! whole measurement, with NA where a class is not offered in a region.
+//! The paper's observations: spatial variation exceeds temporal variation,
+//! and the general-purpose GPU classes (G, P) are dark almost everywhere.
+
+use spotlake_analysis::Heatmap;
+use spotlake_bench::{ArchiveFixture, Scale};
+use spotlake_timestream::{Aggregate, Query};
+use spotlake_types::InstanceFamily;
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.print_header("Figure 4: spatial variation of spot instance scores");
+    let fixture = ArchiveFixture::collect(scale);
+    let db = fixture.lake.archive();
+    let catalog = fixture.lake.cloud().catalog();
+
+    let mut sps_map = Heatmap::new();
+    let mut if_map = Heatmap::new();
+    let family_rows: Vec<String> = InstanceFamily::ALL
+        .iter()
+        .map(|f| f.prefix().to_uppercase())
+        .collect();
+    sps_map.declare_rows(family_rows.iter().cloned());
+    if_map.declare_rows(family_rows.iter().cloned());
+    let region_cols: Vec<String> = catalog.regions().iter().map(|r| r.code().to_owned()).collect();
+    sps_map.declare_cols(region_cols.iter().cloned());
+    if_map.declare_cols(region_cols.iter().cloned());
+
+    for ty_name in &fixture.types {
+        let family = catalog
+            .instance_type(ty_name)
+            .expect("collected types are cataloged")
+            .family()
+            .prefix()
+            .to_uppercase();
+        for region in catalog.regions() {
+            // Whole-measurement mean via one giant window.
+            let sps = db
+                .query_window(
+                    "sps",
+                    &Query::measure("sps")
+                        .filter("instance_type", ty_name)
+                        .filter("region", region.code()),
+                    u64::MAX / 2,
+                    Aggregate::Mean,
+                )
+                .expect("sps table exists");
+            for w in sps {
+                sps_map.add(&family, region.code(), w.value);
+            }
+            let ifs = db
+                .query_window(
+                    "advisor",
+                    &Query::measure("if_score")
+                        .filter("instance_type", ty_name)
+                        .filter("region", region.code()),
+                    u64::MAX / 2,
+                    Aggregate::Mean,
+                )
+                .expect("advisor table exists");
+            for w in ifs {
+                if_map.add(&family, region.code(), w.value);
+            }
+        }
+    }
+
+    println!("--- Figure 4a: spot placement score by class x region ---");
+    print!("{}", sps_map.render(14));
+    println!();
+    println!("--- Figure 4b: interruption-free score by class x region ---");
+    print!("{}", if_map.render(14));
+    println!();
+
+    // Spatial vs temporal variation: the paper observes "a higher degree of
+    // score variations across different regions". Quantify as the std of
+    // per-region class means.
+    let spatial_spread = |map: &Heatmap| {
+        let mut spreads = Vec::new();
+        for row in map.rows().to_vec() {
+            let vals: Vec<f64> = map
+                .cols()
+                .to_vec()
+                .iter()
+                .filter_map(|c| map.cell(&row, c))
+                .collect();
+            if let Some(sd) = spotlake_analysis::stddev(&vals) {
+                spreads.push(sd);
+            }
+        }
+        spotlake_analysis::mean(&spreads).unwrap_or(f64::NAN)
+    };
+    println!(
+        "mean cross-region spread (std of class means): SPS {:.3}, IF {:.3}",
+        spatial_spread(&sps_map),
+        spatial_spread(&if_map)
+    );
+    for class in ["G", "P"] {
+        if let Some(v) = sps_map.row_mean(class) {
+            println!(
+                "general-purpose GPU class {class}: mean SPS {v:.2} (paper: relatively low in most regions)"
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 5: spot placement and interruption-free scores grouped by
+//! instance size.
+//!
+//! The paper plots, for sizes with more than 10 instance types, the mean of
+//! both scores (primary axis) and the number of instance types (secondary
+//! axis), finding both scores decrease as the size grows.
+
+use spotlake_bench::{print_table, ArchiveFixture, Scale};
+use spotlake_timestream::{Aggregate, Query};
+use spotlake_types::InstanceSize;
+use std::collections::BTreeMap;
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.print_header("Figure 5: scores grouped by instance size");
+    let fixture = ArchiveFixture::collect(scale);
+    let db = fixture.lake.archive();
+    let catalog = fixture.lake.cloud().catalog();
+
+    // size -> (sps sum, sps n, if sum, if n, type count)
+    let mut by_size: BTreeMap<usize, (f64, u64, f64, u64, u64)> = BTreeMap::new();
+    let size_index = |s: InstanceSize| {
+        InstanceSize::ALL
+            .iter()
+            .position(|&x| x == s)
+            .expect("all sizes enumerated")
+    };
+
+    for ty_name in &fixture.types {
+        let size = catalog
+            .instance_type(ty_name)
+            .expect("collected types are cataloged")
+            .size();
+        let entry = by_size.entry(size_index(size)).or_default();
+        entry.4 += 1;
+
+        let sps = db
+            .query_window(
+                "sps",
+                &Query::measure("sps").filter("instance_type", ty_name),
+                u64::MAX / 2,
+                Aggregate::Mean,
+            )
+            .expect("sps table exists");
+        for w in sps {
+            entry.0 += w.value * w.count as f64;
+            entry.1 += w.count as u64;
+        }
+        let ifs = db
+            .query_window(
+                "advisor",
+                &Query::measure("if_score").filter("instance_type", ty_name),
+                u64::MAX / 2,
+                Aggregate::Mean,
+            )
+            .expect("advisor table exists");
+        for w in ifs {
+            entry.2 += w.value * w.count as f64;
+            entry.3 += w.count as u64;
+        }
+    }
+
+    // The paper keeps sizes with more than 10 instance types. The stride
+    // reduces type counts proportionally, so scale the cut with it.
+    let min_types = (10 / scale.stride).max(2) as u64;
+    let mut rows = Vec::new();
+    let mut series: Vec<(f64, f64)> = Vec::new();
+    for (idx, (sps_sum, sps_n, if_sum, if_n, n_types)) in &by_size {
+        if *n_types < min_types || *sps_n == 0 {
+            continue;
+        }
+        let size = InstanceSize::ALL[*idx];
+        let sps_mean = sps_sum / *sps_n as f64;
+        let if_mean = if *if_n > 0 { if_sum / *if_n as f64 } else { f64::NAN };
+        series.push((sps_mean, if_mean));
+        rows.push(vec![
+            size.suffix().to_owned(),
+            format!("{sps_mean:.3}"),
+            format!("{if_mean:.3}"),
+            n_types.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Figure 5 (sizes with >= {min_types} collected types)"),
+        &["size", "SPS mean", "IF mean", "types"],
+        &rows,
+    );
+
+    // Trend check: both scores should decrease from the small-size to the
+    // large-size end.
+    if series.len() >= 3 {
+        let k = series.len() / 3;
+        let head_sps: f64 = series[..k].iter().map(|p| p.0).sum::<f64>() / k as f64;
+        let tail_sps: f64 =
+            series[series.len() - k..].iter().map(|p| p.0).sum::<f64>() / k as f64;
+        println!(
+            "small-size SPS mean {head_sps:.3} vs large-size {tail_sps:.3} ({})",
+            if tail_sps < head_sps {
+                "decreasing, as the paper reports"
+            } else {
+                "NOT decreasing — check calibration"
+            }
+        );
+    }
+}

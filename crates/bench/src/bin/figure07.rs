@@ -1,0 +1,95 @@
+//! Figure 7: placement score versus the number of requested instances.
+//!
+//! The paper picked representative `xlarge`-sized types from each family
+//! (smallest available size where `xlarge` does not exist, e.g. P4's
+//! 24xlarge) and swept the query's target capacity, finding accelerated
+//! (P, G, Inf) and dense-storage (D) types lose score fastest.
+
+use spotlake_bench::{print_table, Scale};
+use spotlake_cloud_api::{AccountId, SpsClient, SpsRequest};
+use spotlake_cloud_sim::{SimCloud, SimConfig};
+use spotlake_types::Catalog;
+
+/// Representative types per family (xlarge where available, as in the
+/// paper).
+const REPRESENTATIVES: &[&str] = &[
+    "t3.xlarge",
+    "m5.xlarge",
+    "a1.xlarge",
+    "c5.xlarge",
+    "r5.xlarge",
+    "x1e.xlarge",
+    "z1d.xlarge",
+    "p2.xlarge",
+    "g4dn.xlarge",
+    "dl1.24xlarge",
+    "inf1.xlarge",
+    "f1.2xlarge",
+    "vt1.3xlarge",
+    "i3.xlarge",
+    "d2.xlarge",
+    "h1.2xlarge",
+];
+
+const CAPACITIES: &[u32] = &[1, 5, 10, 20, 50, 100];
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.print_header("Figure 7: placement score vs requested capacity");
+
+    let mut config = SimConfig::with_seed(scale.seed);
+    config.tick = scale.tick();
+    let mut cloud = SimCloud::new(Catalog::aws_2022(), config);
+    cloud.run_days(2);
+    let mut client = SpsClient::new();
+
+    let mut rows = Vec::new();
+    let mut drops: Vec<(String, f64)> = Vec::new();
+    for name in REPRESENTATIVES {
+        let account = AccountId::new(format!("fig7-{name}"));
+        let mut cells = vec![name.to_string()];
+        let mut first = None;
+        let mut last = None;
+        for &capacity in CAPACITIES {
+            let request = SpsRequest::new(
+                vec![name.to_string()],
+                vec!["us-east-1".to_owned()],
+                capacity,
+            )
+            .expect("non-empty request");
+            let scores = client
+                .get_spot_placement_scores(&cloud, &account, &request)
+                .expect("representative types exist");
+            match scores.first() {
+                Some(s) => {
+                    let v = f64::from(s.score.value());
+                    if first.is_none() {
+                        first = Some(v);
+                    }
+                    last = Some(v);
+                    cells.push(format!("{v:.0}"));
+                }
+                None => cells.push("NA".to_owned()),
+            }
+        }
+        if let (Some(f), Some(l)) = (first, last) {
+            drops.push((name.to_string(), f - l));
+        }
+        rows.push(cells);
+    }
+
+    let mut headers = vec!["type"];
+    let capacity_labels: Vec<String> = CAPACITIES.iter().map(|c| format!("n={c}")).collect();
+    headers.extend(capacity_labels.iter().map(String::as_str));
+    print_table(
+        "Figure 7: us-east-1 placement score by requested capacity",
+        &headers,
+        &rows,
+    );
+
+    drops.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("largest score drops from n=1 to n=100 (paper: P, G, Inf, and D drop hardest):");
+    for (name, drop) in drops.iter().take(6) {
+        println!("  {name:<14} -{drop:.0}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Table 1: possible spot instance request status and description.
+//!
+//! Prints the lifecycle table and verifies the legal transition structure
+//! the rest of the system enforces.
+
+use spotlake_bench::print_table;
+use spotlake_types::RequestState;
+
+fn main() {
+    println!("== Table 1: spot instance request status ==\n");
+    let rows: Vec<Vec<String>> = RequestState::ALL
+        .iter()
+        .map(|s| vec![s.label().to_owned(), s.description().to_owned()])
+        .collect();
+    print_table("Status lifecycle (Table 1)", &["Status", "Description"], &rows);
+
+    println!("Legal transitions:");
+    for from in RequestState::ALL {
+        let tos: Vec<&str> = RequestState::ALL
+            .iter()
+            .filter(|&&to| from.can_transition_to(to))
+            .map(|t| t.label())
+            .collect();
+        println!(
+            "  {:<20} -> {}",
+            from.label(),
+            if tos.is_empty() {
+                "(terminal)".to_owned()
+            } else {
+                tos.join(", ")
+            }
+        );
+    }
+    println!("  (persistent requests additionally re-enter pending-evaluation after an interruption)");
+}

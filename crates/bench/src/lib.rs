@@ -1,0 +1,287 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md`'s per-experiment index). They share:
+//!
+//! * [`Scale`] — the measurement scale, overridable via environment
+//!   variables so the same binary can run as a quick smoke test or a
+//!   paper-scale sweep:
+//!   `SPOTLAKE_DAYS` (archive length, default 30),
+//!   `SPOTLAKE_TICK_MINUTES` (collection tick, default 120 — the paper's
+//!   10-minute tick over 181 days is reproducible but takes far longer),
+//!   `SPOTLAKE_STRIDE` (keep every n-th instance type, default 2),
+//!   `SPOTLAKE_SEED`.
+//! * [`ArchiveFixture`] — a full pipeline (cloud + collector + archive)
+//!   run for the configured scale.
+//! * Small text-table / CDF printing helpers, so every binary prints the
+//!   same row/series format the paper reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use spotlake::{CollectorConfig, SimConfig, SpotLake};
+use spotlake_analysis::Ecdf;
+use spotlake_types::{Catalog, SimDuration};
+
+/// Scale knobs for the archive-driven experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Days of archive to collect.
+    pub days: u64,
+    /// Collection tick in minutes.
+    pub tick_minutes: u64,
+    /// Keep every n-th instance type (1 = full catalog).
+    pub stride: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            days: 30,
+            tick_minutes: 120,
+            stride: 2,
+            seed: 20_220_901,
+        }
+    }
+}
+
+impl Scale {
+    /// Reads the scale from the environment, falling back to defaults.
+    pub fn from_env() -> Scale {
+        let d = Scale::default();
+        // Zero would divide by zero (tick) or panic on modulo (stride);
+        // clamp rather than crash deep inside a sweep.
+        Scale {
+            days: env_u64("SPOTLAKE_DAYS", d.days).max(1),
+            tick_minutes: env_u64("SPOTLAKE_TICK_MINUTES", d.tick_minutes).max(1),
+            stride: (env_u64("SPOTLAKE_STRIDE", d.stride as u64) as usize).max(1),
+            seed: env_u64("SPOTLAKE_SEED", d.seed),
+        }
+    }
+
+    /// A small scale for tests and smoke runs.
+    pub fn smoke() -> Scale {
+        Scale {
+            days: 3,
+            tick_minutes: 240,
+            stride: 12,
+            seed: 7,
+        }
+    }
+
+    /// The collection tick as a duration.
+    pub fn tick(&self) -> SimDuration {
+        SimDuration::from_mins(self.tick_minutes)
+    }
+
+    /// Prints the standard scale header every binary emits.
+    pub fn print_header(&self, experiment: &str) {
+        println!("== {experiment} ==");
+        println!(
+            "scale: {} days, {}-minute tick, type stride {}, seed {}",
+            self.days, self.tick_minutes, self.stride, self.seed
+        );
+        println!(
+            "(paper scale: 181 days, 10-minute tick, full 547-type catalog; set\n SPOTLAKE_DAYS/SPOTLAKE_TICK_MINUTES/SPOTLAKE_STRIDE to change)"
+        );
+        println!();
+    }
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A fully collected archive at a given scale.
+#[derive(Debug)]
+pub struct ArchiveFixture {
+    /// The pipeline after collection.
+    pub lake: SpotLake,
+    /// The scale it was collected at.
+    pub scale: Scale,
+    /// Names of the instance types that were collected (stride-filtered).
+    pub types: Vec<String>,
+}
+
+impl ArchiveFixture {
+    /// Builds the AWS-2022 catalog (restricted by the scale's stride),
+    /// runs the collector for the scale's horizon, and returns the
+    /// pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline cannot be built (impossible at these
+    /// configurations) — binaries prefer a crash over silent misreporting.
+    pub fn collect(scale: Scale) -> ArchiveFixture {
+        let catalog = Catalog::aws_2022();
+        let filter: Option<Vec<String>> = if scale.stride > 1 {
+            Some(
+                catalog
+                    .instance_types()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % scale.stride == 0)
+                    .map(|(_, t)| t.name())
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        let mut sim_config = SimConfig::with_seed(scale.seed);
+        sim_config.tick = scale.tick();
+        // Place the demand shock inside the window when it is long enough
+        // (the paper's dip fell on day 152 of 181).
+        sim_config.shock_day = if scale.days >= 20 {
+            Some(scale.days * 5 / 6)
+        } else {
+            None
+        };
+
+        let collector_config = CollectorConfig {
+            type_filter: filter.clone(),
+            ..CollectorConfig::default()
+        };
+        let mut lake = SpotLake::builder()
+            .catalog(catalog)
+            .sim_config(sim_config)
+            .collector_config(collector_config)
+            .build()
+            .expect("auto-sized account pool always suffices");
+
+        let rounds = SimDuration::from_days(scale.days)
+            .div_duration(scale.tick());
+        lake.run_rounds(rounds).expect("collection cannot hit rate limits");
+        let types = match filter {
+            Some(names) => names,
+            None => lake
+                .cloud()
+                .catalog()
+                .instance_types()
+                .iter()
+                .map(|t| t.name())
+                .collect(),
+        };
+        ArchiveFixture { lake, scale, types }
+    }
+}
+
+/// The Section 5.4 experiment at bench scale: a full-catalog cloud warmed
+/// long enough to fill the advisor's trailing window, then the paper's
+/// protocol (stratified sampling → month of history → 503 persistent
+/// requests → 24 h observation).
+#[derive(Debug)]
+pub struct ExperimentFixture {
+    /// The completed experiment.
+    pub report: spotlake::experiment::ExperimentReport,
+    /// The archive of recorded case history.
+    pub db: spotlake_timestream::Database,
+}
+
+/// Runs the fulfillment/interruption experiment. The experiment always uses
+/// a 10-minute tick (interruptions and latencies need the resolution);
+/// `SPOTLAKE_WARMUP_DAYS` (default 31) controls the advisor warmup.
+pub fn run_experiment(seed: u64) -> ExperimentFixture {
+    use spotlake::experiment::{ExperimentConfig, FulfillmentExperiment};
+    use spotlake::SimCloud;
+
+    let warmup = std::env::var("SPOTLAKE_WARMUP_DAYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(31);
+    let mut config = SimConfig::with_seed(seed);
+    config.tick = SimDuration::from_mins(10);
+    config.shock_day = None; // the experiment window should be shock-free
+    let mut cloud = SimCloud::new(Catalog::aws_2022(), config);
+    eprintln!("[experiment] warming up the advisor window: {warmup} days...");
+    cloud.run_days(warmup);
+    eprintln!("[experiment] recording history and running the protocol...");
+    let exp = FulfillmentExperiment::new(ExperimentConfig {
+        seed,
+        ..ExperimentConfig::default()
+    });
+    let (report, db) = exp.run(&mut cloud);
+    eprintln!("[experiment] {} cases completed", report.cases.len());
+    ExperimentFixture { report, db }
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("{title}");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    println!("  {}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("  {}", line.join("  "));
+    }
+    println!();
+}
+
+/// Prints a CDF as quantile rows (the series a plot would draw).
+pub fn print_cdf(name: &str, cdf: &Ecdf) {
+    if cdf.is_empty() {
+        println!("{name}: (no samples)");
+        return;
+    }
+    let qs = [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99];
+    let cells: Vec<String> = qs
+        .iter()
+        .map(|&q| format!("p{:02.0}={:.3}", q * 100.0, cdf.quantile(q)))
+        .collect();
+    println!("{name} (n={}): {}", cdf.len(), cells.join(" "));
+}
+
+/// Formats a percentage cell.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{v:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_fixture_collects() {
+        let fixture = ArchiveFixture::collect(Scale::smoke());
+        assert!(fixture.lake.archive().point_count() > 0);
+    }
+
+    #[test]
+    fn scale_env_fallbacks() {
+        // Unset variables fall back to the defaults.
+        let s = Scale::from_env();
+        assert!(s.days > 0 && s.tick_minutes > 0 && s.stride > 0);
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        print_cdf("empty", &Ecdf::new(vec![]));
+        print_cdf("one", &Ecdf::new(vec![1.0]));
+    }
+}

@@ -1,0 +1,211 @@
+//! Classic bin-packing heuristics.
+//!
+//! [`first_fit_decreasing`] is the workhorse (11/9 · OPT + 6/9 worst case);
+//! [`best_fit_decreasing`] sometimes squeezes out one more bin;
+//! [`next_fit`] is the cheap streaming baseline the ablation bench compares
+//! against. All three run in `O(n log n)` or better.
+
+use crate::problem::{validate, Item, PackError, Packing};
+
+/// Sorts item indices by decreasing size (stable, so equal sizes keep input
+/// order — this keeps solutions deterministic).
+fn decreasing_order<K>(items: &[Item<K>]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    idx.sort_by(|&a, &b| items[b].size.cmp(&items[a].size).then(a.cmp(&b)));
+    idx
+}
+
+/// First-fit decreasing: place each item (largest first) into the first bin
+/// with room, opening a new bin when none fits.
+///
+/// # Errors
+///
+/// Returns [`PackError`] if the capacity is zero or any item is zero-sized
+/// or oversized.
+pub fn first_fit_decreasing<K: Clone>(
+    items: &[Item<K>],
+    capacity: u32,
+) -> Result<Packing<K>, PackError> {
+    validate(items, capacity)?;
+    let mut bins: Vec<(u32, Vec<Item<K>>)> = Vec::new();
+    for &i in &decreasing_order(items) {
+        let item = &items[i];
+        match bins.iter_mut().find(|(used, _)| used + item.size <= capacity) {
+            Some((used, bin)) => {
+                *used += item.size;
+                bin.push(item.clone());
+            }
+            None => bins.push((item.size, vec![item.clone()])),
+        }
+    }
+    Ok(Packing::new(bins.into_iter().map(|(_, b)| b).collect(), capacity))
+}
+
+/// Best-fit decreasing: place each item (largest first) into the *fullest*
+/// bin that still has room.
+///
+/// # Errors
+///
+/// Returns [`PackError`] if the capacity is zero or any item is zero-sized
+/// or oversized.
+pub fn best_fit_decreasing<K: Clone>(
+    items: &[Item<K>],
+    capacity: u32,
+) -> Result<Packing<K>, PackError> {
+    validate(items, capacity)?;
+    let mut bins: Vec<(u32, Vec<Item<K>>)> = Vec::new();
+    for &i in &decreasing_order(items) {
+        let item = &items[i];
+        let best = bins
+            .iter_mut()
+            .filter(|(used, _)| used + item.size <= capacity)
+            .max_by_key(|(used, _)| *used);
+        match best {
+            Some((used, bin)) => {
+                *used += item.size;
+                bin.push(item.clone());
+            }
+            None => bins.push((item.size, vec![item.clone()])),
+        }
+    }
+    Ok(Packing::new(bins.into_iter().map(|(_, b)| b).collect(), capacity))
+}
+
+/// Next-fit: keep a single open bin; when an item does not fit, close it and
+/// open a new one. The weakest (2 · OPT) but cheapest heuristic — the
+/// ablation baseline.
+///
+/// # Errors
+///
+/// Returns [`PackError`] if the capacity is zero or any item is zero-sized
+/// or oversized.
+pub fn next_fit<K: Clone>(items: &[Item<K>], capacity: u32) -> Result<Packing<K>, PackError> {
+    validate(items, capacity)?;
+    let mut bins: Vec<Vec<Item<K>>> = Vec::new();
+    let mut current: Vec<Item<K>> = Vec::new();
+    let mut used = 0u32;
+    for item in items {
+        if used + item.size > capacity && !current.is_empty() {
+            bins.push(std::mem::take(&mut current));
+            used = 0;
+        }
+        used += item.size;
+        current.push(item.clone());
+    }
+    if !current.is_empty() {
+        bins.push(current);
+    }
+    Ok(Packing::new(bins, capacity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::lower_bound;
+    use proptest::prelude::*;
+
+    fn sizes(p: &Packing<usize>) -> Vec<u32> {
+        let mut v: Vec<u32> = p
+            .bins()
+            .iter()
+            .map(|b| b.iter().map(|i| i.size).sum())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn ffd_packs_figure1_example() {
+        // p3.2xlarge from Figure 1: regions with AZ counts that pack into
+        // fewer queries under capacity 10.
+        let items = vec![
+            Item::new("us-east-1", 4),
+            Item::new("us-west-2", 3),
+            Item::new("eu-west-1", 3),
+            Item::new("ap-northeast-1", 2),
+            Item::new("ap-southeast-2", 2),
+        ];
+        let p = first_fit_decreasing(&items, 10).unwrap();
+        assert_eq!(p.bin_count(), 2);
+        assert_eq!(p.total_size(), 14);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_packing() {
+        let p = first_fit_decreasing::<u32>(&[], 10).unwrap();
+        assert_eq!(p.bin_count(), 0);
+        let p = next_fit::<u32>(&[], 10).unwrap();
+        assert_eq!(p.bin_count(), 0);
+    }
+
+    #[test]
+    fn bfd_beats_or_ties_nf() {
+        let items: Vec<Item<usize>> = [6u32, 5, 4, 3, 2, 2, 2].iter().copied()
+            .enumerate()
+            .map(|(k, s)| Item::new(k, s))
+            .collect();
+        let bfd = best_fit_decreasing(&items, 10).unwrap();
+        let nf = next_fit(&items, 10).unwrap();
+        assert!(bfd.bin_count() <= nf.bin_count());
+    }
+
+    #[test]
+    fn deterministic_for_equal_sizes() {
+        let items: Vec<Item<usize>> = (0..6).map(|k| Item::new(k, 3)).collect();
+        let a = first_fit_decreasing(&items, 10).unwrap();
+        let b = first_fit_decreasing(&items, 10).unwrap();
+        assert_eq!(a, b);
+        // Equal sizes keep input order within the decreasing sort.
+        assert_eq!(a.bins()[0][0].key, 0);
+    }
+
+    #[test]
+    fn all_heuristics_reject_invalid() {
+        let oversized = vec![Item::new(0usize, 11)];
+        assert!(first_fit_decreasing(&oversized, 10).is_err());
+        assert!(best_fit_decreasing(&oversized, 10).is_err());
+        assert!(next_fit(&oversized, 10).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn heuristics_produce_valid_packings(
+            raw in prop::collection::vec(1u32..=10, 0..40),
+            capacity in 10u32..=20,
+        ) {
+            let items: Vec<Item<usize>> =
+                raw.iter().enumerate().map(|(k, &s)| Item::new(k, s)).collect();
+            for pack in [
+                first_fit_decreasing(&items, capacity).unwrap(),
+                best_fit_decreasing(&items, capacity).unwrap(),
+                next_fit(&items, capacity).unwrap(),
+            ] {
+                // Every bin within capacity and non-empty.
+                for s in sizes(&pack) {
+                    prop_assert!(s >= 1 && s <= capacity);
+                }
+                // Every item packed exactly once.
+                let mut keys: Vec<usize> = pack
+                    .bins()
+                    .iter()
+                    .flat_map(|b| b.iter().map(|i| i.key))
+                    .collect();
+                keys.sort_unstable();
+                prop_assert_eq!(keys, (0..items.len()).collect::<Vec<_>>());
+                // At least the L1 lower bound.
+                prop_assert!(pack.bin_count() >= lower_bound(&items, capacity));
+            }
+        }
+
+        #[test]
+        fn ffd_at_most_nf(
+            raw in prop::collection::vec(1u32..=10, 1..40),
+        ) {
+            let items: Vec<Item<usize>> =
+                raw.iter().enumerate().map(|(k, &s)| Item::new(k, s)).collect();
+            let ffd = first_fit_decreasing(&items, 10).unwrap().bin_count();
+            let nf = next_fit(&items, 10).unwrap().bin_count();
+            prop_assert!(ffd <= nf);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Bin-packing solvers for spot placement score query planning.
+//!
+//! Section 3.2 of the paper reduces placement-score query optimization to
+//! bin packing: for one instance type, the *items* are regions (sized by the
+//! number of availability zones supporting the type) and the *bin capacity*
+//! is 10, the maximum number of placement scores a single query returns.
+//! Packing regions into few bins packs them into few queries; across the
+//! whole catalog this cut the paper's query count from 9,299 to 2,226
+//! (≈ 4.5×).
+//!
+//! The paper used Google OR-Tools' CBC mixed-integer solver. This crate
+//! provides a faithful replacement: an exact [`BranchAndBound`] solver plus
+//! the classic [`first_fit_decreasing`] / [`best_fit_decreasing`] heuristics
+//! and a [`next_fit`] baseline, so the ablation benches can compare solution
+//! quality and runtime.
+//!
+//! # Example
+//!
+//! ```
+//! use spotlake_binpack::{first_fit_decreasing, Item};
+//!
+//! # fn main() -> Result<(), spotlake_binpack::PackError> {
+//! // Regions supporting p3.2xlarge, sized by AZ count (Figure 1's example).
+//! let items = vec![
+//!     Item::new("us-east-1", 4),
+//!     Item::new("us-west-2", 3),
+//!     Item::new("eu-west-1", 3),
+//!     Item::new("ap-northeast-1", 2),
+//! ];
+//! let packing = first_fit_decreasing(&items, 10)?;
+//! assert_eq!(packing.bin_count(), 2); // two queries instead of four
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exact;
+mod heuristics;
+mod problem;
+
+pub use exact::BranchAndBound;
+pub use heuristics::{best_fit_decreasing, first_fit_decreasing, next_fit};
+pub use problem::{lower_bound, lower_bound_l2, Item, PackError, Packing};

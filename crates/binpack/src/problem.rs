@@ -1,0 +1,299 @@
+//! Problem definition shared by all solvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// One item to pack: a key (e.g. a region) and an integer size (e.g. its
+/// availability-zone count).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Item<K> {
+    /// Caller-chosen identity of the item.
+    pub key: K,
+    /// Item size; must be `1..=capacity` to be packable.
+    pub size: u32,
+}
+
+impl<K> Item<K> {
+    /// Creates an item.
+    pub fn new(key: K, size: u32) -> Self {
+        Item { key, size }
+    }
+}
+
+/// Error returned when an instance cannot be packed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackError {
+    /// Bin capacity must be positive.
+    ZeroCapacity,
+    /// An item was larger than the bin capacity (index into the input).
+    Oversized {
+        /// Index of the offending item in the input slice.
+        index: usize,
+        /// The item's size.
+        size: u32,
+        /// The bin capacity.
+        capacity: u32,
+    },
+    /// An item had size zero (index into the input).
+    ZeroSized {
+        /// Index of the offending item in the input slice.
+        index: usize,
+    },
+    /// The exact solver exhausted its node budget before proving
+    /// optimality.
+    NodeLimit {
+        /// The configured budget that was exhausted.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::ZeroCapacity => write!(f, "bin capacity must be positive"),
+            PackError::Oversized {
+                index,
+                size,
+                capacity,
+            } => write!(
+                f,
+                "item {index} has size {size}, larger than bin capacity {capacity}"
+            ),
+            PackError::ZeroSized { index } => write!(f, "item {index} has size zero"),
+            PackError::NodeLimit { limit } => {
+                write!(f, "exact solver exceeded its node budget of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for PackError {}
+
+/// Validates a problem instance; every solver calls this first.
+pub(crate) fn validate<K>(items: &[Item<K>], capacity: u32) -> Result<(), PackError> {
+    if capacity == 0 {
+        return Err(PackError::ZeroCapacity);
+    }
+    for (index, item) in items.iter().enumerate() {
+        if item.size == 0 {
+            return Err(PackError::ZeroSized { index });
+        }
+        if item.size > capacity {
+            return Err(PackError::Oversized {
+                index,
+                size: item.size,
+                capacity,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A solution: items grouped into bins, none exceeding the capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packing<K> {
+    bins: Vec<Vec<Item<K>>>,
+    capacity: u32,
+}
+
+impl<K> Packing<K> {
+    pub(crate) fn new(bins: Vec<Vec<Item<K>>>, capacity: u32) -> Self {
+        debug_assert!(bins
+            .iter()
+            .all(|b| b.iter().map(|i| i.size).sum::<u32>() <= capacity));
+        debug_assert!(bins.iter().all(|b| !b.is_empty()));
+        Packing { bins, capacity }
+    }
+
+    /// The bins, each a non-empty group of items.
+    pub fn bins(&self) -> &[Vec<Item<K>>] {
+        &self.bins
+    }
+
+    /// Number of bins used (= number of queries needed).
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The bin capacity the packing was produced for.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Total size packed.
+    pub fn total_size(&self) -> u32 {
+        self.bins
+            .iter()
+            .flat_map(|b| b.iter().map(|i| i.size))
+            .sum()
+    }
+
+    /// Consumes the packing, returning the grouped keys only.
+    pub fn into_key_groups(self) -> Vec<Vec<K>> {
+        self.bins
+            .into_iter()
+            .map(|bin| bin.into_iter().map(|item| item.key).collect())
+            .collect()
+    }
+}
+
+/// The L1 lower bound on the number of bins: `ceil(total size / capacity)`.
+/// No packing can use fewer bins.
+pub fn lower_bound<K>(items: &[Item<K>], capacity: u32) -> usize {
+    if capacity == 0 {
+        return 0;
+    }
+    let total: u64 = items.iter().map(|i| u64::from(i.size)).sum();
+    total.div_ceil(u64::from(capacity)) as usize
+}
+
+/// Martello & Toth's L2 lower bound: for each threshold `k ≤ capacity/2`,
+/// items larger than `capacity − k` each need their own bin, items in
+/// `(capacity/2, capacity − k]` cannot share with each other, and the small
+/// items in `[k, capacity/2]` can at best fill the big items' slack. L2
+/// dominates L1 and is what the exact solver prunes with.
+pub fn lower_bound_l2<K>(items: &[Item<K>], capacity: u32) -> usize {
+    if capacity == 0 {
+        return 0;
+    }
+    let mut best = lower_bound(items, capacity);
+    for k in 1..=capacity / 2 {
+        // n1: items with size > capacity - k (cannot pair with anything
+        // of size >= k).
+        // n2: items with size in (capacity/2, capacity - k].
+        // s2: slack the n2 bins have left; s3: total size of items in
+        // [k, capacity/2].
+        let mut n1 = 0u64;
+        let mut n2 = 0u64;
+        let mut slack2 = 0u64;
+        let mut small_total = 0u64;
+        for item in items {
+            let size = u64::from(item.size);
+            if size > u64::from(capacity - k) {
+                n1 += 1;
+            } else if size > u64::from(capacity) / 2 {
+                n2 += 1;
+                slack2 += u64::from(capacity) - size;
+            } else if size >= u64::from(k) {
+                small_total += size;
+            }
+        }
+        let overflow = small_total.saturating_sub(slack2);
+        let extra = overflow.div_ceil(u64::from(capacity));
+        best = best.max((n1 + n2 + extra) as usize);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_bad_instances() {
+        assert_eq!(
+            validate(&[Item::new("a", 1)], 0),
+            Err(PackError::ZeroCapacity)
+        );
+        assert_eq!(
+            validate(&[Item::new("a", 0)], 5),
+            Err(PackError::ZeroSized { index: 0 })
+        );
+        assert_eq!(
+            validate(&[Item::new("a", 7)], 5),
+            Err(PackError::Oversized {
+                index: 0,
+                size: 7,
+                capacity: 5
+            })
+        );
+        assert!(validate(&[Item::new("a", 5)], 5).is_ok());
+    }
+
+    #[test]
+    fn lower_bound_is_ceiling() {
+        let items = vec![Item::new(0, 3), Item::new(1, 3), Item::new(2, 3)];
+        assert_eq!(lower_bound(&items, 10), 1);
+        assert_eq!(lower_bound(&items, 4), 3);
+        assert_eq!(lower_bound(&items, 3), 3);
+        assert_eq!(lower_bound::<u32>(&[], 10), 0);
+    }
+
+    #[test]
+    fn packing_accessors() {
+        let p = Packing::new(
+            vec![
+                vec![Item::new("a", 4), Item::new("b", 3)],
+                vec![Item::new("c", 5)],
+            ],
+            10,
+        );
+        assert_eq!(p.bin_count(), 2);
+        assert_eq!(p.capacity(), 10);
+        assert_eq!(p.total_size(), 12);
+        assert_eq!(
+            p.into_key_groups(),
+            vec![vec!["a", "b"], vec!["c"]]
+        );
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = PackError::Oversized {
+            index: 2,
+            size: 11,
+            capacity: 10,
+        };
+        assert_eq!(
+            e.to_string(),
+            "item 2 has size 11, larger than bin capacity 10"
+        );
+    }
+}
+
+#[cfg(test)]
+mod l2_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn l2_dominates_l1_on_known_instance() {
+        // Three items of size 6 with capacity 10: L1 = ceil(18/10) = 2 but
+        // no two can share a bin, so L2 = 3.
+        let items: Vec<Item<usize>> = (0..3).map(|k| Item::new(k, 6)).collect();
+        assert_eq!(lower_bound(&items, 10), 2);
+        assert_eq!(lower_bound_l2(&items, 10), 3);
+    }
+
+    #[test]
+    fn l2_counts_oversize_singletons() {
+        // Sizes {9, 9, 1}: each 9 leaves one unit of slack, so the 1 rides
+        // along -> L2 = 2 (= OPT).
+        let items = vec![Item::new(0usize, 9), Item::new(1, 9), Item::new(2, 1)];
+        assert_eq!(lower_bound_l2(&items, 10), 2);
+        // Sizes {9, 9, 2}: the 2 no longer fits anywhere -> L2 = 3 (= OPT),
+        // strictly better than L1 = 2.
+        let items = vec![Item::new(0usize, 9), Item::new(1, 9), Item::new(2, 2)];
+        assert_eq!(lower_bound(&items, 10), 2);
+        assert_eq!(lower_bound_l2(&items, 10), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn l2_is_sandwiched_between_l1_and_opt(
+            raw in prop::collection::vec(1u32..=10, 1..12),
+        ) {
+            let items: Vec<Item<usize>> =
+                raw.iter().enumerate().map(|(k, &s)| Item::new(k, s)).collect();
+            let l1 = lower_bound(&items, 10);
+            let l2 = lower_bound_l2(&items, 10);
+            prop_assert!(l2 >= l1, "L2 {l2} below L1 {l1}");
+            // Compare against the exact optimum.
+            let opt = crate::exact::BranchAndBound::new()
+                .pack(&items, 10)
+                .unwrap()
+                .bin_count();
+            prop_assert!(l2 <= opt, "L2 {l2} exceeds OPT {opt} for {raw:?}");
+        }
+    }
+}

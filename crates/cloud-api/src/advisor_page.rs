@@ -1,0 +1,211 @@
+//! The spot instance advisor "web page".
+//!
+//! The advisor "is officially accessible via the website only, and it does
+//! not support the programmatic access" (Section 2.2). The paper worked
+//! around this with the open-source `spotinfo` scraper. This module
+//! reproduces both sides: [`AdvisorPage::render`] produces the JSON document
+//! the advisor website embeds, and [`AdvisorPage::scrape`] is the
+//! `spotinfo`-equivalent parser that turns the document back into rows.
+//!
+//! The document format mirrors the real `spot-advisor-data.json` in spirit:
+//! a flat row list with the savings percentage and the interruption-range
+//! *index* (0 = `<5%` … 4 = `>20%`).
+
+use crate::error::ApiError;
+use spotlake_cloud_sim::SimCloud;
+use spotlake_types::{InterruptionBucket, Savings};
+
+/// One advisor row as shown on the website.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdvisorRow {
+    /// Instance type name.
+    pub instance_type: String,
+    /// Region code.
+    pub region: String,
+    /// Savings over on-demand.
+    pub savings: Savings,
+    /// Interruption frequency bucket.
+    pub bucket: InterruptionBucket,
+}
+
+/// The advisor page: render and scrape.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdvisorPage;
+
+impl AdvisorPage {
+    /// Renders the advisor website's embedded JSON document from the
+    /// cloud's currently published advisor table. Rows are sorted by
+    /// (region, instance type) — the website is stable between refreshes.
+    pub fn render(cloud: &SimCloud) -> String {
+        let catalog = cloud.catalog();
+        let mut rows: Vec<(String, String, u8, usize)> = cloud
+            .advisor_table()
+            .into_iter()
+            .map(|((ty, region), entry)| {
+                let range = InterruptionBucket::ALL
+                    .iter()
+                    .position(|b| *b == entry.bucket)
+                    .expect("bucket is one of the five");
+                (
+                    catalog.region(region).code().to_owned(),
+                    catalog.ty(ty).name(),
+                    entry.savings.percent(),
+                    range,
+                )
+            })
+            .collect();
+        rows.sort();
+
+        let mut out = String::with_capacity(rows.len() * 96 + 64);
+        out.push_str("{\n  \"updated\": ");
+        out.push_str(&cloud.now().as_secs().to_string());
+        out.push_str(",\n  \"rows\": [\n");
+        for (i, (region, ty, savings, range)) in rows.iter().enumerate() {
+            out.push_str("    {\"instance_type\": \"");
+            out.push_str(ty);
+            out.push_str("\", \"region\": \"");
+            out.push_str(region);
+            out.push_str("\", \"savings\": ");
+            out.push_str(&savings.to_string());
+            out.push_str(", \"interruption_range\": ");
+            out.push_str(&range.to_string());
+            out.push('}');
+            if i + 1 < rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Scrapes a rendered advisor document back into rows — the
+    /// reproduction's `spotinfo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::ScrapeFailed`] when the document does not have
+    /// the expected structure.
+    pub fn scrape(document: &str) -> Result<Vec<AdvisorRow>, ApiError> {
+        let rows_start = document.find("\"rows\"").ok_or_else(|| ApiError::ScrapeFailed {
+            detail: "missing rows array".into(),
+        })?;
+        let body = &document[rows_start..];
+        let open = body.find('[').ok_or_else(|| ApiError::ScrapeFailed {
+            detail: "rows is not an array".into(),
+        })?;
+        let close = body.rfind(']').ok_or_else(|| ApiError::ScrapeFailed {
+            detail: "unterminated rows array".into(),
+        })?;
+        let rows_body = &body[open + 1..close];
+
+        let mut rows = Vec::new();
+        for chunk in rows_body.split('{').skip(1) {
+            let end = chunk.find('}').ok_or_else(|| ApiError::ScrapeFailed {
+                detail: "unterminated row object".into(),
+            })?;
+            let obj = &chunk[..end];
+            let instance_type = extract_str(obj, "instance_type")?;
+            let region = extract_str(obj, "region")?;
+            let savings_pct: u8 = extract_num(obj, "savings")?;
+            let range: usize = extract_num(obj, "interruption_range")?;
+            let bucket = *InterruptionBucket::ALL.get(range).ok_or_else(|| {
+                ApiError::ScrapeFailed {
+                    detail: format!("interruption_range {range} out of range"),
+                }
+            })?;
+            let savings = Savings::from_percent(savings_pct).map_err(|_| {
+                ApiError::ScrapeFailed {
+                    detail: format!("savings {savings_pct} out of range"),
+                }
+            })?;
+            rows.push(AdvisorRow {
+                instance_type,
+                region,
+                savings,
+                bucket,
+            });
+        }
+        Ok(rows)
+    }
+}
+
+fn extract_str(obj: &str, key: &str) -> Result<String, ApiError> {
+    let pat = format!("\"{key}\": \"");
+    let start = obj.find(&pat).ok_or_else(|| ApiError::ScrapeFailed {
+        detail: format!("missing field {key}"),
+    })? + pat.len();
+    let rest = &obj[start..];
+    let end = rest.find('"').ok_or_else(|| ApiError::ScrapeFailed {
+        detail: format!("unterminated string for {key}"),
+    })?;
+    Ok(rest[..end].to_owned())
+}
+
+fn extract_num<T: std::str::FromStr>(obj: &str, key: &str) -> Result<T, ApiError> {
+    let pat = format!("\"{key}\": ");
+    let start = obj.find(&pat).ok_or_else(|| ApiError::ScrapeFailed {
+        detail: format!("missing field {key}"),
+    })? + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().map_err(|_| ApiError::ScrapeFailed {
+        detail: format!("bad number for {key}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotlake_cloud_sim::SimConfig;
+    use spotlake_types::CatalogBuilder;
+
+    fn small_cloud() -> SimCloud {
+        let mut b = CatalogBuilder::new();
+        b.region("us-test-1", 2)
+            .region("eu-test-1", 2)
+            .instance_type("m5.large", 0.096)
+            .instance_type("p3.2xlarge", 3.06);
+        SimCloud::new(b.build().unwrap(), SimConfig::default())
+    }
+
+    #[test]
+    fn render_scrape_roundtrip() {
+        let cloud = small_cloud();
+        let page = AdvisorPage::render(&cloud);
+        let rows = AdvisorPage::scrape(&page).unwrap();
+        // 2 types × 2 regions.
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            let ty = cloud.catalog().instance_type_id(&row.instance_type).unwrap();
+            let region = cloud.catalog().region_id(&row.region).unwrap();
+            let entry = cloud.advisor_entry(ty, region).unwrap();
+            assert_eq!(entry.bucket, row.bucket);
+            assert_eq!(entry.savings, row.savings);
+        }
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let cloud = small_cloud();
+        assert_eq!(AdvisorPage::render(&cloud), AdvisorPage::render(&cloud));
+    }
+
+    #[test]
+    fn scrape_rejects_garbage() {
+        assert!(AdvisorPage::scrape("<html>not the advisor</html>").is_err());
+        assert!(AdvisorPage::scrape("{\"rows\": [{\"instance_type\": \"x\"}]}").is_err());
+        assert!(AdvisorPage::scrape(
+            "{\"rows\": [{\"instance_type\": \"a\", \"region\": \"r\", \"savings\": 10, \"interruption_range\": 9}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn scrape_empty_rows() {
+        let rows = AdvisorPage::scrape("{\"updated\": 0, \"rows\": []}").unwrap();
+        assert!(rows.is_empty());
+    }
+}

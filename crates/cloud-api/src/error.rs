@@ -1,0 +1,75 @@
+//! API-layer errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the cloud's public APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// The account has used all of its unique placement-score queries for
+    /// the trailing 24 hours (paper Section 3.1: "an account can issue a
+    /// maximum of 50 unique queries in 24 hours").
+    QueryLimitExceeded {
+        /// The account that hit the limit.
+        account: String,
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// A request parameter was invalid.
+    InvalidParameter {
+        /// Which parameter.
+        parameter: &'static str,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A named entity (region, instance type) does not exist.
+    UnknownEntity {
+        /// Entity kind.
+        kind: &'static str,
+        /// The unknown name.
+        name: String,
+    },
+    /// A pagination token was malformed or expired.
+    BadPageToken,
+    /// The advisor web page could not be scraped.
+    ScrapeFailed {
+        /// What the scraper choked on.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::QueryLimitExceeded { account, limit } => write!(
+                f,
+                "account {account:?} exceeded its limit of {limit} unique placement-score queries in 24 hours"
+            ),
+            ApiError::InvalidParameter { parameter, reason } => {
+                write!(f, "invalid parameter {parameter}: {reason}")
+            }
+            ApiError::UnknownEntity { kind, name } => write!(f, "unknown {kind}: {name:?}"),
+            ApiError::BadPageToken => write!(f, "malformed or expired page token"),
+            ApiError::ScrapeFailed { detail } => {
+                write!(f, "failed to scrape advisor page: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = ApiError::QueryLimitExceeded {
+            account: "a".into(),
+            limit: 50,
+        };
+        assert!(e.to_string().contains("50 unique"));
+        assert_eq!(ApiError::BadPageToken.to_string(), "malformed or expired page token");
+    }
+}

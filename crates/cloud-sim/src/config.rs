@@ -1,0 +1,88 @@
+//! Simulation configuration.
+
+use spotlake_types::{SimDuration, COLLECTION_TICK};
+
+/// Tunable parameters of the simulated cloud.
+///
+/// The defaults are the calibration used throughout the experiment harness;
+/// they reproduce the shapes of the paper's Tables 2–4 and Figures 3–11.
+/// Every stochastic process is keyed off [`SimConfig::seed`], so two clouds
+/// built with the same catalog and configuration evolve identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Master seed for all stochastic processes.
+    pub seed: u64,
+    /// Simulation step. Defaults to the paper's ten-minute collection tick;
+    /// long-horizon sweeps may use a coarser tick.
+    pub tick: SimDuration,
+    /// Day index at which a global demand shock begins (the paper observed
+    /// "a sudden decrease ... around June 2, 2022", i.e. day 152 of the
+    /// measurement). `None` disables the shock.
+    pub shock_day: Option<u64>,
+    /// Length of the demand shock, in days.
+    pub shock_duration: SimDuration,
+    /// Multiplier applied to every pool's free margin during the shock
+    /// (lower = tighter capacity).
+    pub shock_margin_factor: f64,
+    /// Global scale applied to pool capacities. 1.0 is the calibrated
+    /// default; tests can lower it to make scarcity effects stronger.
+    pub capacity_scale: f64,
+    /// Length of the advisor's trailing observation window (the advisor
+    /// reports "the rate at which spot instances have been interrupted in
+    /// the preceding month").
+    pub advisor_window: SimDuration,
+    /// How often the advisor re-publishes its statistics. The paper's
+    /// Figure 10 shows the interruption-free score updating the least
+    /// frequently of the three datasets.
+    pub advisor_refresh: SimDuration,
+    /// How often the spot price process re-evaluates (price changes are
+    /// recorded only when the smoothed price actually moves).
+    pub price_refresh: SimDuration,
+}
+
+impl SimConfig {
+    /// Configuration with everything at its calibrated default but a
+    /// caller-chosen seed.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            // The paper's artifact was archived on Zenodo in September 2022.
+            seed: 20_220_901,
+            tick: COLLECTION_TICK,
+            shock_day: Some(152),
+            shock_duration: SimDuration::from_days(2),
+            shock_margin_factor: 0.45,
+            capacity_scale: 1.0,
+            advisor_window: SimDuration::from_days(30),
+            advisor_refresh: SimDuration::from_days(7),
+            price_refresh: SimDuration::from_hours(6),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tick_is_collection_tick() {
+        assert_eq!(SimConfig::default().tick, COLLECTION_TICK);
+    }
+
+    #[test]
+    fn with_seed_only_changes_seed() {
+        let a = SimConfig::with_seed(7);
+        let b = SimConfig::default();
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.tick, b.tick);
+        assert_eq!(a.shock_day, b.shock_day);
+    }
+}

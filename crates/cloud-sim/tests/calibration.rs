@@ -1,0 +1,109 @@
+//! Calibration checks against the paper's published distributions.
+//!
+//! These run the full 547-type catalog for a simulated stretch and assert
+//! the *shapes* of Table 2 and the family-level findings of Section 5.1.
+//! They are `#[ignore]`d by default (they take tens of seconds in debug
+//! builds); run them with `cargo test -p spotlake-cloud-sim --release -- --ignored`.
+
+use spotlake_cloud_sim::{SimCloud, SimConfig};
+use spotlake_types::{Catalog, InstanceGroup, InterruptionFreeScore, SimDuration};
+
+fn full_cloud(days: u64) -> SimCloud {
+    let config = SimConfig {
+        tick: SimDuration::from_hours(2), // coarse tick for test speed
+        ..SimConfig::default()
+    };
+    let mut cloud = SimCloud::new(Catalog::aws_2022(), config);
+    cloud.run_days(days);
+    cloud
+}
+
+/// Table 2 shape: the placement score is overwhelmingly 3.0, with a small
+/// score-2 band and a high-single-digit score-1 share; the interruption-free
+/// score is far more uniform.
+#[test]
+#[ignore = "full-catalog calibration sweep; run explicitly"]
+fn table2_shape_placement_score_concentrated_if_score_spread() {
+    let mut cloud = full_cloud(14);
+    let catalog = cloud.catalog().clone();
+
+    let mut sps_counts = [0u64; 3]; // index = score - 1
+    let mut if_counts = [0u64; 5];
+
+    // Sample over a further week of ticks.
+    for _ in 0..(7 * 12) {
+        cloud.step();
+        for ty in catalog.type_ids() {
+            for region in catalog.region_ids() {
+                if let Some(s) = cloud.placement_score_region(ty, region, 1) {
+                    sps_counts[(s.value() - 1) as usize] += 1;
+                }
+                if let Some(e) = cloud.advisor_entry(ty, region) {
+                    let ifs = e.bucket.interruption_free_score();
+                    let idx = InterruptionFreeScore::ALL
+                        .iter()
+                        .position(|x| *x == ifs)
+                        .unwrap();
+                    if_counts[idx] += 1;
+                }
+            }
+        }
+    }
+
+    let sps_total: u64 = sps_counts.iter().sum();
+    let sps_pct: Vec<f64> = sps_counts
+        .iter()
+        .map(|&c| 100.0 * c as f64 / sps_total as f64)
+        .collect();
+    eprintln!("SPS distribution (1.0, 2.0, 3.0): {sps_pct:?} (paper: 8.31, 3.81, 87.88)");
+
+    let if_total: u64 = if_counts.iter().sum();
+    let if_pct: Vec<f64> = if_counts
+        .iter()
+        .map(|&c| 100.0 * c as f64 / if_total as f64)
+        .collect();
+    eprintln!(
+        "IF distribution (1.0, 1.5, 2.0, 2.5, 3.0): {if_pct:?} (paper: 20.84, 6.33, 13.86, 25.92, 33.05)"
+    );
+
+    // Placement score concentrated at 3.0.
+    assert!(sps_pct[2] > 75.0, "score 3.0 share {:.1}% too low", sps_pct[2]);
+    assert!(sps_pct[0] < 20.0, "score 1.0 share {:.1}% too high", sps_pct[0]);
+    // Interruption-free score spread: no single bucket dominates like SPS.
+    let max_if = if_pct.iter().cloned().fold(0.0, f64::max);
+    assert!(max_if < 60.0, "IF score too concentrated: {if_pct:?}");
+    // Both extreme buckets populated.
+    assert!(if_pct[0] > 5.0, "IF 1.0 share {:.1}% too low", if_pct[0]);
+    assert!(if_pct[4] > 15.0, "IF 3.0 share {:.1}% too low", if_pct[4]);
+}
+
+/// Section 5.1: the accelerated-computing family has noticeably lower
+/// scores than the fleet average; DL (Gaudi) is the exception with high
+/// scores.
+#[test]
+#[ignore = "full-catalog calibration sweep; run explicitly"]
+fn family_ordering_matches_figure3() {
+    let mut cloud = full_cloud(7);
+    let catalog = cloud.catalog().clone();
+    cloud.step();
+
+    let mut group_sum = std::collections::HashMap::new();
+    let mut group_n = std::collections::HashMap::new();
+    for ty in catalog.type_ids() {
+        let group = catalog.ty(ty).family().group();
+        for region in catalog.region_ids() {
+            if let Some(s) = cloud.placement_score_region(ty, region, 1) {
+                *group_sum.entry(group).or_insert(0.0) += f64::from(s.value());
+                *group_n.entry(group).or_insert(0u64) += 1;
+            }
+        }
+    }
+    let avg = |g: InstanceGroup| group_sum[&g] / group_n[&g] as f64;
+    let accel = avg(InstanceGroup::AcceleratedComputing);
+    let general = avg(InstanceGroup::General);
+    eprintln!("avg SPS: general {general:.2}, accelerated {accel:.2}");
+    assert!(
+        accel < general - 0.15,
+        "accelerated ({accel:.2}) must score clearly below general ({general:.2})"
+    );
+}

@@ -1,0 +1,128 @@
+//! Account pooling.
+//!
+//! One account may issue at most 50 unique placement-score queries per 24
+//! hours (Section 3.1), but repeating a counted query is free. SpotLake
+//! therefore needs `ceil(plan size / 50)` accounts: each account owns a
+//! fixed shard of the plan and re-issues the same queries every collection
+//! tick.
+
+use crate::error::CollectError;
+use crate::planner::PlannedQuery;
+use spotlake_cloud_api::{AccountId, UNIQUE_QUERY_LIMIT};
+
+/// A pool of cloud accounts and the plan shards assigned to them.
+#[derive(Debug, Clone)]
+pub struct AccountPool {
+    accounts: Vec<AccountId>,
+}
+
+impl AccountPool {
+    /// Creates a pool of `n` research accounts named `research-0..n`.
+    pub fn with_size(n: usize) -> Self {
+        AccountPool {
+            accounts: (0..n)
+                .map(|i| AccountId::new(format!("research-{i}")))
+                .collect(),
+        }
+    }
+
+    /// Creates a pool from explicit account ids.
+    pub fn from_accounts(accounts: Vec<AccountId>) -> Self {
+        AccountPool { accounts }
+    }
+
+    /// Accounts in the pool.
+    pub fn accounts(&self) -> &[AccountId] {
+        &self.accounts
+    }
+
+    /// How many accounts a plan of `plan_len` unique queries needs.
+    pub fn required_accounts(plan_len: usize) -> usize {
+        plan_len.div_ceil(UNIQUE_QUERY_LIMIT)
+    }
+
+    /// Shards a plan across the pool: contiguous chunks of at most 50
+    /// queries per account.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError::InsufficientAccounts`] when the pool is too
+    /// small for the plan.
+    pub fn assign<'p>(
+        &self,
+        plan: &'p [PlannedQuery],
+    ) -> Result<Vec<(AccountId, &'p [PlannedQuery])>, CollectError> {
+        let needed = Self::required_accounts(plan.len());
+        if needed > self.accounts.len() {
+            return Err(CollectError::InsufficientAccounts {
+                available: self.accounts.len(),
+                needed,
+            });
+        }
+        Ok(plan
+            .chunks(UNIQUE_QUERY_LIMIT)
+            .zip(&self.accounts)
+            .map(|(chunk, account)| (account.clone(), chunk))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queries(n: usize) -> Vec<PlannedQuery> {
+        (0..n)
+            .map(|i| PlannedQuery {
+                instance_type: format!("m5.{i}"),
+                regions: vec!["us-test-1".into()],
+                expected_results: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn required_accounts_is_ceiling() {
+        assert_eq!(AccountPool::required_accounts(0), 0);
+        assert_eq!(AccountPool::required_accounts(1), 1);
+        assert_eq!(AccountPool::required_accounts(50), 1);
+        assert_eq!(AccountPool::required_accounts(51), 2);
+        assert_eq!(AccountPool::required_accounts(2226), 45);
+    }
+
+    #[test]
+    fn assign_shards_within_limit() {
+        let pool = AccountPool::with_size(3);
+        let plan = queries(120);
+        let shards = pool.assign(&plan).unwrap();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].1.len(), 50);
+        assert_eq!(shards[1].1.len(), 50);
+        assert_eq!(shards[2].1.len(), 20);
+        // Every query assigned exactly once, in order.
+        let total: usize = shards.iter().map(|(_, s)| s.len()).sum();
+        assert_eq!(total, 120);
+    }
+
+    #[test]
+    fn insufficient_accounts_rejected() {
+        let pool = AccountPool::with_size(2);
+        let plan = queries(150);
+        assert!(matches!(
+            pool.assign(&plan),
+            Err(CollectError::InsufficientAccounts {
+                available: 2,
+                needed: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn custom_accounts() {
+        let pool = AccountPool::from_accounts(vec![AccountId::new("alice")]);
+        assert_eq!(pool.accounts().len(), 1);
+        let plan = queries(5);
+        let shards = pool.assign(&plan).unwrap();
+        assert_eq!(shards[0].0.name(), "alice");
+    }
+}

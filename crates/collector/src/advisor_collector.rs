@@ -1,0 +1,94 @@
+//! The spot instance advisor collector.
+//!
+//! The advisor has no API, so this collector fetches the advisor *web
+//! page* and scrapes its embedded JSON — the paper used the `spotinfo`
+//! tool for exactly this (Section 4). Each scraped row yields two records:
+//! the interruption-free score (the paper's numeric conversion of the
+//! bucket) and the savings percentage.
+
+use crate::error::CollectError;
+use spotlake_cloud_api::AdvisorPage;
+use spotlake_cloud_sim::SimCloud;
+use spotlake_timestream::Record;
+
+/// Collects the advisor dataset by scraping the advisor page.
+#[derive(Debug, Clone, Default)]
+pub struct AdvisorCollector {
+    type_filter: Option<Vec<String>>,
+}
+
+impl AdvisorCollector {
+    /// Creates a collector over all instance types on the page.
+    pub fn new() -> Self {
+        AdvisorCollector::default()
+    }
+
+    /// Restricts collection to the named instance types (the page always
+    /// carries everything; the filter drops rows after scraping).
+    pub fn with_type_filter(mut self, types: Vec<String>) -> Self {
+        self.type_filter = Some(types);
+        self
+    }
+
+    /// Fetches and scrapes the advisor page, returning `if_score` and
+    /// `savings` records per (instance type, region), stamped with the
+    /// cloud's current time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError::Api`] when the page cannot be scraped.
+    pub fn collect(&self, cloud: &SimCloud) -> Result<Vec<Record>, CollectError> {
+        let page = AdvisorPage::render(cloud);
+        let rows = AdvisorPage::scrape(&page)?;
+        let now = cloud.now().as_secs();
+        let mut records = Vec::with_capacity(rows.len() * 2);
+        for row in rows {
+            if let Some(filter) = &self.type_filter {
+                if !filter.contains(&row.instance_type) {
+                    continue;
+                }
+            }
+            let score = row.bucket.interruption_free_score().as_f64();
+            records.push(
+                Record::new(now, "if_score", score)
+                    .dimension("instance_type", &row.instance_type)
+                    .dimension("region", &row.region),
+            );
+            records.push(
+                Record::new(now, "savings", f64::from(row.savings.percent()))
+                    .dimension("instance_type", &row.instance_type)
+                    .dimension("region", &row.region),
+            );
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotlake_cloud_sim::SimConfig;
+    use spotlake_types::CatalogBuilder;
+
+    #[test]
+    fn collects_two_records_per_pair() {
+        let mut b = CatalogBuilder::new();
+        b.region("us-test-1", 2)
+            .region("eu-test-1", 2)
+            .instance_type("m5.large", 0.096)
+            .instance_type("p3.2xlarge", 3.06);
+        let cloud = SimCloud::new(b.build().unwrap(), SimConfig::default());
+        let records = AdvisorCollector::new().collect(&cloud).unwrap();
+        // 2 types × 2 regions × 2 measures.
+        assert_eq!(records.len(), 8);
+        let if_scores: Vec<_> = records.iter().filter(|r| r.measure == "if_score").collect();
+        assert_eq!(if_scores.len(), 4);
+        for r in if_scores {
+            assert!([1.0, 1.5, 2.0, 2.5, 3.0].contains(&r.value));
+        }
+        let savings: Vec<_> = records.iter().filter(|r| r.measure == "savings").collect();
+        for r in savings {
+            assert!((0.0..100.0).contains(&r.value));
+        }
+    }
+}

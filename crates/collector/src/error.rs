@@ -1,0 +1,75 @@
+//! Collector errors.
+
+use spotlake_cloud_api::ApiError;
+use spotlake_timestream::TsError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the collection pipeline.
+#[derive(Debug)]
+pub enum CollectError {
+    /// The account pool cannot cover the query plan under the per-account
+    /// unique-query limit.
+    InsufficientAccounts {
+        /// Accounts available.
+        available: usize,
+        /// Accounts the plan requires.
+        needed: usize,
+    },
+    /// A cloud API call failed.
+    Api(ApiError),
+    /// A time-series store operation failed.
+    Store(TsError),
+}
+
+impl fmt::Display for CollectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectError::InsufficientAccounts { available, needed } => write!(
+                f,
+                "query plan needs {needed} accounts under the unique-query limit, only {available} available"
+            ),
+            CollectError::Api(e) => write!(f, "cloud api error: {e}"),
+            CollectError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl Error for CollectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CollectError::Api(e) => Some(e),
+            CollectError::Store(e) => Some(e),
+            CollectError::InsufficientAccounts { .. } => None,
+        }
+    }
+}
+
+impl From<ApiError> for CollectError {
+    fn from(e: ApiError) -> Self {
+        CollectError::Api(e)
+    }
+}
+
+impl From<TsError> for CollectError {
+    fn from(e: TsError) -> Self {
+        CollectError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CollectError::InsufficientAccounts {
+            available: 1,
+            needed: 45,
+        };
+        assert!(e.to_string().contains("45 accounts"));
+        assert!(e.source().is_none());
+        let e = CollectError::from(ApiError::BadPageToken);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,294 @@
+//! Placement-score query planning via bin packing (Section 3.2).
+//!
+//! For each instance type, the planner builds the paper's "nested
+//! dictionary" — region → number of supporting availability zones — and
+//! packs regions into queries so that each query's total AZ count stays
+//! within the 10-result API cap. The strategy is pluggable so the ablation
+//! bench can compare the exact solver against the heuristics and the naive
+//! one-region-per-query baseline.
+
+use spotlake_binpack::{
+    best_fit_decreasing, first_fit_decreasing, lower_bound_l2, BranchAndBound, Item,
+};
+use spotlake_cloud_api::MAX_RESULTS;
+use spotlake_types::Catalog;
+
+/// Which packing algorithm the planner uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerStrategy {
+    /// Exact branch-and-bound — the stand-in for the paper's CBC MIP
+    /// solver.
+    #[default]
+    Exact,
+    /// First-fit decreasing.
+    Ffd,
+    /// Best-fit decreasing.
+    Bfd,
+    /// One region per query — the unoptimized baseline whose full-catalog
+    /// count is the paper's 9,299.
+    Naive,
+}
+
+impl PlannerStrategy {
+    /// All strategies, for ablation sweeps.
+    pub const ALL: [PlannerStrategy; 4] = [
+        PlannerStrategy::Exact,
+        PlannerStrategy::Ffd,
+        PlannerStrategy::Bfd,
+        PlannerStrategy::Naive,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlannerStrategy::Exact => "exact",
+            PlannerStrategy::Ffd => "ffd",
+            PlannerStrategy::Bfd => "bfd",
+            PlannerStrategy::Naive => "naive",
+        }
+    }
+}
+
+/// One planned placement-score query: a single instance type, several
+/// regions, and the expected number of per-AZ results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedQuery {
+    /// Instance type name.
+    pub instance_type: String,
+    /// Region codes packed into this query.
+    pub regions: Vec<String>,
+    /// Total supporting AZ count across the packed regions (≤ 10).
+    pub expected_results: u32,
+}
+
+/// Statistics of a plan, mirroring the paper's Figure 1 numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Queries in the optimized plan.
+    pub planned_queries: usize,
+    /// Queries the naive per-(type, region) scan would need — counts every
+    /// (type, supported region) pair.
+    pub naive_queries: usize,
+    /// (type, region) pairs covered.
+    pub pairs_covered: usize,
+}
+
+impl PlanStats {
+    /// The improvement factor over the naive scan (the paper reports
+    /// ≈ 4.5×... relative to the all-pairs 9,299).
+    pub fn improvement(&self) -> f64 {
+        if self.planned_queries == 0 {
+            return 1.0;
+        }
+        self.naive_queries as f64 / self.planned_queries as f64
+    }
+}
+
+/// The query planner.
+#[derive(Debug, Clone)]
+pub struct QueryPlanner {
+    strategy: PlannerStrategy,
+    capacity: u32,
+}
+
+impl Default for QueryPlanner {
+    fn default() -> Self {
+        QueryPlanner {
+            strategy: PlannerStrategy::default(),
+            capacity: MAX_RESULTS as u32,
+        }
+    }
+}
+
+impl QueryPlanner {
+    /// Creates a planner with the given strategy and the API's 10-result
+    /// bin capacity.
+    pub fn new(strategy: PlannerStrategy) -> Self {
+        QueryPlanner {
+            strategy,
+            capacity: MAX_RESULTS as u32,
+        }
+    }
+
+    /// Overrides the bin capacity (tests / sensitivity sweeps).
+    pub fn with_capacity(mut self, capacity: u32) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Plans queries for every instance type in the catalog (optionally
+    /// restricted to `type_filter` names).
+    pub fn plan(&self, catalog: &Catalog, type_filter: Option<&[String]>) -> Vec<PlannedQuery> {
+        let mut plan = Vec::new();
+        for ty in catalog.type_ids() {
+            let name = catalog.ty(ty).name();
+            if let Some(filter) = type_filter {
+                if !filter.contains(&name) {
+                    continue;
+                }
+            }
+            let support = catalog.support_map(ty);
+            if support.is_empty() {
+                continue;
+            }
+            let items: Vec<Item<String>> = support
+                .iter()
+                .map(|(&region, &azs)| {
+                    // A region with more supporting AZs than the cap still
+                    // fits in one query; extra scores are truncated.
+                    Item::new(
+                        catalog.region(region).code().to_owned(),
+                        azs.min(self.capacity),
+                    )
+                })
+                .collect();
+
+            let groups: Vec<Vec<Item<String>>> = match self.strategy {
+                PlannerStrategy::Naive => items.into_iter().map(|i| vec![i]).collect(),
+                PlannerStrategy::Ffd => first_fit_decreasing(&items, self.capacity)
+                    .expect("sizes clamped to capacity")
+                    .bins()
+                    .to_vec(),
+                PlannerStrategy::Bfd => best_fit_decreasing(&items, self.capacity)
+                    .expect("sizes clamped to capacity")
+                    .bins()
+                    .to_vec(),
+                PlannerStrategy::Exact => BranchAndBound::new()
+                    .pack(&items, self.capacity)
+                    .expect("sizes clamped to capacity")
+                    .bins()
+                    .to_vec(),
+            };
+            for group in groups {
+                let expected_results = group.iter().map(|i| i.size).sum();
+                plan.push(PlannedQuery {
+                    instance_type: name.clone(),
+                    regions: group.into_iter().map(|i| i.key).collect(),
+                    expected_results,
+                });
+            }
+        }
+        plan
+    }
+
+    /// Plans and summarizes.
+    pub fn plan_with_stats(
+        &self,
+        catalog: &Catalog,
+        type_filter: Option<&[String]>,
+    ) -> (Vec<PlannedQuery>, PlanStats) {
+        let plan = self.plan(catalog, type_filter);
+        let pairs_covered = plan.iter().map(|q| q.regions.len()).sum();
+        let stats = PlanStats {
+            planned_queries: plan.len(),
+            naive_queries: pairs_covered,
+            pairs_covered,
+        };
+        (plan, stats)
+    }
+
+    /// The (Martello–Toth L2) lower bound on the plan size for this catalog.
+    pub fn plan_lower_bound(&self, catalog: &Catalog) -> usize {
+        let mut total = 0;
+        for ty in catalog.type_ids() {
+            let support = catalog.support_map(ty);
+            let items: Vec<Item<u16>> = support
+                .iter()
+                .map(|(&region, &azs)| Item::new(region.0, azs.min(self.capacity)))
+                .collect();
+            total += lower_bound_l2(&items, self.capacity);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotlake_types::CatalogBuilder;
+
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::new();
+        b.region("us-test-1", 4)
+            .region("eu-test-1", 3)
+            .region("ap-test-1", 3)
+            .region("sa-test-1", 2)
+            .instance_type("m5.large", 0.096)
+            .instance_type("p3.2xlarge", 3.06);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exact_plan_packs_regions() {
+        let c = catalog();
+        let (plan, stats) = QueryPlanner::new(PlannerStrategy::Exact).plan_with_stats(&c, None);
+        // Per type: sizes {4,3,3,2} with capacity 10 -> 2 bins.
+        assert_eq!(stats.planned_queries, 4);
+        assert_eq!(stats.naive_queries, 8);
+        assert_eq!(stats.improvement(), 2.0);
+        for q in &plan {
+            assert!(q.expected_results <= 10);
+            assert!(!q.regions.is_empty());
+        }
+    }
+
+    #[test]
+    fn naive_plan_is_one_region_per_query() {
+        let c = catalog();
+        let (plan, stats) = QueryPlanner::new(PlannerStrategy::Naive).plan_with_stats(&c, None);
+        assert_eq!(stats.planned_queries, 8);
+        assert!(plan.iter().all(|q| q.regions.len() == 1));
+    }
+
+    #[test]
+    fn type_filter_restricts_plan() {
+        let c = catalog();
+        let plan =
+            QueryPlanner::default().plan(&c, Some(&["m5.large".to_string()]));
+        assert!(plan.iter().all(|q| q.instance_type == "m5.large"));
+        assert!(!plan.is_empty());
+        let none = QueryPlanner::default().plan(&c, Some(&[]));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn every_pair_covered_exactly_once() {
+        let c = catalog();
+        for strategy in PlannerStrategy::ALL {
+            let plan = QueryPlanner::new(strategy).plan(&c, None);
+            let mut pairs: Vec<(String, String)> = plan
+                .iter()
+                .flat_map(|q| {
+                    q.regions
+                        .iter()
+                        .map(|r| (q.instance_type.clone(), r.clone()))
+                })
+                .collect();
+            pairs.sort();
+            let before = pairs.len();
+            pairs.dedup();
+            assert_eq!(pairs.len(), before, "{strategy:?} duplicated a pair");
+            assert_eq!(pairs.len(), 8, "{strategy:?} missed a pair");
+        }
+    }
+
+    #[test]
+    fn exact_at_least_lower_bound_and_at_most_ffd() {
+        let c = catalog();
+        let lb = QueryPlanner::default().plan_lower_bound(&c);
+        let exact = QueryPlanner::new(PlannerStrategy::Exact).plan(&c, None).len();
+        let ffd = QueryPlanner::new(PlannerStrategy::Ffd).plan(&c, None).len();
+        assert!(exact >= lb);
+        assert!(exact <= ffd);
+    }
+
+    #[test]
+    fn oversized_region_is_clamped_not_fatal() {
+        let mut b = CatalogBuilder::new();
+        b.region("us-test-1", 12).instance_type("m5.large", 0.096);
+        let c = b.build().unwrap();
+        let plan = QueryPlanner::default().plan(&c, None);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].expected_results, 10, "clamped to the result cap");
+    }
+}

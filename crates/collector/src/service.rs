@@ -1,0 +1,321 @@
+//! The collection service: planning, scheduling, and storage wiring.
+
+use crate::accounts::AccountPool;
+use crate::advisor_collector::AdvisorCollector;
+use crate::error::CollectError;
+use crate::planner::{PlanStats, PlannerStrategy, QueryPlanner};
+use crate::price_collector::PriceCollector;
+use crate::sps_collector::SpsCollector;
+use crate::{ADVISOR_TABLE, PRICE_TABLE, SPS_TABLE};
+use spotlake_cloud_sim::SimCloud;
+use spotlake_timestream::{Database, TableOptions, WriteMode};
+use spotlake_types::Catalog;
+
+/// Collector configuration.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Packing strategy for the query plan.
+    pub strategy: PlannerStrategy,
+    /// Size of the account pool; `None` sizes it to exactly cover the plan.
+    pub accounts: Option<usize>,
+    /// Target capacity used in placement-score queries.
+    pub target_capacity: u32,
+    /// Restrict collection to these instance type names (`None` = all).
+    pub type_filter: Option<Vec<String>>,
+    /// Collect the placement-score dataset.
+    pub collect_sps: bool,
+    /// Collect the advisor dataset.
+    pub collect_advisor: bool,
+    /// Collect the price dataset.
+    pub collect_price: bool,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            strategy: PlannerStrategy::default(),
+            accounts: None,
+            target_capacity: 1,
+            type_filter: None,
+            collect_sps: true,
+            collect_advisor: true,
+            collect_price: true,
+        }
+    }
+}
+
+/// Counters from collection rounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectStats {
+    /// Placement-score records written.
+    pub sps_records: usize,
+    /// Advisor records written (score + savings).
+    pub advisor_records: usize,
+    /// Price-change records written.
+    pub price_records: usize,
+    /// Total records actually stored (change-point tables skip repeats).
+    pub records_written: usize,
+    /// Placement-score queries issued.
+    pub queries_issued: usize,
+    /// Collection rounds executed.
+    pub rounds: usize,
+}
+
+impl CollectStats {
+    fn absorb(&mut self, other: CollectStats) {
+        self.sps_records += other.sps_records;
+        self.advisor_records += other.advisor_records;
+        self.price_records += other.price_records;
+        self.records_written += other.records_written;
+        self.queries_issued += other.queries_issued;
+        self.rounds += other.rounds;
+    }
+}
+
+/// The SpotLake collection service: owns the archive database and the three
+/// dataset collectors.
+#[derive(Debug)]
+pub struct CollectorService {
+    db: Database,
+    sps: Option<SpsCollector>,
+    advisor: Option<AdvisorCollector>,
+    price: Option<PriceCollector>,
+    plan_stats: PlanStats,
+}
+
+impl CollectorService {
+    /// Plans queries for `catalog`, sizes the account pool, and creates the
+    /// archive tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError::InsufficientAccounts`] when an explicit
+    /// account pool is too small for the plan.
+    pub fn new(catalog: &Catalog, config: CollectorConfig) -> Result<Self, CollectError> {
+        let planner = QueryPlanner::new(config.strategy);
+        let (plan, plan_stats) =
+            planner.plan_with_stats(catalog, config.type_filter.as_deref());
+
+        let sps = if config.collect_sps {
+            let pool_size = config
+                .accounts
+                .unwrap_or_else(|| AccountPool::required_accounts(plan.len()));
+            let pool = AccountPool::with_size(pool_size);
+            Some(SpsCollector::new(plan, &pool, config.target_capacity)?)
+        } else {
+            None
+        };
+        let advisor = config.collect_advisor.then(|| {
+            let c = AdvisorCollector::new();
+            match &config.type_filter {
+                Some(f) => c.with_type_filter(f.clone()),
+                None => c,
+            }
+        });
+        let price = config.collect_price.then(|| {
+            let c = PriceCollector::new();
+            match &config.type_filter {
+                Some(f) => c.with_type_filter(f.clone()),
+                None => c,
+            }
+        });
+
+        let mut db = Database::new();
+        db.create_table(
+            SPS_TABLE,
+            TableOptions {
+                mode: WriteMode::Dense,
+                retention: None,
+            },
+        )
+        .expect("fresh database");
+        db.create_table(
+            ADVISOR_TABLE,
+            TableOptions {
+                mode: WriteMode::ChangePoint,
+                retention: None,
+            },
+        )
+        .expect("fresh database");
+        db.create_table(
+            PRICE_TABLE,
+            TableOptions {
+                mode: WriteMode::ChangePoint,
+                retention: None,
+            },
+        )
+        .expect("fresh database");
+
+        Ok(CollectorService {
+            db,
+            sps,
+            advisor,
+            price,
+            plan_stats,
+        })
+    }
+
+    /// The query plan's statistics (Figure 1's headline numbers).
+    pub fn plan_stats(&self) -> PlanStats {
+        self.plan_stats
+    }
+
+    /// The archive database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the archive database.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Consumes the service, returning the archive.
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
+    /// Runs one collection round against the cloud's current state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError`] if any collector or store write fails.
+    pub fn collect_once(&mut self, cloud: &SimCloud) -> Result<CollectStats, CollectError> {
+        let mut stats = CollectStats {
+            rounds: 1,
+            ..CollectStats::default()
+        };
+        if let Some(sps) = &mut self.sps {
+            let records = sps.collect(cloud)?;
+            stats.sps_records = records.len();
+            stats.queries_issued = sps.query_count();
+            stats.records_written += self.db.write(SPS_TABLE, &records)?;
+        }
+        if let Some(advisor) = &self.advisor {
+            let records = advisor.collect(cloud)?;
+            stats.advisor_records = records.len();
+            stats.records_written += self.db.write(ADVISOR_TABLE, &records)?;
+        }
+        if let Some(price) = &mut self.price {
+            let records = price.collect(cloud)?;
+            stats.price_records = records.len();
+            stats.records_written += self.db.write(PRICE_TABLE, &records)?;
+        }
+        Ok(stats)
+    }
+
+    /// Steps the cloud and collects, `rounds` times — the periodic
+    /// collection loop of Section 4.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError`] if any round fails.
+    pub fn run(
+        &mut self,
+        cloud: &mut SimCloud,
+        rounds: u64,
+    ) -> Result<CollectStats, CollectError> {
+        let mut total = CollectStats::default();
+        for _ in 0..rounds {
+            cloud.step();
+            total.absorb(self.collect_once(cloud)?);
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotlake_cloud_sim::SimConfig;
+    use spotlake_timestream::Query;
+    use spotlake_types::CatalogBuilder;
+
+    fn cloud() -> SimCloud {
+        let mut b = CatalogBuilder::new();
+        b.region("us-test-1", 3)
+            .region("eu-test-1", 3)
+            .instance_type("m5.large", 0.096)
+            .instance_type("p3.2xlarge", 3.06);
+        SimCloud::new(b.build().unwrap(), SimConfig::default())
+    }
+
+    #[test]
+    fn full_round_populates_all_tables() {
+        let mut cloud = cloud();
+        let mut service = CollectorService::new(cloud.catalog(), CollectorConfig::default()).unwrap();
+        let stats = service.run(&mut cloud, 3).unwrap();
+        assert_eq!(stats.rounds, 3);
+        assert!(stats.sps_records > 0);
+        assert!(stats.advisor_records > 0);
+        assert!(stats.price_records > 0);
+
+        let db = service.database();
+        // 2 types × 6 AZs × 3 rounds dense sps records.
+        assert_eq!(db.query(SPS_TABLE, &Query::measure("sps")).unwrap().len(), 36);
+        // Advisor table is change-point: repeats within a week are skipped.
+        let if_rows = db.query(ADVISOR_TABLE, &Query::measure("if_score")).unwrap();
+        assert_eq!(if_rows.len(), 4, "one change-point per (type, region)");
+        assert!(!db.query(PRICE_TABLE, &Query::measure("spot_price")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn disabled_datasets_are_skipped() {
+        let mut cloud = cloud();
+        let config = CollectorConfig {
+            collect_sps: false,
+            collect_advisor: false,
+            ..CollectorConfig::default()
+        };
+        let mut service = CollectorService::new(cloud.catalog(), config).unwrap();
+        cloud.step();
+        let stats = service.collect_once(&cloud).unwrap();
+        assert_eq!(stats.sps_records, 0);
+        assert_eq!(stats.advisor_records, 0);
+        assert!(stats.price_records > 0);
+    }
+
+    #[test]
+    fn explicit_small_pool_rejected() {
+        let cloud = cloud();
+        let config = CollectorConfig {
+            accounts: Some(0),
+            ..CollectorConfig::default()
+        };
+        assert!(matches!(
+            CollectorService::new(cloud.catalog(), config),
+            Err(CollectError::InsufficientAccounts { .. })
+        ));
+    }
+
+    #[test]
+    fn type_filter_flows_through() {
+        let mut cloud = cloud();
+        let config = CollectorConfig {
+            type_filter: Some(vec!["m5.large".into()]),
+            ..CollectorConfig::default()
+        };
+        let mut service = CollectorService::new(cloud.catalog(), config).unwrap();
+        cloud.step();
+        service.collect_once(&cloud).unwrap();
+        let rows = service
+            .database()
+            .query(SPS_TABLE, &Query::measure("sps"))
+            .unwrap();
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| {
+            r.dimensions
+                .iter()
+                .any(|(k, v)| k == "instance_type" && v == "m5.large")
+        }));
+    }
+
+    #[test]
+    fn plan_stats_reported() {
+        let cloud = cloud();
+        let service = CollectorService::new(cloud.catalog(), CollectorConfig::default()).unwrap();
+        let stats = service.plan_stats();
+        assert!(stats.planned_queries > 0);
+        assert!(stats.improvement() >= 1.0);
+    }
+}

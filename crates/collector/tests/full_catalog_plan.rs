@@ -1,0 +1,42 @@
+//! Full-catalog query-planning check against the paper's Figure 1 numbers.
+
+use spotlake_collector::{PlannerStrategy, QueryPlanner};
+use spotlake_types::Catalog;
+
+/// The paper: 547 types × 17 regions = 9,299 queries at most, reduced to
+/// 2,226 (≈ 4.5×) by bin packing. Our support matrix is a reconstruction,
+/// so we assert the *shape*: all-pairs count exactly 9,299, packed count in
+/// the right ballpark, improvement near 4.5×.
+#[test]
+fn figure1_query_reduction_shape() {
+    let catalog = Catalog::aws_2022();
+    let all_pairs = catalog.instance_types().len() * catalog.regions().len();
+    assert_eq!(all_pairs, 9_299, "547 × 17");
+
+    let planner = QueryPlanner::new(PlannerStrategy::Exact);
+    let (plan, stats) = planner.plan_with_stats(&catalog, None);
+    eprintln!(
+        "packed queries: {} (paper: 2,226), supported pairs: {}, improvement over all-pairs: {:.2}x",
+        stats.planned_queries,
+        stats.pairs_covered,
+        all_pairs as f64 / stats.planned_queries as f64
+    );
+    assert!(
+        (1_500..=3_200).contains(&stats.planned_queries),
+        "packed query count {} far from the paper's 2,226",
+        stats.planned_queries
+    );
+    let improvement = all_pairs as f64 / stats.planned_queries as f64;
+    assert!(
+        (3.0..=6.5).contains(&improvement),
+        "improvement {improvement:.2}x far from the paper's 4.5x"
+    );
+    // No query may expect more results than the API returns.
+    assert!(plan.iter().all(|q| q.expected_results <= 10));
+
+    // The exact solver is never worse than the heuristics.
+    let ffd = QueryPlanner::new(PlannerStrategy::Ffd).plan(&catalog, None).len();
+    let naive = QueryPlanner::new(PlannerStrategy::Naive).plan(&catalog, None).len();
+    assert!(stats.planned_queries <= ffd);
+    assert!(ffd < naive);
+}

@@ -1,0 +1,355 @@
+//! The `spotlake` command-line tool.
+//!
+//! ```text
+//! spotlake plan    [--strategy exact|ffd|bfd|naive]
+//! spotlake collect --out FILE [--days N] [--tick-minutes N] [--types a,b,c]
+//! spotlake get     --archive FILE PATH
+//! spotlake experiment [--cases N] [--warmup-days N] [--history-days N]
+//! ```
+//!
+//! `collect` runs the full pipeline and persists the archive; `get` serves
+//! one gateway request (e.g. `"/query?table=sps&instance_type=m5.large"`)
+//! against a saved archive; `plan` prints the Figure 1 query-plan numbers;
+//! `experiment` runs a scaled-down Section 5.4 experiment and prints
+//! Tables 3 and 4.
+
+use spotlake::experiment::{ExperimentConfig, FulfillmentExperiment};
+use spotlake::prediction;
+use spotlake::{CollectorConfig, SimCloud, SimConfig, SpotLake};
+use spotlake_collector::{AccountPool, PlannerStrategy, QueryPlanner};
+use spotlake_serving::{ArchiveService, HttpRequest};
+use spotlake_timestream::Database;
+use spotlake_types::{Catalog, SimDuration};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "spotlake — diverse spot instance dataset archive service (reproduction)
+
+USAGE:
+  spotlake plan [--strategy exact|ffd|bfd|naive]
+  spotlake collect --out FILE [--days N] [--tick-minutes N] [--types a,b,c] [--seed N]
+  spotlake get --archive FILE PATH
+  spotlake experiment [--cases N] [--warmup-days N] [--history-days N] [--seed N]
+  spotlake mc [--rounds N]
+  spotlake help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("no command given".into());
+    };
+    let parsed = Args::parse(&args[1..])?;
+    match command.as_str() {
+        "plan" => cmd_plan(&parsed),
+        "collect" => cmd_collect(&parsed),
+        "get" => cmd_get(&parsed),
+        "experiment" => cmd_experiment(&parsed),
+        "mc" => cmd_mc(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}")),
+    }
+}
+
+/// Parsed `--key value` flags plus positional arguments.
+struct Args {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut positional = Vec::new();
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.insert(key.to_owned(), value.clone());
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Args { flags, positional })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} must be an integer, got {v:?}")),
+        }
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let strategy = match args.get("strategy").unwrap_or("exact") {
+        "exact" => PlannerStrategy::Exact,
+        "ffd" => PlannerStrategy::Ffd,
+        "bfd" => PlannerStrategy::Bfd,
+        "naive" => PlannerStrategy::Naive,
+        other => return Err(format!("unknown strategy: {other}")),
+    };
+    let catalog = Catalog::aws_2022();
+    let (plan, stats) = QueryPlanner::new(strategy).plan_with_stats(&catalog, None);
+    let all_pairs = catalog.instance_types().len() * catalog.regions().len();
+    println!(
+        "strategy {:<6} {} queries cover {} (type, region) pairs ({:.2}x fewer than the {} all-pairs scans)",
+        strategy.name(),
+        stats.planned_queries,
+        stats.pairs_covered,
+        all_pairs as f64 / stats.planned_queries as f64,
+        all_pairs
+    );
+    println!(
+        "accounts needed at 50 unique queries per day: {}",
+        AccountPool::required_accounts(plan.len())
+    );
+    Ok(())
+}
+
+fn cmd_collect(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?.to_owned();
+    let days = args.get_u64("days", 1)?;
+    let tick_minutes = args.get_u64("tick-minutes", 30)?;
+    if days == 0 || tick_minutes == 0 {
+        return Err("--days and --tick-minutes must be at least 1".into());
+    }
+    let seed = args.get_u64("seed", 20_220_901)?;
+    let type_filter: Option<Vec<String>> = args
+        .get("types")
+        .map(|v| v.split(',').map(str::to_owned).collect());
+
+    let sim = SimConfig {
+        tick: SimDuration::from_mins(tick_minutes),
+        ..SimConfig::with_seed(seed)
+    };
+    let mut lake = SpotLake::builder()
+        .sim_config(sim)
+        .collector_config(CollectorConfig {
+            type_filter,
+            ..CollectorConfig::default()
+        })
+        .build()
+        .map_err(|e| e.to_string())?;
+    let rounds = days * 24 * 60 / tick_minutes;
+    eprintln!(
+        "collecting {days} simulated day(s) at a {tick_minutes}-minute tick ({rounds} rounds, {} planned queries/round)...",
+        lake.plan_stats().planned_queries
+    );
+    let stats = lake.run_rounds(rounds).map_err(|e| e.to_string())?;
+    lake.save_archive(&out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} sps, {} advisor, {} price records over {} rounds",
+        stats.sps_records, stats.advisor_records, stats.price_records, stats.rounds
+    );
+    Ok(())
+}
+
+fn cmd_get(args: &Args) -> Result<(), String> {
+    let archive = args.require("archive")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("missing request path, e.g. \"/query?table=sps\"")?;
+    let db = Database::load(archive).map_err(|e| e.to_string())?;
+    let request = HttpRequest::get(path).map_err(|e| e.to_string())?;
+    let response = ArchiveService::handle(&db, &request);
+    eprintln!("HTTP {} ({})", response.status, response.content_type);
+    println!("{}", response.body_text());
+    if response.status >= 400 {
+        return Err(format!("request failed with status {}", response.status));
+    }
+    Ok(())
+}
+
+fn cmd_experiment(args: &Args) -> Result<(), String> {
+    let cases = args.get_u64("cases", 30)? as usize;
+    let warmup = args.get_u64("warmup-days", 10)?;
+    let history = args.get_u64("history-days", 8)?;
+    let seed = args.get_u64("seed", 0x5107_1a3e)?;
+
+    let sim = SimConfig {
+        tick: SimDuration::from_mins(20),
+        shock_day: None,
+        ..SimConfig::with_seed(seed)
+    };
+    let mut cloud = SimCloud::new(Catalog::aws_2022(), sim);
+    eprintln!("warming up the advisor window ({warmup} simulated days)...");
+    cloud.run_days(warmup);
+    eprintln!("recording history and running the 24h experiment...");
+    let (report, _) = FulfillmentExperiment::new(ExperimentConfig {
+        cases_per_stratum: cases,
+        history: SimDuration::from_days(history),
+        seed,
+        ..ExperimentConfig::default()
+    })
+    .run(&mut cloud);
+
+    println!("Table 3 ({} cases):", report.cases.len());
+    for row in report.table3() {
+        println!(
+            "  {}  n={:<4} not-fulfilled {:>6.2}%  interrupted {:>6.2}%",
+            row.stratum.label(),
+            row.cases,
+            row.not_fulfilled_pct,
+            row.interrupted_pct
+        );
+    }
+    if report.cases.len() >= 10 {
+        println!("\nTable 4:");
+        for row in prediction::evaluate(&report.cases, seed).rows {
+            println!(
+                "  {:<10} accuracy {:.2}  F1 {:.2}",
+                row.method, row.accuracy, row.f1
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The Section 7 multi-vendor comparison, as a command.
+fn cmd_mc(args: &Args) -> Result<(), String> {
+    let rounds = args.get_u64("rounds", 12)?;
+    if rounds == 0 {
+        return Err("--rounds must be at least 1".into());
+    }
+    let mut collector =
+        spotlake_multicloud::MultiCloudCollector::demo_scale().map_err(|e| e.to_string())?;
+    eprintln!("collecting {rounds} rounds from 3 vendors on a shared clock...");
+    let totals = collector.run_rounds(rounds).map_err(|e| e.to_string())?;
+    for s in &totals {
+        println!(
+            "{:<6} price {:>6}  availability {:>6}  eviction {:>6}",
+            s.vendor.tag(),
+            s.price_records,
+            s.availability_records,
+            s.eviction_records
+        );
+    }
+    let report = collector.compare_vendors().map_err(|e| e.to_string())?;
+    println!("
+cross-vendor rows on shapes offered by 2+ vendors:");
+    let contested = report.contested_shapes();
+    for row in report
+        .rows
+        .iter()
+        .filter(|r| contested.contains(&r.shape))
+    {
+        println!(
+            "  {:<6} {:<14} savings {:>5.1}%  availability {}",
+            row.vendor.tag(),
+            row.shape,
+            row.mean_savings_pct,
+            row.mean_availability
+                .map_or("n/a".to_owned(), |v| format!("{v:.2}")),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_and_positionals() {
+        let args = Args::parse(&strings(&["--out", "a.db", "--days", "2", "/query"])).unwrap();
+        assert_eq!(args.get("out"), Some("a.db"));
+        assert_eq!(args.get_u64("days", 1).unwrap(), 2);
+        assert_eq!(args.get_u64("tick-minutes", 30).unwrap(), 30);
+        assert_eq!(args.positional, vec!["/query"]);
+        assert!(args.require("missing").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_dangling_flag_and_bad_numbers() {
+        assert!(Args::parse(&strings(&["--out"])).is_err());
+        let args = Args::parse(&strings(&["--days", "two"])).unwrap();
+        assert!(args.get_u64("days", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&strings(&["frobnicate"])).is_err());
+        assert!(run(&strings(&[])).is_err());
+        assert!(run(&strings(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn collect_rejects_zero_tick() {
+        assert!(run(&strings(&["collect", "--out", "x.db", "--tick-minutes", "0"])).is_err());
+        assert!(run(&strings(&["collect", "--out", "x.db", "--days", "0"])).is_err());
+    }
+
+    #[test]
+    fn plan_command_runs() {
+        run(&strings(&["plan", "--strategy", "ffd"])).unwrap();
+        assert!(run(&strings(&["plan", "--strategy", "quantum"])).is_err());
+    }
+
+    #[test]
+    fn mc_command_runs_and_validates() {
+        assert!(run(&strings(&["mc", "--rounds", "0"])).is_err());
+        run(&strings(&["mc", "--rounds", "1"])).unwrap();
+    }
+
+    #[test]
+    fn collect_and_get_roundtrip() {
+        let mut out = std::env::temp_dir();
+        out.push(format!("spotlake-cli-{}.db", std::process::id()));
+        let out_str = out.to_string_lossy().into_owned();
+        run(&strings(&[
+            "collect",
+            "--out",
+            &out_str,
+            "--days",
+            "1",
+            "--tick-minutes",
+            "240",
+            "--types",
+            "m5.large",
+        ]))
+        .unwrap();
+        run(&strings(&[
+            "get",
+            "--archive",
+            &out_str,
+            "/query?table=sps&instance_type=m5.large&limit=3",
+        ]))
+        .unwrap();
+        // A failing request propagates as an error.
+        assert!(run(&strings(&["get", "--archive", &out_str, "/query?table=zzz"])).is_err());
+        std::fs::remove_file(&out).ok();
+    }
+}

@@ -1,0 +1,592 @@
+//! The real-world fulfillment/interruption experiments of Section 5.4.
+//!
+//! The paper sampled instance type × availability zone pairs stratified
+//! over the five score combinations H-H, H-L, M-M, L-H, L-L (spot placement
+//! score first, interruption-free score second, using only the exact values
+//! 3.0 / 2.0 / 1.0), issued one *persistent* spot request per case with the
+//! bid set to the on-demand price, and watched each request for 24 hours.
+//!
+//! [`FulfillmentExperiment::run`] reproduces that protocol against the
+//! simulated cloud, with one addition that the paper got for free from its
+//! live archive: before submitting, it records each candidate pool's score
+//! history into a [`spotlake_timestream::Database`] for the preceding
+//! month, so the Section 5.5 prediction task can train on archived history
+//! exactly as the paper's random forest did.
+
+use spotlake_cloud_sim::{RequestOutcome, SimCloud};
+use spotlake_timestream::{Database, Query, Record, TableOptions, WriteMode};
+use spotlake_types::{
+    AzId, InstanceTypeId, SimDuration, SimTime, SpotRequestConfig,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// The five sampled score combinations (placement score level first,
+/// interruption-free score level second).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stratum {
+    /// Placement 3.0, interruption-free 3.0.
+    HH,
+    /// Placement 3.0, interruption-free 1.0.
+    HL,
+    /// Placement 2.0, interruption-free 2.0.
+    MM,
+    /// Placement 1.0, interruption-free 3.0.
+    LH,
+    /// Placement 1.0, interruption-free 1.0.
+    LL,
+}
+
+impl Stratum {
+    /// All strata in the paper's presentation order.
+    pub const ALL: [Stratum; 5] = [
+        Stratum::HH,
+        Stratum::HL,
+        Stratum::MM,
+        Stratum::LH,
+        Stratum::LL,
+    ];
+
+    /// The paper's label, e.g. `"H-H"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stratum::HH => "H-H",
+            Stratum::HL => "H-L",
+            Stratum::MM => "M-M",
+            Stratum::LH => "L-H",
+            Stratum::LL => "L-L",
+        }
+    }
+
+    /// Classifies a (placement score, interruption-free score) pair. Only
+    /// the exact values the paper used (3.0 / 2.0 / 1.0) map to a stratum;
+    /// everything else is unsampled.
+    pub fn of(sps: f64, if_score: f64) -> Option<Stratum> {
+        match (sps as u8, if_score) {
+            (3, 3.0) => Some(Stratum::HH),
+            (3, 1.0) => Some(Stratum::HL),
+            (2, 2.0) => Some(Stratum::MM),
+            (1, 3.0) => Some(Stratum::LH),
+            (1, 1.0) => Some(Stratum::LL),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Stratum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Cases sampled per stratum (the paper's 503 total ≈ 100 per
+    /// stratum).
+    pub cases_per_stratum: usize,
+    /// Observation window per request (the paper: 24 hours).
+    pub duration: SimDuration,
+    /// History recorded into the archive before submission (the paper's
+    /// model uses "the historical spot placement score and interruption-free
+    /// score of the preceding month").
+    pub history: SimDuration,
+    /// Cadence at which candidate history is sampled into the archive
+    /// (coarser than the simulation tick keeps the superset affordable).
+    pub record_every: SimDuration,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            cases_per_stratum: 101,
+            duration: SimDuration::from_hours(24),
+            history: SimDuration::from_days(30),
+            record_every: SimDuration::from_hours(4),
+            seed: 0x5107_1a3e,
+        }
+    }
+}
+
+/// The recorded score history of one case.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CaseHistory {
+    /// Placement-score samples over the history window, oldest first.
+    pub sps: Vec<f64>,
+    /// Interruption-free score samples (step-sampled at the same times).
+    pub if_score: Vec<f64>,
+    /// Savings samples.
+    pub savings: Vec<f64>,
+}
+
+/// One completed experiment case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentCase {
+    /// Instance type name.
+    pub instance_type: String,
+    /// Availability-zone name.
+    pub az: String,
+    /// Region code.
+    pub region: String,
+    /// Stratum at submission time.
+    pub stratum: Stratum,
+    /// Placement score at submission.
+    pub sps_at_submit: f64,
+    /// Interruption-free score at submission.
+    pub if_at_submit: f64,
+    /// Advisor savings percentage at submission.
+    pub savings_at_submit: f64,
+    /// Final outcome after the observation window.
+    pub outcome: RequestOutcome,
+    /// Seconds from submission to first fulfillment, if fulfilled.
+    pub fulfillment_latency_secs: Option<f64>,
+    /// Seconds the first fulfilled run lasted before interruption, if
+    /// interrupted.
+    pub first_run_secs: Option<f64>,
+    /// The case's archived score history.
+    pub history: CaseHistory,
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// The stratum.
+    pub stratum: Stratum,
+    /// Cases in the stratum.
+    pub cases: usize,
+    /// Percentage never fulfilled within the window.
+    pub not_fulfilled_pct: f64,
+    /// Percentage interrupted at least once.
+    pub interrupted_pct: f64,
+}
+
+/// The experiment's full results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// All completed cases.
+    pub cases: Vec<ExperimentCase>,
+    /// When the requests were submitted.
+    pub submitted_at: SimTime,
+}
+
+impl ExperimentReport {
+    /// Table 3: not-fulfilled and interrupted percentages per stratum.
+    pub fn table3(&self) -> Vec<Table3Row> {
+        Stratum::ALL
+            .iter()
+            .map(|&stratum| {
+                let cases: Vec<_> = self
+                    .cases
+                    .iter()
+                    .filter(|c| c.stratum == stratum)
+                    .collect();
+                let n = cases.len();
+                let not_fulfilled = cases
+                    .iter()
+                    .filter(|c| c.outcome == RequestOutcome::NoFulfill)
+                    .count();
+                let interrupted = cases
+                    .iter()
+                    .filter(|c| c.outcome == RequestOutcome::Interrupted)
+                    .count();
+                Table3Row {
+                    stratum,
+                    cases: n,
+                    not_fulfilled_pct: pct(not_fulfilled, n),
+                    interrupted_pct: pct(interrupted, n),
+                }
+            })
+            .collect()
+    }
+
+    /// Fulfillment latencies (seconds) of a stratum's fulfilled cases —
+    /// Figure 11a's samples.
+    pub fn fulfillment_latencies(&self, stratum: Stratum) -> Vec<f64> {
+        self.cases
+            .iter()
+            .filter(|c| c.stratum == stratum)
+            .filter_map(|c| c.fulfillment_latency_secs)
+            .collect()
+    }
+
+    /// First-run durations (seconds) of a stratum's interrupted cases —
+    /// Figure 11b's samples.
+    pub fn run_durations(&self, stratum: Stratum) -> Vec<f64> {
+        self.cases
+            .iter()
+            .filter(|c| c.stratum == stratum && c.outcome == RequestOutcome::Interrupted)
+            .filter_map(|c| c.first_run_secs)
+            .collect()
+    }
+}
+
+fn pct(part: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / total as f64
+    }
+}
+
+/// The Section 5.4 experiment driver.
+#[derive(Debug, Clone, Default)]
+pub struct FulfillmentExperiment {
+    config: ExperimentConfig,
+}
+
+impl FulfillmentExperiment {
+    /// Creates the driver.
+    pub fn new(config: ExperimentConfig) -> Self {
+        FulfillmentExperiment { config }
+    }
+
+    /// Runs the full protocol against `cloud`:
+    ///
+    /// 1. record every pool's score history into an archive database for
+    ///    the configured history window — exactly what the live SpotLake
+    ///    service archives continuously,
+    /// 2. stratify the fleet at submission time and under-sample every
+    ///    stratum to the size of the smallest (the paper's stratified
+    ///    under-sampling), preferring cheaper instance types as the paper's
+    ///    budget note describes,
+    /// 3. submit one persistent spot request per case with the bid at the
+    ///    on-demand price, and
+    /// 4. observe for the configured duration.
+    ///
+    /// Returns the report and the archive of recorded case history.
+    pub fn run(&self, cloud: &mut SimCloud) -> (ExperimentReport, Database) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let candidates: Vec<(InstanceTypeId, AzId)> = cloud
+            .pool_ids()
+            .map(|pid| {
+                let p = cloud.pool(pid).params();
+                (p.ty, p.az)
+            })
+            .collect();
+        let db = self.record_history(cloud, &candidates);
+        let (cases, submitted_at) = self.submit_and_observe(cloud, candidates, &db, &mut rng);
+        (
+            ExperimentReport {
+                cases,
+                submitted_at,
+            },
+            db,
+        )
+    }
+
+    /// Records the candidates' scores into an archive for the history
+    /// window.
+    fn record_history(
+        &self,
+        cloud: &mut SimCloud,
+        candidates: &[(InstanceTypeId, AzId)],
+    ) -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "case_sps",
+            TableOptions {
+                mode: WriteMode::Dense,
+                retention: None,
+            },
+        )
+        .expect("fresh database");
+        db.create_table(
+            "case_advisor",
+            TableOptions {
+                mode: WriteMode::ChangePoint,
+                retention: None,
+            },
+        )
+        .expect("fresh database");
+
+        let ticks = self.config.history.div_duration(cloud.config().tick);
+        let record_every = self.config.record_every.as_secs().max(1);
+        let mut last_recorded: Option<u64> = None;
+        for _ in 0..ticks {
+            cloud.step();
+            let now = cloud.now().as_secs();
+            if last_recorded.is_some_and(|t| now - t < record_every) {
+                continue;
+            }
+            last_recorded = Some(now);
+            let mut records = Vec::with_capacity(candidates.len());
+            let mut advisor_records = Vec::new();
+            for (i, &(ty, az)) in candidates.iter().enumerate() {
+                let pool = cloud
+                    .pool_id(ty, az)
+                    .map(|pid| cloud.pool(pid))
+                    .expect("candidates come from existing pools");
+                records.push(
+                    Record::new(now, "sps", f64::from(pool.score_for(1)))
+                        .dimension("case", i.to_string()),
+                );
+                let region = cloud.catalog().az(az).region();
+                if let Some(entry) = cloud.advisor_entry(ty, region) {
+                    advisor_records.push(
+                        Record::new(
+                            now,
+                            "if_score",
+                            entry.bucket.interruption_free_score().as_f64(),
+                        )
+                        .dimension("case", i.to_string()),
+                    );
+                    advisor_records.push(
+                        Record::new(now, "savings", f64::from(entry.savings.percent()))
+                            .dimension("case", i.to_string()),
+                    );
+                }
+            }
+            db.write("case_sps", &records).expect("valid records");
+            db.write("case_advisor", &advisor_records).expect("valid records");
+        }
+        db
+    }
+
+    /// Re-stratifies, under-samples, submits, and observes.
+    fn submit_and_observe(
+        &self,
+        cloud: &mut SimCloud,
+        candidates: Vec<(InstanceTypeId, AzId)>,
+        db: &Database,
+        rng: &mut StdRng,
+    ) -> (Vec<ExperimentCase>, SimTime) {
+        let catalog = cloud.catalog().clone();
+        // (candidate index, type, AZ, sps, if-score, savings) of a case
+        // eligible at submission time.
+        type Candidate = (usize, InstanceTypeId, AzId, f64, f64, f64);
+        // Re-stratify at submission time.
+        let mut by_stratum: BTreeMap<Stratum, Vec<Candidate>> = BTreeMap::new();
+        for (i, &(ty, az)) in candidates.iter().enumerate() {
+            let pool = cloud
+                .pool_id(ty, az)
+                .map(|pid| cloud.pool(pid))
+                .expect("candidates come from existing pools");
+            let region = catalog.az(az).region();
+            let Some(entry) = cloud.advisor_entry(ty, region) else {
+                continue;
+            };
+            let sps = f64::from(pool.score_for(1));
+            let if_score = entry.bucket.interruption_free_score().as_f64();
+            if let Some(stratum) = Stratum::of(sps, if_score) {
+                by_stratum.entry(stratum).or_default().push((
+                    i,
+                    ty,
+                    az,
+                    sps,
+                    if_score,
+                    f64::from(entry.savings.percent()),
+                ));
+            }
+        }
+
+        // Stratified under-sampling to the smallest stratum.
+        let n = by_stratum
+            .values()
+            .map(Vec::len)
+            .min()
+            .unwrap_or(0)
+            .min(self.config.cases_per_stratum);
+        let mut selected = Vec::new();
+        for (stratum, mut list) in by_stratum {
+            // "Smaller and less expensive instance types were preferred
+            // where applicable to keep the experimental cost within our
+            // budget": keep the cheaper half when plentiful.
+            list.sort_by_key(|&(_, ty, _, _, _, _)| catalog.od_price(ty).micros());
+            if list.len() > n * 2 {
+                list.truncate(list.len() / 2);
+            }
+            list.shuffle(rng);
+            list.truncate(n);
+            for item in list {
+                selected.push((stratum, item));
+            }
+        }
+
+        // Submit one persistent request per case, bid = on-demand price.
+        let submitted_at = cloud.now();
+        let mut live = Vec::with_capacity(selected.len());
+        for &(stratum, (case_idx, ty, az, sps, if_s, savings)) in &selected {
+            let od = catalog.od_price_in(ty, catalog.az(az).region());
+            let bid = spotlake_types::SpotPrice::from_micros(od.micros())
+                .expect("on-demand prices are positive");
+            let request = cloud
+                .submit_request(SpotRequestConfig {
+                    instance_type: ty,
+                    az,
+                    bid,
+                    count: 1,
+                    persistent: true,
+                })
+                .expect("candidate pools exist");
+            live.push((stratum, case_idx, ty, az, sps, if_s, savings, request));
+        }
+
+        // Observe.
+        let ticks = self.config.duration.div_duration(cloud.config().tick);
+        cloud.run_ticks(ticks);
+
+        // Harvest.
+        let mut cases = Vec::with_capacity(live.len());
+        for (stratum, case_idx, ty, az, sps, if_s, savings, request_id) in live {
+            let request = cloud.request(request_id).expect("request was submitted");
+            let outcome = RequestOutcome::of(request);
+            let history = extract_history(db, case_idx);
+            cases.push(ExperimentCase {
+                instance_type: catalog.ty(ty).name(),
+                az: catalog.az(az).name().to_owned(),
+                region: catalog.region(catalog.az(az).region()).code().to_owned(),
+                stratum,
+                sps_at_submit: sps,
+                if_at_submit: if_s,
+                savings_at_submit: savings,
+                outcome,
+                fulfillment_latency_secs: request
+                    .fulfillment_latency()
+                    .map(|d| d.as_secs() as f64),
+                first_run_secs: request.first_run_duration().map(|d| d.as_secs() as f64),
+                history,
+            });
+        }
+        (cases, submitted_at)
+    }
+}
+
+/// Reads one case's recorded history back out of the archive.
+fn extract_history(db: &Database, case_idx: usize) -> CaseHistory {
+    let case = case_idx.to_string();
+    let sps_rows = db
+        .query("case_sps", &Query::measure("sps").filter("case", &case))
+        .expect("table exists");
+    let sample_times: Vec<u64> = sps_rows.iter().map(|r| r.time).collect();
+    let sps: Vec<f64> = sps_rows.iter().map(|r| r.value).collect();
+
+    let if_rows = db
+        .query(
+            "case_advisor",
+            &Query::measure("if_score").filter("case", &case),
+        )
+        .expect("table exists");
+    let if_series: Vec<(u64, f64)> = if_rows.iter().map(|r| (r.time, r.value)).collect();
+    let if_score = spotlake_analysis::resample_step(&if_series, &sample_times);
+
+    let savings_rows = db
+        .query(
+            "case_advisor",
+            &Query::measure("savings").filter("case", &case),
+        )
+        .expect("table exists");
+    let savings_series: Vec<(u64, f64)> =
+        savings_rows.iter().map(|r| (r.time, r.value)).collect();
+    let savings = spotlake_analysis::resample_step(&savings_series, &sample_times);
+
+    CaseHistory {
+        sps,
+        if_score,
+        savings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotlake_cloud_sim::SimConfig;
+    use spotlake_types::CatalogBuilder;
+
+    #[test]
+    fn stratum_mapping() {
+        assert_eq!(Stratum::of(3.0, 3.0), Some(Stratum::HH));
+        assert_eq!(Stratum::of(3.0, 1.0), Some(Stratum::HL));
+        assert_eq!(Stratum::of(2.0, 2.0), Some(Stratum::MM));
+        assert_eq!(Stratum::of(1.0, 3.0), Some(Stratum::LH));
+        assert_eq!(Stratum::of(1.0, 1.0), Some(Stratum::LL));
+        // Half-step advisor values and mixed pairs are unsampled.
+        assert_eq!(Stratum::of(3.0, 2.5), None);
+        assert_eq!(Stratum::of(2.0, 3.0), None);
+        assert_eq!(Stratum::of(1.0, 2.0), None);
+        assert_eq!(Stratum::ALL[0].label(), "H-H");
+    }
+
+    fn experiment_cloud() -> SimCloud {
+        // A catalog mixing plentiful and scarce types so several strata
+        // are populated.
+        let mut b = CatalogBuilder::new();
+        b.region("us-test-1", 3).region("eu-test-1", 3);
+        for (name, price) in [
+            ("m5.large", 0.096),
+            ("c5.large", 0.085),
+            ("r5.large", 0.126),
+            ("g4dn.xlarge", 0.526),
+            ("p3.2xlarge", 3.06),
+            ("p2.xlarge", 0.9),
+            ("x1.16xlarge", 6.669),
+            ("inf1.xlarge", 0.228),
+            ("f1.2xlarge", 1.65),
+            ("d2.xlarge", 0.69),
+        ] {
+            b.instance_type(name, price);
+        }
+        let config = SimConfig {
+            tick: SimDuration::from_hours(2),
+            ..SimConfig::default()
+        };
+        SimCloud::new(b.build().unwrap(), config)
+    }
+
+    #[test]
+    fn experiment_runs_end_to_end() {
+        let mut cloud = experiment_cloud();
+        cloud.run_days(3); // advisor warmup
+        let config = ExperimentConfig {
+            cases_per_stratum: 4,
+            history: SimDuration::from_days(4),
+            ..ExperimentConfig::default()
+        };
+        let (report, db) = FulfillmentExperiment::new(config).run(&mut cloud);
+
+        assert!(!report.cases.is_empty(), "no experiment cases sampled");
+        // Under-sampling: every populated stratum has the same case count.
+        let rows = report.table3();
+        let sizes: Vec<usize> = rows.iter().map(|r| r.cases).filter(|&n| n > 0).collect();
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]), "{sizes:?}");
+
+        for case in &report.cases {
+            assert!(!case.history.sps.is_empty(), "history recorded");
+            assert_eq!(case.history.sps.len(), case.history.if_score.len());
+            if case.outcome == RequestOutcome::NoFulfill {
+                assert_eq!(case.fulfillment_latency_secs, None);
+            } else {
+                assert!(case.fulfillment_latency_secs.is_some());
+            }
+        }
+        assert!(db.point_count() > 0);
+    }
+
+    #[test]
+    fn table3_percentages_are_consistent() {
+        let mut cloud = experiment_cloud();
+        cloud.run_days(3);
+        let config = ExperimentConfig {
+            cases_per_stratum: 3,
+            history: SimDuration::from_days(2),
+            ..ExperimentConfig::default()
+        };
+        let (report, _) = FulfillmentExperiment::new(config).run(&mut cloud);
+        for row in report.table3() {
+            assert!((0.0..=100.0).contains(&row.not_fulfilled_pct));
+            assert!((0.0..=100.0).contains(&row.interrupted_pct));
+        }
+        // Figure 11 samples only come from the right outcome classes.
+        for stratum in Stratum::ALL {
+            for lat in report.fulfillment_latencies(stratum) {
+                assert!(lat >= 0.0);
+            }
+            for dur in report.run_durations(stratum) {
+                assert!(dur > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! SpotLake: a diverse spot instance dataset archive service.
+//!
+//! This is the facade crate of the SpotLake reproduction (IISWC 2022). It
+//! wires the substrates together and adds the paper's experiment harness:
+//!
+//! * [`SpotLake`] — the end-to-end pipeline: a simulated cloud
+//!   ([`spotlake_cloud_sim`]), the periodic collector
+//!   ([`spotlake_collector`]), the archive ([`spotlake_timestream`]), and
+//!   the web service ([`spotlake_serving`]) behind one handle.
+//! * [`experiment`] — the real-world fulfillment/interruption experiments
+//!   of Section 5.4 (stratified sampling over score combinations,
+//!   persistent 24-hour spot requests, Table 3 / Figure 11 outputs).
+//! * [`prediction`] — the Section 5.5 prediction task: the random forest
+//!   over archived score history versus the three current-value heuristics
+//!   (Table 4).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spotlake::SpotLake;
+//! use spotlake_types::CatalogBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = CatalogBuilder::new();
+//! b.region("us-test-1", 2).instance_type("m5.large", 0.096);
+//! let mut lake = SpotLake::builder().catalog(b.build()?).build()?;
+//!
+//! // Collect for a simulated hour, then query the archive over HTTP.
+//! lake.run_rounds(6)?;
+//! let response = lake.http_get("/query?table=sps&instance_type=m5.large")?;
+//! assert_eq!(response.status, 200);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+mod pipeline;
+pub mod prediction;
+
+pub use pipeline::{SpotLake, SpotLakeBuilder, SpotLakeError};
+
+pub use spotlake_cloud_sim::{RequestOutcome, SimCloud, SimConfig};
+pub use spotlake_collector::{CollectStats, CollectorConfig};
+pub use spotlake_types::Catalog;

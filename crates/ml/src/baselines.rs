@@ -1,0 +1,152 @@
+//! The current-value threshold heuristics of Table 4.
+//!
+//! Each heuristic looks at one *current* value (the spot placement score,
+//! the interruption-free score, or the cost savings) and maps it to the
+//! three outcome classes with two thresholds: value ≥ `hi` → the "safe"
+//! class, value ≥ `lo` → the middle class, else the "fail" class. The paper
+//! fixed the SPS mapping (3.0 → NoInterrupt, 2.0 → Interrupted,
+//! 1.0 → NoFulfill) and "set the thresholds for interruption-free score and
+//! cost savings empirically after numerous trials" — reproduced here by
+//! [`ThresholdHeuristic::fit`]'s grid search.
+
+use crate::metrics::accuracy;
+
+/// A two-threshold, three-class heuristic over a single feature value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdHeuristic {
+    /// Values ≥ `hi` predict `hi_class`.
+    pub hi: f64,
+    /// Values in `[lo, hi)` predict `mid_class`; below `lo`, `lo_class`.
+    pub lo: f64,
+    /// Class predicted for high values.
+    pub hi_class: usize,
+    /// Class predicted for middle values.
+    pub mid_class: usize,
+    /// Class predicted for low values.
+    pub lo_class: usize,
+}
+
+impl ThresholdHeuristic {
+    /// The paper's fixed SPS heuristic: score 3.0 → `hi_class`, 2.0 →
+    /// `mid_class`, 1.0 → `lo_class`.
+    pub fn sps(hi_class: usize, mid_class: usize, lo_class: usize) -> Self {
+        ThresholdHeuristic {
+            hi: 2.5,
+            lo: 1.5,
+            hi_class,
+            mid_class,
+            lo_class,
+        }
+    }
+
+    /// Predicts the class of a single value.
+    pub fn predict(&self, value: f64) -> usize {
+        if value >= self.hi {
+            self.hi_class
+        } else if value >= self.lo {
+            self.mid_class
+        } else {
+            self.lo_class
+        }
+    }
+
+    /// Predicts a batch.
+    pub fn predict_all(&self, values: &[f64]) -> Vec<usize> {
+        values.iter().map(|&v| self.predict(v)).collect()
+    }
+
+    /// Grid-searches `(lo, hi)` threshold pairs over the candidate cut
+    /// points to maximize training accuracy — the paper's "set ...
+    /// empirically after numerous trials". Candidates are the midpoints of
+    /// consecutive distinct values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` and `labels` differ in length or are empty.
+    pub fn fit(
+        values: &[f64],
+        labels: &[usize],
+        hi_class: usize,
+        mid_class: usize,
+        lo_class: usize,
+    ) -> ThresholdHeuristic {
+        assert_eq!(values.len(), labels.len(), "length mismatch");
+        assert!(!values.is_empty(), "empty training set");
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup();
+        let mut cuts: Vec<f64> = sorted.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
+        // Also allow degenerate "all one side" thresholds.
+        cuts.insert(0, sorted[0] - 1.0);
+        cuts.push(sorted[sorted.len() - 1] + 1.0);
+
+        let mut best = ThresholdHeuristic {
+            hi: cuts[cuts.len() - 1],
+            lo: cuts[0],
+            hi_class,
+            mid_class,
+            lo_class,
+        };
+        let mut best_acc = -1.0;
+        for (i, &lo) in cuts.iter().enumerate() {
+            for &hi in &cuts[i..] {
+                let candidate = ThresholdHeuristic {
+                    hi,
+                    lo,
+                    hi_class,
+                    mid_class,
+                    lo_class,
+                };
+                let acc = accuracy(labels, &candidate.predict_all(values));
+                if acc > best_acc {
+                    best_acc = acc;
+                    best = candidate;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sps_mapping_matches_paper() {
+        let h = ThresholdHeuristic::sps(0, 1, 2);
+        assert_eq!(h.predict(3.0), 0, "score 3.0 -> NoInterrupt");
+        assert_eq!(h.predict(2.0), 1, "score 2.0 -> Interrupted");
+        assert_eq!(h.predict(1.0), 2, "score 1.0 -> NoFulfill");
+    }
+
+    #[test]
+    fn fit_recovers_separating_thresholds() {
+        // Values 0..10: label 2 below 3, label 1 in 3..7, label 0 above.
+        let values: Vec<f64> = (0..30).map(|i| (i % 10) as f64).collect();
+        let labels: Vec<usize> = values
+            .iter()
+            .map(|&v| if v >= 7.0 { 0 } else if v >= 3.0 { 1 } else { 2 })
+            .collect();
+        let h = ThresholdHeuristic::fit(&values, &labels, 0, 1, 2);
+        assert_eq!(accuracy(&labels, &h.predict_all(&values)), 1.0);
+        assert!(h.lo > 2.0 && h.lo < 3.5);
+        assert!(h.hi > 6.0 && h.hi < 7.5);
+    }
+
+    #[test]
+    fn fit_handles_two_effective_classes() {
+        // Only two labels present: the grid search can park one threshold
+        // at a degenerate cut.
+        let values = [1.0, 1.0, 5.0, 5.0];
+        let labels = [2, 2, 0, 0];
+        let h = ThresholdHeuristic::fit(&values, &labels, 0, 1, 2);
+        assert_eq!(accuracy(&labels, &h.predict_all(&values)), 1.0);
+    }
+
+    #[test]
+    fn fit_single_value() {
+        let h = ThresholdHeuristic::fit(&[2.0, 2.0], &[1, 1], 0, 1, 2);
+        assert_eq!(h.predict(2.0), 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Datasets: feature matrices with class labels.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from dataset construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Feature and label lengths differ.
+    LengthMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// Rows have inconsistent widths.
+    RaggedRows,
+    /// A label was out of the declared class range.
+    BadLabel {
+        /// The offending label.
+        label: usize,
+        /// The declared class count.
+        classes: usize,
+    },
+    /// The dataset is empty.
+    Empty,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::LengthMismatch { rows, labels } => {
+                write!(f, "{rows} feature rows but {labels} labels")
+            }
+            DatasetError::RaggedRows => write!(f, "feature rows have inconsistent widths"),
+            DatasetError::BadLabel { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            DatasetError::Empty => write!(f, "dataset is empty"),
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+/// A classification dataset: rows of `f64` features plus `usize` labels in
+/// `0..classes`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] for empty input, ragged rows, mismatched
+    /// lengths, or out-of-range labels.
+    pub fn new(
+        features: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if features.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        if features.len() != labels.len() {
+            return Err(DatasetError::LengthMismatch {
+                rows: features.len(),
+                labels: labels.len(),
+            });
+        }
+        let width = features[0].len();
+        if features.iter().any(|r| r.len() != width) {
+            return Err(DatasetError::RaggedRows);
+        }
+        if let Some(&label) = labels.iter().find(|&&l| l >= classes) {
+            return Err(DatasetError::BadLabel { label, classes });
+        }
+        Ok(Dataset {
+            features,
+            labels,
+            classes,
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset has no rows (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per row.
+    pub fn width(&self) -> usize {
+        self.features[0].len()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Feature row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i]
+    }
+
+    /// Label of row `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Splits into (train, test) with `test_fraction` of rows (at least one
+    /// row each side), shuffled with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_fraction` is outside `(0, 1)` or the dataset has
+    /// fewer than two rows.
+    pub fn split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..1.0).contains(&test_fraction) && test_fraction > 0.0,
+            "test_fraction must be in (0, 1)"
+        );
+        assert!(self.len() >= 2, "need at least two rows to split");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let test_n = ((self.len() as f64 * test_fraction).round() as usize)
+            .clamp(1, self.len() - 1);
+        let (test_idx, train_idx) = idx.split_at(test_n);
+        (self.subset(train_idx), self.subset(test_idx))
+    }
+
+    /// A dataset holding the given row indices (duplicates allowed — used
+    /// by bootstrap sampling).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            classes: self.classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            (0..10).map(|i| vec![i as f64, (i * 2) as f64]).collect(),
+            (0..10).map(|i| i % 3).collect(),
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks() {
+        assert_eq!(Dataset::new(vec![], vec![], 2), Err(DatasetError::Empty));
+        assert!(matches!(
+            Dataset::new(vec![vec![1.0]], vec![0, 1], 2),
+            Err(DatasetError::LengthMismatch { .. })
+        ));
+        assert_eq!(
+            Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 0], 2),
+            Err(DatasetError::RaggedRows)
+        );
+        assert!(matches!(
+            Dataset::new(vec![vec![1.0]], vec![5], 3),
+            Err(DatasetError::BadLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.classes(), 3);
+        assert_eq!(d.row(3), &[3.0, 6.0]);
+        assert_eq!(d.label(4), 1);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = toy();
+        let (train, test) = d.split(0.3, 7);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(test.len(), 3);
+        // Deterministic for a seed.
+        let (train2, _) = d.split(0.3, 7);
+        assert_eq!(train, train2);
+        // Different seeds shuffle differently (very likely).
+        let (train3, _) = d.split(0.3, 8);
+        assert_ne!(train, train3);
+    }
+
+    #[test]
+    fn subset_with_duplicates() {
+        let d = toy();
+        let s = d.subset(&[0, 0, 9]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.row(0), s.row(1));
+    }
+}

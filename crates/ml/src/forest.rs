@@ -1,0 +1,228 @@
+//! Random forests: bagging over CART trees.
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random-forest classifier with scikit-learn-like defaults: 100 trees,
+/// bootstrap sampling, √d features per split, unlimited depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForest {
+    n_trees: usize,
+    max_depth: Option<usize>,
+    trees: Vec<DecisionTree>,
+    classes: usize,
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        RandomForest {
+            n_trees: 100,
+            max_depth: None,
+            trees: Vec::new(),
+            classes: 0,
+        }
+    }
+}
+
+impl RandomForest {
+    /// An unfitted forest with default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of trees.
+    pub fn with_trees(mut self, n_trees: usize) -> Self {
+        assert!(n_trees > 0, "a forest needs at least one tree");
+        self.n_trees = n_trees;
+        self
+    }
+
+    /// Sets a depth limit.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Fits the forest: each tree sees a bootstrap resample of `data` and
+    /// considers √d random features per split.
+    pub fn fit(mut self, data: &Dataset, seed: u64) -> RandomForest {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mtry = ((data.width() as f64).sqrt().round() as usize).max(1);
+        let config = TreeConfig {
+            max_depth: self.max_depth,
+            min_samples_split: 2,
+            max_features: Some(mtry),
+        };
+        self.classes = data.classes();
+        self.trees = (0..self.n_trees)
+            .map(|t| {
+                let sample: Vec<usize> =
+                    (0..data.len()).map(|_| rng.gen_range(0..data.len())).collect();
+                let boot = data.subset(&sample);
+                DecisionTree::fit(&boot, config, seed ^ (t as u64).wrapping_mul(0x9E37_79B9))
+            })
+            .collect();
+        self
+    }
+
+    /// Majority-vote prediction (ties break toward the lower class index,
+    /// deterministically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest is unfitted or `row` has the wrong width.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        assert!(!self.trees.is_empty(), "predict on an unfitted forest");
+        let mut votes = vec![0usize; self.classes];
+        for tree in &self.trees {
+            votes[tree.predict(row)] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<usize> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Permutation feature importance: for each feature, the drop in
+    /// accuracy on `data` when that feature's column is shuffled (mean over
+    /// `repeats` shuffles). Positive values mean the model relies on the
+    /// feature; ~0 means it is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest is unfitted or `repeats` is zero.
+    pub fn permutation_importance(
+        &self,
+        data: &Dataset,
+        repeats: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "importance on an unfitted forest");
+        assert!(repeats > 0, "at least one repeat is required");
+        let baseline = accuracy_of(self, data);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut importances = vec![0.0; data.width()];
+        for (feature, importance) in importances.iter_mut().enumerate() {
+            let mut drop_sum = 0.0;
+            for _ in 0..repeats {
+                // Shuffle the feature column across rows.
+                let mut perm: Vec<usize> = (0..data.len()).collect();
+                for i in (1..perm.len()).rev() {
+                    perm.swap(i, rng.gen_range(0..=i));
+                }
+                let mut hits = 0usize;
+                for i in 0..data.len() {
+                    let mut row = data.row(i).to_vec();
+                    row[feature] = data.row(perm[i])[feature];
+                    if self.predict(&row) == data.label(i) {
+                        hits += 1;
+                    }
+                }
+                drop_sum += baseline - hits as f64 / data.len() as f64;
+            }
+            *importance = drop_sum / repeats as f64;
+        }
+        importances
+    }
+}
+
+fn accuracy_of(forest: &RandomForest, data: &Dataset) -> f64 {
+    let hits = (0..data.len())
+        .filter(|&i| forest.predict(data.row(i)) == data.label(i))
+        .count();
+    hits as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    /// Three noisy Gaussian-ish blobs.
+    fn blobs(seed: u64, n_per_class: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        let centers = [(0.0, 0.0), (4.0, 4.0), (0.0, 5.0)];
+        for (label, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..n_per_class {
+                features.push(vec![
+                    cx + rng.gen_range(-1.0..1.0),
+                    cy + rng.gen_range(-1.0..1.0),
+                ]);
+                labels.push(label);
+            }
+        }
+        Dataset::new(features, labels, 3).unwrap()
+    }
+
+    #[test]
+    fn learns_blobs() {
+        let data = blobs(1, 40);
+        let (train, test) = data.split(0.25, 2);
+        let forest = RandomForest::default().with_trees(30).fit(&train, 3);
+        let predictions = forest.predict_all(&test);
+        let acc = accuracy(test.labels(), &predictions);
+        assert!(acc > 0.9, "accuracy {acc} too low for separable blobs");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs(1, 20);
+        let a = RandomForest::default().with_trees(10).fit(&data, 7);
+        let b = RandomForest::default().with_trees(10).fit(&data, 7);
+        for i in 0..data.len() {
+            assert_eq!(a.predict(data.row(i)), b.predict(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn tree_count_and_depth_limit() {
+        let data = blobs(1, 10);
+        let forest = RandomForest::default()
+            .with_trees(5)
+            .with_max_depth(1)
+            .fit(&data, 0);
+        assert_eq!(forest.tree_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfitted")]
+    fn unfitted_predict_panics() {
+        RandomForest::default().predict(&[1.0]);
+    }
+
+    #[test]
+    fn permutation_importance_finds_informative_features() {
+        // Feature 0 carries the label; feature 1 is pure noise.
+        let mut rng = StdRng::seed_from_u64(3);
+        let features: Vec<Vec<f64>> = (0..120)
+            .map(|i| vec![(i % 2) as f64 + rng.gen_range(-0.1..0.1), rng.gen_range(0.0..1.0)])
+            .collect();
+        let labels: Vec<usize> = (0..120).map(|i| i % 2).collect();
+        let data = Dataset::new(features, labels, 2).unwrap();
+        let forest = RandomForest::default().with_trees(20).fit(&data, 1);
+        let importance = forest.permutation_importance(&data, 3, 9);
+        assert!(
+            importance[0] > importance[1] + 0.2,
+            "informative {:.3} vs noise {:.3}",
+            importance[0],
+            importance[1]
+        );
+        assert!(importance[1].abs() < 0.15, "noise feature should be ~0");
+    }
+}

@@ -1,0 +1,45 @@
+//! Predictors for the spot-instance status classification task of
+//! Section 5.5.
+//!
+//! The paper trains "a simple random forest model using a Python
+//! Scikit-Learn package with default parameters without tuning" on the
+//! archive's historical scores, and compares it against three heuristics
+//! that look only at a single *current* value. This crate implements both
+//! sides from scratch:
+//!
+//! * [`DecisionTree`] — CART with Gini impurity.
+//! * [`RandomForest`] — bagging + feature subsampling + majority vote,
+//!   defaults matching scikit-learn's `RandomForestClassifier` (100 trees,
+//!   √d features per split, unlimited depth).
+//! * [`ThresholdHeuristic`] — the IF / SPS / CostSave baselines: two
+//!   thresholds mapping one current value to the three outcome classes,
+//!   with the paper's "set empirically after numerous trials" reproduced by
+//!   a small grid search ([`ThresholdHeuristic::fit`]).
+//! * [`metrics`] — accuracy, confusion matrix, and macro-averaged F1.
+//!
+//! # Example
+//!
+//! ```
+//! use spotlake_ml::{Dataset, RandomForest};
+//!
+//! // A toy separable problem.
+//! let features = vec![vec![0.0], vec![0.1], vec![1.0], vec![1.1]];
+//! let labels = vec![0, 0, 1, 1];
+//! let data = Dataset::new(features, labels, 2).unwrap();
+//! let forest = RandomForest::default().fit(&data, 42);
+//! assert_eq!(forest.predict(&[1.05]), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+mod dataset;
+mod forest;
+pub mod metrics;
+mod tree;
+
+pub use baselines::ThresholdHeuristic;
+pub use dataset::{Dataset, DatasetError};
+pub use forest::RandomForest;
+pub use tree::{DecisionTree, TreeConfig};

@@ -1,0 +1,123 @@
+//! Classification metrics: accuracy, confusion matrix, F1.
+
+/// Fraction of predictions matching the truth.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy(truth: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty evaluation set");
+    let hits = truth
+        .iter()
+        .zip(predicted)
+        .filter(|(t, p)| t == p)
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+/// The confusion matrix: `m[t][p]` counts samples of true class `t`
+/// predicted as `p`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or a label is `>= classes`.
+pub fn confusion_matrix(truth: &[usize], predicted: &[usize], classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(truth.len(), predicted.len(), "length mismatch");
+    let mut m = vec![vec![0usize; classes]; classes];
+    for (&t, &p) in truth.iter().zip(predicted) {
+        assert!(t < classes && p < classes, "label out of range");
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Per-class F1 scores. A class absent from both truth and predictions
+/// scores 0.0 (scikit-learn's zero-division default).
+pub fn f1_per_class(truth: &[usize], predicted: &[usize], classes: usize) -> Vec<f64> {
+    let m = confusion_matrix(truth, predicted, classes);
+    (0..classes)
+        .map(|c| {
+            let tp = m[c][c] as f64;
+            let fp: f64 = (0..classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
+            let fn_: f64 = (0..classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+            if tp == 0.0 {
+                0.0
+            } else {
+                2.0 * tp / (2.0 * tp + fp + fn_)
+            }
+        })
+        .collect()
+}
+
+/// Macro-averaged F1: the unweighted mean of per-class F1 scores.
+pub fn f1_macro(truth: &[usize], predicted: &[usize], classes: usize) -> f64 {
+    let per = f1_per_class(truth, predicted, classes);
+    per.iter().sum::<f64>() / classes as f64
+}
+
+/// Support-weighted F1 (scikit-learn's `average="weighted"`).
+pub fn f1_weighted(truth: &[usize], predicted: &[usize], classes: usize) -> f64 {
+    let per = f1_per_class(truth, predicted, classes);
+    let mut support = vec![0usize; classes];
+    for &t in truth {
+        support[t] += 1;
+    }
+    let total: usize = support.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    per.iter()
+        .zip(&support)
+        .map(|(f, &s)| f * s as f64 / total as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let truth = [0, 1, 2, 1];
+        assert_eq!(accuracy(&truth, &truth), 1.0);
+        assert_eq!(f1_macro(&truth, &truth, 3), 1.0);
+        assert_eq!(f1_weighted(&truth, &truth, 3), 1.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 1, 1, 1];
+        let m = confusion_matrix(&truth, &pred, 2);
+        assert_eq!(m, vec![vec![1, 1], vec![0, 2]]);
+        assert_eq!(accuracy(&truth, &pred), 0.75);
+    }
+
+    #[test]
+    fn f1_handles_absent_class() {
+        // Class 2 never appears: per-class F1 is 0, macro is pulled down.
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 1, 1];
+        let per = f1_per_class(&truth, &pred, 3);
+        assert_eq!(per, vec![1.0, 1.0, 0.0]);
+        assert!((f1_macro(&truth, &pred, 3) - 2.0 / 3.0).abs() < 1e-12);
+        // Weighted F1 ignores the zero-support class.
+        assert_eq!(f1_weighted(&truth, &pred, 3), 1.0);
+    }
+
+    #[test]
+    fn known_f1_value() {
+        // One-class view: tp=1, fp=1, fn=1 -> F1 = 2/4 = 0.5.
+        let truth = [0, 0, 1];
+        let pred = [0, 1, 0];
+        let per = f1_per_class(&truth, &pred, 2);
+        assert!((per[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        accuracy(&[0], &[0, 1]);
+    }
+}

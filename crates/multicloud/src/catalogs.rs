@@ -1,0 +1,199 @@
+//! Simulated Azure and GCP fleets.
+//!
+//! Both vendors are modeled on the same capacity-pool substrate as AWS,
+//! with their own catalogs, region sets, and price levels. Internally the
+//! simulator keeps its own type grammar; the [`VendorSku`] table binds each
+//! vendor's native SKU names ("Standard_D4s_v3", "n2-standard-4") to the
+//! internal types and to the normalized [`HardwareShape`] global key.
+
+use crate::sku::{aws_shape, HardwareShape, VendorSku};
+use crate::vendor::Vendor;
+use spotlake_types::{Catalog, CatalogBuilder, TypesError};
+
+/// Azure region codes used by the demo fleet (3 zones each).
+const AZURE_REGIONS: &[&str] = &["azr-east-1", "azr-west-1", "azr-europe-1", "azr-asia-1"];
+/// GCP region codes used by the demo fleet (3 zones each).
+const GCP_REGIONS: &[&str] = &["gcp-central-1", "gcp-west-1", "gcp-europe-1"];
+
+/// Builds the simulated Azure spot fleet: D (general), E (memory), F
+/// (compute), NC/NV (GPU), and L (storage) series.
+///
+/// # Errors
+///
+/// Returns [`TypesError`] only if the builtin table is inconsistent (a bug).
+pub fn azure_catalog() -> Result<(Catalog, Vec<VendorSku>), TypesError> {
+    let mut b = CatalogBuilder::new();
+    for region in AZURE_REGIONS {
+        b.region(region, 3);
+    }
+    let mut skus = Vec::new();
+    // (native prefix, internal class, family prefix for shape, per-xlarge $)
+    let series: &[(&str, &str, &str, f64)] = &[
+        ("Standard_D{n}s_v3", "m9", "m", 0.192),
+        ("Standard_E{n}s_v3", "r9", "r", 0.252),
+        ("Standard_F{n}s_v2", "c9", "c", 0.169),
+        ("Standard_L{n}s_v2", "i9", "i", 0.312),
+    ];
+    let sizes: &[(u32, &str, f64)] = &[
+        (2, "large", 0.5),
+        (4, "xlarge", 1.0),
+        (8, "2xlarge", 2.0),
+        (16, "4xlarge", 4.0),
+        (32, "8xlarge", 8.0),
+        (64, "16xlarge", 16.0),
+    ];
+    for &(native_pat, class, family, per_xlarge) in series {
+        for &(vcpus, suffix, weight) in sizes {
+            let internal = format!("{class}.{suffix}");
+            b.instance_type(&internal, per_xlarge * weight);
+            skus.push(VendorSku::new(
+                Vendor::Azure,
+                native_pat.replace("{n}", &vcpus.to_string()),
+                internal,
+                aws_shape(family, weight),
+            ));
+        }
+    }
+    // GPU series: NC (compute GPU) and NV (visualization GPU).
+    for (native, internal, family, weight, usd) in [
+        ("Standard_NC6", "p9.xlarge", "p", 1.0, 0.90),
+        ("Standard_NC12", "p9.2xlarge", "p", 2.0, 1.80),
+        ("Standard_NC24", "p9.4xlarge", "p", 4.0, 3.60),
+        ("Standard_NV6", "g9.xlarge", "g", 1.0, 0.68),
+        ("Standard_NV12", "g9.2xlarge", "g", 2.0, 1.36),
+    ] {
+        b.instance_type(internal, usd);
+        skus.push(VendorSku::new(
+            Vendor::Azure,
+            native,
+            internal,
+            aws_shape(family, weight),
+        ));
+    }
+    b.hashed_support(true);
+    Ok((b.build()?, skus))
+}
+
+/// Builds the simulated GCP spot fleet: n2 (general), n2-highmem, c2
+/// (compute), t2d (shared-core general), and a2 (GPU) machine families.
+///
+/// # Errors
+///
+/// Returns [`TypesError`] only if the builtin table is inconsistent (a bug).
+pub fn gcp_catalog() -> Result<(Catalog, Vec<VendorSku>), TypesError> {
+    let mut b = CatalogBuilder::new();
+    for region in GCP_REGIONS {
+        b.region(region, 3);
+    }
+    let mut skus = Vec::new();
+    let series: &[(&str, &str, &str, f64)] = &[
+        ("n2-standard-{n}", "m8", "m", 0.194),
+        ("n2-highmem-{n}", "r8", "r", 0.262),
+        ("c2-standard-{n}", "c8", "c", 0.167),
+        ("t2d-standard-{n}", "t8", "t", 0.169),
+    ];
+    let sizes: &[(u32, &str, f64)] = &[
+        (2, "large", 0.5),
+        (4, "xlarge", 1.0),
+        (8, "2xlarge", 2.0),
+        (16, "4xlarge", 4.0),
+        (32, "8xlarge", 8.0),
+    ];
+    for &(native_pat, class, family, per_xlarge) in series {
+        for &(vcpus, suffix, weight) in sizes {
+            let internal = format!("{class}.{suffix}");
+            b.instance_type(&internal, per_xlarge * weight);
+            skus.push(VendorSku::new(
+                Vendor::Gcp,
+                native_pat.replace("{n}", &vcpus.to_string()),
+                internal,
+                aws_shape(family, weight),
+            ));
+        }
+    }
+    for (native, internal, weight, usd) in [
+        ("a2-highgpu-1g", "p8.xlarge", 1.0, 3.67),
+        ("a2-highgpu-2g", "p8.2xlarge", 2.0, 7.35),
+        ("a2-highgpu-4g", "p8.4xlarge", 4.0, 14.69),
+    ] {
+        b.instance_type(internal, usd);
+        skus.push(VendorSku::new(
+            Vendor::Gcp,
+            native,
+            internal,
+            aws_shape("p", weight),
+        ));
+    }
+    b.hashed_support(true);
+    Ok((b.build()?, skus))
+}
+
+/// The AWS SKU table for a set of internal type names (identity mapping
+/// plus shapes).
+pub(crate) fn aws_skus(catalog: &Catalog, names: &[String]) -> Vec<VendorSku> {
+    names
+        .iter()
+        .filter_map(|name| {
+            let ty = catalog.instance_type(name)?;
+            Some(VendorSku::new(
+                Vendor::Aws,
+                name.clone(),
+                name.clone(),
+                aws_shape(ty.family().prefix(), ty.size().weight()),
+            ))
+        })
+        .collect()
+}
+
+/// A cross-vendor shape that every demo fleet offers (4 vCPU / 16 GiB).
+pub fn common_demo_shape() -> HardwareShape {
+    HardwareShape::cpu(4, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn azure_catalog_builds() {
+        let (catalog, skus) = azure_catalog().expect("builtin table is valid");
+        assert_eq!(catalog.regions().len(), 4);
+        assert_eq!(catalog.azs().len(), 12);
+        assert_eq!(catalog.instance_types().len(), skus.len());
+        // Every SKU's internal type exists.
+        for sku in &skus {
+            assert!(
+                catalog.instance_type(&sku.internal_type).is_some(),
+                "{} missing",
+                sku.internal_type
+            );
+            assert_eq!(sku.vendor, Vendor::Azure);
+        }
+        // The common shape is present: Standard_D4s_v3 = 4c-16g.
+        assert!(skus
+            .iter()
+            .any(|s| s.native_name == "Standard_D4s_v3" && s.shape == common_demo_shape()));
+    }
+
+    #[test]
+    fn gcp_catalog_builds() {
+        let (catalog, skus) = gcp_catalog().expect("builtin table is valid");
+        assert_eq!(catalog.regions().len(), 3);
+        assert!(skus.iter().all(|s| s.vendor == Vendor::Gcp));
+        assert!(skus
+            .iter()
+            .any(|s| s.native_name == "n2-standard-4" && s.shape == common_demo_shape()));
+        assert!(catalog.instance_type("p8.xlarge").is_some());
+    }
+
+    #[test]
+    fn native_names_are_unique_per_vendor() {
+        for (_, skus) in [azure_catalog().unwrap(), gcp_catalog().unwrap()] {
+            let mut names: Vec<&str> = skus.iter().map(|s| s.native_name.as_str()).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(names.len(), before);
+        }
+    }
+}

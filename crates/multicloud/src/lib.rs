@@ -1,0 +1,55 @@
+//! Multi-vendor extension: Azure and GCP spot datasets in one archive.
+//!
+//! Section 7 of the paper describes SpotLake's "actively ongoing work" of
+//! archiving spot datasets from multiple cloud vendors, noting the key
+//! obstacles: each vendor publishes a *different subset* of datasets
+//! through *different access paths* (Azure: price via API, availability and
+//! eviction rate via web portal only; GCP: price via web portal only), so a
+//! common schema needs **global keys** — the timestamp, plus hardware
+//! details — to line vendors up.
+//!
+//! This crate implements that extension against the same simulator
+//! substrate:
+//!
+//! * [`Vendor`] — the vendor enumeration with the paper's dataset-access
+//!   matrix ([`Vendor::dataset_access`]).
+//! * [`VendorSku`] / [`HardwareShape`] — vendor SKU names mapped to a
+//!   normalized hardware shape: the paper's "adding more global keys such
+//!   as hardware details".
+//! * [`azure_catalog`] / [`gcp_catalog`] — simulated Azure and GCP fleets
+//!   (Azure spot VMs with five eviction-rate buckets like AWS's advisor;
+//!   GCP spot VMs with flat-discount pricing).
+//! * [`MultiCloudCollector`] — one collection loop over all vendors,
+//!   writing a single archive whose records carry a `vendor` dimension and
+//!   share the timestamp as the global key.
+//! * [`CrossVendorReport`] — the §7 payoff: hardware-shape-keyed
+//!   comparisons of savings and availability across vendors.
+//!
+//! # Example
+//!
+//! ```
+//! use spotlake_multicloud::{MultiCloudCollector, Vendor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut collector = MultiCloudCollector::demo_scale()?;
+//! collector.run_rounds(4)?;
+//! let report = collector.compare_vendors()?;
+//! assert!(report.rows.iter().any(|r| r.vendor == Vendor::Azure));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalogs;
+mod collector;
+mod compare;
+mod sku;
+mod vendor;
+
+pub use catalogs::{azure_catalog, common_demo_shape, gcp_catalog};
+pub use collector::{MultiCloudCollector, MultiCloudError, VendorStats};
+pub use compare::{CrossVendorReport, CrossVendorRow};
+pub use sku::{AcceleratorKind, HardwareShape, VendorSku};
+pub use vendor::{AccessPath, DatasetAccess, Vendor};

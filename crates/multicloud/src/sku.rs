@@ -1,0 +1,163 @@
+//! Vendor SKUs and the hardware-shape global key.
+//!
+//! Section 7: "adding more global keys such as hardware details are
+//! beneficial to analyze and compare the spot instance characteristics from
+//! various aspects". A [`VendorSku`] is a vendor's native name for an
+//! instance shape ("m5.xlarge", "Standard_D4s_v3", "n2-standard-4"); a
+//! [`HardwareShape`] is the normalized key they all map onto, so archives
+//! from different vendors can be joined on (timestamp, shape).
+
+use crate::vendor::Vendor;
+use std::fmt;
+
+/// Accelerator hardware attached to a shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AcceleratorKind {
+    /// No accelerator.
+    None,
+    /// An NVIDIA/AMD GPU.
+    Gpu,
+    /// A vendor inference/training ASIC (Inferentia, TPU, Gaudi...).
+    Asic,
+    /// An FPGA.
+    Fpga,
+}
+
+/// The normalized hardware shape — the cross-vendor global key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HardwareShape {
+    /// Virtual CPUs.
+    pub vcpus: u32,
+    /// Memory, GiB.
+    pub memory_gib: u32,
+    /// Attached accelerator class.
+    pub accelerator: AcceleratorKind,
+}
+
+impl HardwareShape {
+    /// A plain CPU shape.
+    pub const fn cpu(vcpus: u32, memory_gib: u32) -> Self {
+        HardwareShape {
+            vcpus,
+            memory_gib,
+            accelerator: AcceleratorKind::None,
+        }
+    }
+
+    /// The canonical archive dimension value, e.g. `"4c-16g"` or
+    /// `"8c-61g-gpu"`.
+    pub fn key(&self) -> String {
+        let base = format!("{}c-{}g", self.vcpus, self.memory_gib);
+        match self.accelerator {
+            AcceleratorKind::None => base,
+            AcceleratorKind::Gpu => format!("{base}-gpu"),
+            AcceleratorKind::Asic => format!("{base}-asic"),
+            AcceleratorKind::Fpga => format!("{base}-fpga"),
+        }
+    }
+}
+
+impl fmt::Display for HardwareShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+/// A vendor's native SKU name bound to its normalized shape and the
+/// internal simulator type that models it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VendorSku {
+    /// The vendor.
+    pub vendor: Vendor,
+    /// The vendor's native SKU name (`"Standard_D4s_v3"`,
+    /// `"n2-standard-4"`, `"m5.xlarge"`).
+    pub native_name: String,
+    /// The internal simulator instance-type name backing this SKU.
+    pub internal_type: String,
+    /// The normalized hardware shape.
+    pub shape: HardwareShape,
+}
+
+impl VendorSku {
+    /// Creates a SKU binding.
+    pub fn new(
+        vendor: Vendor,
+        native_name: impl Into<String>,
+        internal_type: impl Into<String>,
+        shape: HardwareShape,
+    ) -> Self {
+        VendorSku {
+            vendor,
+            native_name: native_name.into(),
+            internal_type: internal_type.into(),
+            shape,
+        }
+    }
+}
+
+/// Shape of an AWS instance type, derived from its size weight and family
+/// (per-family memory-per-vCPU ratios).
+pub(crate) fn aws_shape(family_prefix: &str, weight: f64) -> HardwareShape {
+    let vcpus = (weight * 4.0).round().max(1.0) as u32;
+    let mem_per_vcpu = match family_prefix {
+        "r" | "x" | "z" => 8,
+        "c" => 2,
+        "i" | "d" | "h" => 8,
+        "p" | "g" | "inf" | "f" | "vt" | "dl" => 4,
+        _ => 4, // general purpose
+    };
+    let accelerator = match family_prefix {
+        "p" | "g" => AcceleratorKind::Gpu,
+        "inf" | "dl" | "vt" => AcceleratorKind::Asic,
+        "f" => AcceleratorKind::Fpga,
+        _ => AcceleratorKind::None,
+    };
+    HardwareShape {
+        vcpus,
+        memory_gib: vcpus * mem_per_vcpu,
+        accelerator,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_keys() {
+        assert_eq!(HardwareShape::cpu(4, 16).key(), "4c-16g");
+        let gpu = HardwareShape {
+            vcpus: 8,
+            memory_gib: 61,
+            accelerator: AcceleratorKind::Gpu,
+        };
+        assert_eq!(gpu.key(), "8c-61g-gpu");
+        assert_eq!(gpu.to_string(), "8c-61g-gpu");
+    }
+
+    #[test]
+    fn aws_shapes_follow_family_ratios() {
+        // m5.xlarge: 4 vCPU, 16 GiB.
+        assert_eq!(aws_shape("m", 1.0), HardwareShape::cpu(4, 16));
+        // r5.xlarge: 4 vCPU, 32 GiB.
+        assert_eq!(aws_shape("r", 1.0), HardwareShape::cpu(4, 32));
+        // c5.2xlarge: 8 vCPU, 16 GiB.
+        assert_eq!(aws_shape("c", 2.0), HardwareShape::cpu(8, 16));
+        // GPU family carries the accelerator marker.
+        assert_eq!(aws_shape("p", 2.0).accelerator, AcceleratorKind::Gpu);
+        assert_eq!(aws_shape("inf", 1.0).accelerator, AcceleratorKind::Asic);
+        assert_eq!(aws_shape("f", 4.0).accelerator, AcceleratorKind::Fpga);
+    }
+
+    #[test]
+    fn sku_binding() {
+        let sku = VendorSku::new(
+            Vendor::Azure,
+            "Standard_D4s_v3",
+            "m5.xlarge",
+            HardwareShape::cpu(4, 16),
+        );
+        assert_eq!(sku.vendor, Vendor::Azure);
+        assert_eq!(sku.shape.key(), "4c-16g");
+    }
+}

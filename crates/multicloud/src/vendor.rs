@@ -1,0 +1,119 @@
+//! Vendors and the paper's dataset-access matrix.
+
+use std::fmt;
+
+/// A public cloud vendor offering transient (spot) instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Vendor {
+    /// Amazon Web Services (Spot Instances).
+    Aws,
+    /// Microsoft Azure (Spot Virtual Machines).
+    Azure,
+    /// Google Cloud (Spot VMs).
+    Gcp,
+}
+
+impl Vendor {
+    /// All vendors.
+    pub const ALL: [Vendor; 3] = [Vendor::Aws, Vendor::Azure, Vendor::Gcp];
+
+    /// The lowercase tag used as the archive's `vendor` dimension.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Vendor::Aws => "aws",
+            Vendor::Azure => "azure",
+            Vendor::Gcp => "gcp",
+        }
+    }
+
+    /// How this vendor exposes each spot dataset — the access matrix of
+    /// Section 7 ("Azure provides current spot instance price information
+    /// via the API and web portal ... availability and interruption ratio
+    /// information only from its web portal. Google Cloud provides the
+    /// current spot instance price only from its web portal.").
+    pub fn dataset_access(self) -> DatasetAccess {
+        match self {
+            Vendor::Aws => DatasetAccess {
+                price: AccessPath::Api,
+                availability: AccessPath::Api,
+                interruption: AccessPath::Portal,
+            },
+            Vendor::Azure => DatasetAccess {
+                price: AccessPath::Api,
+                availability: AccessPath::Portal,
+                interruption: AccessPath::Portal,
+            },
+            Vendor::Gcp => DatasetAccess {
+                price: AccessPath::Portal,
+                availability: AccessPath::None,
+                interruption: AccessPath::None,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// How a dataset can be reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPath {
+    /// Programmatic API / CLI access.
+    Api,
+    /// Web portal only — a collector must scrape.
+    Portal,
+    /// The vendor does not publish the dataset at all.
+    None,
+}
+
+impl AccessPath {
+    /// Whether a collector can obtain the dataset at all.
+    pub fn is_collectable(self) -> bool {
+        !matches!(self, AccessPath::None)
+    }
+}
+
+/// One vendor's access paths for the three spot datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetAccess {
+    /// Spot price.
+    pub price: AccessPath,
+    /// Timely availability (placement-score-like).
+    pub availability: AccessPath,
+    /// Trailing interruption/eviction ratio.
+    pub interruption: AccessPath,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_matrix_matches_section7() {
+        // AWS has programmatic price + availability; advisor is web-only.
+        let aws = Vendor::Aws.dataset_access();
+        assert_eq!(aws.price, AccessPath::Api);
+        assert_eq!(aws.availability, AccessPath::Api);
+        assert_eq!(aws.interruption, AccessPath::Portal);
+        // Azure: price via API; availability/eviction portal-only.
+        let azure = Vendor::Azure.dataset_access();
+        assert_eq!(azure.price, AccessPath::Api);
+        assert_eq!(azure.availability, AccessPath::Portal);
+        assert_eq!(azure.interruption, AccessPath::Portal);
+        // GCP: price portal-only, nothing else published.
+        let gcp = Vendor::Gcp.dataset_access();
+        assert_eq!(gcp.price, AccessPath::Portal);
+        assert!(!gcp.availability.is_collectable());
+        assert!(!gcp.interruption.is_collectable());
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(Vendor::Aws.to_string(), "aws");
+        assert_eq!(Vendor::Azure.tag(), "azure");
+        assert_eq!(Vendor::Gcp.tag(), "gcp");
+    }
+}

@@ -1,0 +1,369 @@
+//! The gateway router and the "Lambda" handlers.
+
+use crate::csv::rows_to_csv;
+use crate::http::{HttpRequest, HttpResponse};
+use crate::json::Json;
+use spotlake_timestream::{Aggregate, Database, Query, Row, TsError};
+
+/// Default measure per well-known archive table; unknown tables must name
+/// their measure explicitly (a wrong silent default would return an empty
+/// result instead of an error).
+fn default_measure(table: &str) -> Option<&'static str> {
+    match table {
+        "advisor" => Some("if_score"),
+        "price" => Some("spot_price"),
+        "sps" => Some("sps"),
+        _ => None,
+    }
+}
+
+/// Dimension keys a query may filter on.
+const FILTER_KEYS: [&str; 3] = ["instance_type", "region", "az"];
+
+/// Maximum rows a single response returns without an explicit `limit`.
+const DEFAULT_LIMIT: usize = 10_000;
+
+/// The static front-end page (served "from object storage" in the paper's
+/// architecture).
+const INDEX_HTML: &str = "<!doctype html>\n<html><head><title>SpotLake</title></head>\n<body>\n<h1>SpotLake — spot instance dataset archive</h1>\n<p>Query the archive with <code>/query?table=sps&amp;instance_type=m5.large&amp;region=us-east-1</code>.\nEndpoints: /query /latest /at /window /correlate /stats /tables /health.</p>\n</body></html>\n";
+
+/// The archive web service: a stateless router over a
+/// [`Database`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArchiveService;
+
+impl ArchiveService {
+    /// Routes a request to its handler.
+    pub fn handle(db: &Database, request: &HttpRequest) -> HttpResponse {
+        match request.path() {
+            "/" | "/index.html" => HttpResponse::html(INDEX_HTML),
+            "/health" => HttpResponse::json(
+                Json::object([("status", Json::from("ok"))]).render(),
+            ),
+            "/tables" => Self::tables(db),
+            "/stats" => crate::insights::stats(db),
+            "/correlate" => crate::insights::correlate(db, request),
+            "/query" => Self::query(db, request),
+            "/latest" => Self::latest(db, request),
+            "/at" => Self::at(db, request),
+            "/window" => Self::window(db, request),
+            other => HttpResponse::error(404, &format!("no such endpoint: {other}")),
+        }
+    }
+
+    fn tables(db: &Database) -> HttpResponse {
+        let names: Vec<Json> = db
+            .table_names()
+            .into_iter()
+            .map(Json::from)
+            .collect();
+        HttpResponse::json(Json::object([("tables", Json::Array(names))]).render())
+    }
+
+    /// Builds the timestream query from request parameters. Returns the
+    /// table name and query.
+    fn build_query(db: &Database, request: &HttpRequest) -> Result<(String, Query), HttpResponse> {
+        let table = request
+            .param("table")
+            .ok_or_else(|| HttpResponse::error(400, "missing required parameter: table"))?
+            .to_owned();
+        let measure = match request.param("measure").or_else(|| default_measure(&table)) {
+            Some(m) => m.to_owned(),
+            None => {
+                // Unknown table -> 404; known-but-custom table -> ask for
+                // an explicit measure instead of silently matching nothing.
+                return Err(match db.table(&table) {
+                    Err(e) => HttpResponse::error(404, &e.to_string()),
+                    Ok(_) => HttpResponse::error(
+                        400,
+                        &format!("table {table:?} has no default measure; pass ?measure="),
+                    ),
+                });
+            }
+        };
+        let mut q = Query::measure(measure);
+        for key in FILTER_KEYS {
+            if let Some(v) = request.param(key) {
+                q = q.filter(key, v);
+            }
+        }
+        let from = match request.param("from") {
+            Some(s) => s
+                .parse()
+                .map_err(|_| HttpResponse::error(400, "from must be an integer timestamp"))?,
+            None => 0,
+        };
+        let to = match request.param("to") {
+            Some(s) => s
+                .parse()
+                .map_err(|_| HttpResponse::error(400, "to must be an integer timestamp"))?,
+            None => u64::MAX,
+        };
+        Ok((table, q.between(from, to)))
+    }
+
+    fn respond_rows(request: &HttpRequest, mut rows: Vec<Row>) -> HttpResponse {
+        let limit = match request.param("limit") {
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return HttpResponse::error(400, "limit must be an integer"),
+            },
+            None => DEFAULT_LIMIT,
+        };
+        let truncated = rows.len() > limit;
+        rows.truncate(limit);
+        match request.param("format") {
+            Some("csv") => HttpResponse::csv(rows_to_csv(&rows)),
+            Some("json") | None => {
+                let items: Vec<Json> = rows.iter().map(row_to_json).collect();
+                HttpResponse::json(
+                    Json::object([
+                        ("rows", Json::Array(items)),
+                        ("truncated", Json::from(truncated)),
+                    ])
+                    .render(),
+                )
+            }
+            Some(other) => {
+                HttpResponse::error(400, &format!("unknown format: {other} (json|csv)"))
+            }
+        }
+    }
+
+    fn query(db: &Database, request: &HttpRequest) -> HttpResponse {
+        let (table, q) = match Self::build_query(db, request) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        match db.query(&table, &q) {
+            Ok(rows) => Self::respond_rows(request, rows),
+            Err(e) => store_error(e),
+        }
+    }
+
+    fn latest(db: &Database, request: &HttpRequest) -> HttpResponse {
+        let (table, q) = match Self::build_query(db, request) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        match db.latest(&table, &q) {
+            Ok(rows) => Self::respond_rows(request, rows),
+            Err(e) => store_error(e),
+        }
+    }
+
+    fn at(db: &Database, request: &HttpRequest) -> HttpResponse {
+        let (table, q) = match Self::build_query(db, request) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let at = match request.param("timestamp").map(str::parse) {
+            Some(Ok(t)) => t,
+            Some(Err(_)) => {
+                return HttpResponse::error(400, "timestamp must be an integer")
+            }
+            None => return HttpResponse::error(400, "missing required parameter: timestamp"),
+        };
+        match db.value_at(&table, &q, at) {
+            Ok(rows) => Self::respond_rows(request, rows),
+            Err(e) => store_error(e),
+        }
+    }
+
+    fn window(db: &Database, request: &HttpRequest) -> HttpResponse {
+        let (table, q) = match Self::build_query(db, request) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let window = match request.param("window").map(str::parse) {
+            Some(Ok(w)) if w > 0 => w,
+            Some(_) => return HttpResponse::error(400, "window must be a positive integer"),
+            None => 86_400,
+        };
+        let agg = match request.param("agg").unwrap_or("mean") {
+            "mean" => Aggregate::Mean,
+            "min" => Aggregate::Min,
+            "max" => Aggregate::Max,
+            "count" => Aggregate::Count,
+            "sum" => Aggregate::Sum,
+            "last" => Aggregate::Last,
+            other => {
+                return HttpResponse::error(
+                    400,
+                    &format!("unknown agg: {other} (mean|min|max|count|sum|last)"),
+                )
+            }
+        };
+        match db.query_window(&table, &q, window, agg) {
+            Ok(rows) => {
+                let items: Vec<Json> = rows
+                    .iter()
+                    .map(|w| {
+                        Json::object([
+                            ("window_start", Json::from(w.window_start)),
+                            ("value", Json::from(w.value)),
+                            ("count", Json::from(w.count as u64)),
+                        ])
+                    })
+                    .collect();
+                HttpResponse::json(Json::object([("windows", Json::Array(items))]).render())
+            }
+            Err(e) => store_error(e),
+        }
+    }
+}
+
+fn row_to_json(row: &Row) -> Json {
+    let dims = Json::Object(
+        row.dimensions
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::string(v)))
+            .collect(),
+    );
+    Json::object([
+        ("time", Json::from(row.time)),
+        ("value", Json::from(row.value)),
+        ("dimensions", dims),
+    ])
+}
+
+fn store_error(e: TsError) -> HttpResponse {
+    match e {
+        TsError::NoSuchTable(_) => HttpResponse::error(404, &e.to_string()),
+        other => HttpResponse::error(500, &other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotlake_timestream::{Record, TableOptions};
+
+    fn archive() -> Database {
+        let mut db = Database::new();
+        db.create_table("sps", TableOptions::default()).unwrap();
+        db.create_table("advisor", TableOptions::default()).unwrap();
+        for t in 0..5u64 {
+            db.write(
+                "sps",
+                &[
+                    Record::new(t * 600, "sps", 3.0 - (t % 3) as f64)
+                        .dimension("instance_type", "m5.large")
+                        .dimension("region", "us-east-1")
+                        .dimension("az", "us-east-1a"),
+                    Record::new(t * 600, "sps", 1.0)
+                        .dimension("instance_type", "p3.2xlarge")
+                        .dimension("region", "us-east-1")
+                        .dimension("az", "us-east-1a"),
+                ],
+            )
+            .unwrap();
+        }
+        db.write(
+            "advisor",
+            &[Record::new(0, "if_score", 2.5)
+                .dimension("instance_type", "m5.large")
+                .dimension("region", "us-east-1")],
+        )
+        .unwrap();
+        db
+    }
+
+    fn get(db: &Database, path: &str) -> HttpResponse {
+        ArchiveService::handle(db, &HttpRequest::get(path).unwrap())
+    }
+
+    #[test]
+    fn health_tables_index() {
+        let db = archive();
+        assert_eq!(get(&db, "/health").status, 200);
+        let tables = get(&db, "/tables");
+        assert!(tables.body_text().contains("sps"));
+        assert!(tables.body_text().contains("advisor"));
+        let index = get(&db, "/");
+        assert_eq!(index.content_type, "text/html");
+        assert_eq!(get(&db, "/nope").status, 404);
+    }
+
+    #[test]
+    fn query_filters_and_formats() {
+        let db = archive();
+        let r = get(&db, "/query?table=sps&instance_type=m5.large");
+        assert_eq!(r.status, 200);
+        let body = r.body_text();
+        assert!(body.contains("\"rows\""));
+        assert!(body.contains("m5.large"));
+        assert!(!body.contains("p3.2xlarge"));
+
+        let csv = get(&db, "/query?table=sps&instance_type=m5.large&format=csv");
+        assert_eq!(csv.content_type, "text/csv");
+        assert!(csv.body_text().starts_with("time,value"));
+
+        let bad = get(&db, "/query?table=sps&format=xml");
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn query_time_range_and_limit() {
+        let db = archive();
+        let r = get(&db, "/query?table=sps&from=600&to=1200&instance_type=m5.large");
+        let body = r.body_text();
+        assert!(body.contains("\"time\":600"));
+        assert!(body.contains("\"time\":1200"));
+        assert!(!body.contains("\"time\":1800"));
+
+        let limited = get(&db, "/query?table=sps&limit=1");
+        assert!(limited.body_text().contains("\"truncated\":true"));
+        let bad = get(&db, "/query?table=sps&limit=x");
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn latest_and_at() {
+        let db = archive();
+        let r = get(&db, "/latest?table=sps&instance_type=m5.large");
+        assert!(r.body_text().contains("\"time\":2400"));
+
+        let r = get(&db, "/at?table=sps&timestamp=700&instance_type=m5.large");
+        assert!(r.body_text().contains("\"time\":600"));
+        assert_eq!(get(&db, "/at?table=sps").status, 400);
+    }
+
+    #[test]
+    fn window_aggregation() {
+        let db = archive();
+        let r = get(&db, "/window?table=sps&window=1200&agg=count&instance_type=m5.large");
+        let body = r.body_text();
+        assert!(body.contains("\"windows\""));
+        assert!(body.contains("\"count\":2"));
+        assert_eq!(get(&db, "/window?table=sps&agg=median").status, 400);
+        assert_eq!(get(&db, "/window?table=sps&window=0").status, 400);
+    }
+
+    #[test]
+    fn advisor_default_measure() {
+        let db = archive();
+        let r = get(&db, "/query?table=advisor");
+        assert!(r.body_text().contains("\"value\":2.5"));
+    }
+
+    #[test]
+    fn missing_table_is_404() {
+        let db = archive();
+        assert_eq!(get(&db, "/query?table=nope").status, 404);
+        assert_eq!(get(&db, "/query").status, 400);
+    }
+
+    #[test]
+    fn custom_table_requires_explicit_measure() {
+        let mut db = archive();
+        db.create_table("mc_price", TableOptions::default()).unwrap();
+        db.write("mc_price", &[Record::new(0, "spot_price", 0.1)]).unwrap();
+        // No default measure for a custom table: explicit 400, not an
+        // empty 200.
+        assert_eq!(get(&db, "/query?table=mc_price").status, 400);
+        let ok = get(&db, "/query?table=mc_price&measure=spot_price");
+        assert_eq!(ok.status, 200);
+        assert!(ok.body_text().contains(r#""value":0.1"#));
+    }
+}

@@ -1,0 +1,231 @@
+//! Analysis-backed archive endpoints.
+//!
+//! Section 5.3's dataset-correlation analysis as a *service feature*: a
+//! SpotLake user can ask the archive directly how well two spot datasets
+//! agree for a given pool, instead of exporting and computing offline.
+//!
+//! * `GET /correlate?instance_type=T&region=R[&az=Z]` — Pearson and
+//!   Spearman coefficients of all three dataset pairs for one pool, plus
+//!   the |SPS − IF| difference histogram.
+//! * `GET /stats` — archive-wide inventory: tables, series, points.
+
+use crate::http::{HttpRequest, HttpResponse};
+use crate::json::Json;
+use spotlake_analysis::{align_step, pearson, spearman, Histogram};
+use spotlake_timestream::{Database, Query, Row};
+
+pub(crate) fn stats(db: &Database) -> HttpResponse {
+    let tables: Vec<Json> = db
+        .table_names()
+        .into_iter()
+        .map(|name| {
+            let table = db.table(name).expect("name comes from the listing");
+            Json::object([
+                ("name", Json::from(name)),
+                ("series", Json::from(table.series_count() as u64)),
+                ("points", Json::from(table.point_count() as u64)),
+            ])
+        })
+        .collect();
+    HttpResponse::json(
+        Json::object([
+            ("tables", Json::Array(tables)),
+            ("total_points", Json::from(db.point_count() as u64)),
+        ])
+        .render(),
+    )
+}
+
+pub(crate) fn correlate(db: &Database, request: &HttpRequest) -> HttpResponse {
+    let Some(instance_type) = request.param("instance_type") else {
+        return HttpResponse::error(400, "missing required parameter: instance_type");
+    };
+    let Some(region) = request.param("region") else {
+        return HttpResponse::error(400, "missing required parameter: region");
+    };
+
+    // SPS and price live at (type, az); the advisor at (type, region).
+    let mut sps_query = Query::measure("sps")
+        .filter("instance_type", instance_type)
+        .filter("region", region);
+    let mut price_query = Query::measure("spot_price")
+        .filter("instance_type", instance_type)
+        .filter("region", region);
+    if let Some(az) = request.param("az") {
+        sps_query = sps_query.filter("az", az);
+        price_query = price_query.filter("az", az);
+    }
+    let advisor_query = Query::measure("if_score")
+        .filter("instance_type", instance_type)
+        .filter("region", region);
+
+    let sps = match db.query("sps", &sps_query) {
+        Ok(rows) => to_series(rows),
+        Err(e) => return HttpResponse::error(404, &e.to_string()),
+    };
+    if sps.len() < 2 {
+        return HttpResponse::error(
+            404,
+            &format!("not enough archived sps samples for {instance_type} in {region}"),
+        );
+    }
+    let if_series = db
+        .query("advisor", &advisor_query)
+        .map(to_series)
+        .unwrap_or_default();
+    let price = db
+        .query("price", &price_query)
+        .map(to_series)
+        .unwrap_or_default();
+
+    let pair = |a: &[(u64, f64)], b: &[(u64, f64)]| -> Json {
+        let (xs, ys) = align_step(a, b);
+        Json::object([
+            ("samples", Json::from(xs.len() as u64)),
+            (
+                "pearson",
+                pearson(&xs, &ys).map_or(Json::Null, Json::Number),
+            ),
+            (
+                "spearman",
+                spearman(&xs, &ys).map_or(Json::Null, Json::Number),
+            ),
+        ])
+    };
+
+    // Figure 9's difference histogram for this pool.
+    let (sps_aligned, if_aligned) = align_step(&sps, &if_series);
+    let mut differences = Histogram::difference_bins();
+    differences.extend(
+        sps_aligned
+            .iter()
+            .zip(&if_aligned)
+            .map(|(a, b)| (a - b).abs()),
+    );
+    let histogram: Vec<Json> = differences
+        .rows()
+        .into_iter()
+        .map(|(center, share)| {
+            Json::object([
+                ("difference", Json::from(center)),
+                ("share_pct", Json::from(share)),
+            ])
+        })
+        .collect();
+
+    HttpResponse::json(
+        Json::object([
+            ("instance_type", Json::from(instance_type)),
+            ("region", Json::from(region)),
+            ("sps_x_if", pair(&sps, &if_series)),
+            ("sps_x_price", pair(&sps, &price)),
+            ("if_x_price", correlate_steps(&sps, &if_series, &price)),
+            ("difference_histogram", Json::Array(histogram)),
+        ])
+        .render(),
+    )
+}
+
+/// IF and price are both step series; sample both on the SPS tick grid.
+fn correlate_steps(
+    ticks: &[(u64, f64)],
+    a: &[(u64, f64)],
+    b: &[(u64, f64)],
+) -> Json {
+    let a_sampled = align_step(ticks, a).1;
+    let b_sampled = align_step(ticks, b).1;
+    let n = a_sampled.len().min(b_sampled.len());
+    let (xs, ys) = (
+        &a_sampled[a_sampled.len() - n..],
+        &b_sampled[b_sampled.len() - n..],
+    );
+    Json::object([
+        ("samples", Json::from(n as u64)),
+        ("pearson", pearson(xs, ys).map_or(Json::Null, Json::Number)),
+        ("spearman", spearman(xs, ys).map_or(Json::Null, Json::Number)),
+    ])
+}
+
+fn to_series(rows: Vec<Row>) -> Vec<(u64, f64)> {
+    rows.into_iter().map(|r| (r.time, r.value)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gateway::ArchiveService;
+    use spotlake_timestream::{Record, TableOptions};
+
+    fn archive_with_history() -> Database {
+        let mut db = Database::new();
+        db.create_table("sps", TableOptions::default()).unwrap();
+        db.create_table("advisor", TableOptions::default()).unwrap();
+        db.create_table("price", TableOptions::default()).unwrap();
+        for t in 0..50u64 {
+            db.write(
+                "sps",
+                &[Record::new(t * 600, "sps", if t % 7 < 5 { 3.0 } else { 2.0 })
+                    .dimension("instance_type", "m5.large")
+                    .dimension("region", "us-east-1")
+                    .dimension("az", "us-east-1a")],
+            )
+            .unwrap();
+        }
+        for t in [0u64, 15_000] {
+            db.write(
+                "advisor",
+                &[Record::new(t, "if_score", if t == 0 { 2.5 } else { 2.0 })
+                    .dimension("instance_type", "m5.large")
+                    .dimension("region", "us-east-1")],
+            )
+            .unwrap();
+            db.write(
+                "price",
+                &[Record::new(t, "spot_price", 0.03 + t as f64 * 1e-7)
+                    .dimension("instance_type", "m5.large")
+                    .dimension("region", "us-east-1")
+                    .dimension("az", "us-east-1a")],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn get(db: &Database, path: &str) -> HttpResponse {
+        ArchiveService::handle(db, &HttpRequest::get(path).unwrap())
+    }
+
+    #[test]
+    fn stats_lists_tables_and_points() {
+        let db = archive_with_history();
+        let r = get(&db, "/stats");
+        assert_eq!(r.status, 200);
+        let body = r.body_text();
+        assert!(body.contains("\"sps\""));
+        assert!(body.contains("total_points"));
+    }
+
+    #[test]
+    fn correlate_reports_all_pairs() {
+        let db = archive_with_history();
+        let r = get(&db, "/correlate?instance_type=m5.large&region=us-east-1");
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        let body = r.body_text();
+        assert!(body.contains("sps_x_if"));
+        assert!(body.contains("sps_x_price"));
+        assert!(body.contains("if_x_price"));
+        assert!(body.contains("spearman"));
+        assert!(body.contains("difference_histogram"));
+    }
+
+    #[test]
+    fn correlate_validates_parameters() {
+        let db = archive_with_history();
+        assert_eq!(get(&db, "/correlate").status, 400);
+        assert_eq!(get(&db, "/correlate?instance_type=m5.large").status, 400);
+        assert_eq!(
+            get(&db, "/correlate?instance_type=warp9.huge&region=us-east-1").status,
+            404
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the serving layer: the JSON encoder's output is
+//! well-formed, the gateway never panics on arbitrary requests, and CSV
+//! stays rectangular.
+
+use proptest::prelude::*;
+use spotlake_serving::json::Json;
+use spotlake_serving::{rows_to_csv, ArchiveService, HttpRequest};
+use spotlake_timestream::{Database, Record, Row, TableOptions};
+
+/// A permissive structural validator: balanced quoting and bracket depth
+/// for the subset of JSON our encoder emits.
+fn is_structurally_valid_json(s: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            } else if (c as u32) < 0x20 {
+                return false; // raw control character inside a string
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0 && !in_string
+}
+
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-1e12f64..1e12).prop_map(Json::Number),
+        ".{0,30}".prop_map(Json::string),
+    ];
+    leaf.prop_recursive(3, 32, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::vec((".{0,10}", inner), 0..6)
+                .prop_map(|pairs| Json::object(pairs)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encoder_output_is_structurally_valid(value in arb_json()) {
+        prop_assert!(is_structurally_valid_json(&value.render()));
+    }
+
+    /// Whatever the query string, the gateway answers with a status — it
+    /// never panics — and every 200 JSON body is structurally valid.
+    #[test]
+    fn gateway_total_on_arbitrary_requests(query in "[ -~]{0,80}") {
+        let mut db = Database::new();
+        db.create_table("sps", TableOptions::default()).unwrap();
+        db.write(
+            "sps",
+            &[Record::new(0, "sps", 3.0).dimension("instance_type", "m5.large")],
+        )
+        .unwrap();
+        let Ok(request) = HttpRequest::get(&format!("/query?{query}")) else {
+            return Ok(()); // parse rejection is a fine outcome
+        };
+        let response = ArchiveService::handle(&db, &request);
+        prop_assert!((200..=599).contains(&response.status));
+        if response.status == 200 && response.content_type == "application/json" {
+            prop_assert!(is_structurally_valid_json(&response.body_text()));
+        }
+    }
+
+    /// CSV output always has the same number of commas on every line.
+    #[test]
+    fn csv_is_rectangular(
+        rows in prop::collection::vec(
+            (0u64..1000, -10.0f64..10.0, "[a-z,\"\n]{0,12}"),
+            0..30,
+        )
+    ) {
+        let rows: Vec<Row> = rows
+            .into_iter()
+            .map(|(time, value, dim)| Row {
+                time,
+                value,
+                dimensions: vec![("k".to_owned(), dim)],
+            })
+            .collect();
+        let csv = rows_to_csv(&rows);
+        // Count unquoted commas per record (a record may span lines when a
+        // field contains newlines, so parse quote-aware).
+        let mut commas_per_record = Vec::new();
+        let mut commas = 0;
+        let mut in_quotes = false;
+        for c in csv.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => commas += 1,
+                '\n' if !in_quotes => {
+                    commas_per_record.push(commas);
+                    commas = 0;
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(!in_quotes, "unbalanced quotes");
+        if let Some(&first) = commas_per_record.first() {
+            for &n in &commas_per_record {
+                prop_assert_eq!(n, first, "ragged CSV: {}", csv);
+            }
+        }
+    }
+}

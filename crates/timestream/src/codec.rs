@@ -1,0 +1,281 @@
+//! Binary persistence codec.
+//!
+//! Hand-rolled, versioned format (no external serialization dependency):
+//!
+//! ```text
+//! magic "SPTL" | u8 version | u32 table_count
+//! per table: str name | u8 mode | u8 has_retention [u64 retention]
+//!            | u32 series_count
+//! per series: str measure | u32 dim_count | (str key, str value)*
+//!             | u32 blob_len | <compressed points>
+//! ```
+//!
+//! Integers are little-endian; strings are `u32` length + UTF-8 bytes.
+//! Points are compressed with the delta-of-delta + XOR scheme of
+//! [`crate::compress`] (format version 2; version 1 stored raw points).
+
+use crate::compress::{decode_series, encode_series};
+use crate::db::Database;
+use crate::error::TsError;
+use crate::table::{Table, TableOptions, WriteMode};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SPTL";
+const VERSION: u8 = 2;
+/// Guards length fields against corrupt files asking for absurd
+/// allocations.
+const MAX_LEN: u32 = 64 * 1024 * 1024;
+
+pub(crate) fn save(db: &Database, path: &Path) -> Result<(), TsError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    write_u32(&mut w, db.tables().len() as u32)?;
+    for (name, table) in db.tables() {
+        write_str(&mut w, name)?;
+        let opts = table.options();
+        let mode = match opts.mode {
+            WriteMode::Dense => 0u8,
+            WriteMode::ChangePoint => 1u8,
+        };
+        w.write_all(&[mode])?;
+        match opts.retention {
+            Some(r) => {
+                w.write_all(&[1])?;
+                write_u64(&mut w, r)?;
+            }
+            None => w.write_all(&[0])?,
+        }
+        let series: Vec<_> = table.series_entries().collect();
+        write_u32(&mut w, series.len() as u32)?;
+        for (measure, s) in series {
+            write_str(&mut w, measure)?;
+            write_u32(&mut w, s.dimensions.len() as u32)?;
+            for (k, v) in &s.dimensions {
+                write_str(&mut w, k)?;
+                write_str(&mut w, v)?;
+            }
+            let blob = encode_series(s.points());
+            write_u32(&mut w, blob.len() as u32)?;
+            w.write_all(&blob)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+pub(crate) fn load(path: &Path) -> Result<Database, TsError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TsError::Corrupt {
+            detail: "bad magic".into(),
+        });
+    }
+    let version = read_u8(&mut r)?;
+    if version != VERSION {
+        return Err(TsError::Corrupt {
+            detail: format!("unsupported version {version}"),
+        });
+    }
+    let mut db = Database::new();
+    let table_count = read_u32(&mut r)?;
+    for _ in 0..table_count {
+        let name = read_str(&mut r)?;
+        let mode = match read_u8(&mut r)? {
+            0 => WriteMode::Dense,
+            1 => WriteMode::ChangePoint,
+            m => {
+                return Err(TsError::Corrupt {
+                    detail: format!("unknown write mode {m}"),
+                })
+            }
+        };
+        let retention = match read_u8(&mut r)? {
+            0 => None,
+            1 => Some(read_u64(&mut r)?),
+            f => {
+                return Err(TsError::Corrupt {
+                    detail: format!("bad retention flag {f}"),
+                })
+            }
+        };
+        let mut table = Table::new(TableOptions { mode, retention });
+        let series_count = read_u32(&mut r)?;
+        for _ in 0..series_count {
+            let measure = read_str(&mut r)?;
+            let dim_count = read_u32(&mut r)?;
+            check_len(dim_count)?;
+            let mut dims = Vec::with_capacity(dim_count as usize);
+            for _ in 0..dim_count {
+                let k = read_str(&mut r)?;
+                let v = read_str(&mut r)?;
+                dims.push((k, v));
+            }
+            let blob_len = read_u32(&mut r)?;
+            check_len(blob_len)?;
+            let mut blob = vec![0u8; blob_len as usize];
+            r.read_exact(&mut blob)?;
+            let points = decode_series(&blob)?;
+            table.insert_series_raw(dims, &measure, points);
+        }
+        db.insert_table_raw(name, table);
+    }
+    // Trailing garbage means the file is not what we wrote.
+    let mut rest = [0u8; 1];
+    if r.read(&mut rest)? != 0 {
+        return Err(TsError::Corrupt {
+            detail: "trailing data".into(),
+        });
+    }
+    Ok(db)
+}
+
+fn check_len(n: u32) -> Result<(), TsError> {
+    if n > MAX_LEN {
+        return Err(TsError::Corrupt {
+            detail: format!("length field {n} exceeds limit"),
+        });
+    }
+    Ok(())
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> std::io::Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_u8<R: Read>(r: &mut R) -> Result<u8, TsError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, TsError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, TsError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_str<R: Read>(r: &mut R) -> Result<String, TsError> {
+    let len = read_u32(r)?;
+    check_len(len)?;
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| TsError::Corrupt {
+        detail: "invalid utf-8 in string".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use crate::record::Record;
+
+    fn tempfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spotlake-ts-codec-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut db = Database::new();
+        db.create_table(
+            "prices",
+            TableOptions {
+                mode: WriteMode::ChangePoint,
+                retention: Some(7_776_000),
+            },
+        )
+        .unwrap();
+        db.create_table("scores", TableOptions::default()).unwrap();
+        db.write(
+            "scores",
+            &[
+                Record::new(0, "sps", 3.0).dimension("instance_type", "m5.large"),
+                Record::new(600, "sps", 2.0).dimension("instance_type", "m5.large"),
+                Record::new(0, "if_score", 2.5).dimension("region", "us-east-1"),
+            ],
+        )
+        .unwrap();
+        db.write("prices", &[Record::new(0, "spot_price", 0.0928)])
+            .unwrap();
+
+        let path = tempfile("roundtrip");
+        db.save(&path).unwrap();
+        let loaded = Database::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.table_names(), vec!["prices", "scores"]);
+        assert_eq!(loaded.point_count(), db.point_count());
+        let rows = loaded
+            .query(
+                "scores",
+                &Query::measure("sps").filter("instance_type", "m5.large"),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].value, 3.0);
+        let opts = loaded.table("prices").unwrap().options();
+        assert_eq!(opts.mode, WriteMode::ChangePoint);
+        assert_eq!(opts.retention, Some(7_776_000));
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let path = tempfile("bad-magic");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        assert!(matches!(
+            Database::load(&path),
+            Err(TsError::Corrupt { .. })
+        ));
+        std::fs::write(&path, b"SP").unwrap();
+        assert!(Database::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut db = Database::new();
+        db.create_table("t", TableOptions::default()).unwrap();
+        let path = tempfile("trailing");
+        db.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0xFF);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Database::load(&path),
+            Err(TsError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_database_roundtrip() {
+        let db = Database::new();
+        let path = tempfile("empty");
+        db.save(&path).unwrap();
+        let loaded = Database::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.table_names().is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! The database: a named collection of tables with save/load.
+
+use crate::codec;
+use crate::error::TsError;
+use crate::query::{Aggregate, Query, Row, WindowRow};
+use crate::record::Record;
+use crate::table::{Table, TableOptions};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// An embedded time-series database.
+///
+/// See the [crate docs](crate) for an overview and example.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::TableExists`] if the name is taken.
+    pub fn create_table(&mut self, name: &str, options: TableOptions) -> Result<(), TsError> {
+        if self.tables.contains_key(name) {
+            return Err(TsError::TableExists(name.to_owned()));
+        }
+        self.tables.insert(name.to_owned(), Table::new(options));
+        Ok(())
+    }
+
+    /// The table named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NoSuchTable`] if absent.
+    pub fn table(&self, name: &str) -> Result<&Table, TsError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| TsError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Mutable access to the table named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NoSuchTable`] if absent.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, TsError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| TsError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Writes a batch of records to a table. Returns how many were stored
+    /// (change-point tables skip repeats).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NoSuchTable`] or [`TsError::BadRecord`]; on a bad
+    /// record, records earlier in the batch remain written.
+    pub fn write(&mut self, table: &str, records: &[Record]) -> Result<usize, TsError> {
+        let table = self.table_mut(table)?;
+        let mut stored = 0;
+        for r in records {
+            if table.write(r)? {
+                stored += 1;
+            }
+        }
+        Ok(stored)
+    }
+
+    /// Runs a raw query against a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NoSuchTable`] if the table is absent.
+    pub fn query(&self, table: &str, q: &Query) -> Result<Vec<Row>, TsError> {
+        Ok(self.table(table)?.query(q))
+    }
+
+    /// Latest point per matching series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NoSuchTable`] if the table is absent.
+    pub fn latest(&self, table: &str, q: &Query) -> Result<Vec<Row>, TsError> {
+        Ok(self.table(table)?.latest(q))
+    }
+
+    /// Value in effect at `at` per matching series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NoSuchTable`] if the table is absent.
+    pub fn value_at(&self, table: &str, q: &Query, at: u64) -> Result<Vec<Row>, TsError> {
+        Ok(self.table(table)?.value_at(q, at))
+    }
+
+    /// Tumbling-window aggregation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NoSuchTable`] if the table is absent.
+    pub fn query_window(
+        &self,
+        table: &str,
+        q: &Query,
+        window: u64,
+        agg: Aggregate,
+    ) -> Result<Vec<WindowRow>, TsError> {
+        Ok(self.table(table)?.query_window(q, window, agg))
+    }
+
+    /// Total points across all tables.
+    pub fn point_count(&self) -> usize {
+        self.tables.values().map(Table::point_count).sum()
+    }
+
+    /// Serializes the database to `path` using the crate's binary codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::Io`] on filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TsError> {
+        codec::save(self, path.as_ref())
+    }
+
+    /// Loads a database from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::Io`] on filesystem errors or [`TsError::Corrupt`]
+    /// on malformed files.
+    pub fn load(path: impl AsRef<Path>) -> Result<Database, TsError> {
+        codec::load(path.as_ref())
+    }
+
+    pub(crate) fn tables(&self) -> &BTreeMap<String, Table> {
+        &self.tables
+    }
+
+    pub(crate) fn insert_table_raw(&mut self, name: String, table: Table) {
+        self.tables.insert(name, table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_write_query_roundtrip() {
+        let mut db = Database::new();
+        db.create_table("t", TableOptions::default()).unwrap();
+        assert!(matches!(
+            db.create_table("t", TableOptions::default()),
+            Err(TsError::TableExists(_))
+        ));
+        let stored = db
+            .write(
+                "t",
+                &[
+                    Record::new(0, "m", 1.0),
+                    Record::new(600, "m", 2.0),
+                ],
+            )
+            .unwrap();
+        assert_eq!(stored, 2);
+        assert_eq!(db.query("t", &Query::measure("m")).unwrap().len(), 2);
+        assert_eq!(db.point_count(), 2);
+        assert_eq!(db.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let db = Database::new();
+        assert!(matches!(
+            db.query("nope", &Query::measure("m")),
+            Err(TsError::NoSuchTable(_))
+        ));
+        let mut db = Database::new();
+        assert!(db.write("nope", &[Record::new(0, "m", 1.0)]).is_err());
+    }
+
+    #[test]
+    fn bad_record_keeps_earlier_writes() {
+        let mut db = Database::new();
+        db.create_table("t", TableOptions::default()).unwrap();
+        let err = db.write(
+            "t",
+            &[Record::new(0, "m", 1.0), Record::new(1, "", 2.0)],
+        );
+        assert!(err.is_err());
+        assert_eq!(db.point_count(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for the time-series store.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the time-series store.
+#[derive(Debug)]
+pub enum TsError {
+    /// A table with this name already exists.
+    TableExists(String),
+    /// No table with this name exists.
+    NoSuchTable(String),
+    /// A record was rejected (empty measure, non-finite value, ...).
+    BadRecord {
+        /// Why the record was rejected.
+        reason: &'static str,
+    },
+    /// The persisted file is corrupt or has an unsupported version.
+    Corrupt {
+        /// What went wrong while decoding.
+        detail: String,
+    },
+    /// An I/O error during save/load.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsError::TableExists(name) => write!(f, "table already exists: {name:?}"),
+            TsError::NoSuchTable(name) => write!(f, "no such table: {name:?}"),
+            TsError::BadRecord { reason } => write!(f, "bad record: {reason}"),
+            TsError::Corrupt { detail } => write!(f, "corrupt database file: {detail}"),
+            TsError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for TsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TsError {
+    fn from(e: std::io::Error) -> Self {
+        TsError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            TsError::NoSuchTable("x".into()).to_string(),
+            "no such table: \"x\""
+        );
+        assert_eq!(
+            TsError::BadRecord { reason: "empty measure" }.to_string(),
+            "bad record: empty measure"
+        );
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        let e = TsError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

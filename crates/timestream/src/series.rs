@@ -1,0 +1,159 @@
+//! One series: the points of a single (measure, dimensions) pair.
+
+/// A single time series, sorted by timestamp.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Series {
+    /// The series' dimensions (sorted by key), kept for query filtering.
+    pub(crate) dimensions: Vec<(String, String)>,
+    /// Points, sorted by time, at most one per timestamp.
+    points: Vec<(u64, f64)>,
+}
+
+impl Series {
+    pub(crate) fn new(dimensions: Vec<(String, String)>) -> Self {
+        Series {
+            dimensions,
+            points: Vec::new(),
+        }
+    }
+
+    /// Inserts a point, keeping time order. A point at an existing
+    /// timestamp overwrites it. Returns `true` if the series changed.
+    pub(crate) fn insert(&mut self, time: u64, value: f64) -> bool {
+        match self.points.binary_search_by_key(&time, |&(t, _)| t) {
+            Ok(i) => {
+                if self.points[i].1 == value {
+                    false
+                } else {
+                    self.points[i].1 = value;
+                    true
+                }
+            }
+            Err(i) => {
+                self.points.insert(i, (time, value));
+                true
+            }
+        }
+    }
+
+    /// Inserts only if the value differs from the latest point's value
+    /// (*change-point mode*). Returns `true` if stored.
+    pub(crate) fn insert_changepoint(&mut self, time: u64, value: f64) -> bool {
+        match self.points.last() {
+            Some(&(last_t, last_v)) if time >= last_t => {
+                if last_v == value {
+                    false
+                } else {
+                    self.insert(time, value)
+                }
+            }
+            _ => self.insert(time, value),
+        }
+    }
+
+    pub(crate) fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Points with `from <= t <= to`.
+    pub(crate) fn range(&self, from: u64, to: u64) -> &[(u64, f64)] {
+        let start = self.points.partition_point(|&(t, _)| t < from);
+        let end = self.points.partition_point(|&(t, _)| t <= to);
+        &self.points[start..end]
+    }
+
+    /// The latest point at or before `at`.
+    pub(crate) fn value_at(&self, at: u64) -> Option<(u64, f64)> {
+        let idx = self.points.partition_point(|&(t, _)| t <= at);
+        idx.checked_sub(1).map(|i| self.points[i])
+    }
+
+    /// Drops points strictly older than `cutoff`. Returns how many were
+    /// dropped.
+    pub(crate) fn prune_before(&mut self, cutoff: u64) -> usize {
+        let n = self.points.partition_point(|&(t, _)| t < cutoff);
+        self.points.drain(..n);
+        n
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_keeps_order_and_overwrites() {
+        let mut s = Series::new(vec![]);
+        assert!(s.insert(10, 1.0));
+        assert!(s.insert(5, 0.5));
+        assert!(s.insert(20, 2.0));
+        assert_eq!(s.points(), &[(5, 0.5), (10, 1.0), (20, 2.0)]);
+        // Overwrite.
+        assert!(s.insert(10, 1.5));
+        assert_eq!(s.value_at(10), Some((10, 1.5)));
+        // Same value at same time: no change.
+        assert!(!s.insert(10, 1.5));
+    }
+
+    #[test]
+    fn changepoint_mode_skips_repeats() {
+        let mut s = Series::new(vec![]);
+        assert!(s.insert_changepoint(0, 3.0));
+        assert!(!s.insert_changepoint(600, 3.0));
+        assert!(!s.insert_changepoint(1200, 3.0));
+        assert!(s.insert_changepoint(1800, 2.0));
+        assert_eq!(s.len(), 2);
+        // Out-of-order writes in changepoint mode fall back to plain insert.
+        assert!(s.insert_changepoint(900, 9.0));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn range_and_value_at() {
+        let mut s = Series::new(vec![]);
+        for t in [0u64, 600, 1200, 1800] {
+            s.insert(t, t as f64);
+        }
+        assert_eq!(s.range(600, 1200), &[(600, 600.0), (1200, 1200.0)]);
+        assert_eq!(s.range(601, 1199), &[]);
+        assert_eq!(s.range(0, u64::MAX).len(), 4);
+        assert_eq!(s.value_at(599), Some((0, 0.0)));
+        assert_eq!(s.value_at(1800), Some((1800, 1800.0)));
+        let empty = Series::new(vec![]);
+        assert_eq!(empty.value_at(100), None);
+    }
+
+    #[test]
+    fn prune() {
+        let mut s = Series::new(vec![]);
+        for t in 0..10u64 {
+            s.insert(t * 100, t as f64);
+        }
+        assert_eq!(s.prune_before(500), 5);
+        assert_eq!(s.points()[0].0, 500);
+        assert_eq!(s.prune_before(0), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn always_sorted_unique_times(writes in prop::collection::vec((0u64..1000, -100.0f64..100.0), 0..200)) {
+            let mut s = Series::new(vec![]);
+            for (t, v) in writes {
+                s.insert(t, v);
+            }
+            let pts = s.points();
+            for w in pts.windows(2) {
+                prop_assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+}

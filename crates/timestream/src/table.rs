@@ -1,0 +1,337 @@
+//! Tables: named collections of series with a write mode and retention.
+
+use crate::error::TsError;
+use crate::query::{Aggregate, Query, Row, WindowRow};
+use crate::record::{series_key, Record};
+use crate::series::Series;
+use std::collections::BTreeMap;
+
+/// How writes are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteMode {
+    /// Every (validated) record is stored.
+    #[default]
+    Dense,
+    /// A record is stored only when its value differs from the series'
+    /// latest value — the natural representation for the price and advisor
+    /// datasets, which change rarely (paper Figure 10).
+    ChangePoint,
+}
+
+/// Per-table options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableOptions {
+    /// Write mode.
+    pub mode: WriteMode,
+    /// Optional retention window in seconds: on
+    /// [`Table::enforce_retention`], points older than `now - retention`
+    /// are dropped.
+    pub retention: Option<u64>,
+}
+
+/// A named table of time series.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    options: TableOptions,
+    /// measure name → (dimension key → series).
+    series: BTreeMap<String, BTreeMap<String, Series>>,
+}
+
+impl Table {
+    pub(crate) fn new(options: TableOptions) -> Self {
+        Table {
+            options,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The table's options.
+    pub fn options(&self) -> TableOptions {
+        self.options
+    }
+
+    /// Writes one record. Returns `true` if it was stored (change-point
+    /// tables skip repeats).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::BadRecord`] for invalid records.
+    pub fn write(&mut self, record: &Record) -> Result<bool, TsError> {
+        record.validate()?;
+        let dim_key = series_key("", &record.dimensions);
+        let series = self
+            .series
+            .entry(record.measure.clone())
+            .or_default()
+            .entry(dim_key)
+            .or_insert_with(|| Series::new(record.dimensions.clone()));
+        Ok(match self.options.mode {
+            WriteMode::Dense => series.insert(record.time, record.value),
+            WriteMode::ChangePoint => series.insert_changepoint(record.time, record.value),
+        })
+    }
+
+    /// Runs a raw query: all matching points from all matching series,
+    /// sorted by (time, series).
+    pub fn query(&self, q: &Query) -> Vec<Row> {
+        let (from, to) = q.time_range();
+        let mut rows = Vec::new();
+        for series in self.matching_series(q) {
+            for &(time, value) in series.range(from, to) {
+                rows.push(Row {
+                    time,
+                    value,
+                    dimensions: series.dimensions.clone(),
+                });
+            }
+        }
+        rows.sort_by(|a, b| a.time.cmp(&b.time).then_with(|| a.dimensions.cmp(&b.dimensions)));
+        rows
+    }
+
+    /// The latest point (within the query's range) of each matching series.
+    pub fn latest(&self, q: &Query) -> Vec<Row> {
+        let (from, to) = q.time_range();
+        self.matching_series(q)
+            .filter_map(|series| {
+                let pts = series.range(from, to);
+                pts.last().map(|&(time, value)| Row {
+                    time,
+                    value,
+                    dimensions: series.dimensions.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// The value in effect at `at` (latest point at or before `at`) of each
+    /// matching series — how the archive answers "what did the advisor say
+    /// on day X".
+    pub fn value_at(&self, q: &Query, at: u64) -> Vec<Row> {
+        self.matching_series(q)
+            .filter_map(|series| {
+                series.value_at(at).map(|(time, value)| Row {
+                    time,
+                    value,
+                    dimensions: series.dimensions.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Tumbling-window aggregation pooled across all matching series:
+    /// windows start at the query's `from` (or 0) and have length `window`
+    /// seconds. Empty windows are omitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn query_window(&self, q: &Query, window: u64, agg: Aggregate) -> Vec<WindowRow> {
+        assert!(window > 0, "window length must be positive");
+        let (from, to) = q.time_range();
+        let base = from;
+        let mut buckets: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
+        for series in self.matching_series(q) {
+            for &(time, value) in series.range(from, to) {
+                let w = base + ((time - base) / window) * window;
+                buckets.entry(w).or_default().push((time, value));
+            }
+        }
+        buckets
+            .into_iter()
+            .filter_map(|(window_start, pts)| {
+                agg.apply(&pts).map(|value| WindowRow {
+                    window_start,
+                    value,
+                    count: pts.len(),
+                })
+            })
+            .collect()
+    }
+
+    fn matching_series<'a>(&'a self, q: &'a Query) -> impl Iterator<Item = &'a Series> + 'a {
+        self.series
+            .get(q.measure_name())
+            .into_iter()
+            .flat_map(|m| m.values())
+            .filter(move |s| q.matches(&s.dimensions))
+    }
+
+    /// Number of distinct series.
+    pub fn series_count(&self) -> usize {
+        self.series.values().map(BTreeMap::len).sum()
+    }
+
+    /// Total number of stored points.
+    pub fn point_count(&self) -> usize {
+        self.series
+            .values()
+            .flat_map(BTreeMap::values)
+            .map(Series::len)
+            .sum()
+    }
+
+    /// Applies the retention policy relative to `now`; returns the number
+    /// of points dropped. Series left empty are removed.
+    pub fn enforce_retention(&mut self, now: u64) -> usize {
+        let Some(retention) = self.options.retention else {
+            return 0;
+        };
+        let cutoff = now.saturating_sub(retention);
+        let mut dropped = 0;
+        for m in self.series.values_mut() {
+            m.retain(|_, s| {
+                dropped += s.prune_before(cutoff);
+                !s.is_empty()
+            });
+        }
+        self.series.retain(|_, m| !m.is_empty());
+        dropped
+    }
+
+    /// Iterates over `(measure, series)` pairs — used by the persistence
+    /// codec.
+    pub(crate) fn series_entries(&self) -> impl Iterator<Item = (&String, &Series)> {
+        self.series
+            .iter()
+            .flat_map(|(measure, m)| m.values().map(move |s| (measure, s)))
+    }
+
+    pub(crate) fn insert_series_raw(
+        &mut self,
+        dimensions: Vec<(String, String)>,
+        measure: &str,
+        points: Vec<(u64, f64)>,
+    ) {
+        let dim_key = series_key("", &dimensions);
+        let mut series = Series::new(dimensions);
+        for (t, v) in points {
+            series.insert(t, v);
+        }
+        self.series
+            .entry(measure.to_owned())
+            .or_default()
+            .insert(dim_key, series);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new(TableOptions::default());
+        for (time, ty, v) in [
+            (0u64, "m5.large", 3.0),
+            (600, "m5.large", 3.0),
+            (1200, "m5.large", 2.0),
+            (0, "p3.2xlarge", 1.0),
+            (600, "p3.2xlarge", 2.0),
+        ] {
+            t.write(
+                &Record::new(time, "sps", v).dimension("instance_type", ty),
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn query_filters_by_dimension_and_time() {
+        let t = sample_table();
+        let q = Query::measure("sps").filter("instance_type", "m5.large");
+        assert_eq!(t.query(&q).len(), 3);
+        let q = q.between(600, 1200);
+        let rows = t.query(&q);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].time, 600);
+    }
+
+    #[test]
+    fn query_without_filters_spans_series_sorted_by_time() {
+        let t = sample_table();
+        let rows = t.query(&Query::measure("sps"));
+        assert_eq!(rows.len(), 5);
+        assert!(rows.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn measure_prefix_does_not_leak() {
+        let mut t = sample_table();
+        t.write(&Record::new(0, "sps_extra", 9.0)).unwrap();
+        assert_eq!(t.query(&Query::measure("sps")).len(), 5);
+        assert_eq!(t.query(&Query::measure("sps_extra")).len(), 1);
+    }
+
+    #[test]
+    fn latest_and_value_at() {
+        let t = sample_table();
+        let q = Query::measure("sps").filter("instance_type", "m5.large");
+        let latest = t.latest(&q);
+        assert_eq!(latest.len(), 1);
+        assert_eq!(latest[0].time, 1200);
+        assert_eq!(latest[0].value, 2.0);
+        let at = t.value_at(&q, 700);
+        assert_eq!(at[0].time, 600);
+        assert_eq!(at[0].value, 3.0);
+        assert!(t.value_at(&Query::measure("nope"), 700).is_empty());
+    }
+
+    #[test]
+    fn windowed_mean() {
+        let t = sample_table();
+        let rows = t.query_window(&Query::measure("sps"), 600, Aggregate::Mean);
+        // Windows: [0,600) -> {3.0, 1.0}, [600,1200) -> {3.0, 2.0},
+        // [1200,1800) -> {2.0}.
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].value, 2.0);
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[1].value, 2.5);
+        assert_eq!(rows[2].value, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn zero_window_panics() {
+        sample_table().query_window(&Query::measure("sps"), 0, Aggregate::Mean);
+    }
+
+    #[test]
+    fn changepoint_table_stores_only_changes() {
+        let mut t = Table::new(TableOptions {
+            mode: WriteMode::ChangePoint,
+            retention: None,
+        });
+        assert!(t.write(&Record::new(0, "price", 0.10)).unwrap());
+        assert!(!t.write(&Record::new(600, "price", 0.10)).unwrap());
+        assert!(t.write(&Record::new(1200, "price", 0.11)).unwrap());
+        assert_eq!(t.point_count(), 2);
+    }
+
+    #[test]
+    fn retention_drops_old_points_and_empty_series() {
+        let mut t = Table::new(TableOptions {
+            mode: WriteMode::Dense,
+            retention: Some(1000),
+        });
+        t.write(&Record::new(0, "m", 1.0).dimension("k", "old"))
+            .unwrap();
+        t.write(&Record::new(5000, "m", 2.0).dimension("k", "new"))
+            .unwrap();
+        assert_eq!(t.series_count(), 2);
+        let dropped = t.enforce_retention(5500);
+        assert_eq!(dropped, 1);
+        assert_eq!(t.series_count(), 1);
+        // No retention configured -> no-op.
+        let mut t2 = Table::new(TableOptions::default());
+        t2.write(&Record::new(0, "m", 1.0)).unwrap();
+        assert_eq!(t2.enforce_retention(u64::MAX), 0);
+    }
+
+    #[test]
+    fn counts() {
+        let t = sample_table();
+        assert_eq!(t.series_count(), 2);
+        assert_eq!(t.point_count(), 5);
+    }
+}

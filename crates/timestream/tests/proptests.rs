@@ -1,0 +1,139 @@
+//! Property tests for the time-series store: persistence roundtrips,
+//! query/window consistency, and change-point compression invariants.
+
+use proptest::prelude::*;
+use spotlake_timestream::{
+    Aggregate, Database, Query, Record, TableOptions, WriteMode,
+};
+
+/// Strategy: a batch of records over a few series.
+fn record_batch() -> impl Strategy<Value = Vec<Record>> {
+    prop::collection::vec(
+        (
+            0u64..100_000,
+            0usize..4,          // measure index
+            0usize..6,          // series index
+            -1000.0f64..1000.0, // value
+        ),
+        1..120,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(time, m, s, value)| {
+                Record::new(time, format!("measure{m}"), value)
+                    .dimension("series", s.to_string())
+                    .dimension("region", format!("r{}", s % 2))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Save → load preserves every query result.
+    #[test]
+    fn persistence_roundtrip(batch in record_batch(), changepoint in any::<bool>()) {
+        let mut db = Database::new();
+        let options = TableOptions {
+            mode: if changepoint { WriteMode::ChangePoint } else { WriteMode::Dense },
+            retention: None,
+        };
+        db.create_table("t", options).unwrap();
+        db.write("t", &batch).unwrap();
+
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "spotlake-prop-{}-{}.db",
+            std::process::id(),
+            batch.len() as u64 ^ batch.first().map(|r| r.time).unwrap_or(0)
+        ));
+        db.save(&path).unwrap();
+        let loaded = Database::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(loaded.point_count(), db.point_count());
+        for m in 0..4 {
+            let q = Query::measure(format!("measure{m}"));
+            prop_assert_eq!(
+                loaded.query("t", &q).unwrap(),
+                db.query("t", &q).unwrap()
+            );
+        }
+    }
+
+    /// A windowed COUNT over everything equals the raw row count, and MIN ≤
+    /// MEAN ≤ MAX per window.
+    #[test]
+    fn window_aggregates_consistent(batch in record_batch()) {
+        let mut db = Database::new();
+        db.create_table("t", TableOptions::default()).unwrap();
+        db.write("t", &batch).unwrap();
+        let q = Query::measure("measure0");
+        let raw = db.query("t", &q).unwrap();
+        let counts = db.query_window("t", &q, 10_000, Aggregate::Count).unwrap();
+        let total: f64 = counts.iter().map(|w| w.value).sum();
+        prop_assert_eq!(total as usize, raw.len());
+
+        let mins = db.query_window("t", &q, 10_000, Aggregate::Min).unwrap();
+        let means = db.query_window("t", &q, 10_000, Aggregate::Mean).unwrap();
+        let maxs = db.query_window("t", &q, 10_000, Aggregate::Max).unwrap();
+        for ((lo, mid), hi) in mins.iter().zip(&means).zip(&maxs) {
+            prop_assert_eq!(lo.window_start, mid.window_start);
+            prop_assert!(lo.value <= mid.value + 1e-9);
+            prop_assert!(mid.value <= hi.value + 1e-9);
+        }
+    }
+
+    /// Change-point tables never store more points than dense tables, and
+    /// consecutive stored values per series always differ when writes are
+    /// in time order.
+    #[test]
+    fn changepoint_compresses(
+        values in prop::collection::vec(-5.0f64..5.0, 2..80),
+    ) {
+        let mut dense = Database::new();
+        dense.create_table("t", TableOptions::default()).unwrap();
+        let mut cp = Database::new();
+        cp.create_table(
+            "t",
+            TableOptions { mode: WriteMode::ChangePoint, retention: None },
+        )
+        .unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            // Round to one decimal so repeats actually happen.
+            let v = (v * 2.0).round() / 2.0;
+            let r = Record::new(i as u64 * 600, "m", v);
+            dense.write("t", &[r.clone()]).unwrap();
+            cp.write("t", &[r]).unwrap();
+        }
+        prop_assert!(cp.point_count() <= dense.point_count());
+        let rows = cp.query("t", &Query::measure("m")).unwrap();
+        for w in rows.windows(2) {
+            prop_assert_ne!(w[0].value, w[1].value, "stored a non-change");
+        }
+    }
+
+    /// `value_at` always returns the newest point at-or-before the probe.
+    #[test]
+    fn value_at_is_supremum(batch in record_batch(), probe in 0u64..120_000) {
+        let mut db = Database::new();
+        db.create_table("t", TableOptions::default()).unwrap();
+        db.write("t", &batch).unwrap();
+        let q = Query::measure("measure1").filter("series", "2");
+        let rows = db.query("t", &q).unwrap();
+        let at = db.value_at("t", &q, probe).unwrap();
+        let expected: Option<u64> = rows
+            .iter()
+            .filter(|r| r.time <= probe)
+            .map(|r| r.time)
+            .max();
+        match expected {
+            None => prop_assert!(at.is_empty()),
+            Some(t) => {
+                prop_assert_eq!(at.len(), 1);
+                prop_assert_eq!(at[0].time, t);
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Shared error types for the domain model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a domain entity (region code, availability
+/// zone, instance type name, ...) from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEntityError {
+    kind: &'static str,
+    input: String,
+}
+
+impl ParseEntityError {
+    /// Creates a parse error for the entity kind `kind` on `input`.
+    pub fn new(kind: &'static str, input: impl Into<String>) -> Self {
+        Self {
+            kind,
+            input: input.into(),
+        }
+    }
+
+    /// The entity kind that failed to parse (e.g. `"region"`).
+    pub fn kind(&self) -> &str {
+        self.kind
+    }
+
+    /// The offending input text.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseEntityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} syntax: {:?}", self.kind, self.input)
+    }
+}
+
+impl Error for ParseEntityError {}
+
+/// Top-level error type for domain-model operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypesError {
+    /// Text failed to parse into a domain entity.
+    Parse(ParseEntityError),
+    /// A referenced entity does not exist in the catalog.
+    UnknownEntity {
+        /// Entity kind (e.g. `"instance type"`).
+        kind: &'static str,
+        /// The name that was looked up.
+        name: String,
+    },
+    /// A numeric value was outside its legal domain.
+    OutOfRange {
+        /// What was being constructed.
+        what: &'static str,
+        /// Human-readable description of the legal range.
+        expected: &'static str,
+        /// The offending value rendered as text.
+        got: String,
+    },
+}
+
+impl fmt::Display for TypesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypesError::Parse(e) => e.fmt(f),
+            TypesError::UnknownEntity { kind, name } => {
+                write!(f, "unknown {kind}: {name:?}")
+            }
+            TypesError::OutOfRange {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} out of range: expected {expected}, got {got}"),
+        }
+    }
+}
+
+impl Error for TypesError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TypesError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseEntityError> for TypesError {
+    fn from(e: ParseEntityError) -> Self {
+        TypesError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_displays_kind_and_input() {
+        let e = ParseEntityError::new("region", "moon-base-1");
+        assert_eq!(e.to_string(), "invalid region syntax: \"moon-base-1\"");
+        assert_eq!(e.kind(), "region");
+        assert_eq!(e.input(), "moon-base-1");
+    }
+
+    #[test]
+    fn types_error_wraps_parse_error_as_source() {
+        let e = TypesError::from(ParseEntityError::new("az", "x"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn out_of_range_display() {
+        let e = TypesError::OutOfRange {
+            what: "placement score",
+            expected: "1..=10",
+            got: "42".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "placement score out of range: expected 1..=10, got 42"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TypesError>();
+        assert_send_sync::<ParseEntityError>();
+    }
+}

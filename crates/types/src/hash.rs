@@ -1,0 +1,59 @@
+//! Deterministic name-based hashing.
+//!
+//! The catalog and the cloud simulator derive all of their "random-looking"
+//! structure (support matrices, per-pool capacity parameters, price
+//! multipliers) from stable hashes of entity names, so that every build and
+//! every run sees the identical cloud. [`hash01`] and [`hash_u64`] are the
+//! shared primitives.
+
+/// FNV-1a over a byte slice.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic hash of a sequence of strings to a `u64`.
+///
+/// Parts are separated so that `["a", "b"]` and `["ab"]` hash differently.
+pub fn hash_u64(parts: &[&str]) -> u64 {
+    let mut buf = Vec::with_capacity(parts.iter().map(|p| p.len() + 1).sum());
+    for p in parts {
+        buf.extend_from_slice(p.as_bytes());
+        buf.push(0x1f);
+    }
+    fnv1a(&buf)
+}
+
+/// Deterministic hash of a sequence of strings to a uniform value in
+/// `[0, 1)`.
+pub fn hash01(parts: &[&str]) -> f64 {
+    (hash_u64(parts) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash01_in_unit_interval() {
+        for i in 0..100 {
+            let v = hash01(&["k", &i.to_string()]);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn part_boundaries_matter() {
+        assert_ne!(hash_u64(&["a", "b"]), hash_u64(&["ab"]));
+        assert_ne!(hash_u64(&["a", "b"]), hash_u64(&["ab", ""]));
+    }
+
+    #[test]
+    fn stable_across_calls() {
+        assert_eq!(hash_u64(&["x"]), hash_u64(&["x"]));
+    }
+}

@@ -1,0 +1,46 @@
+//! Domain model for the SpotLake spot instance dataset archive.
+//!
+//! This crate defines the vocabulary shared by every other SpotLake crate:
+//! geographic entities ([`Region`], [`Az`]), the instance-type catalog
+//! ([`InstanceType`], [`Catalog`]), the three spot datasets' value types
+//! ([`PlacementScore`], [`InterruptionBucket`], [`SpotPrice`]), simulated
+//! time ([`SimTime`]), and the spot request lifecycle ([`RequestState`],
+//! reproducing Table 1 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use spotlake_types::{Catalog, Region};
+//!
+//! let catalog = Catalog::aws_2022();
+//! assert_eq!(catalog.regions().len(), 17);
+//! assert_eq!(catalog.azs().len(), 63);
+//! let it = catalog.instance_type("p3.2xlarge").expect("known type");
+//! assert!(it.family().is_accelerated());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod error;
+pub mod hash;
+mod instance;
+mod price;
+mod region;
+mod request;
+mod score;
+mod time;
+
+pub use catalog::{Catalog, CatalogBuilder, SupportMatrix};
+pub use error::{ParseEntityError, TypesError};
+pub use instance::{
+    InstanceFamily, InstanceGroup, InstanceSize, InstanceType, InstanceTypeId,
+};
+pub use price::{OnDemandPrice, Savings, SpotPrice};
+pub use region::{Az, AzId, Region, RegionId};
+pub use request::{InterruptionReason, RequestState, SpotRequest, SpotRequestConfig};
+pub use score::{
+    InterruptionBucket, InterruptionFreeScore, PlacementScore, ScoreLevel,
+};
+pub use time::{SimDuration, SimTime, COLLECTION_TICK};

@@ -1,0 +1,79 @@
+//! Property tests for the catalog and the domain parsers.
+
+use proptest::prelude::*;
+use spotlake_types::{Catalog, CatalogBuilder, InstanceSize, InstanceType};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any builder with unique valid names produces a consistent catalog:
+    /// lookups invert enumeration, AZ counts match, support defaults to
+    /// full.
+    #[test]
+    fn builder_catalog_is_consistent(
+        region_azs in prop::collection::vec(1u8..6, 1..5),
+        class_idx in prop::collection::btree_set(0usize..8, 1..6),
+    ) {
+        let classes = ["m5", "c5", "r5", "t3", "g4dn", "i3", "p3", "x1e"];
+        let mut b = CatalogBuilder::new();
+        for (i, &azs) in region_azs.iter().enumerate() {
+            b.region(&format!("pr-test-{}", i + 1), azs);
+        }
+        for &i in &class_idx {
+            b.instance_type(&format!("{}.xlarge", classes[i]), 1.0 + i as f64);
+        }
+        let c = b.build().unwrap();
+
+        prop_assert_eq!(c.regions().len(), region_azs.len());
+        let total_azs: usize = region_azs.iter().map(|&n| n as usize).sum();
+        prop_assert_eq!(c.azs().len(), total_azs);
+        prop_assert_eq!(c.instance_types().len(), class_idx.len());
+
+        for ty in c.type_ids() {
+            let name = c.ty(ty).name();
+            prop_assert_eq!(c.instance_type_id(&name), Some(ty));
+            // Builder default: full support.
+            for az in c.az_ids() {
+                prop_assert!(c.supports(ty, az));
+            }
+            // support_map counts agree with azs_of_region.
+            let map = c.support_map(ty);
+            for (region, n) in map {
+                prop_assert_eq!(n as usize, c.azs_of_region(region).len());
+            }
+        }
+    }
+
+    /// Every size parses back from its suffix, and weights are positive.
+    #[test]
+    fn size_roundtrip(idx in 0usize..InstanceSize::ALL.len()) {
+        let size = InstanceSize::ALL[idx];
+        prop_assert_eq!(InstanceSize::parse(size.suffix()).unwrap(), size);
+        prop_assert!(size.weight() > 0.0);
+    }
+
+    /// Instance-type parsing is total: it either fails or roundtrips
+    /// through Display.
+    #[test]
+    fn type_parse_roundtrips_or_rejects(s in "[a-z0-9.]{1,16}") {
+        if let Ok(ty) = s.parse::<InstanceType>() {
+            prop_assert_eq!(ty.to_string(), s);
+        }
+    }
+}
+
+/// The full catalog's invariants beyond the unit tests: every pool pair is
+/// consistent with the support matrix and every price is positive.
+#[test]
+fn aws_catalog_pool_consistency() {
+    let c = Catalog::aws_2022();
+    let pools = c.supported_pools();
+    assert!(!pools.is_empty());
+    for &(ty, az) in &pools {
+        assert!(c.supports(ty, az));
+        assert!(c.od_price(ty).as_usd() > 0.0);
+    }
+    // Count matches the sum over the support map.
+    let total: u32 = c.type_ids().map(|t| c.support_map(t).values().sum::<u32>()).sum();
+    assert_eq!(total as usize, pools.len());
+}

@@ -1,0 +1,106 @@
+//! GPU hunt: find the most reliable GPU spot pools across regions.
+//!
+//! ```text
+//! cargo run --release --example gpu_hunt
+//! ```
+//!
+//! The paper's motivation cites DeepSpotCloud-style workloads: DNN training
+//! on GPU spot instances "located globally". This example uses the SpotLake
+//! archive the way such a system would — rank every (GPU type, region) pair
+//! by a blend of the archived placement-score history and the advisor's
+//! interruption-free score, then print the best launch targets.
+
+use spotlake::{CollectorConfig, SimConfig, SpotLake};
+use spotlake_timestream::{Aggregate, Query};
+use spotlake_types::{Catalog, InstanceGroup, SimDuration};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = Catalog::aws_2022();
+    // Every accelerated-computing type with a GPU-ish profile.
+    let gpu_types: Vec<String> = catalog
+        .instance_types()
+        .iter()
+        .filter(|t| t.family().group() == InstanceGroup::AcceleratedComputing)
+        .map(|t| t.name())
+        .collect();
+    println!("tracking {} accelerated-computing types", gpu_types.len());
+
+    let sim = SimConfig {
+        tick: SimDuration::from_hours(2),
+        ..SimConfig::default()
+    };
+    let mut lake = SpotLake::builder()
+        .catalog(catalog)
+        .sim_config(sim)
+        .collector_config(CollectorConfig {
+            type_filter: Some(gpu_types.clone()),
+            ..CollectorConfig::default()
+        })
+        .build()?;
+
+    // A simulated week of history.
+    lake.run_rounds(7 * 12)?;
+    let db = lake.archive();
+    let catalog = lake.cloud().catalog();
+
+    // Rank (type, region): mean archived SPS (weight 2) + current
+    // interruption-free score + savings as tie-breaker.
+    let mut ranking: Vec<(f64, String, String, f64, f64, f64)> = Vec::new();
+    for ty in &gpu_types {
+        for region in catalog.regions() {
+            let sps = db.query_window(
+                "sps",
+                &Query::measure("sps")
+                    .filter("instance_type", ty)
+                    .filter("region", region.code()),
+                u64::MAX / 2,
+                Aggregate::Mean,
+            )?;
+            let Some(sps_mean) = sps.first().map(|w| w.value) else {
+                continue; // not offered here
+            };
+            let if_now = db
+                .latest(
+                    "advisor",
+                    &Query::measure("if_score")
+                        .filter("instance_type", ty)
+                        .filter("region", region.code()),
+                )?
+                .first()
+                .map(|r| r.value)
+                .unwrap_or(1.0);
+            let savings = db
+                .latest(
+                    "advisor",
+                    &Query::measure("savings")
+                        .filter("instance_type", ty)
+                        .filter("region", region.code()),
+                )?
+                .first()
+                .map(|r| r.value)
+                .unwrap_or(0.0);
+            let score = 2.0 * sps_mean + if_now + savings / 100.0;
+            ranking.push((score, ty.clone(), region.code().to_owned(), sps_mean, if_now, savings));
+        }
+    }
+    ranking.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    println!("\ntop 10 GPU spot launch targets (blended reliability score):");
+    println!(
+        "  {:<14} {:<16} {:>8} {:>6} {:>8} {:>7}",
+        "type", "region", "SPS(7d)", "IF", "savings", "score"
+    );
+    for (score, ty, region, sps, ifs, savings) in ranking.iter().take(10) {
+        println!(
+            "  {ty:<14} {region:<16} {sps:>8.2} {ifs:>6.1} {savings:>7.0}% {score:>7.2}"
+        );
+    }
+
+    println!("\nbottom 5 (avoid):");
+    for (score, ty, region, sps, ifs, savings) in ranking.iter().rev().take(5) {
+        println!(
+            "  {ty:<14} {region:<16} {sps:>8.2} {ifs:>6.1} {savings:>7.0}% {score:>7.2}"
+        );
+    }
+    Ok(())
+}

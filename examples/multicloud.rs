@@ -1,0 +1,67 @@
+//! Multi-vendor archive: Section 7 of the paper, running.
+//!
+//! ```text
+//! cargo run --release --example multicloud
+//! ```
+//!
+//! Collects spot datasets from the simulated AWS, Azure, and GCP clouds on
+//! a shared clock — each vendor contributing only what it actually
+//! publishes (GCP: current price via portal only; Azure: price via API,
+//! availability/eviction via portal; AWS: everything) — then joins the
+//! unified archive on the hardware-shape global key and ranks vendors.
+
+use spotlake_multicloud::{common_demo_shape, MultiCloudCollector, Vendor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("dataset access per vendor (paper Section 7):");
+    for vendor in Vendor::ALL {
+        let a = vendor.dataset_access();
+        println!(
+            "  {:<6} price {:<7} availability {:<7} interruption {:?}",
+            vendor.tag(),
+            format!("{:?}", a.price),
+            format!("{:?}", a.availability),
+            a.interruption
+        );
+    }
+
+    let mut collector = MultiCloudCollector::demo_scale()?;
+    println!(
+        "\ncollecting {} vendors for a simulated day (shared timestamp clock)...",
+        collector.vendors().len()
+    );
+    let totals = collector.run_rounds(48)?;
+    for s in &totals {
+        println!(
+            "  {:<6} price {:>6}  availability {:>6}  eviction {:>6}",
+            s.vendor.tag(),
+            s.price_records,
+            s.availability_records,
+            s.eviction_records
+        );
+    }
+
+    let report = collector.compare_vendors()?;
+    println!(
+        "\nshapes offered by 2+ vendors: {:?}",
+        report.contested_shapes()
+    );
+
+    println!("\ncross-vendor comparison on the 4c-16g shape:");
+    for row in report.rows.iter().filter(|r| r.shape == "4c-16g") {
+        println!(
+            "  {:<6} savings {:>5.1}%  availability {}",
+            row.vendor.tag(),
+            row.mean_savings_pct,
+            row.mean_availability
+                .map_or("(not published)".to_owned(), |v| format!("{v:.2}")),
+        );
+    }
+    if let Some(best) = report.best_savings_for(&common_demo_shape()) {
+        println!(
+            "\nbest 4 vCPU / 16 GiB spot deal right now: {} at {:.1}% off on-demand",
+            best.vendor, best.mean_savings_pct
+        );
+    }
+    Ok(())
+}

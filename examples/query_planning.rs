@@ -1,0 +1,70 @@
+//! Query planning: how SpotLake fits 9,299 scans into the API limits.
+//!
+//! ```text
+//! cargo run --release --example query_planning
+//! ```
+//!
+//! Walks through Section 3 of the paper interactively: the naive cost of
+//! scanning every (type, region) pair, the bin-packed plan, the unique-query
+//! rate limit, and how many accounts the collector needs — then actually
+//! issues one packed query through the rate-limited API client.
+
+use spotlake_cloud_api::{AccountId, SpsClient, SpsRequest, UNIQUE_QUERY_LIMIT};
+use spotlake_cloud_sim::{SimCloud, SimConfig};
+use spotlake_collector::{AccountPool, PlannerStrategy, QueryPlanner};
+use spotlake_types::Catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = Catalog::aws_2022();
+    println!(
+        "catalog: {} types x {} regions = {} all-pairs queries; {} (type, region) pairs actually offered",
+        catalog.instance_types().len(),
+        catalog.regions().len(),
+        catalog.instance_types().len() * catalog.regions().len(),
+        catalog
+            .type_ids()
+            .map(|t| catalog.support_map(t).len())
+            .sum::<usize>(),
+    );
+
+    for strategy in PlannerStrategy::ALL {
+        let (plan, stats) = QueryPlanner::new(strategy).plan_with_stats(&catalog, None);
+        println!(
+            "  {:<6} -> {:>5} queries ({:.2}x fewer than all-pairs), {} accounts at {} unique queries/day",
+            strategy.name(),
+            stats.planned_queries,
+            9_299.0 / stats.planned_queries as f64,
+            AccountPool::required_accounts(plan.len()),
+            UNIQUE_QUERY_LIMIT
+        );
+    }
+
+    // Show one packed query end to end.
+    let plan = QueryPlanner::new(PlannerStrategy::Exact)
+        .plan(&catalog, Some(&["p3.2xlarge".to_string()]));
+    let mut cloud = SimCloud::new(catalog, SimConfig::default());
+    cloud.run_days(1);
+    let mut client = SpsClient::new();
+    let account = AccountId::new("demo");
+    println!("\np3.2xlarge packed plan and live responses:");
+    for q in &plan {
+        let request = SpsRequest::new(vec![q.instance_type.clone()], q.regions.clone(), 1)?
+            .single_availability_zone(true);
+        let scores = client.get_spot_placement_scores(&cloud, &account, &request)?;
+        println!("  query over [{}]:", q.regions.join(", "));
+        for s in scores {
+            println!(
+                "    {:<16} {:<14} score {}",
+                s.region,
+                s.availability_zone.unwrap_or_default(),
+                s.score
+            );
+        }
+    }
+    println!(
+        "\nunique queries consumed on this account: {} of {}",
+        client.unique_queries_used(&account, cloud.now()),
+        UNIQUE_QUERY_LIMIT
+    );
+    Ok(())
+}

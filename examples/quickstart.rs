@@ -1,0 +1,64 @@
+//! Quickstart: stand up the whole SpotLake pipeline and query the archive.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the full AWS-2022 catalog, runs the simulated cloud + collector
+//! for a simulated day, then queries the archive the way a SpotLake user
+//! would: over the HTTP gateway.
+
+use spotlake::{CollectorConfig, SimConfig, SpotLake};
+use spotlake_types::{Catalog, SimDuration};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A slice of the catalog keeps the demo fast; drop the filter to
+    // collect all 547 types.
+    let catalog = Catalog::aws_2022();
+    let watchlist: Vec<String> = ["m5.large", "c5.xlarge", "p3.2xlarge", "g4dn.xlarge"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+
+    let sim = SimConfig {
+        tick: SimDuration::from_mins(30),
+        ..SimConfig::default()
+    };
+    let mut lake = SpotLake::builder()
+        .catalog(catalog)
+        .sim_config(sim)
+        .collector_config(CollectorConfig {
+            type_filter: Some(watchlist.clone()),
+            ..CollectorConfig::default()
+        })
+        .build()?;
+
+    println!(
+        "query plan: {} placement-score queries per round (naive would need {})",
+        lake.plan_stats().planned_queries,
+        lake.plan_stats().naive_queries
+    );
+
+    // One simulated day of 30-minute collection rounds.
+    let stats = lake.run_rounds(48)?;
+    println!(
+        "collected {} rounds: {} sps records, {} advisor records, {} price records",
+        stats.rounds, stats.sps_records, stats.advisor_records, stats.price_records
+    );
+
+    // Query the archive over the gateway, exactly like the web service.
+    for path in [
+        "/tables",
+        "/latest?table=sps&instance_type=p3.2xlarge&region=us-east-1",
+        "/query?table=advisor&instance_type=g4dn.xlarge&region=us-east-1",
+        "/window?table=sps&instance_type=m5.large&window=21600&agg=mean",
+    ] {
+        let response = lake.http_get(path)?;
+        println!("\nGET {path}\n  -> {} {}", response.status, response.body_text());
+    }
+
+    // And export a CSV slice, as the website's download button would.
+    let csv = lake.http_get("/query?table=sps&instance_type=c5.xlarge&format=csv&limit=5")?;
+    println!("\nCSV export (first rows):\n{}", csv.body_text());
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Archive persistence and the advisor scrape path, end to end.
+
+use spotlake::{SimConfig, SpotLake};
+use spotlake_cloud_api::AdvisorPage;
+use spotlake_timestream::{Database, Query};
+use spotlake_types::{CatalogBuilder, SimDuration};
+
+fn lake() -> SpotLake {
+    let mut b = CatalogBuilder::new();
+    b.region("us-test-1", 2)
+        .region("eu-test-1", 2)
+        .instance_type("m5.large", 0.096)
+        .instance_type("inf1.xlarge", 0.228);
+    let mut sim = SimConfig::with_seed(23);
+    sim.tick = SimDuration::from_hours(1);
+    SpotLake::builder()
+        .catalog(b.build().expect("valid catalog"))
+        .sim_config(sim)
+        .build()
+        .expect("pipeline builds")
+}
+
+#[test]
+fn archive_survives_disk_roundtrip() {
+    let mut lake = lake();
+    lake.run_rounds(30).expect("collection runs");
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("spotlake-it-archive-{}.db", std::process::id()));
+    lake.save_archive(&path).expect("archive saves");
+    let loaded = Database::load(&path).expect("archive loads");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded.point_count(), lake.archive().point_count());
+    assert_eq!(loaded.table_names(), lake.archive().table_names());
+
+    // Same query against both gives identical rows.
+    let q = Query::measure("sps").filter("instance_type", "inf1.xlarge");
+    let live = lake.archive().query("sps", &q).expect("sps table exists");
+    let persisted = loaded.query("sps", &q).expect("sps table exists");
+    assert_eq!(live, persisted);
+    assert!(!live.is_empty());
+}
+
+#[test]
+fn advisor_scrape_agrees_with_archive() {
+    let mut lake = lake();
+    lake.run_rounds(10).expect("collection runs");
+
+    // What the scraper reads off the web page right now...
+    let page = AdvisorPage::render(lake.cloud());
+    let rows = AdvisorPage::scrape(&page).expect("page scrapes");
+    assert_eq!(rows.len(), 4, "2 types x 2 regions");
+
+    // ...matches the latest if_score in the archive.
+    for row in rows {
+        let latest = lake
+            .archive()
+            .latest(
+                "advisor",
+                &Query::measure("if_score")
+                    .filter("instance_type", &row.instance_type)
+                    .filter("region", &row.region),
+            )
+            .expect("advisor table exists");
+        assert_eq!(latest.len(), 1);
+        assert_eq!(
+            latest[0].value,
+            row.bucket.interruption_free_score().as_f64(),
+            "archive and page disagree for {}/{}",
+            row.instance_type,
+            row.region
+        );
+    }
+}
