@@ -47,9 +47,7 @@ impl Histogram {
             .centers
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                (*a - sample).abs().total_cmp(&(*b - sample).abs())
-            })
+            .min_by(|(_, a), (_, b)| (*a - sample).abs().total_cmp(&(*b - sample).abs()))
             .map(|(i, _)| i)
             .expect("centers are non-empty");
         self.counts[idx] += 1;
@@ -91,11 +89,7 @@ impl Histogram {
 
     /// `(center, share%)` pairs, ready for tabular output.
     pub fn rows(&self) -> Vec<(f64, f64)> {
-        self.centers
-            .iter()
-            .copied()
-            .zip(self.shares())
-            .collect()
+        self.centers.iter().copied().zip(self.shares()).collect()
     }
 }
 

@@ -15,8 +15,7 @@ pub fn stddev(samples: &[f64]) -> Option<f64> {
         return None;
     }
     let m = mean(samples)?;
-    let var = samples.iter().map(|&x| (x - m) * (x - m)).sum::<f64>()
-        / (samples.len() - 1) as f64;
+    let var = samples.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (samples.len() - 1) as f64;
     Some(var.sqrt())
 }
 

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spotlake_cloud_sim::{SimCloud, SimConfig};
-use spotlake_collector::{CollectorConfig, CollectorService, PlannerStrategy};
+use spotlake_collector::{CollectorConfig, CollectorService, FaultPlan, PlannerStrategy};
 use spotlake_types::Catalog;
 
 fn collection_round(c: &mut Criterion) {
@@ -28,8 +28,7 @@ fn collection_round(c: &mut Criterion) {
             type_filter: Some(filter.clone()),
             ..CollectorConfig::default()
         };
-        let mut service =
-            CollectorService::new(cloud.catalog(), config).expect("auto-sized pool");
+        let mut service = CollectorService::new(cloud.catalog(), config).expect("auto-sized pool");
         group.bench_with_input(
             BenchmarkId::from_parameter(strategy.name()),
             &strategy,
@@ -39,5 +38,39 @@ fn collection_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, collection_round);
+/// What resilience costs: a full round at increasing fault rates. The 0%
+/// row is the overhead of merely having the retry/breaker machinery in the
+/// path; the 5% and 20% rows add the retries and backoff bookkeeping that
+/// real faults trigger.
+fn collector_faults(c: &mut Criterion) {
+    let catalog = Catalog::aws_2022();
+    let filter: Vec<String> = catalog
+        .instance_types()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 8 == 0)
+        .map(|(_, t)| t.name())
+        .collect();
+    let mut cloud = SimCloud::new(catalog, SimConfig::default());
+    cloud.step();
+
+    let mut group = c.benchmark_group("collector_faults");
+    group.sample_size(10);
+    for rate in [0.0_f64, 0.05, 0.20] {
+        let config = CollectorConfig {
+            type_filter: Some(filter.clone()),
+            faults: Some(FaultPlan::uniform(20_220_901, rate)),
+            ..CollectorConfig::default()
+        };
+        let mut service = CollectorService::new(cloud.catalog(), config).expect("auto-sized pool");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}pct", rate * 100.0)),
+            &rate,
+            |b, _| b.iter(|| service.collect_once(&cloud).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, collection_round, collector_faults);
 criterion_main!(benches);

@@ -8,8 +8,8 @@
 use std::process::Command;
 
 const BINARIES: &[&str] = &[
-    "table01", "figure01", "table02", "figure03", "figure04", "figure05", "figure06",
-    "figure07", "figure08", "figure09", "figure10", "table03", "figure11", "table04",
+    "table01", "figure01", "table02", "figure03", "figure04", "figure05", "figure06", "figure07",
+    "figure08", "figure09", "figure10", "table03", "figure11", "table04",
 ];
 
 fn main() {

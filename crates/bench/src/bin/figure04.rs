@@ -26,7 +26,11 @@ fn main() {
         .collect();
     sps_map.declare_rows(family_rows.iter().cloned());
     if_map.declare_rows(family_rows.iter().cloned());
-    let region_cols: Vec<String> = catalog.regions().iter().map(|r| r.code().to_owned()).collect();
+    let region_cols: Vec<String> = catalog
+        .regions()
+        .iter()
+        .map(|r| r.code().to_owned())
+        .collect();
     sps_map.declare_cols(region_cols.iter().cloned());
     if_map.declare_cols(region_cols.iter().cloned());
 

@@ -71,7 +71,11 @@ fn main() {
         }
         let size = InstanceSize::ALL[*idx];
         let sps_mean = sps_sum / *sps_n as f64;
-        let if_mean = if *if_n > 0 { if_sum / *if_n as f64 } else { f64::NAN };
+        let if_mean = if *if_n > 0 {
+            if_sum / *if_n as f64
+        } else {
+            f64::NAN
+        };
         series.push((sps_mean, if_mean));
         rows.push(vec![
             size.suffix().to_owned(),
@@ -91,8 +95,7 @@ fn main() {
     if series.len() >= 3 {
         let k = series.len() / 3;
         let head_sps: f64 = series[..k].iter().map(|p| p.0).sum::<f64>() / k as f64;
-        let tail_sps: f64 =
-            series[series.len() - k..].iter().map(|p| p.0).sum::<f64>() / k as f64;
+        let tail_sps: f64 = series[series.len() - k..].iter().map(|p| p.0).sum::<f64>() / k as f64;
         println!(
             "small-size SPS mean {head_sps:.3} vs large-size {tail_sps:.3} ({})",
             if tail_sps < head_sps {

@@ -71,13 +71,9 @@ fn main() {
         for (i, (types, az)) in combos.iter().enumerate() {
             let names: Vec<String> = types.iter().map(|&t| catalog.ty(t).name()).collect();
             let region = catalog.az(*az).region();
-            let request = SpsRequest::new(
-                names,
-                vec![catalog.region(region).code().to_owned()],
-                1,
-            )
-            .expect("non-empty request")
-            .single_availability_zone(true);
+            let request = SpsRequest::new(names, vec![catalog.region(region).code().to_owned()], 1)
+                .expect("non-empty request")
+                .single_availability_zone(true);
             // Each bucket cycles through fresh accounts to stay inside the
             // 50-unique-query limit, exactly as a real measurement would.
             let account = AccountId::new(format!("fig6-{sum}-{}", i / 40));

@@ -36,8 +36,7 @@ fn main() {
                         .filter("region", region.code()),
                 )
                 .expect("advisor table exists");
-            let if_series: Vec<(u64, f64)> =
-                if_rows.iter().map(|r| (r.time, r.value)).collect();
+            let if_series: Vec<(u64, f64)> = if_rows.iter().map(|r| (r.time, r.value)).collect();
 
             let region_id = catalog.region_id(region.code()).expect("cataloged region");
             for &az in catalog.azs_of_region(region_id) {
@@ -82,8 +81,7 @@ fn main() {
                     align_step(&ticks, &price_series).1,
                 );
                 let n = if_t.len().min(price_t.len());
-                if let Some(r) = pearson(&if_t[if_t.len() - n..], &price_t[price_t.len() - n..])
-                {
+                if let Some(r) = pearson(&if_t[if_t.len() - n..], &price_t[price_t.len() - n..]) {
                     if_price.push(r);
                 }
             }
@@ -127,6 +125,10 @@ fn main() {
             "(densest near 0)".to_owned(),
         ],
     ];
-    print_table("Figure 8 headline shares", &["statistic", "measured", "paper"], &rows);
+    print_table(
+        "Figure 8 headline shares",
+        &["statistic", "measured", "paper"],
+        &rows,
+    );
     println!("finding: no dataset pair carries the other's information; price carries the least.");
 }

@@ -31,8 +31,7 @@ fn main() {
             if if_rows.is_empty() {
                 continue;
             }
-            let if_series: Vec<(u64, f64)> =
-                if_rows.iter().map(|r| (r.time, r.value)).collect();
+            let if_series: Vec<(u64, f64)> = if_rows.iter().map(|r| (r.time, r.value)).collect();
             let sps_rows = db
                 .query(
                     "sps",
@@ -41,8 +40,7 @@ fn main() {
                         .filter("region", region.code()),
                 )
                 .expect("sps table exists");
-            let sps_series: Vec<(u64, f64)> =
-                sps_rows.iter().map(|r| (r.time, r.value)).collect();
+            let sps_series: Vec<(u64, f64)> = sps_rows.iter().map(|r| (r.time, r.value)).collect();
             let (sps, ifs) = align_step(&sps_series, &if_series);
             hist.extend(sps.iter().zip(&ifs).map(|(a, b)| (a - b).abs()));
         }

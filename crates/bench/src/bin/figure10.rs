@@ -53,8 +53,7 @@ fn main() {
                                 .filter("az", az_name),
                         )
                         .expect("table exists");
-                    let series: Vec<(u64, f64)> =
-                        rows.iter().map(|r| (r.time, r.value)).collect();
+                    let series: Vec<(u64, f64)> = rows.iter().map(|r| (r.time, r.value)).collect();
                     out.extend(
                         update_intervals(&series)
                             .into_iter()

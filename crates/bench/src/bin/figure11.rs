@@ -33,10 +33,7 @@ fn main() {
     }
     let ll = Ecdf::new(report.fulfillment_latencies(Stratum::LL));
     if !ll.is_empty() {
-        println!(
-            "  L-L: median {:.0}s (paper: 1322s)",
-            ll.median()
-        );
+        println!("  L-L: median {:.0}s (paper: 1322s)", ll.median());
     }
     println!();
 

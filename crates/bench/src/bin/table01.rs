@@ -12,7 +12,11 @@ fn main() {
         .iter()
         .map(|s| vec![s.label().to_owned(), s.description().to_owned()])
         .collect();
-    print_table("Status lifecycle (Table 1)", &["Status", "Description"], &rows);
+    print_table(
+        "Status lifecycle (Table 1)",
+        &["Status", "Description"],
+        &rows,
+    );
 
     println!("Legal transitions:");
     for from in RequestState::ALL {
@@ -31,5 +35,7 @@ fn main() {
             }
         );
     }
-    println!("  (persistent requests additionally re-enter pending-evaluation after an interruption)");
+    println!(
+        "  (persistent requests additionally re-enter pending-evaluation after an interruption)"
+    );
 }

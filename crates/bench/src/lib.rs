@@ -154,9 +154,9 @@ impl ArchiveFixture {
             .build()
             .expect("auto-sized account pool always suffices");
 
-        let rounds = SimDuration::from_days(scale.days)
-            .div_duration(scale.tick());
-        lake.run_rounds(rounds).expect("collection cannot hit rate limits");
+        let rounds = SimDuration::from_days(scale.days).div_duration(scale.tick());
+        lake.run_rounds(rounds)
+            .expect("collection cannot hit rate limits");
         let types = match filter {
             Some(names) => names,
             None => lake

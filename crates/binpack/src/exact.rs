@@ -46,7 +46,11 @@ impl BranchAndBound {
     /// Returns [`PackError`] on invalid instances, or
     /// [`PackError::NodeLimit`] if the node budget is exhausted before the
     /// incumbent is proven optimal.
-    pub fn pack<K: Clone>(&self, items: &[Item<K>], capacity: u32) -> Result<Packing<K>, PackError> {
+    pub fn pack<K: Clone>(
+        &self,
+        items: &[Item<K>],
+        capacity: u32,
+    ) -> Result<Packing<K>, PackError> {
         validate(items, capacity)?;
         if items.is_empty() {
             return Ok(Packing::new(Vec::new(), capacity));
@@ -126,10 +130,7 @@ impl Search<'_> {
         // Remaining-size lower bound: even perfectly filling current slack
         // cannot beat the incumbent.
         let remaining: u32 = self.sizes[pos..].iter().sum();
-        let slack: u32 = loads
-            .iter()
-            .map(|&l| self.capacity - l)
-            .sum();
+        let slack: u32 = loads.iter().map(|&l| self.capacity - l).sum();
         let extra = remaining.saturating_sub(slack);
         let min_total =
             loads.len() + (u64::from(extra).div_ceil(u64::from(self.capacity))) as usize;

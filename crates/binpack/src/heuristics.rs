@@ -30,7 +30,10 @@ pub fn first_fit_decreasing<K: Clone>(
     let mut bins: Vec<(u32, Vec<Item<K>>)> = Vec::new();
     for &i in &decreasing_order(items) {
         let item = &items[i];
-        match bins.iter_mut().find(|(used, _)| used + item.size <= capacity) {
+        match bins
+            .iter_mut()
+            .find(|(used, _)| used + item.size <= capacity)
+        {
             Some((used, bin)) => {
                 *used += item.size;
                 bin.push(item.clone());
@@ -38,7 +41,10 @@ pub fn first_fit_decreasing<K: Clone>(
             None => bins.push((item.size, vec![item.clone()])),
         }
     }
-    Ok(Packing::new(bins.into_iter().map(|(_, b)| b).collect(), capacity))
+    Ok(Packing::new(
+        bins.into_iter().map(|(_, b)| b).collect(),
+        capacity,
+    ))
 }
 
 /// Best-fit decreasing: place each item (largest first) into the *fullest*
@@ -68,7 +74,10 @@ pub fn best_fit_decreasing<K: Clone>(
             None => bins.push((item.size, vec![item.clone()])),
         }
     }
-    Ok(Packing::new(bins.into_iter().map(|(_, b)| b).collect(), capacity))
+    Ok(Packing::new(
+        bins.into_iter().map(|(_, b)| b).collect(),
+        capacity,
+    ))
 }
 
 /// Next-fit: keep a single open bin; when an item does not fit, close it and
@@ -140,7 +149,9 @@ mod tests {
 
     #[test]
     fn bfd_beats_or_ties_nf() {
-        let items: Vec<Item<usize>> = [6u32, 5, 4, 3, 2, 2, 2].iter().copied()
+        let items: Vec<Item<usize>> = [6u32, 5, 4, 3, 2, 2, 2]
+            .iter()
+            .copied()
             .enumerate()
             .map(|(k, s)| Item::new(k, s))
             .collect();

@@ -231,10 +231,7 @@ mod tests {
         assert_eq!(p.bin_count(), 2);
         assert_eq!(p.capacity(), 10);
         assert_eq!(p.total_size(), 12);
-        assert_eq!(
-            p.into_key_groups(),
-            vec![vec!["a", "b"], vec!["c"]]
-        );
+        assert_eq!(p.into_key_groups(), vec![vec!["a", "b"], vec!["c"]]);
     }
 
     #[test]

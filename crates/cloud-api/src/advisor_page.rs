@@ -12,6 +12,7 @@
 //! *index* (0 = `<5%` … 4 = `>20%`).
 
 use crate::error::ApiError;
+use crate::fault::{Fault, FaultInjector, FaultSurface};
 use spotlake_cloud_sim::SimCloud;
 use spotlake_types::{InterruptionBucket, Savings};
 
@@ -87,9 +88,11 @@ impl AdvisorPage {
     /// Returns [`ApiError::ScrapeFailed`] when the document does not have
     /// the expected structure.
     pub fn scrape(document: &str) -> Result<Vec<AdvisorRow>, ApiError> {
-        let rows_start = document.find("\"rows\"").ok_or_else(|| ApiError::ScrapeFailed {
-            detail: "missing rows array".into(),
-        })?;
+        let rows_start = document
+            .find("\"rows\"")
+            .ok_or_else(|| ApiError::ScrapeFailed {
+                detail: "missing rows array".into(),
+            })?;
         let body = &document[rows_start..];
         let open = body.find('[').ok_or_else(|| ApiError::ScrapeFailed {
             detail: "rows is not an array".into(),
@@ -109,16 +112,16 @@ impl AdvisorPage {
             let region = extract_str(obj, "region")?;
             let savings_pct: u8 = extract_num(obj, "savings")?;
             let range: usize = extract_num(obj, "interruption_range")?;
-            let bucket = *InterruptionBucket::ALL.get(range).ok_or_else(|| {
-                ApiError::ScrapeFailed {
-                    detail: format!("interruption_range {range} out of range"),
-                }
-            })?;
-            let savings = Savings::from_percent(savings_pct).map_err(|_| {
-                ApiError::ScrapeFailed {
+            let bucket =
+                *InterruptionBucket::ALL
+                    .get(range)
+                    .ok_or_else(|| ApiError::ScrapeFailed {
+                        detail: format!("interruption_range {range} out of range"),
+                    })?;
+            let savings =
+                Savings::from_percent(savings_pct).map_err(|_| ApiError::ScrapeFailed {
                     detail: format!("savings {savings_pct} out of range"),
-                }
-            })?;
+                })?;
             rows.push(AdvisorRow {
                 instance_type,
                 region,
@@ -127,6 +130,62 @@ impl AdvisorPage {
             });
         }
         Ok(rows)
+    }
+}
+
+/// Fetches the advisor page over the (simulated) network and scrapes it.
+///
+/// [`AdvisorPage`] models the page itself; this client models *getting*
+/// it. With a fault injector installed, a fetch may fail in transit
+/// (throttle / timeout / 503) or deliver a damaged body — truncated
+/// mid-document or with a mangled field — which then fails in
+/// [`AdvisorPage::scrape`] with [`ApiError::ScrapeFailed`], exactly as a
+/// real scraper run against a flaky website would.
+#[derive(Debug, Clone, Default)]
+pub struct AdvisorClient {
+    faults: Option<FaultInjector>,
+}
+
+impl AdvisorClient {
+    /// Creates a client that fetches cleanly.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a fault injector for fetches.
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// Fetches and scrapes the advisor page.
+    ///
+    /// # Errors
+    ///
+    /// * [`ApiError::Throttled`], [`ApiError::Timeout`], or
+    ///   [`ApiError::ServiceUnavailable`] when the injected fetch fails in
+    ///   transit.
+    /// * [`ApiError::ScrapeFailed`] when the (possibly damaged) body does
+    ///   not parse.
+    ///
+    /// All of these are retryable; see [`ApiError::is_retryable`].
+    pub fn fetch(&mut self, cloud: &SimCloud) -> Result<Vec<AdvisorRow>, ApiError> {
+        let mut page = AdvisorPage::render(cloud);
+        if let Some(faults) = &mut self.faults {
+            match faults.decide(FaultSurface::Advisor, "advisor-page", cloud.ticks()) {
+                Some(Fault::Error(e)) => return Err(e),
+                Some(Fault::TruncatedBody) => {
+                    // The connection dropped mid-transfer: keep a prefix.
+                    page.truncate(page.len() / 2);
+                }
+                Some(Fault::CorruptedBody) => {
+                    // A field name arrives garbled; every row is affected.
+                    page = page.replace("\"savings\"", "\"sav~ngs\"");
+                }
+                None => {}
+            }
+        }
+        AdvisorPage::scrape(&page)
     }
 }
 
@@ -179,7 +238,10 @@ mod tests {
         // 2 types × 2 regions.
         assert_eq!(rows.len(), 4);
         for row in &rows {
-            let ty = cloud.catalog().instance_type_id(&row.instance_type).unwrap();
+            let ty = cloud
+                .catalog()
+                .instance_type_id(&row.instance_type)
+                .unwrap();
             let region = cloud.catalog().region_id(&row.region).unwrap();
             let entry = cloud.advisor_entry(ty, region).unwrap();
             assert_eq!(entry.bucket, row.bucket);
@@ -201,6 +263,35 @@ mod tests {
             "{\"rows\": [{\"instance_type\": \"a\", \"region\": \"r\", \"savings\": 10, \"interruption_range\": 9}]}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn client_without_faults_matches_direct_scrape() {
+        let cloud = small_cloud();
+        let direct = AdvisorPage::scrape(&AdvisorPage::render(&cloud)).unwrap();
+        let fetched = AdvisorClient::new().fetch(&cloud).unwrap();
+        assert_eq!(direct, fetched);
+    }
+
+    #[test]
+    fn faulted_client_fails_retryably_and_can_damage_bodies() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut cloud = small_cloud();
+        let mut client =
+            AdvisorClient::new().with_faults(FaultInjector::new(FaultPlan::uniform(2, 1.0)));
+        let mut scrape_failures = 0;
+        for _ in 0..40 {
+            cloud.step();
+            let err = client.fetch(&cloud).unwrap_err();
+            assert!(err.is_retryable());
+            if matches!(err, ApiError::ScrapeFailed { .. }) {
+                scrape_failures += 1;
+            }
+        }
+        assert!(
+            scrape_failures > 0,
+            "body damage should surface as scrape failures"
+        );
     }
 
     #[test]

@@ -36,6 +36,33 @@ pub enum ApiError {
         /// What the scraper choked on.
         detail: String,
     },
+    /// The service throttled the request. Transient: retry after the given
+    /// number of simulation ticks.
+    Throttled {
+        /// Ticks to wait before the request is worth retrying.
+        retry_after_ticks: u64,
+    },
+    /// The request timed out in transit. Transient.
+    Timeout,
+    /// The service returned an internal error (HTTP 503). Transient.
+    ServiceUnavailable,
+}
+
+impl ApiError {
+    /// Whether the failure is transient and a retry may succeed.
+    ///
+    /// Scrape failures count as retryable: a truncated or corrupted advisor
+    /// page is a transport problem, not a caller bug — re-fetching the page
+    /// is the correct response.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ApiError::Throttled { .. }
+                | ApiError::Timeout
+                | ApiError::ServiceUnavailable
+                | ApiError::ScrapeFailed { .. }
+        )
+    }
 }
 
 impl fmt::Display for ApiError {
@@ -53,6 +80,11 @@ impl fmt::Display for ApiError {
             ApiError::ScrapeFailed { detail } => {
                 write!(f, "failed to scrape advisor page: {detail}")
             }
+            ApiError::Throttled { retry_after_ticks } => {
+                write!(f, "request throttled; retry after {retry_after_ticks} tick(s)")
+            }
+            ApiError::Timeout => write!(f, "request timed out"),
+            ApiError::ServiceUnavailable => write!(f, "service unavailable"),
         }
     }
 }
@@ -70,6 +102,45 @@ mod tests {
             limit: 50,
         };
         assert!(e.to_string().contains("50 unique"));
-        assert_eq!(ApiError::BadPageToken.to_string(), "malformed or expired page token");
+        assert_eq!(
+            ApiError::BadPageToken.to_string(),
+            "malformed or expired page token"
+        );
+        assert!(ApiError::Timeout.to_string().contains("timed out"));
+        assert!(ApiError::Throttled {
+            retry_after_ticks: 3
+        }
+        .to_string()
+        .contains("3 tick"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(ApiError::Throttled {
+            retry_after_ticks: 1
+        }
+        .is_retryable());
+        assert!(ApiError::Timeout.is_retryable());
+        assert!(ApiError::ServiceUnavailable.is_retryable());
+        assert!(ApiError::ScrapeFailed {
+            detail: "cut off".into()
+        }
+        .is_retryable());
+        assert!(!ApiError::BadPageToken.is_retryable());
+        assert!(!ApiError::QueryLimitExceeded {
+            account: "a".into(),
+            limit: 50
+        }
+        .is_retryable());
+        assert!(!ApiError::UnknownEntity {
+            kind: "region",
+            name: "x".into()
+        }
+        .is_retryable());
+        assert!(!ApiError::InvalidParameter {
+            parameter: "n",
+            reason: "zero".into()
+        }
+        .is_retryable());
     }
 }

@@ -1,0 +1,326 @@
+//! Deterministic, seedable fault injection for the cloud APIs.
+//!
+//! Real collection pipelines fail for mundane reasons: throttling, timeouts,
+//! 5xx responses, and — for the advisor, which is scraped from a web page —
+//! truncated or corrupted bodies. This module makes those failures
+//! *reproducible*: every decision is a pure hash of
+//! `(surface, scope, tick, attempt, seed)`, the same scheme the simulator
+//! uses to derive pool parameters, so a given seed and [`FaultPlan`] always
+//! produce the identical fault sequence. Retries are not free passes —
+//! each attempt within a tick rolls a fresh decision — but the whole
+//! sequence replays bit-identically across runs.
+
+use crate::error::ApiError;
+use spotlake_types::hash::hash01;
+use std::collections::HashMap;
+
+/// Which API surface a fault decision applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSurface {
+    /// `get-spot-placement-scores`.
+    Sps,
+    /// `describe-spot-price-history`.
+    Price,
+    /// The advisor web page fetch.
+    Advisor,
+}
+
+impl FaultSurface {
+    fn name(self) -> &'static str {
+        match self {
+            FaultSurface::Sps => "sps",
+            FaultSurface::Price => "price",
+            FaultSurface::Advisor => "advisor",
+        }
+    }
+}
+
+/// A fault selected for one API call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The call fails outright with a (retryable) API error.
+    Error(ApiError),
+    /// The response body is cut off mid-document (advisor only); the
+    /// scraper will fail on the partial page.
+    TruncatedBody,
+    /// The response body arrives with a mangled field (advisor only); the
+    /// scraper will fail on the corrupt page.
+    CorruptedBody,
+}
+
+/// Per-surface fault rates plus the seed that makes them reproducible.
+///
+/// Rates are probabilities in `[0, 1]` applied independently per API call
+/// (and per retry attempt). `write_rate` is consumed by
+/// `spotlake_timestream::Database::set_write_faults`, not by this crate's
+/// clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every fault decision.
+    pub seed: u64,
+    /// Fault rate for placement-score queries.
+    pub sps_rate: f64,
+    /// Fault rate for price-history pages.
+    pub price_rate: f64,
+    /// Fault rate for advisor page fetches.
+    pub advisor_rate: f64,
+    /// Fault rate for archive writes (wired into the store separately).
+    pub write_rate: f64,
+    /// `retry_after_ticks` carried by injected [`ApiError::Throttled`].
+    pub throttle_retry_after: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the identity plan).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            sps_rate: 0.0,
+            price_rate: 0.0,
+            advisor_rate: 0.0,
+            write_rate: 0.0,
+            throttle_retry_after: 1,
+        }
+    }
+
+    /// A plan with the same fault rate on every surface. Writes are
+    /// throttled at a quarter of the API rate — storage is typically an
+    /// order steadier than scraped pages.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            sps_rate: rate,
+            price_rate: rate,
+            advisor_rate: rate,
+            write_rate: rate / 4.0,
+            throttle_retry_after: 1,
+        }
+    }
+
+    /// Named CLI profiles: `none`, `light` (5%), `moderate` (10%),
+    /// `heavy` (20%). Returns `None` for unknown names.
+    pub fn profile(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "none" => Some(FaultPlan::none(seed)),
+            "light" => Some(FaultPlan::uniform(seed, 0.05)),
+            "moderate" => Some(FaultPlan::uniform(seed, 0.10)),
+            "heavy" => Some(FaultPlan::uniform(seed, 0.20)),
+            _ => None,
+        }
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_zero(&self) -> bool {
+        self.sps_rate == 0.0
+            && self.price_rate == 0.0
+            && self.advisor_rate == 0.0
+            && self.write_rate == 0.0
+    }
+
+    fn rate(&self, surface: FaultSurface) -> f64 {
+        match surface {
+            FaultSurface::Sps => self.sps_rate,
+            FaultSurface::Price => self.price_rate,
+            FaultSurface::Advisor => self.advisor_rate,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none(0)
+    }
+}
+
+/// Rolls deterministic fault decisions for one API client.
+///
+/// The injector tracks an attempt counter per `(surface, scope)` that
+/// resets whenever the tick advances: the first call for a scope in a tick
+/// is attempt 0, an immediate retry is attempt 1, and so on. Because the
+/// counter is part of the hash, a retry rolls a *fresh* decision — while
+/// two runs with the same seed, plan, and call sequence still see the
+/// identical faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// `(surface, scope)` → (tick of last roll, attempts rolled that tick).
+    attempts: HashMap<(FaultSurface, String), (u64, u32)>,
+}
+
+impl FaultInjector {
+    /// Creates an injector following `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            attempts: HashMap::new(),
+        }
+    }
+
+    /// The plan this injector follows.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Rolls one fault decision for a call on `surface` identified by
+    /// `scope` (e.g. `account/fingerprint`) at simulation tick `tick`.
+    /// Returns `None` when the call should proceed normally.
+    pub fn decide(&mut self, surface: FaultSurface, scope: &str, tick: u64) -> Option<Fault> {
+        let rate = self.plan.rate(surface);
+        if rate <= 0.0 {
+            return None;
+        }
+        let entry = self
+            .attempts
+            .entry((surface, scope.to_owned()))
+            .or_insert((tick, 0));
+        if entry.0 != tick {
+            *entry = (tick, 0);
+        }
+        let attempt = entry.1;
+        entry.1 += 1;
+
+        let tick_s = tick.to_string();
+        let attempt_s = attempt.to_string();
+        let seed_s = self.plan.seed.to_string();
+        let roll = hash01(&["fault", surface.name(), scope, &tick_s, &attempt_s, &seed_s]);
+        if roll >= rate {
+            return None;
+        }
+        let kind = hash01(&[
+            "fault-kind",
+            surface.name(),
+            scope,
+            &tick_s,
+            &attempt_s,
+            &seed_s,
+        ]);
+        Some(match surface {
+            // Advisor faults include body-level damage; the API surfaces
+            // only transport errors.
+            FaultSurface::Advisor => match (kind * 5.0) as u32 {
+                0 => Fault::Error(ApiError::Throttled {
+                    retry_after_ticks: self.plan.throttle_retry_after,
+                }),
+                1 => Fault::Error(ApiError::Timeout),
+                2 => Fault::Error(ApiError::ServiceUnavailable),
+                3 => Fault::TruncatedBody,
+                _ => Fault::CorruptedBody,
+            },
+            FaultSurface::Sps | FaultSurface::Price => match (kind * 3.0) as u32 {
+                0 => Fault::Error(ApiError::Throttled {
+                    retry_after_ticks: self.plan.throttle_retry_after,
+                }),
+                1 => Fault::Error(ApiError::Timeout),
+                _ => Fault::Error(ApiError::ServiceUnavailable),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_parse() {
+        assert!(FaultPlan::profile("none", 1).unwrap().is_zero());
+        assert_eq!(FaultPlan::profile("light", 1).unwrap().sps_rate, 0.05);
+        assert_eq!(FaultPlan::profile("moderate", 1).unwrap().sps_rate, 0.10);
+        assert_eq!(FaultPlan::profile("heavy", 1).unwrap().sps_rate, 0.20);
+        assert!(FaultPlan::profile("chaotic-evil", 1).is_none());
+    }
+
+    #[test]
+    fn zero_rate_never_faults() {
+        let mut inj = FaultInjector::new(FaultPlan::none(7));
+        for tick in 0..200 {
+            assert_eq!(inj.decide(FaultSurface::Sps, "a/q", tick), None);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_across_injectors() {
+        let plan = FaultPlan::uniform(42, 0.3);
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        for tick in 0..100 {
+            for attempt in 0..3 {
+                let _ = attempt;
+                assert_eq!(
+                    a.decide(FaultSurface::Price, "scope", tick),
+                    b.decide(FaultSurface::Price, "scope", tick)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retries_roll_fresh_decisions() {
+        // With a rate below 1, some attempt within a tick must differ from
+        // the first — the attempt counter feeds the hash.
+        let plan = FaultPlan::uniform(3, 0.5);
+        let mut inj = FaultInjector::new(plan);
+        let mut saw_change_within_tick = false;
+        for tick in 0..50 {
+            let first = inj.decide(FaultSurface::Sps, "s", tick).is_some();
+            for _ in 0..4 {
+                if inj.decide(FaultSurface::Sps, "s", tick).is_some() != first {
+                    saw_change_within_tick = true;
+                }
+            }
+        }
+        assert!(saw_change_within_tick);
+    }
+
+    #[test]
+    fn attempt_counter_resets_per_tick() {
+        let plan = FaultPlan::uniform(11, 0.4);
+        let mut warm = FaultInjector::new(plan);
+        // Burn several attempts at tick 0.
+        for _ in 0..5 {
+            let _ = warm.decide(FaultSurface::Advisor, "page", 0);
+        }
+        // A fresh injector at tick 1 must agree with the warmed one: the
+        // counter reset on the tick change.
+        let mut fresh = FaultInjector::new(plan);
+        assert_eq!(
+            warm.decide(FaultSurface::Advisor, "page", 1),
+            fresh.decide(FaultSurface::Advisor, "page", 1)
+        );
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan::uniform(99, 0.2);
+        let mut inj = FaultInjector::new(plan);
+        let faults = (0..2000)
+            .filter(|&t| inj.decide(FaultSurface::Sps, "q", t).is_some())
+            .count();
+        let observed = faults as f64 / 2000.0;
+        assert!((0.1..0.3).contains(&observed), "observed rate {observed}");
+    }
+
+    #[test]
+    fn advisor_surface_produces_body_faults() {
+        let plan = FaultPlan::uniform(5, 1.0);
+        let mut inj = FaultInjector::new(plan);
+        let mut kinds = std::collections::HashSet::new();
+        for tick in 0..200 {
+            match inj.decide(FaultSurface::Advisor, "page", tick) {
+                Some(Fault::TruncatedBody) => {
+                    kinds.insert("truncated");
+                }
+                Some(Fault::CorruptedBody) => {
+                    kinds.insert("corrupted");
+                }
+                Some(Fault::Error(_)) => {
+                    kinds.insert("error");
+                }
+                None => {}
+            }
+        }
+        assert!(kinds.contains("truncated"));
+        assert!(kinds.contains("corrupted"));
+        assert!(kinds.contains("error"));
+    }
+}

@@ -14,6 +14,10 @@
 //!   API**; this type renders the advisor website's embedded JSON document,
 //!   which collectors must scrape (the paper used the `spotinfo` tool;
 //!   [`AdvisorPage::scrape`] is this reproduction's equivalent parser).
+//! * [`FaultPlan`] / [`FaultInjector`] — deterministic, seedable transient
+//!   faults (throttling, timeouts, 503s, truncated or corrupted advisor
+//!   bodies) layered over every surface, so collector resilience can be
+//!   exercised reproducibly. A zero-rate plan is byte-for-byte inert.
 //!
 //! # Example
 //!
@@ -38,10 +42,12 @@
 
 mod advisor_page;
 mod error;
+mod fault;
 mod price_api;
 mod sps_api;
 
-pub use advisor_page::{AdvisorPage, AdvisorRow};
+pub use advisor_page::{AdvisorClient, AdvisorPage, AdvisorRow};
 pub use error::ApiError;
+pub use fault::{Fault, FaultInjector, FaultPlan, FaultSurface};
 pub use price_api::{PriceClient, PricePage, PricePoint, PriceRequest};
 pub use sps_api::{AccountId, SpsClient, SpsRequest, SpsScore, MAX_RESULTS, UNIQUE_QUERY_LIMIT};

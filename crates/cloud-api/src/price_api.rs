@@ -1,6 +1,7 @@
 //! The `describe-spot-price-history` API.
 
 use crate::error::ApiError;
+use crate::fault::{Fault, FaultInjector, FaultSurface};
 use spotlake_cloud_sim::SimCloud;
 use spotlake_types::{SimDuration, SimTime, SpotPrice};
 
@@ -82,15 +83,24 @@ pub struct PricePage {
     pub next_token: Option<String>,
 }
 
-/// Client for the price-history API (stateless; pagination is encoded in
-/// the token).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PriceClient;
+/// Client for the price-history API. Pagination is stateless (encoded in
+/// the token); the client only carries the optional fault injector.
+#[derive(Debug, Clone, Default)]
+pub struct PriceClient {
+    faults: Option<FaultInjector>,
+}
 
 impl PriceClient {
     /// Creates a client.
     pub fn new() -> Self {
-        PriceClient
+        Self::default()
+    }
+
+    /// Installs a fault injector: each page fetch rolls a deterministic
+    /// fault decision keyed by (types, window, page token, tick, attempt).
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.faults = Some(injector);
+        self
     }
 
     /// Fetches one page of spot price-change history. The effective start
@@ -101,8 +111,11 @@ impl PriceClient {
     ///
     /// * [`ApiError::UnknownEntity`] for unknown type/zone names.
     /// * [`ApiError::BadPageToken`] for malformed tokens.
+    /// * [`ApiError::Throttled`], [`ApiError::Timeout`], or
+    ///   [`ApiError::ServiceUnavailable`] when a fault injector is
+    ///   installed and fires (all retryable).
     pub fn describe_spot_price_history(
-        &self,
+        &mut self,
         cloud: &SimCloud,
         request: &PriceRequest,
         page_token: Option<&str>,
@@ -112,6 +125,21 @@ impl PriceClient {
             None => 0,
             Some(t) => t.parse().map_err(|_| ApiError::BadPageToken)?,
         };
+
+        // Transport faults fire after token validation (a malformed token
+        // is a caller bug) but before any data is assembled.
+        if let Some(faults) = &mut self.faults {
+            let scope = format!(
+                "{}/{}..{}/p{offset}",
+                request.instance_types.join(","),
+                request.start.as_secs(),
+                request.end.as_secs()
+            );
+            if let Some(Fault::Error(e)) = faults.decide(FaultSurface::Price, &scope, cloud.ticks())
+            {
+                return Err(e);
+            }
+        }
 
         // Clamp the window to the lookback.
         let horizon = cloud
@@ -158,7 +186,12 @@ impl PriceClient {
                 .then_with(|| a.availability_zone.cmp(&b.availability_zone))
         });
 
-        let page: Vec<PricePoint> = records.iter().skip(offset).take(PAGE_SIZE).cloned().collect();
+        let page: Vec<PricePoint> = records
+            .iter()
+            .skip(offset)
+            .take(PAGE_SIZE)
+            .cloned()
+            .collect();
         let next_token = if offset + page.len() < records.len() {
             Some((offset + page.len()).to_string())
         } else {
@@ -236,9 +269,8 @@ mod tests {
     #[test]
     fn bad_token_rejected_and_pagination_walks() {
         let cloud = cloud_with_history();
-        let req =
-            PriceRequest::new(vec!["m5.large".into()], SimTime::EPOCH, cloud.now()).unwrap();
-        let client = PriceClient::new();
+        let req = PriceRequest::new(vec!["m5.large".into()], SimTime::EPOCH, cloud.now()).unwrap();
+        let mut client = PriceClient::new();
         assert!(matches!(
             client.describe_spot_price_history(&cloud, &req, Some("xyz")),
             Err(ApiError::BadPageToken)
@@ -261,6 +293,25 @@ mod tests {
     }
 
     #[test]
+    fn injected_faults_are_retryable() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let cloud = cloud_with_history();
+        let mut client =
+            PriceClient::new().with_faults(FaultInjector::new(FaultPlan::uniform(1, 1.0)));
+        let req = PriceRequest::new(vec!["m5.large".into()], SimTime::EPOCH, cloud.now()).unwrap();
+        let err = client
+            .describe_spot_price_history(&cloud, &req, None)
+            .unwrap_err();
+        assert!(err.is_retryable());
+        // A malformed token still wins over the injector: caller bugs are
+        // not transient.
+        assert!(matches!(
+            client.describe_spot_price_history(&cloud, &req, Some("xyz")),
+            Err(ApiError::BadPageToken)
+        ));
+    }
+
+    #[test]
     fn lookback_clamps_old_history() {
         let mut b = CatalogBuilder::new();
         b.region("us-test-1", 1).instance_type("m5.large", 0.096);
@@ -270,8 +321,7 @@ mod tests {
         };
         let mut cloud = SimCloud::new(b.build().unwrap(), config);
         cloud.run_days(120);
-        let req =
-            PriceRequest::new(vec!["m5.large".into()], SimTime::EPOCH, cloud.now()).unwrap();
+        let req = PriceRequest::new(vec!["m5.large".into()], SimTime::EPOCH, cloud.now()).unwrap();
         let page = PriceClient::new()
             .describe_spot_price_history(&cloud, &req, None)
             .unwrap();
@@ -283,6 +333,9 @@ mod tests {
             .iter()
             .filter(|r| r.timestamp.as_secs() < horizon)
             .collect();
-        assert!(older.len() <= 1, "at most the price in effect at the horizon");
+        assert!(
+            older.len() <= 1,
+            "at most the price in effect at the horizon"
+        );
     }
 }

@@ -1,6 +1,7 @@
 //! The `get-spot-placement-scores` API.
 
 use crate::error::ApiError;
+use crate::fault::{Fault, FaultInjector, FaultSurface};
 use spotlake_cloud_sim::SimCloud;
 use spotlake_types::{PlacementScore, SimDuration, SimTime};
 use std::collections::HashMap;
@@ -144,8 +145,10 @@ struct AccountWindow {
 
 impl AccountWindow {
     fn expire(&mut self, now: SimTime) {
-        self.seen
-            .retain(|_, &mut t| now.checked_since(t).is_none_or(|d| d < SimDuration::from_hours(24)));
+        self.seen.retain(|_, &mut t| {
+            now.checked_since(t)
+                .is_none_or(|d| d < SimDuration::from_hours(24))
+        });
     }
 }
 
@@ -154,12 +157,20 @@ impl AccountWindow {
 #[derive(Debug, Clone, Default)]
 pub struct SpsClient {
     windows: HashMap<AccountId, AccountWindow>,
+    faults: Option<FaultInjector>,
 }
 
 impl SpsClient {
     /// Creates a client with no rate-limit history.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs a fault injector: each query rolls a deterministic fault
+    /// decision keyed by (account, query fingerprint, tick, attempt).
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.faults = Some(injector);
+        self
     }
 
     /// Number of unique queries `account` has counted in the trailing 24
@@ -205,12 +216,25 @@ impl SpsClient {
         }
         let mut region_ids = Vec::with_capacity(request.regions.len());
         for code in &request.regions {
-            region_ids.push(catalog.region_id(code).ok_or_else(|| {
-                ApiError::UnknownEntity {
-                    kind: "region",
-                    name: code.clone(),
-                }
-            })?);
+            region_ids.push(
+                catalog
+                    .region_id(code)
+                    .ok_or_else(|| ApiError::UnknownEntity {
+                        kind: "region",
+                        name: code.clone(),
+                    })?,
+            );
+        }
+
+        // Injected transport faults fire after validation — a malformed
+        // request is the caller's bug regardless of network weather — and
+        // before the unique-query window counts the attempt: a throttled or
+        // timed-out call never reached the service.
+        if let Some(faults) = &mut self.faults {
+            let scope = format!("{}/{}", account.name(), request.fingerprint());
+            if let Some(Fault::Error(e)) = faults.decide(FaultSurface::Sps, &scope, cloud.ticks()) {
+                return Err(e);
+            }
         }
 
         // Rate limiting on *unique* queries.
@@ -305,12 +329,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.fingerprint(), b.fingerprint());
-        let c = SpsRequest::new(
-            vec!["m5.large".into()],
-            vec!["us-test-1".into()],
-            4,
-        )
-        .unwrap();
+        let c = SpsRequest::new(vec!["m5.large".into()], vec!["us-test-1".into()], 4).unwrap();
         assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
@@ -359,8 +378,7 @@ mod tests {
         let cloud = small_cloud();
         let mut client = SpsClient::new();
         let account = AccountId::new("a");
-        let req =
-            SpsRequest::new(vec!["warp9.huge".into()], vec!["us-test-1".into()], 1).unwrap();
+        let req = SpsRequest::new(vec!["warp9.huge".into()], vec!["us-test-1".into()], 1).unwrap();
         assert!(matches!(
             client.get_spot_placement_scores(&cloud, &account, &req),
             Err(ApiError::UnknownEntity { .. })
@@ -389,8 +407,7 @@ mod tests {
             UNIQUE_QUERY_LIMIT
         );
         // Repeating a counted query is free...
-        let repeat =
-            SpsRequest::new(vec!["m5.large".into()], vec!["us-test-1".into()], 1).unwrap();
+        let repeat = SpsRequest::new(vec!["m5.large".into()], vec!["us-test-1".into()], 1).unwrap();
         client
             .get_spot_placement_scores(&cloud, &account, &repeat)
             .unwrap();
@@ -427,15 +444,27 @@ mod tests {
         cloud.run_days(1);
         cloud.step();
         assert_eq!(client.unique_queries_used(&account, cloud.now()), 0);
-        let fresh = SpsRequest::new(
-            vec!["m5.large".into()],
-            vec!["us-test-1".into()],
-            99,
-        )
-        .unwrap();
+        let fresh = SpsRequest::new(vec!["m5.large".into()], vec!["us-test-1".into()], 99).unwrap();
         client
             .get_spot_placement_scores(&cloud, &account, &fresh)
             .unwrap();
+    }
+
+    #[test]
+    fn injected_faults_are_retryable_and_skip_the_window() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let cloud = small_cloud();
+        let mut client =
+            SpsClient::new().with_faults(FaultInjector::new(FaultPlan::uniform(1, 1.0)));
+        let account = AccountId::new("a");
+        let req = SpsRequest::new(vec!["m5.large".into()], vec!["us-test-1".into()], 1).unwrap();
+        let err = client
+            .get_spot_placement_scores(&cloud, &account, &req)
+            .unwrap_err();
+        assert!(err.is_retryable());
+        // A faulted call never reached the service: the unique-query
+        // window must not count it.
+        assert_eq!(client.unique_queries_used(&account, cloud.now()), 0);
     }
 
     #[test]

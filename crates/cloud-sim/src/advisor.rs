@@ -11,9 +11,7 @@
 //! still carrying usable signal for a learned predictor (Table 4).
 
 use crate::pool::Pool;
-use spotlake_types::{
-    InstanceTypeId, InterruptionBucket, RegionId, Savings, SimTime,
-};
+use spotlake_types::{InstanceTypeId, InterruptionBucket, RegionId, Savings, SimTime};
 use std::collections::HashMap;
 
 /// One published advisor row: interruption bucket and savings for an
@@ -89,11 +87,7 @@ impl AdvisorBoard {
         (0.05 * f.powf(0.7) + pool.params().advisor_bias).clamp(0.0, 0.33)
     }
 
-    pub(crate) fn publish(
-        &mut self,
-        key: (InstanceTypeId, RegionId),
-        entry: AdvisorEntry,
-    ) {
+    pub(crate) fn publish(&mut self, key: (InstanceTypeId, RegionId), entry: AdvisorEntry) {
         self.published.insert(key, entry);
     }
 

@@ -94,6 +94,13 @@ impl SimCloud {
         self.now
     }
 
+    /// Number of ticks stepped since construction. Fault injection and
+    /// retry backoff are denominated in ticks, so clients read this to key
+    /// deterministic per-tick decisions.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
     /// Number of capacity pools (supported type × AZ pairs).
     pub fn pool_count(&self) -> usize {
         self.pools.len()
@@ -399,7 +406,9 @@ impl SimCloud {
         } else {
             1.0
         };
-        let id = self.lifecycle.submit(config, pool, self.now, required_ratio);
+        let id = self
+            .lifecycle
+            .submit(config, pool, self.now, required_ratio);
         Ok(RequestId(id as u64))
     }
 

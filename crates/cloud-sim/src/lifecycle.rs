@@ -12,9 +12,7 @@
 //!   interruption, as in the paper's 24-hour experiments.
 
 use crate::pool::{Pool, PoolId};
-use spotlake_types::{
-    RequestState, SimDuration, SimTime, SpotRequest, SpotRequestConfig,
-};
+use spotlake_types::{RequestState, SimDuration, SimTime, SpotRequest, SpotRequestConfig};
 
 /// Final classification of an experiment request, the target classes of the
 /// paper's prediction task (Section 5.5): `NoFulfill`, `Interrupted`, or
@@ -211,7 +209,12 @@ mod tests {
     fn healthy_pool_fulfills_quickly() {
         let (catalog, mut pools) = setup("m5.large");
         let mut lc = Lifecycle::default();
-        let id = lc.submit(request_config(&catalog, "m5.large", false), PoolId(0), SimTime::EPOCH, 1.0);
+        let id = lc.submit(
+            request_config(&catalog, "m5.large", false),
+            PoolId(0),
+            SimTime::EPOCH,
+            1.0,
+        );
         pools[0].step(SimDuration::from_mins(10), 1.0);
         lc.step(&mut pools, SimTime::EPOCH, SimDuration::from_mins(10));
         let req = lc.request(id).unwrap();
@@ -249,7 +252,12 @@ mod tests {
     fn stressed_pool_interrupts_and_persistent_resubmits() {
         let (catalog, mut pools) = setup("m5.large");
         let mut lc = Lifecycle::default();
-        let id = lc.submit(request_config(&catalog, "m5.large", true), PoolId(0), SimTime::EPOCH, 1.0);
+        let id = lc.submit(
+            request_config(&catalog, "m5.large", true),
+            PoolId(0),
+            SimTime::EPOCH,
+            1.0,
+        );
         pools[0].step(SimDuration::from_mins(10), 1.0);
         lc.step(&mut pools, SimTime::EPOCH, SimDuration::from_mins(10));
         assert_eq!(lc.request(id).unwrap().state(), RequestState::Fulfilled);
@@ -263,7 +271,10 @@ mod tests {
             t += SimDuration::from_mins(10);
         }
         let req = lc.request(id).unwrap();
-        assert!(req.was_interrupted(), "no interruption in 24h of full stress");
+        assert!(
+            req.was_interrupted(),
+            "no interruption in 24h of full stress"
+        );
         // Persistent: after the interruption the request re-entered the
         // lifecycle rather than staying terminal.
         assert_ne!(req.state(), RequestState::Terminal);
@@ -273,7 +284,12 @@ mod tests {
     fn cancel_terminates_and_sticks() {
         let (catalog, mut pools) = setup("m5.large");
         let mut lc = Lifecycle::default();
-        let id = lc.submit(request_config(&catalog, "m5.large", true), PoolId(0), SimTime::EPOCH, 1.0);
+        let id = lc.submit(
+            request_config(&catalog, "m5.large", true),
+            PoolId(0),
+            SimTime::EPOCH,
+            1.0,
+        );
         assert!(lc.cancel(id, SimTime::from_secs(5)));
         assert_eq!(lc.request(id).unwrap().state(), RequestState::Terminal);
         pools[0].step(SimDuration::from_mins(10), 1.0);
@@ -289,7 +305,8 @@ mod tests {
     #[test]
     fn outcome_classification() {
         let (catalog, _) = setup("m5.large");
-        let mut req = SpotRequest::submit(request_config(&catalog, "m5.large", false), SimTime::EPOCH);
+        let mut req =
+            SpotRequest::submit(request_config(&catalog, "m5.large", false), SimTime::EPOCH);
         assert_eq!(RequestOutcome::of(&req), RequestOutcome::NoFulfill);
         req.transition(RequestState::Fulfilled, SimTime::from_secs(10))
             .unwrap();

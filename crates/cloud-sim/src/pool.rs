@@ -19,9 +19,7 @@ use crate::config::SimConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spotlake_types::hash::{hash01, hash_u64};
-use spotlake_types::{
-    AzId, Catalog, InstanceFamily, InstanceTypeId, SimDuration, SpotPrice,
-};
+use spotlake_types::{AzId, Catalog, InstanceFamily, InstanceTypeId, SimDuration, SpotPrice};
 
 /// Compact index of a pool within a [`crate::SimCloud`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -199,9 +197,8 @@ impl Pool {
         } else {
             0.5 + 1.5 * h("region-capacity")
         };
-        let capacity = (family_capacity(family) * region_factor * config.capacity_scale
-            / weight)
-            .max(10.0);
+        let capacity =
+            (family_capacity(family) * region_factor * config.capacity_scale / weight).max(10.0);
 
         // Long-run margin: family base × size penalty × per-pool jitter.
         let size_penalty = 1.0 - 0.15 * (weight / 32.0).min(1.0);
@@ -234,9 +231,7 @@ impl Pool {
         // for larger sizes (Figures 3b, 4b, 5): shift the bucket draw
         // toward higher interruption ranges for those pairs.
         let family_shift = match family {
-            InstanceFamily::P | InstanceFamily::G | InstanceFamily::Inf | InstanceFamily::F => {
-                0.26
-            }
+            InstanceFamily::P | InstanceFamily::G | InstanceFamily::Inf | InstanceFamily::F => 0.26,
             InstanceFamily::Vt => 0.12,
             InstanceFamily::X | InstanceFamily::Z => 0.10,
             InstanceFamily::I | InstanceFamily::D | InstanceFamily::H => 0.08,
@@ -353,10 +348,8 @@ impl Pool {
         }
 
         let p = &self.params;
-        let stress_now =
-            ((p.stress_cut - self.state.slow_margin) / p.stress_cut).clamp(0.0, 1.0);
-        self.state.recent_stress =
-            stress_now.max(self.state.recent_stress * (-dt_h / 6.0).exp());
+        let stress_now = ((p.stress_cut - self.state.slow_margin) / p.stress_cut).clamp(0.0, 1.0);
+        self.state.recent_stress = stress_now.max(self.state.recent_stress * (-dt_h / 6.0).exp());
         if self.is_stressed() {
             self.state.stress_hours_today += dt_h;
         }
@@ -370,7 +363,10 @@ impl Pool {
     /// Headroom divided by the requested instance count — the quantity the
     /// placement score thresholds.
     pub fn fulfillment_ratio(&self, count: u32) -> f64 {
-        debug_assert!(count > 0, "a spot request must ask for at least one instance");
+        debug_assert!(
+            count > 0,
+            "a spot request must ask for at least one instance"
+        );
         self.headroom() / f64::from(count.max(1))
     }
 
@@ -396,8 +392,7 @@ impl Pool {
     /// Current interruption hazard, per hour of running time.
     pub fn hazard_per_hour(&self) -> f64 {
         let p = &self.params;
-        let stress_now =
-            ((p.stress_cut - self.state.slow_margin) / p.stress_cut).clamp(0.0, 1.0);
+        let stress_now = ((p.stress_cut - self.state.slow_margin) / p.stress_cut).clamp(0.0, 1.0);
         let stress = stress_now.max(0.75 * self.state.recent_stress);
         // Cubic in stress: shallow grazes below the cut barely matter, deep
         // starvation is lethal — this separates the paper's M-M row from

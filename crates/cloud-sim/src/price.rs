@@ -46,12 +46,7 @@ impl PriceBook {
         if start > 0 {
             out.push(all[start - 1]);
         }
-        out.extend(
-            all[start..]
-                .iter()
-                .take_while(|(t, _)| *t <= to)
-                .copied(),
-        );
+        out.extend(all[start..].iter().take_while(|(t, _)| *t <= to).copied());
         out
     }
 
@@ -90,7 +85,11 @@ mod tests {
         book.record(p, SimTime::from_secs(300), price(0.12));
         let h = book.history(p, SimTime::from_secs(250), SimTime::from_secs(400));
         assert_eq!(h.len(), 2);
-        assert_eq!(h[0].0, SimTime::from_secs(200), "price in effect at window start");
+        assert_eq!(
+            h[0].0,
+            SimTime::from_secs(200),
+            "price in effect at window start"
+        );
         assert_eq!(h[1].0, SimTime::from_secs(300));
     }
 
@@ -122,6 +121,10 @@ mod tests {
         let p = PoolId(0);
         book.record(p, SimTime::from_secs(0), price(0.10));
         book.prune(SimTime::from_secs(1000));
-        assert_eq!(book.history(p, SimTime::EPOCH, SimTime::from_secs(2000)).len(), 1);
+        assert_eq!(
+            book.history(p, SimTime::EPOCH, SimTime::from_secs(2000))
+                .len(),
+            1
+        );
     }
 }

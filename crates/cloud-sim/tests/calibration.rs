@@ -67,8 +67,16 @@ fn table2_shape_placement_score_concentrated_if_score_spread() {
     );
 
     // Placement score concentrated at 3.0.
-    assert!(sps_pct[2] > 75.0, "score 3.0 share {:.1}% too low", sps_pct[2]);
-    assert!(sps_pct[0] < 20.0, "score 1.0 share {:.1}% too high", sps_pct[0]);
+    assert!(
+        sps_pct[2] > 75.0,
+        "score 3.0 share {:.1}% too low",
+        sps_pct[2]
+    );
+    assert!(
+        sps_pct[0] < 20.0,
+        "score 1.0 share {:.1}% too high",
+        sps_pct[0]
+    );
     // Interruption-free score spread: no single bucket dominates like SPS.
     let max_if = if_pct.iter().cloned().fold(0.0, f64::max);
     assert!(max_if < 60.0, "IF score too concentrated: {if_pct:?}");

@@ -128,8 +128,7 @@ fn advisor_bias_multiplies_hazard() {
             if p.advisor_bias > 0.25 {
                 high_bias.get_or_insert(p.hazard_mult);
             }
-            if low_bias.is_some() && high_bias.is_some() {
-                let (lo, hi) = (low_bias.unwrap(), high_bias.unwrap());
+            if let (Some(lo), Some(hi)) = (low_bias, high_bias) {
                 assert!(hi > lo * 2.0, "bias coupling too weak: {lo} vs {hi}");
                 return;
             }

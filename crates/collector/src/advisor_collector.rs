@@ -4,16 +4,29 @@
 //! page* and scrapes its embedded JSON — the paper used the `spotinfo`
 //! tool for exactly this (Section 4). Each scraped row yields two records:
 //! the interruption-free score (the paper's numeric conversion of the
-//! bucket) and the savings percentage.
+//! bucket) and the savings percentage. Scraping a website is the flakiest
+//! leg of the pipeline — pages arrive truncated or garbled — so fetches
+//! are retried in-round before the round is declared degraded.
 
 use crate::error::CollectError;
-use spotlake_cloud_api::AdvisorPage;
+use crate::retry::RetryPolicy;
+use spotlake_cloud_api::{AdvisorClient, FaultInjector, FaultPlan};
 use spotlake_cloud_sim::SimCloud;
 use spotlake_timestream::Record;
+
+/// Result of one advisor collection pass.
+#[derive(Debug, Clone, Default)]
+pub struct AdvisorOutcome {
+    /// Records scraped from the page.
+    pub records: Vec<Record>,
+    /// Retry attempts spent beyond the first fetch.
+    pub retries: usize,
+}
 
 /// Collects the advisor dataset by scraping the advisor page.
 #[derive(Debug, Clone, Default)]
 pub struct AdvisorCollector {
+    client: AdvisorClient,
     type_filter: Option<Vec<String>>,
 }
 
@@ -30,18 +43,39 @@ impl AdvisorCollector {
         self
     }
 
-    /// Fetches and scrapes the advisor page, returning `if_score` and
-    /// `savings` records per (instance type, region), stamped with the
-    /// cloud's current time.
+    /// Installs fault injection on the page client.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.client = AdvisorClient::new().with_faults(FaultInjector::new(plan));
+    }
+
+    /// Fetches and scrapes the advisor page with in-round retries,
+    /// returning `if_score` and `savings` records per (instance type,
+    /// region), stamped with the cloud's current time.
     ///
     /// # Errors
     ///
-    /// Returns [`CollectError::Api`] when the page cannot be scraped.
-    pub fn collect(&self, cloud: &SimCloud) -> Result<Vec<Record>, CollectError> {
-        let page = AdvisorPage::render(cloud);
-        let rows = AdvisorPage::scrape(&page)?;
+    /// Returns [`CollectError::Api`] when every attempt fails — a
+    /// truncated or corrupted page counts as retryable, so the caller may
+    /// degrade the round rather than abort it.
+    pub fn collect_with(
+        &mut self,
+        cloud: &SimCloud,
+        policy: &RetryPolicy,
+    ) -> Result<AdvisorOutcome, CollectError> {
+        let mut outcome = AdvisorOutcome::default();
+        let mut attempt = 0;
+        let rows = loop {
+            attempt += 1;
+            match self.client.fetch(cloud) {
+                Ok(rows) => break rows,
+                Err(e) if e.is_retryable() && attempt < policy.max_attempts => {
+                    outcome.retries += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         let now = cloud.now().as_secs();
-        let mut records = Vec::with_capacity(rows.len() * 2);
+        outcome.records.reserve(rows.len() * 2);
         for row in rows {
             if let Some(filter) = &self.type_filter {
                 if !filter.contains(&row.instance_type) {
@@ -49,18 +83,27 @@ impl AdvisorCollector {
                 }
             }
             let score = row.bucket.interruption_free_score().as_f64();
-            records.push(
+            outcome.records.push(
                 Record::new(now, "if_score", score)
                     .dimension("instance_type", &row.instance_type)
                     .dimension("region", &row.region),
             );
-            records.push(
+            outcome.records.push(
                 Record::new(now, "savings", f64::from(row.savings.percent()))
                     .dimension("instance_type", &row.instance_type)
                     .dimension("region", &row.region),
             );
         }
-        Ok(records)
+        Ok(outcome)
+    }
+
+    /// Collects with the default retry policy, returning records only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError::Api`] when the page cannot be scraped.
+    pub fn collect(&mut self, cloud: &SimCloud) -> Result<Vec<Record>, CollectError> {
+        Ok(self.collect_with(cloud, &RetryPolicy::default())?.records)
     }
 }
 
@@ -70,14 +113,18 @@ mod tests {
     use spotlake_cloud_sim::SimConfig;
     use spotlake_types::CatalogBuilder;
 
-    #[test]
-    fn collects_two_records_per_pair() {
+    fn cloud() -> SimCloud {
         let mut b = CatalogBuilder::new();
         b.region("us-test-1", 2)
             .region("eu-test-1", 2)
             .instance_type("m5.large", 0.096)
             .instance_type("p3.2xlarge", 3.06);
-        let cloud = SimCloud::new(b.build().unwrap(), SimConfig::default());
+        SimCloud::new(b.build().unwrap(), SimConfig::default())
+    }
+
+    #[test]
+    fn collects_two_records_per_pair() {
+        let cloud = cloud();
         let records = AdvisorCollector::new().collect(&cloud).unwrap();
         // 2 types × 2 regions × 2 measures.
         assert_eq!(records.len(), 8);
@@ -90,5 +137,33 @@ mod tests {
         for r in savings {
             assert!((0.0..100.0).contains(&r.value));
         }
+    }
+
+    #[test]
+    fn retries_absorb_flaky_fetches_or_degrade_cleanly() {
+        let mut cloud = cloud();
+        let mut c = AdvisorCollector::new();
+        c.set_fault_plan(FaultPlan::uniform(41, 0.4));
+        let policy = RetryPolicy::default();
+        let mut retries = 0;
+        let mut successes = 0;
+        let mut failures = 0;
+        for _ in 0..30 {
+            cloud.step();
+            match c.collect_with(&cloud, &policy) {
+                Ok(o) => {
+                    successes += 1;
+                    retries += o.retries;
+                    assert_eq!(o.records.len(), 8);
+                }
+                Err(CollectError::Api(e)) => {
+                    assert!(e.is_retryable(), "only exhausted transients may surface");
+                    failures += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(successes > failures, "retries should win most rounds");
+        assert!(retries > 0);
     }
 }

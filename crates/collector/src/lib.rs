@@ -14,6 +14,13 @@
 //!   has no API — and write them to [`spotlake_timestream`] tables.
 //! * [`CollectorService`] wires everything together and runs the periodic
 //!   collection loop.
+//! * The resilience layer keeps that loop alive under transient faults:
+//!   [`RetryPolicy`] caps in-round retries with exponential backoff,
+//!   [`CircuitBreaker`] stops hammering a dataset that keeps failing,
+//!   failed SPS queries are parked in a dead-letter queue for later
+//!   rounds, and every round reports a [`RoundHealth`] record instead of
+//!   sinking the round on the first error. Inject deterministic faults via
+//!   [`CollectorConfig::faults`] (a re-exported [`FaultPlan`]).
 //!
 //! # Example
 //!
@@ -40,18 +47,26 @@
 mod accounts;
 mod advisor_collector;
 mod error;
+mod health;
 mod planner;
 mod price_collector;
+mod retry;
 mod service;
 mod sps_collector;
 
 pub use accounts::AccountPool;
-pub use advisor_collector::AdvisorCollector;
+pub use advisor_collector::{AdvisorCollector, AdvisorOutcome};
 pub use error::CollectError;
+pub use health::{Dataset, DatasetHealth, DatasetStatus, RoundHealth};
 pub use planner::{PlanStats, PlannedQuery, PlannerStrategy, QueryPlanner};
-pub use price_collector::PriceCollector;
-pub use service::{CollectStats, CollectorConfig, CollectorService};
-pub use sps_collector::SpsCollector;
+pub use price_collector::{PriceCollector, PriceOutcome};
+pub use retry::{BreakerState, CircuitBreaker, RetryPolicy};
+pub use service::{CollectStats, CollectorConfig, CollectorService, RoundReport};
+pub use sps_collector::{FailedQuery, SpsCollector, SpsOutcome, SpsQueryOutcome};
+
+// Re-exported so downstream crates (bench, CLI) can configure fault
+// injection without a direct `spotlake-cloud-api` dependency.
+pub use spotlake_cloud_api::FaultPlan;
 
 /// Table name for placement scores.
 pub const SPS_TABLE: &str = "sps";

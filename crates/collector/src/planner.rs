@@ -243,8 +243,7 @@ mod tests {
     #[test]
     fn type_filter_restricts_plan() {
         let c = catalog();
-        let plan =
-            QueryPlanner::default().plan(&c, Some(&["m5.large".to_string()]));
+        let plan = QueryPlanner::default().plan(&c, Some(&["m5.large".to_string()]));
         assert!(plan.iter().all(|q| q.instance_type == "m5.large"));
         assert!(!plan.is_empty());
         let none = QueryPlanner::default().plan(&c, Some(&[]));
@@ -276,7 +275,9 @@ mod tests {
     fn exact_at_least_lower_bound_and_at_most_ffd() {
         let c = catalog();
         let lb = QueryPlanner::default().plan_lower_bound(&c);
-        let exact = QueryPlanner::new(PlannerStrategy::Exact).plan(&c, None).len();
+        let exact = QueryPlanner::new(PlannerStrategy::Exact)
+            .plan(&c, None)
+            .len();
         let ffd = QueryPlanner::new(PlannerStrategy::Ffd).plan(&c, None).len();
         assert!(exact >= lb);
         assert!(exact <= ffd);

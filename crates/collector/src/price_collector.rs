@@ -3,13 +3,26 @@
 //! The price API already serves history, so this collector is incremental:
 //! it remembers the end of its last window and asks only for newer change
 //! events, batching instance types per request and following pagination
-//! tokens.
+//! tokens. The watermark advances only after a fully successful sweep —
+//! when a page fetch keeps failing, the round's price data is dropped
+//! whole and the next round re-covers the same window, so faults cause
+//! delay, never loss or partial double-collection.
 
 use crate::error::CollectError;
-use spotlake_cloud_api::{PriceClient, PriceRequest};
+use crate::retry::RetryPolicy;
+use spotlake_cloud_api::{ApiError, FaultInjector, FaultPlan, PriceClient, PriceRequest};
 use spotlake_cloud_sim::SimCloud;
 use spotlake_timestream::Record;
 use spotlake_types::{SimDuration, SimTime};
+
+/// Result of one price collection sweep.
+#[derive(Debug, Clone, Default)]
+pub struct PriceOutcome {
+    /// Records collected since the previous successful sweep.
+    pub records: Vec<Record>,
+    /// Retry attempts spent beyond each page fetch's first call.
+    pub retries: usize,
+}
 
 /// Collects spot price-change events incrementally.
 #[derive(Debug, Clone)]
@@ -43,14 +56,29 @@ impl PriceCollector {
         self
     }
 
-    /// Collects price-change events since the previous call (or all
-    /// retained history on the first call). Records carry the change
-    /// timestamp, not the collection time.
+    /// Installs fault injection on the price client.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.client = PriceClient::new().with_faults(FaultInjector::new(plan));
+    }
+
+    /// Collects price-change events since the previous successful call (or
+    /// all retained history on the first call), retrying each page fetch
+    /// up to `policy.max_attempts`. Records carry the change timestamp,
+    /// not the collection time.
+    ///
+    /// On failure the watermark does not advance and nothing is returned:
+    /// the next sweep re-reads the same window from scratch.
     ///
     /// # Errors
     ///
-    /// Returns [`CollectError::Api`] on API failures.
-    pub fn collect(&mut self, cloud: &SimCloud) -> Result<Vec<Record>, CollectError> {
+    /// Returns [`CollectError::Api`] when a page fetch exhausts its
+    /// retries (retryable error — the caller may degrade the round) or
+    /// fails outright (non-retryable — a caller bug).
+    pub fn collect_with(
+        &mut self,
+        cloud: &SimCloud,
+        policy: &RetryPolicy,
+    ) -> Result<PriceOutcome, CollectError> {
         let catalog = cloud.catalog();
         let from = match self.last_collected {
             // Windows are inclusive; skip the instant we already covered.
@@ -58,8 +86,9 @@ impl PriceCollector {
             None => SimTime::EPOCH,
         };
         let to = cloud.now();
+        let mut outcome = PriceOutcome::default();
         if from > to {
-            return Ok(Vec::new());
+            return Ok(outcome);
         }
 
         let all_names: Vec<String> = match &self.type_filter {
@@ -67,14 +96,18 @@ impl PriceCollector {
             None => catalog.instance_types().iter().map(|t| t.name()).collect(),
         };
 
-        let mut records = Vec::new();
         for chunk in all_names.chunks(self.batch) {
             let request = PriceRequest::new(chunk.to_vec(), from, to)?;
             let mut token: Option<String> = None;
             loop {
-                let page =
-                    self.client
-                        .describe_spot_price_history(cloud, &request, token.as_deref())?;
+                let page = fetch_page_with_retry(
+                    &mut self.client,
+                    cloud,
+                    &request,
+                    token.as_deref(),
+                    policy,
+                    &mut outcome.retries,
+                )?;
                 for p in page.records {
                     // The API pads the window start with the price already
                     // in effect; skip events we have already stored.
@@ -87,7 +120,7 @@ impl PriceCollector {
                         .map(|_| &p.availability_zone[..p.availability_zone.len() - 1])
                         .unwrap_or(&p.availability_zone)
                         .to_owned();
-                    records.push(
+                    outcome.records.push(
                         Record::new(p.timestamp.as_secs(), "spot_price", p.price.as_usd())
                             .dimension("instance_type", &p.instance_type)
                             .dimension("region", region)
@@ -101,7 +134,37 @@ impl PriceCollector {
             }
         }
         self.last_collected = Some(to);
-        Ok(records)
+        Ok(outcome)
+    }
+
+    /// Collects with the default retry policy, returning records only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError::Api`] on API failures.
+    pub fn collect(&mut self, cloud: &SimCloud) -> Result<Vec<Record>, CollectError> {
+        Ok(self.collect_with(cloud, &RetryPolicy::default())?.records)
+    }
+}
+
+fn fetch_page_with_retry(
+    client: &mut PriceClient,
+    cloud: &SimCloud,
+    request: &PriceRequest,
+    token: Option<&str>,
+    policy: &RetryPolicy,
+    retries: &mut usize,
+) -> Result<spotlake_cloud_api::PricePage, ApiError> {
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match client.describe_spot_price_history(cloud, request, token) {
+            Ok(page) => return Ok(page),
+            Err(e) if e.is_retryable() && attempt < policy.max_attempts => {
+                *retries += 1;
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -162,5 +225,43 @@ mod tests {
             .iter()
             .all(|r| r.dimension_value("instance_type") == Some("c5.large")));
         assert!(!records.is_empty());
+    }
+
+    #[test]
+    fn failed_sweep_keeps_the_watermark_so_nothing_is_lost() {
+        let mut cloud = cloud();
+        let mut faulty = PriceCollector::new();
+        // Rate 1.0: every attempt fails, the sweep errors out.
+        faulty.set_fault_plan(FaultPlan::uniform(23, 1.0));
+        let policy = RetryPolicy::default();
+        cloud.run_days(2);
+        let err = faulty.collect_with(&cloud, &policy).unwrap_err();
+        assert!(matches!(err, CollectError::Api(e) if e.is_retryable()));
+        // Heal the network; the full window arrives on the next sweep.
+        faulty.set_fault_plan(FaultPlan::none(23));
+        let healed = faulty.collect_with(&cloud, &policy).unwrap();
+        let mut clean = PriceCollector::new();
+        let expected = clean.collect(&cloud).unwrap();
+        assert_eq!(healed.records, expected);
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_by_retries() {
+        let mut cloud = cloud();
+        let mut c = PriceCollector::new();
+        // Low enough that three attempts nearly always find a gap.
+        c.set_fault_plan(FaultPlan::uniform(31, 0.3));
+        let policy = RetryPolicy::default();
+        let mut retries = 0;
+        let mut records = 0;
+        for _ in 0..20 {
+            cloud.run_days(1);
+            if let Ok(o) = c.collect_with(&cloud, &policy) {
+                retries += o.retries;
+                records += o.records.len();
+            }
+        }
+        assert!(retries > 0, "a 30% fault rate must trigger retries");
+        assert!(records > 0);
     }
 }

@@ -1,0 +1,197 @@
+//! Retry policy and circuit breakers for the resilient collection loop.
+//!
+//! Transient API failures (throttling, timeouts, damaged scrape bodies)
+//! are retried immediately within the round, up to a budget; queries that
+//! exhaust it go to the service's dead-letter queue with an exponential,
+//! deterministically jittered backoff denominated in *simulation ticks*.
+//! A circuit breaker per dataset stops hammering a surface that keeps
+//! failing and probes it again after a cooldown.
+
+use spotlake_types::hash::hash01;
+
+/// Retry budget and backoff schedule. Backoff is measured in simulation
+/// ticks (one tick = one collection round), and jitter is a deterministic
+/// hash of the scope — two runs with the same seed retry identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per operation within one round, including the first.
+    pub max_attempts: u32,
+    /// Base backoff in ticks (before a dead-lettered query is retried).
+    pub base_backoff_ticks: u64,
+    /// Cap on the exponential backoff, in ticks.
+    pub max_backoff_ticks: u64,
+    /// Seed for deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ticks: 1,
+            max_backoff_ticks: 16,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before re-attempting `scope` after its `failures`-th
+    /// consecutive failure (1-based): capped exponential plus a
+    /// deterministic jitter of up to one base interval.
+    pub fn backoff_ticks(&self, scope: &str, failures: u32) -> u64 {
+        let exp = self
+            .base_backoff_ticks
+            .saturating_mul(1u64 << failures.saturating_sub(1).min(10))
+            .min(self.max_backoff_ticks);
+        let jitter = (hash01(&[
+            "retry-jitter",
+            scope,
+            &failures.to_string(),
+            &self.seed.to_string(),
+        ]) * (self.base_backoff_ticks + 1) as f64) as u64;
+        (exp + jitter).min(self.max_backoff_ticks).max(1)
+    }
+}
+
+/// Circuit-breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests are short-circuited until the cooldown elapses.
+    Open,
+    /// One probe request is allowed through; its outcome decides.
+    HalfOpen,
+}
+
+/// A per-dataset circuit breaker (closed → open → half-open).
+///
+/// `failure_threshold` consecutive dataset failures open the breaker;
+/// after `cooldown_ticks` it half-opens and lets one round probe the
+/// surface. A successful probe closes it, a failed probe re-opens it for
+/// another cooldown.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    failure_threshold: u32,
+    cooldown_ticks: u64,
+    opened_at: u64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker.
+    pub fn new(failure_threshold: u32, cooldown_ticks: u64) -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            failure_threshold: failure_threshold.max(1),
+            cooldown_ticks,
+            opened_at: 0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether a request may proceed at `tick`. An open breaker whose
+    /// cooldown has elapsed transitions to half-open and admits the probe.
+    pub fn allow(&mut self, tick: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if tick >= self.opened_at.saturating_add(self.cooldown_ticks) {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful round: closes the breaker and clears the
+    /// failure streak.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Records a failed round at `tick`. Opens the breaker when the
+    /// streak reaches the threshold, or immediately when a half-open
+    /// probe fails.
+    pub fn record_failure(&mut self, tick: u64) {
+        self.consecutive_failures += 1;
+        if self.state == BreakerState::HalfOpen
+            || self.consecutive_failures >= self.failure_threshold
+        {
+            self.state = BreakerState::Open;
+            self.opened_at = tick;
+        }
+    }
+
+    /// Forces the breaker open at `tick` (operator kill switch; also used
+    /// by the chaos tests).
+    pub fn force_open(&mut self, tick: u64) {
+        self.state = BreakerState::Open;
+        self.consecutive_failures = self.failure_threshold;
+        self.opened_at = tick;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ticks: 2,
+            max_backoff_ticks: 12,
+            seed: 9,
+        };
+        let b1 = p.backoff_ticks("q", 1);
+        let b3 = p.backoff_ticks("q", 3);
+        let b9 = p.backoff_ticks("q", 9);
+        assert!(b1 >= 1);
+        assert!(b3 >= b1, "backoff must not shrink: {b1} -> {b3}");
+        assert_eq!(b9, 12, "deep failure streaks hit the cap");
+        // Deterministic: same inputs, same backoff.
+        assert_eq!(p.backoff_ticks("q", 2), p.backoff_ticks("q", 2));
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen() {
+        let mut b = CircuitBreaker::new(3, 5);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(0);
+        b.record_failure(1);
+        assert!(b.allow(2), "below threshold stays closed");
+        b.record_failure(2);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(3), "open short-circuits");
+        assert!(!b.allow(6), "cooldown not yet elapsed");
+        assert!(b.allow(7), "cooldown elapsed: half-open probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_failure(7);
+        assert_eq!(b.state(), BreakerState::Open, "failed probe re-opens");
+        assert!(b.allow(12));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(13));
+    }
+
+    #[test]
+    fn force_open_blocks_until_cooldown() {
+        let mut b = CircuitBreaker::new(3, 4);
+        b.force_open(10);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(11));
+        assert!(b.allow(14));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+}

@@ -1,15 +1,31 @@
-//! The collection service: planning, scheduling, and storage wiring.
+//! The collection service: planning, scheduling, storage wiring, and the
+//! resilience machinery that keeps rounds flowing under transient faults.
+//!
+//! Each of the three datasets is isolated: an advisor outage degrades the
+//! round instead of discarding the SPS and price data collected alongside
+//! it. Transient failures are retried in-round; datasets that keep failing
+//! trip a per-dataset circuit breaker; SPS queries that exhaust their
+//! retries are parked in a dead-letter queue and re-attempted in later
+//! rounds with exponential backoff (re-issuing a known fingerprint is free
+//! under the 50-unique-queries budget).
 
 use crate::accounts::AccountPool;
 use crate::advisor_collector::AdvisorCollector;
 use crate::error::CollectError;
+use crate::health::{Dataset, DatasetStatus, RoundHealth};
 use crate::planner::{PlanStats, PlannerStrategy, QueryPlanner};
 use crate::price_collector::PriceCollector;
+use crate::retry::{CircuitBreaker, RetryPolicy};
 use crate::sps_collector::SpsCollector;
 use crate::{ADVISOR_TABLE, PRICE_TABLE, SPS_TABLE};
+use spotlake_cloud_api::FaultPlan;
 use spotlake_cloud_sim::SimCloud;
-use spotlake_timestream::{Database, TableOptions, WriteMode};
+use spotlake_timestream::{Database, Record, TableOptions, TsError, WriteMode};
 use spotlake_types::Catalog;
+use std::collections::HashSet;
+
+/// Re-attempts per dead-lettered query before it is dropped for good.
+const DEAD_LETTER_MAX_ATTEMPTS: u32 = 5;
 
 /// Collector configuration.
 #[derive(Debug, Clone)]
@@ -28,6 +44,11 @@ pub struct CollectorConfig {
     pub collect_advisor: bool,
     /// Collect the price dataset.
     pub collect_price: bool,
+    /// Deterministic fault injection; `None` (the default) leaves every
+    /// API surface and the store untouched.
+    pub faults: Option<FaultPlan>,
+    /// Retry budget and backoff schedule.
+    pub retry: RetryPolicy,
 }
 
 impl Default for CollectorConfig {
@@ -40,6 +61,8 @@ impl Default for CollectorConfig {
             collect_sps: true,
             collect_advisor: true,
             collect_price: true,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -59,6 +82,15 @@ pub struct CollectStats {
     pub queries_issued: usize,
     /// Collection rounds executed.
     pub rounds: usize,
+    /// Retry attempts spent across all datasets and store writes.
+    pub retries: usize,
+    /// Operations that failed even after retries (SPS queries, advisor
+    /// fetches, price sweeps).
+    pub queries_failed: usize,
+    /// Rounds in which at least one dataset fell short.
+    pub degraded_rounds: usize,
+    /// SPS queries newly parked in the dead-letter queue.
+    pub dead_lettered: usize,
 }
 
 impl CollectStats {
@@ -69,11 +101,34 @@ impl CollectStats {
         self.records_written += other.records_written;
         self.queries_issued += other.queries_issued;
         self.rounds += other.rounds;
+        self.retries += other.retries;
+        self.queries_failed += other.queries_failed;
+        self.degraded_rounds += other.degraded_rounds;
+        self.dead_lettered += other.dead_lettered;
     }
 }
 
-/// The SpotLake collection service: owns the archive database and the three
-/// dataset collectors.
+/// One round's result: the counters plus the structured health record.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// The round's counters.
+    pub stats: CollectStats,
+    /// What happened per dataset.
+    pub health: RoundHealth,
+}
+
+/// A persistently failing SPS query parked for later re-attempts.
+#[derive(Debug, Clone)]
+struct DeadLetter {
+    shard: usize,
+    query: usize,
+    attempts: u32,
+    eligible_at: u64,
+}
+
+/// The SpotLake collection service: owns the archive database, the three
+/// dataset collectors, and the resilience state (retry policy, breakers,
+/// dead-letter queue).
 #[derive(Debug)]
 pub struct CollectorService {
     db: Database,
@@ -81,6 +136,16 @@ pub struct CollectorService {
     advisor: Option<AdvisorCollector>,
     price: Option<PriceCollector>,
     plan_stats: PlanStats,
+    policy: RetryPolicy,
+    sps_breaker: CircuitBreaker,
+    advisor_breaker: CircuitBreaker,
+    price_breaker: CircuitBreaker,
+    dead_letters: Vec<DeadLetter>,
+    /// Price records collected but not yet durably stored (the store
+    /// throttled the write); flushed with the next successful sweep so a
+    /// storage hiccup delays price data instead of losing it.
+    pending_price: Vec<Record>,
+    last_health: Option<RoundHealth>,
 }
 
 impl CollectorService {
@@ -90,13 +155,13 @@ impl CollectorService {
     /// # Errors
     ///
     /// Returns [`CollectError::InsufficientAccounts`] when an explicit
-    /// account pool is too small for the plan.
+    /// account pool is too small for the plan, or [`CollectError::Store`]
+    /// if the archive tables cannot be created.
     pub fn new(catalog: &Catalog, config: CollectorConfig) -> Result<Self, CollectError> {
         let planner = QueryPlanner::new(config.strategy);
-        let (plan, plan_stats) =
-            planner.plan_with_stats(catalog, config.type_filter.as_deref());
+        let (plan, plan_stats) = planner.plan_with_stats(catalog, config.type_filter.as_deref());
 
-        let sps = if config.collect_sps {
+        let mut sps = if config.collect_sps {
             let pool_size = config
                 .accounts
                 .unwrap_or_else(|| AccountPool::required_accounts(plan.len()));
@@ -105,14 +170,14 @@ impl CollectorService {
         } else {
             None
         };
-        let advisor = config.collect_advisor.then(|| {
+        let mut advisor = config.collect_advisor.then(|| {
             let c = AdvisorCollector::new();
             match &config.type_filter {
                 Some(f) => c.with_type_filter(f.clone()),
                 None => c,
             }
         });
-        let price = config.collect_price.then(|| {
+        let mut price = config.collect_price.then(|| {
             let c = PriceCollector::new();
             match &config.type_filter {
                 Some(f) => c.with_type_filter(f.clone()),
@@ -127,24 +192,34 @@ impl CollectorService {
                 mode: WriteMode::Dense,
                 retention: None,
             },
-        )
-        .expect("fresh database");
+        )?;
         db.create_table(
             ADVISOR_TABLE,
             TableOptions {
                 mode: WriteMode::ChangePoint,
                 retention: None,
             },
-        )
-        .expect("fresh database");
+        )?;
         db.create_table(
             PRICE_TABLE,
             TableOptions {
                 mode: WriteMode::ChangePoint,
                 retention: None,
             },
-        )
-        .expect("fresh database");
+        )?;
+
+        if let Some(plan) = config.faults.filter(|p| !p.is_zero()) {
+            if let Some(s) = &mut sps {
+                s.set_fault_plan(plan);
+            }
+            if let Some(a) = &mut advisor {
+                a.set_fault_plan(plan);
+            }
+            if let Some(p) = &mut price {
+                p.set_fault_plan(plan);
+            }
+            db.set_write_faults(plan.write_rate, plan.seed);
+        }
 
         Ok(CollectorService {
             db,
@@ -152,6 +227,13 @@ impl CollectorService {
             advisor,
             price,
             plan_stats,
+            policy: config.retry,
+            sps_breaker: CircuitBreaker::new(3, 8),
+            advisor_breaker: CircuitBreaker::new(3, 8),
+            price_breaker: CircuitBreaker::new(3, 8),
+            dead_letters: Vec::new(),
+            pending_price: Vec::new(),
+            last_health: None,
         })
     }
 
@@ -175,33 +257,309 @@ impl CollectorService {
         self.db
     }
 
-    /// Runs one collection round against the cloud's current state.
+    /// The health record of the most recent round, if any ran.
+    pub fn last_health(&self) -> Option<&RoundHealth> {
+        self.last_health.as_ref()
+    }
+
+    /// Current dead-letter queue depth.
+    pub fn dead_letter_depth(&self) -> usize {
+        self.dead_letters.len()
+    }
+
+    /// Forces a dataset's circuit breaker open at `tick` — the operator
+    /// kill switch (and the chaos tests' lever). The dataset is skipped
+    /// until the breaker's cooldown elapses.
+    pub fn force_breaker_open(&mut self, dataset: Dataset, tick: u64) {
+        self.breaker_mut(dataset).force_open(tick);
+    }
+
+    fn breaker_mut(&mut self, dataset: Dataset) -> &mut CircuitBreaker {
+        match dataset {
+            Dataset::Sps => &mut self.sps_breaker,
+            Dataset::Advisor => &mut self.advisor_breaker,
+            Dataset::Price => &mut self.price_breaker,
+        }
+    }
+
+    /// Runs one collection round against the cloud's current state,
+    /// returning both counters and the round's health record.
+    ///
+    /// Transient trouble — injected or otherwise — degrades the round:
+    /// whatever was collected is stored and the shortfall is recorded in
+    /// [`RoundHealth`]. Only non-retryable errors (invalid parameters,
+    /// unknown entities, a blown query budget, schema-level store errors)
+    /// return `Err`, because those are bugs rather than weather.
     ///
     /// # Errors
     ///
-    /// Returns [`CollectError`] if any collector or store write fails.
-    pub fn collect_once(&mut self, cloud: &SimCloud) -> Result<CollectStats, CollectError> {
+    /// Returns [`CollectError`] only for the non-retryable class above.
+    pub fn collect_round(&mut self, cloud: &SimCloud) -> Result<RoundReport, CollectError> {
+        let tick = cloud.ticks();
         let mut stats = CollectStats {
             rounds: 1,
             ..CollectStats::default()
         };
-        if let Some(sps) = &mut self.sps {
-            let records = sps.collect(cloud)?;
-            stats.sps_records = records.len();
-            stats.queries_issued = sps.query_count();
-            stats.records_written += self.db.write(SPS_TABLE, &records)?;
+        let mut health = RoundHealth {
+            tick,
+            ..RoundHealth::default()
+        };
+
+        self.collect_sps_dataset(cloud, tick, &mut stats, &mut health)?;
+        self.collect_advisor_dataset(cloud, tick, &mut stats, &mut health)?;
+        self.collect_price_dataset(cloud, tick, &mut stats, &mut health)?;
+
+        health.dead_letter_depth = self.dead_letters.len();
+        stats.retries = health.sps.retries + health.advisor.retries + health.price.retries;
+        stats.queries_failed =
+            health.sps.failed_queries + health.advisor.failed_queries + health.price.failed_queries;
+        if health.is_degraded() {
+            stats.degraded_rounds = 1;
         }
-        if let Some(advisor) = &self.advisor {
-            let records = advisor.collect(cloud)?;
-            stats.advisor_records = records.len();
-            stats.records_written += self.db.write(ADVISOR_TABLE, &records)?;
+        self.last_health = Some(health.clone());
+        Ok(RoundReport { stats, health })
+    }
+
+    fn collect_sps_dataset(
+        &mut self,
+        cloud: &SimCloud,
+        tick: u64,
+        stats: &mut CollectStats,
+        health: &mut RoundHealth,
+    ) -> Result<(), CollectError> {
+        let Some(sps) = &mut self.sps else {
+            return Ok(());
+        };
+        if !self.sps_breaker.allow(tick) {
+            health.sps.status = DatasetStatus::Skipped;
+            return Ok(());
         }
-        if let Some(price) = &mut self.price {
-            let records = price.collect(cloud)?;
-            stats.price_records = records.len();
-            stats.records_written += self.db.write(PRICE_TABLE, &records)?;
+
+        let mut outcome = sps.collect_with(cloud, &self.policy)?;
+        stats.queries_issued = sps.query_count();
+        health.sps.retries = outcome.retries;
+
+        // Which plan slots are failing *right now*. Dead letters whose
+        // query recovered in this regular pass are satisfied and dropped;
+        // the rest are re-attempted once their backoff elapses.
+        let mut failing: HashSet<(usize, usize)> =
+            outcome.failed.iter().map(|f| (f.shard, f.query)).collect();
+        health.sps.error = outcome.failed.first().map(|f| f.error.to_string());
+        self.dead_letters
+            .retain(|d| failing.contains(&(d.shard, d.query)));
+
+        let policy = self.policy;
+        let mut recovered = Vec::new();
+        for d in &mut self.dead_letters {
+            if d.eligible_at > tick {
+                continue;
+            }
+            let res = sps.retry_query(cloud, d.shard, d.query, &policy);
+            health.sps.retries += res.retries + 1;
+            match res.error {
+                None => {
+                    outcome.records.extend(res.records);
+                    failing.remove(&(d.shard, d.query));
+                    recovered.push((d.shard, d.query));
+                }
+                Some(e) => {
+                    d.attempts += 1;
+                    let scope = format!("dlq/{}/{}", d.shard, d.query);
+                    d.eligible_at = tick + policy.backoff_ticks(&scope, d.attempts);
+                    if !e.is_retryable() || d.attempts >= DEAD_LETTER_MAX_ATTEMPTS {
+                        recovered.push((d.shard, d.query)); // dropped below
+                    }
+                }
+            }
         }
-        Ok(stats)
+        self.dead_letters
+            .retain(|d| !recovered.contains(&(d.shard, d.query)));
+
+        // Park this round's fresh failures.
+        for f in &outcome.failed {
+            let key = (f.shard, f.query);
+            if !failing.contains(&key) {
+                continue; // recovered via the dead-letter pass above
+            }
+            if self.dead_letters.iter().any(|d| (d.shard, d.query) == key) {
+                continue;
+            }
+            let scope = format!("dlq/{}/{}", f.shard, f.query);
+            self.dead_letters.push(DeadLetter {
+                shard: f.shard,
+                query: f.query,
+                attempts: 1,
+                eligible_at: tick + self.policy.backoff_ticks(&scope, 1),
+            });
+            stats.dead_lettered += 1;
+        }
+        health.sps.failed_queries = failing.len();
+
+        match write_with_retry(
+            &mut self.db,
+            SPS_TABLE,
+            &outcome.records,
+            &self.policy,
+            &mut health.sps.retries,
+        ) {
+            Ok(written) => {
+                stats.sps_records = outcome.records.len();
+                stats.records_written += written;
+                health.sps.records = outcome.records.len();
+                if outcome.records.is_empty() && !failing.is_empty() {
+                    health.sps.status = DatasetStatus::Failed;
+                    self.sps_breaker.record_failure(tick);
+                } else if !failing.is_empty() || health.sps.retries > 0 {
+                    health.sps.status = DatasetStatus::Degraded;
+                    self.sps_breaker.record_success();
+                } else {
+                    health.sps.status = DatasetStatus::Ok;
+                    self.sps_breaker.record_success();
+                }
+            }
+            Err(e) if e.is_retryable() => {
+                // The store refused the whole batch: a gap in the dense
+                // series this round.
+                health.sps.status = DatasetStatus::Failed;
+                health.sps.error = Some(e.to_string());
+                self.sps_breaker.record_failure(tick);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        Ok(())
+    }
+
+    fn collect_advisor_dataset(
+        &mut self,
+        cloud: &SimCloud,
+        tick: u64,
+        stats: &mut CollectStats,
+        health: &mut RoundHealth,
+    ) -> Result<(), CollectError> {
+        let Some(advisor) = &mut self.advisor else {
+            return Ok(());
+        };
+        if !self.advisor_breaker.allow(tick) {
+            health.advisor.status = DatasetStatus::Skipped;
+            return Ok(());
+        }
+        match advisor.collect_with(cloud, &self.policy) {
+            Ok(outcome) => {
+                health.advisor.retries = outcome.retries;
+                match write_with_retry(
+                    &mut self.db,
+                    ADVISOR_TABLE,
+                    &outcome.records,
+                    &self.policy,
+                    &mut health.advisor.retries,
+                ) {
+                    Ok(written) => {
+                        stats.advisor_records = outcome.records.len();
+                        stats.records_written += written;
+                        health.advisor.records = outcome.records.len();
+                        health.advisor.status = if health.advisor.retries > 0 {
+                            DatasetStatus::Degraded
+                        } else {
+                            DatasetStatus::Ok
+                        };
+                        self.advisor_breaker.record_success();
+                    }
+                    Err(e) if e.is_retryable() => {
+                        // Change-point table: the next successful round
+                        // re-delivers the current state, so nothing is
+                        // lost for good.
+                        health.advisor.status = DatasetStatus::Failed;
+                        health.advisor.failed_queries = 1;
+                        health.advisor.error = Some(e.to_string());
+                        self.advisor_breaker.record_failure(tick);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            Err(CollectError::Api(e)) if e.is_retryable() => {
+                health.advisor.status = DatasetStatus::Failed;
+                health.advisor.failed_queries = 1;
+                health.advisor.retries = self.policy.max_attempts.saturating_sub(1) as usize;
+                health.advisor.error = Some(e.to_string());
+                self.advisor_breaker.record_failure(tick);
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(())
+    }
+
+    fn collect_price_dataset(
+        &mut self,
+        cloud: &SimCloud,
+        tick: u64,
+        stats: &mut CollectStats,
+        health: &mut RoundHealth,
+    ) -> Result<(), CollectError> {
+        let Some(price) = &mut self.price else {
+            return Ok(());
+        };
+        if !self.price_breaker.allow(tick) {
+            health.price.status = DatasetStatus::Skipped;
+            return Ok(());
+        }
+        match price.collect_with(cloud, &self.policy) {
+            Ok(outcome) => {
+                health.price.retries = outcome.retries;
+                // Older, previously unwritable records go first.
+                let mut records = std::mem::take(&mut self.pending_price);
+                records.extend(outcome.records);
+                match write_with_retry(
+                    &mut self.db,
+                    PRICE_TABLE,
+                    &records,
+                    &self.policy,
+                    &mut health.price.retries,
+                ) {
+                    Ok(written) => {
+                        stats.price_records = records.len();
+                        stats.records_written += written;
+                        health.price.records = records.len();
+                        health.price.status = if health.price.retries > 0 {
+                            DatasetStatus::Degraded
+                        } else {
+                            DatasetStatus::Ok
+                        };
+                        self.price_breaker.record_success();
+                    }
+                    Err(e) if e.is_retryable() => {
+                        // Buffer instead of dropping: the sweep succeeded
+                        // and the watermark advanced, so these records
+                        // exist nowhere else.
+                        self.pending_price = records;
+                        health.price.status = DatasetStatus::Failed;
+                        health.price.failed_queries = 1;
+                        health.price.error = Some(e.to_string());
+                        self.price_breaker.record_failure(tick);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            Err(CollectError::Api(e)) if e.is_retryable() => {
+                // The watermark did not advance: the next sweep re-covers
+                // this window, so faults delay price data, never lose it.
+                health.price.status = DatasetStatus::Failed;
+                health.price.failed_queries = 1;
+                health.price.error = Some(e.to_string());
+                self.price_breaker.record_failure(tick);
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(())
+    }
+
+    /// Runs one collection round against the cloud's current state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError`] only for non-retryable failures; see
+    /// [`CollectorService::collect_round`].
+    pub fn collect_once(&mut self, cloud: &SimCloud) -> Result<CollectStats, CollectError> {
+        Ok(self.collect_round(cloud)?.stats)
     }
 
     /// Steps the cloud and collects, `rounds` times — the periodic
@@ -209,18 +567,52 @@ impl CollectorService {
     ///
     /// # Errors
     ///
-    /// Returns [`CollectError`] if any round fails.
-    pub fn run(
+    /// Returns [`CollectError`] if any round fails non-retryably.
+    pub fn run(&mut self, cloud: &mut SimCloud, rounds: u64) -> Result<CollectStats, CollectError> {
+        Ok(self.run_with_health(cloud, rounds)?.0)
+    }
+
+    /// Like [`CollectorService::run`], also returning every round's
+    /// [`RoundHealth`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError`] if any round fails non-retryably.
+    pub fn run_with_health(
         &mut self,
         cloud: &mut SimCloud,
         rounds: u64,
-    ) -> Result<CollectStats, CollectError> {
+    ) -> Result<(CollectStats, Vec<RoundHealth>), CollectError> {
         let mut total = CollectStats::default();
+        let mut healths = Vec::with_capacity(rounds as usize);
         for _ in 0..rounds {
             cloud.step();
-            total.absorb(self.collect_once(cloud)?);
+            let report = self.collect_round(cloud)?;
+            total.absorb(report.stats);
+            healths.push(report.health);
         }
-        Ok(total)
+        Ok((total, healths))
+    }
+}
+
+/// Writes a batch, retrying store throttles within the round's budget.
+fn write_with_retry(
+    db: &mut Database,
+    table: &str,
+    records: &[Record],
+    policy: &RetryPolicy,
+    retries: &mut usize,
+) -> Result<usize, TsError> {
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match db.write(table, records) {
+            Ok(n) => return Ok(n),
+            Err(e) if e.is_retryable() && attempt < policy.max_attempts => {
+                *retries += 1;
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -243,20 +635,34 @@ mod tests {
     #[test]
     fn full_round_populates_all_tables() {
         let mut cloud = cloud();
-        let mut service = CollectorService::new(cloud.catalog(), CollectorConfig::default()).unwrap();
+        let mut service =
+            CollectorService::new(cloud.catalog(), CollectorConfig::default()).unwrap();
         let stats = service.run(&mut cloud, 3).unwrap();
         assert_eq!(stats.rounds, 3);
         assert!(stats.sps_records > 0);
         assert!(stats.advisor_records > 0);
         assert!(stats.price_records > 0);
+        // A fault-free run spends nothing on resilience.
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.queries_failed, 0);
+        assert_eq!(stats.degraded_rounds, 0);
+        assert_eq!(stats.dead_lettered, 0);
 
         let db = service.database();
         // 2 types × 6 AZs × 3 rounds dense sps records.
-        assert_eq!(db.query(SPS_TABLE, &Query::measure("sps")).unwrap().len(), 36);
+        assert_eq!(
+            db.query(SPS_TABLE, &Query::measure("sps")).unwrap().len(),
+            36
+        );
         // Advisor table is change-point: repeats within a week are skipped.
-        let if_rows = db.query(ADVISOR_TABLE, &Query::measure("if_score")).unwrap();
+        let if_rows = db
+            .query(ADVISOR_TABLE, &Query::measure("if_score"))
+            .unwrap();
         assert_eq!(if_rows.len(), 4, "one change-point per (type, region)");
-        assert!(!db.query(PRICE_TABLE, &Query::measure("spot_price")).unwrap().is_empty());
+        assert!(!db
+            .query(PRICE_TABLE, &Query::measure("spot_price"))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -317,5 +723,56 @@ mod tests {
         let stats = service.plan_stats();
         assert!(stats.planned_queries > 0);
         assert!(stats.improvement() >= 1.0);
+    }
+
+    #[test]
+    fn faulty_rounds_degrade_but_never_err() {
+        let mut cloud = cloud();
+        let config = CollectorConfig {
+            faults: Some(FaultPlan::uniform(20_220_901, 0.2)),
+            ..CollectorConfig::default()
+        };
+        let mut service = CollectorService::new(cloud.catalog(), config).unwrap();
+        let (stats, healths) = service.run_with_health(&mut cloud, 30).unwrap();
+        assert_eq!(stats.rounds, 30);
+        assert_eq!(healths.len(), 30);
+        assert!(stats.retries > 0, "a 20% fault rate must trigger retries");
+        assert!(stats.sps_records > 0);
+        assert!(
+            healths.iter().any(RoundHealth::is_degraded),
+            "30 rounds at 20% faults should degrade at least one"
+        );
+    }
+
+    #[test]
+    fn forced_open_breaker_skips_the_dataset_and_spares_the_rest() {
+        let mut cloud = cloud();
+        let mut service =
+            CollectorService::new(cloud.catalog(), CollectorConfig::default()).unwrap();
+        cloud.step();
+        service.force_breaker_open(Dataset::Advisor, cloud.ticks());
+        let report = service.collect_round(&cloud).unwrap();
+        assert_eq!(report.health.advisor.status, DatasetStatus::Skipped);
+        assert_eq!(report.stats.advisor_records, 0);
+        assert!(report.stats.sps_records > 0, "sps unaffected");
+        assert!(report.stats.price_records > 0, "price unaffected");
+        assert!(report.health.is_degraded());
+        assert_eq!(report.stats.degraded_rounds, 1);
+    }
+
+    #[test]
+    fn health_is_reported_per_round() {
+        let mut cloud = cloud();
+        let mut service =
+            CollectorService::new(cloud.catalog(), CollectorConfig::default()).unwrap();
+        assert!(service.last_health().is_none());
+        cloud.step();
+        service.collect_once(&cloud).unwrap();
+        let health = service.last_health().unwrap();
+        assert_eq!(health.tick, cloud.ticks());
+        assert_eq!(health.sps.status, DatasetStatus::Ok);
+        assert_eq!(health.advisor.status, DatasetStatus::Ok);
+        assert_eq!(health.price.status, DatasetStatus::Ok);
+        assert_eq!(health.dead_letter_depth, 0);
     }
 }

@@ -35,8 +35,12 @@ fn figure1_query_reduction_shape() {
     assert!(plan.iter().all(|q| q.expected_results <= 10));
 
     // The exact solver is never worse than the heuristics.
-    let ffd = QueryPlanner::new(PlannerStrategy::Ffd).plan(&catalog, None).len();
-    let naive = QueryPlanner::new(PlannerStrategy::Naive).plan(&catalog, None).len();
+    let ffd = QueryPlanner::new(PlannerStrategy::Ffd)
+        .plan(&catalog, None)
+        .len();
+    let naive = QueryPlanner::new(PlannerStrategy::Naive)
+        .plan(&catalog, None)
+        .len();
     assert!(stats.planned_queries <= ffd);
     assert!(ffd < naive);
 }

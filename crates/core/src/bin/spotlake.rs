@@ -16,7 +16,7 @@
 use spotlake::experiment::{ExperimentConfig, FulfillmentExperiment};
 use spotlake::prediction;
 use spotlake::{CollectorConfig, SimCloud, SimConfig, SpotLake};
-use spotlake_collector::{AccountPool, PlannerStrategy, QueryPlanner};
+use spotlake_collector::{AccountPool, FaultPlan, PlannerStrategy, QueryPlanner};
 use spotlake_serving::{ArchiveService, HttpRequest};
 use spotlake_timestream::Database;
 use spotlake_types::{Catalog, SimDuration};
@@ -28,6 +28,7 @@ const USAGE: &str = "spotlake — diverse spot instance dataset archive service 
 USAGE:
   spotlake plan [--strategy exact|ffd|bfd|naive]
   spotlake collect --out FILE [--days N] [--tick-minutes N] [--types a,b,c] [--seed N]
+                   [--faults none|light|moderate|heavy]
   spotlake get --archive FILE PATH
   spotlake experiment [--cases N] [--warmup-days N] [--history-days N] [--seed N]
   spotlake mc [--rounds N]
@@ -145,6 +146,12 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
     let type_filter: Option<Vec<String>> = args
         .get("types")
         .map(|v| v.split(',').map(str::to_owned).collect());
+    let faults = match args.get("faults") {
+        None => None,
+        Some(profile) => Some(FaultPlan::profile(profile, seed).ok_or_else(|| {
+            format!("unknown fault profile: {profile} (expected none, light, moderate, or heavy)")
+        })?),
+    };
 
     let sim = SimConfig {
         tick: SimDuration::from_mins(tick_minutes),
@@ -154,6 +161,7 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
         .sim_config(sim)
         .collector_config(CollectorConfig {
             type_filter,
+            faults,
             ..CollectorConfig::default()
         })
         .build()
@@ -169,6 +177,16 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
         "wrote {out}: {} sps, {} advisor, {} price records over {} rounds",
         stats.sps_records, stats.advisor_records, stats.price_records, stats.rounds
     );
+    if faults.is_some() {
+        println!(
+            "resilience: {} retries, {} failed operations, {} degraded rounds, {} dead-lettered queries ({} still queued)",
+            stats.retries,
+            stats.queries_failed,
+            stats.degraded_rounds,
+            stats.dead_lettered,
+            lake.collector().dead_letter_depth()
+        );
+    }
     Ok(())
 }
 
@@ -254,14 +272,12 @@ fn cmd_mc(args: &Args) -> Result<(), String> {
         );
     }
     let report = collector.compare_vendors().map_err(|e| e.to_string())?;
-    println!("
-cross-vendor rows on shapes offered by 2+ vendors:");
+    println!(
+        "
+cross-vendor rows on shapes offered by 2+ vendors:"
+    );
     let contested = report.contested_shapes();
-    for row in report
-        .rows
-        .iter()
-        .filter(|r| contested.contains(&r.shape))
-    {
+    for row in report.rows.iter().filter(|r| contested.contains(&r.shape)) {
         println!(
             "  {:<6} {:<14} savings {:>5.1}%  availability {}",
             row.vendor.tag(),
@@ -308,8 +324,45 @@ mod tests {
 
     #[test]
     fn collect_rejects_zero_tick() {
-        assert!(run(&strings(&["collect", "--out", "x.db", "--tick-minutes", "0"])).is_err());
+        assert!(run(&strings(&[
+            "collect",
+            "--out",
+            "x.db",
+            "--tick-minutes",
+            "0"
+        ]))
+        .is_err());
         assert!(run(&strings(&["collect", "--out", "x.db", "--days", "0"])).is_err());
+    }
+
+    #[test]
+    fn collect_validates_fault_profile() {
+        assert!(run(&strings(&[
+            "collect",
+            "--out",
+            "x.db",
+            "--faults",
+            "apocalyptic"
+        ]))
+        .is_err());
+        let mut out = std::env::temp_dir();
+        out.push(format!("spotlake-cli-faults-{}.db", std::process::id()));
+        let out_str = out.to_string_lossy().into_owned();
+        run(&strings(&[
+            "collect",
+            "--out",
+            &out_str,
+            "--days",
+            "1",
+            "--tick-minutes",
+            "240",
+            "--types",
+            "m5.large",
+            "--faults",
+            "moderate",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]
@@ -349,7 +402,13 @@ mod tests {
         ]))
         .unwrap();
         // A failing request propagates as an error.
-        assert!(run(&strings(&["get", "--archive", &out_str, "/query?table=zzz"])).is_err());
+        assert!(run(&strings(&[
+            "get",
+            "--archive",
+            &out_str,
+            "/query?table=zzz"
+        ]))
+        .is_err());
         std::fs::remove_file(&out).ok();
     }
 }

@@ -13,14 +13,12 @@
 //! month, so the Section 5.5 prediction task can train on archived history
 //! exactly as the paper's random forest did.
 
-use spotlake_cloud_sim::{RequestOutcome, SimCloud};
-use spotlake_timestream::{Database, Query, Record, TableOptions, WriteMode};
-use spotlake_types::{
-    AzId, InstanceTypeId, SimDuration, SimTime, SpotRequestConfig,
-};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use spotlake_cloud_sim::{RequestOutcome, SimCloud};
+use spotlake_timestream::{Database, Query, Record, TableOptions, WriteMode};
+use spotlake_types::{AzId, InstanceTypeId, SimDuration, SimTime, SpotRequestConfig};
 use std::collections::BTreeMap;
 
 /// The five sampled score combinations (placement score level first,
@@ -179,11 +177,7 @@ impl ExperimentReport {
         Stratum::ALL
             .iter()
             .map(|&stratum| {
-                let cases: Vec<_> = self
-                    .cases
-                    .iter()
-                    .filter(|c| c.stratum == stratum)
-                    .collect();
+                let cases: Vec<_> = self.cases.iter().filter(|c| c.stratum == stratum).collect();
                 let n = cases.len();
                 let not_fulfilled = cases
                     .iter()
@@ -341,7 +335,8 @@ impl FulfillmentExperiment {
                 }
             }
             db.write("case_sps", &records).expect("valid records");
-            db.write("case_advisor", &advisor_records).expect("valid records");
+            db.write("case_advisor", &advisor_records)
+                .expect("valid records");
         }
         db
     }
@@ -444,9 +439,7 @@ impl FulfillmentExperiment {
                 if_at_submit: if_s,
                 savings_at_submit: savings,
                 outcome,
-                fulfillment_latency_secs: request
-                    .fulfillment_latency()
-                    .map(|d| d.as_secs() as f64),
+                fulfillment_latency_secs: request.fulfillment_latency().map(|d| d.as_secs() as f64),
                 first_run_secs: request.first_run_duration().map(|d| d.as_secs() as f64),
                 history,
             });
@@ -479,8 +472,7 @@ fn extract_history(db: &Database, case_idx: usize) -> CaseHistory {
             &Query::measure("savings").filter("case", &case),
         )
         .expect("table exists");
-    let savings_series: Vec<(u64, f64)> =
-        savings_rows.iter().map(|r| (r.time, r.value)).collect();
+    let savings_series: Vec<(u64, f64)> = savings_rows.iter().map(|r| (r.time, r.value)).collect();
     let savings = spotlake_analysis::resample_step(&savings_series, &sample_times);
 
     CaseHistory {

@@ -1,7 +1,9 @@
 //! The end-to-end SpotLake pipeline.
 
 use spotlake_cloud_sim::{SimCloud, SimConfig};
-use spotlake_collector::{CollectError, CollectStats, CollectorConfig, CollectorService, PlanStats};
+use spotlake_collector::{
+    CollectError, CollectStats, CollectorConfig, CollectorService, PlanStats, RoundHealth,
+};
 use spotlake_serving::{ArchiveService, HttpRequest, HttpResponse, ServeError};
 use spotlake_timestream::Database;
 use spotlake_types::Catalog;
@@ -146,6 +148,30 @@ impl SpotLake {
         Ok(self.collector.run(&mut self.cloud, rounds)?)
     }
 
+    /// Like [`SpotLake::run_rounds`], also returning every round's
+    /// [`RoundHealth`] — the resilience telemetry under fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpotLakeError::Collect`] if collection fails
+    /// non-retryably.
+    pub fn run_rounds_with_health(
+        &mut self,
+        rounds: u64,
+    ) -> Result<(CollectStats, Vec<RoundHealth>), SpotLakeError> {
+        Ok(self.collector.run_with_health(&mut self.cloud, rounds)?)
+    }
+
+    /// The collector service (breaker levers, dead-letter depth).
+    pub fn collector(&self) -> &CollectorService {
+        &self.collector
+    }
+
+    /// Mutable access to the collector service.
+    pub fn collector_mut(&mut self) -> &mut CollectorService {
+        &mut self.collector
+    }
+
     /// Serves one HTTP request against the archive.
     ///
     /// # Errors
@@ -179,7 +205,10 @@ mod tests {
             .region("eu-test-1", 2)
             .instance_type("m5.large", 0.096)
             .instance_type("p3.2xlarge", 3.06);
-        SpotLake::builder().catalog(b.build().unwrap()).build().unwrap()
+        SpotLake::builder()
+            .catalog(b.build().unwrap())
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -189,7 +218,9 @@ mod tests {
         assert_eq!(stats.rounds, 4);
         assert!(stats.sps_records > 0);
 
-        let ok = lake.http_get("/query?table=sps&instance_type=m5.large").unwrap();
+        let ok = lake
+            .http_get("/query?table=sps&instance_type=m5.large")
+            .unwrap();
         assert_eq!(ok.status, 200);
         assert!(ok.body_text().contains("m5.large"));
 

@@ -169,11 +169,8 @@ pub fn feature_importance(cases: &[ExperimentCase], seed: u64) -> Vec<(&'static 
     let data = Dataset::new(features, labels, N_CLASSES).expect("rows built uniformly");
     let forest = RandomForest::default().with_max_depth(10).fit(&data, seed);
     let importances = forest.permutation_importance(&data, 3, seed ^ 0xF00D);
-    let mut named: Vec<(&'static str, f64)> = FEATURE_NAMES
-        .iter()
-        .copied()
-        .zip(importances)
-        .collect();
+    let mut named: Vec<(&'static str, f64)> =
+        FEATURE_NAMES.iter().copied().zip(importances).collect();
     named.sort_by(|a, b| b.1.total_cmp(&a.1));
     named
 }
@@ -189,7 +186,11 @@ pub fn feature_importance(cases: &[ExperimentCase], seed: u64) -> Vec<(&'static 
 /// Panics if fewer than ten cases are supplied (the comparison would be
 /// meaningless).
 pub fn evaluate(cases: &[ExperimentCase], seed: u64) -> PredictionReport {
-    assert!(cases.len() >= 10, "need at least 10 cases, got {}", cases.len());
+    assert!(
+        cases.len() >= 10,
+        "need at least 10 cases, got {}",
+        cases.len()
+    );
 
     let features: Vec<Vec<f64>> = cases.iter().map(feature_row).collect();
     let labels: Vec<usize> = cases.iter().map(|c| label_of(c.outcome)).collect();
@@ -200,9 +201,8 @@ pub fn evaluate(cases: &[ExperimentCase], seed: u64) -> PredictionReport {
     const COL_SPS: usize = 0;
     const COL_IF: usize = 1;
     const COL_SAVE: usize = 2;
-    let column = |d: &Dataset, col: usize| -> Vec<f64> {
-        (0..d.len()).map(|i| d.row(i)[col]).collect()
-    };
+    let column =
+        |d: &Dataset, col: usize| -> Vec<f64> { (0..d.len()).map(|i| d.row(i)[col]).collect() };
 
     let truth: Vec<usize> = test.labels().to_vec();
     let mut rows = Vec::with_capacity(4);

@@ -126,7 +126,15 @@ mod tests {
         let values: Vec<f64> = (0..30).map(|i| (i % 10) as f64).collect();
         let labels: Vec<usize> = values
             .iter()
-            .map(|&v| if v >= 7.0 { 0 } else if v >= 3.0 { 1 } else { 2 })
+            .map(|&v| {
+                if v >= 7.0 {
+                    0
+                } else if v >= 3.0 {
+                    1
+                } else {
+                    2
+                }
+            })
             .collect();
         let h = ThresholdHeuristic::fit(&values, &labels, 0, 1, 2);
         assert_eq!(accuracy(&labels, &h.predict_all(&values)), 1.0);

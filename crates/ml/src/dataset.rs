@@ -140,8 +140,8 @@ impl Dataset {
         assert!(self.len() >= 2, "need at least two rows to split");
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.shuffle(&mut StdRng::seed_from_u64(seed));
-        let test_n = ((self.len() as f64 * test_fraction).round() as usize)
-            .clamp(1, self.len() - 1);
+        let test_n =
+            ((self.len() as f64 * test_fraction).round() as usize).clamp(1, self.len() - 1);
         let (test_idx, train_idx) = idx.split_at(test_n);
         (self.subset(train_idx), self.subset(test_idx))
     }

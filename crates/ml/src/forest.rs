@@ -58,8 +58,9 @@ impl RandomForest {
         self.classes = data.classes();
         self.trees = (0..self.n_trees)
             .map(|t| {
-                let sample: Vec<usize> =
-                    (0..data.len()).map(|_| rng.gen_range(0..data.len())).collect();
+                let sample: Vec<usize> = (0..data.len())
+                    .map(|_| rng.gen_range(0..data.len()))
+                    .collect();
                 let boot = data.subset(&sample);
                 DecisionTree::fit(&boot, config, seed ^ (t as u64).wrapping_mul(0x9E37_79B9))
             })
@@ -105,12 +106,7 @@ impl RandomForest {
     /// # Panics
     ///
     /// Panics if the forest is unfitted or `repeats` is zero.
-    pub fn permutation_importance(
-        &self,
-        data: &Dataset,
-        repeats: usize,
-        seed: u64,
-    ) -> Vec<f64> {
+    pub fn permutation_importance(&self, data: &Dataset, repeats: usize, seed: u64) -> Vec<f64> {
         assert!(!self.trees.is_empty(), "importance on an unfitted forest");
         assert!(repeats > 0, "at least one repeat is required");
         let baseline = accuracy_of(self, data);
@@ -125,9 +121,9 @@ impl RandomForest {
                     perm.swap(i, rng.gen_range(0..=i));
                 }
                 let mut hits = 0usize;
-                for i in 0..data.len() {
+                for (i, &p) in perm.iter().enumerate() {
                     let mut row = data.row(i).to_vec();
-                    row[feature] = data.row(perm[i])[feature];
+                    row[feature] = data.row(p)[feature];
                     if self.predict(&row) == data.label(i) {
                         hits += 1;
                     }
@@ -211,7 +207,12 @@ mod tests {
         // Feature 0 carries the label; feature 1 is pure noise.
         let mut rng = StdRng::seed_from_u64(3);
         let features: Vec<Vec<f64>> = (0..120)
-            .map(|i| vec![(i % 2) as f64 + rng.gen_range(-0.1..0.1), rng.gen_range(0.0..1.0)])
+            .map(|i| {
+                vec![
+                    (i % 2) as f64 + rng.gen_range(-0.1..0.1),
+                    rng.gen_range(0.0..1.0),
+                ]
+            })
             .collect();
         let labels: Vec<usize> = (0..120).map(|i| i % 2).collect();
         let data = Dataset::new(features, labels, 2).unwrap();

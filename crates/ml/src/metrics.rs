@@ -8,11 +8,7 @@
 pub fn accuracy(truth: &[usize], predicted: &[usize]) -> f64 {
     assert_eq!(truth.len(), predicted.len(), "length mismatch");
     assert!(!truth.is_empty(), "empty evaluation set");
-    let hits = truth
-        .iter()
-        .zip(predicted)
-        .filter(|(t, p)| t == p)
-        .count();
+    let hits = truth.iter().zip(predicted).filter(|(t, p)| t == p).count();
     hits as f64 / truth.len() as f64
 }
 
@@ -39,8 +35,14 @@ pub fn f1_per_class(truth: &[usize], predicted: &[usize], classes: usize) -> Vec
     (0..classes)
         .map(|c| {
             let tp = m[c][c] as f64;
-            let fp: f64 = (0..classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
-            let fn_: f64 = (0..classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+            let fp: f64 = (0..classes)
+                .filter(|&t| t != c)
+                .map(|t| m[t][c] as f64)
+                .sum();
+            let fn_: f64 = (0..classes)
+                .filter(|&p| p != c)
+                .map(|p| m[c][p] as f64)
+                .sum();
             if tp == 0.0 {
                 0.0
             } else {

@@ -76,7 +76,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] <= *threshold { left } else { right };
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -244,12 +248,7 @@ mod tests {
 
     #[test]
     fn constant_labels_give_single_leaf() {
-        let data = Dataset::new(
-            vec![vec![1.0], vec![2.0], vec![3.0]],
-            vec![1, 1, 1],
-            2,
-        )
-        .unwrap();
+        let data = Dataset::new(vec![vec![1.0], vec![2.0], vec![3.0]], vec![1, 1, 1], 2).unwrap();
         let tree = DecisionTree::fit(&data, TreeConfig::default(), 0);
         assert_eq!(tree.node_count(), 1);
         assert_eq!(tree.predict(&[99.0]), 1);

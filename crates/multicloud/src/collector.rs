@@ -332,11 +332,15 @@ fn collect_vendor(
                 continue;
             };
             eviction_records.push(
-                Record::new(now, "eviction_score", row.bucket.interruption_free_score().as_f64())
-                    .dimension("vendor", vendor)
-                    .dimension("sku", &sku.native_name)
-                    .dimension("shape", sku.shape.key())
-                    .dimension("region", &row.region),
+                Record::new(
+                    now,
+                    "eviction_score",
+                    row.bucket.interruption_free_score().as_f64(),
+                )
+                .dimension("vendor", vendor)
+                .dimension("sku", &sku.native_name)
+                .dimension("shape", sku.shape.key())
+                .dimension("region", &row.region),
             );
         }
     }
@@ -417,6 +421,9 @@ mod tests {
         let collector = MultiCloudCollector::demo_scale().expect("builtin catalogs");
         assert!(!collector.skus(Vendor::Azure).is_empty());
         assert!(!collector.skus(Vendor::Gcp).is_empty());
-        assert_eq!(collector.vendors(), vec![Vendor::Aws, Vendor::Azure, Vendor::Gcp]);
+        assert_eq!(
+            collector.vendors(),
+            vec![Vendor::Aws, Vendor::Azure, Vendor::Gcp]
+        );
     }
 }

@@ -5,7 +5,9 @@
 //! unified archive on the hardware-shape global key and rank vendors per
 //! shape by savings and availability.
 
-use crate::collector::{MultiCloudCollector, MultiCloudError, MC_AVAILABILITY_TABLE, MC_PRICE_TABLE};
+use crate::collector::{
+    MultiCloudCollector, MultiCloudError, MC_AVAILABILITY_TABLE, MC_PRICE_TABLE,
+};
 use crate::sku::HardwareShape;
 use crate::vendor::Vendor;
 use spotlake_timestream::Query;
@@ -108,13 +110,15 @@ impl MultiCloudCollector {
         let rows = cells
             .into_iter()
             .filter(|(_, (_, sn, _, _))| *sn > 0)
-            .map(|((vendor, shape), (s_sum, s_n, a_sum, a_n))| CrossVendorRow {
-                vendor,
-                shape,
-                mean_savings_pct: s_sum / s_n as f64,
-                mean_availability: (a_n > 0).then(|| a_sum / a_n as f64),
-                samples: s_n,
-            })
+            .map(
+                |((vendor, shape), (s_sum, s_n, a_sum, a_n))| CrossVendorRow {
+                    vendor,
+                    shape,
+                    mean_savings_pct: s_sum / s_n as f64,
+                    mean_availability: (a_n > 0).then(|| a_sum / a_n as f64),
+                    samples: s_n,
+                },
+            )
             .collect();
         Ok(CrossVendorReport { rows })
     }

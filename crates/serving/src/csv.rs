@@ -80,7 +80,11 @@ mod tests {
     #[test]
     fn renders_header_and_rows() {
         let rows = vec![
-            row(600, 3.0, &[("instance_type", "m5.large"), ("region", "us-east-1")]),
+            row(
+                600,
+                3.0,
+                &[("instance_type", "m5.large"), ("region", "us-east-1")],
+            ),
             row(1200, 2.5, &[("instance_type", "p3.2xlarge")]),
         ];
         let csv = rows_to_csv(&rows);

@@ -37,9 +37,7 @@ impl ArchiveService {
     pub fn handle(db: &Database, request: &HttpRequest) -> HttpResponse {
         match request.path() {
             "/" | "/index.html" => HttpResponse::html(INDEX_HTML),
-            "/health" => HttpResponse::json(
-                Json::object([("status", Json::from("ok"))]).render(),
-            ),
+            "/health" => HttpResponse::json(Json::object([("status", Json::from("ok"))]).render()),
             "/tables" => Self::tables(db),
             "/stats" => crate::insights::stats(db),
             "/correlate" => crate::insights::correlate(db, request),
@@ -52,11 +50,7 @@ impl ArchiveService {
     }
 
     fn tables(db: &Database) -> HttpResponse {
-        let names: Vec<Json> = db
-            .table_names()
-            .into_iter()
-            .map(Json::from)
-            .collect();
+        let names: Vec<Json> = db.table_names().into_iter().map(Json::from).collect();
         HttpResponse::json(Json::object([("tables", Json::Array(names))]).render())
     }
 
@@ -124,9 +118,7 @@ impl ArchiveService {
                     .render(),
                 )
             }
-            Some(other) => {
-                HttpResponse::error(400, &format!("unknown format: {other} (json|csv)"))
-            }
+            Some(other) => HttpResponse::error(400, &format!("unknown format: {other} (json|csv)")),
         }
     }
 
@@ -159,9 +151,7 @@ impl ArchiveService {
         };
         let at = match request.param("timestamp").map(str::parse) {
             Some(Ok(t)) => t,
-            Some(Err(_)) => {
-                return HttpResponse::error(400, "timestamp must be an integer")
-            }
+            Some(Err(_)) => return HttpResponse::error(400, "timestamp must be an integer"),
             None => return HttpResponse::error(400, "missing required parameter: timestamp"),
         };
         match db.value_at(&table, &q, at) {
@@ -306,7 +296,10 @@ mod tests {
     #[test]
     fn query_time_range_and_limit() {
         let db = archive();
-        let r = get(&db, "/query?table=sps&from=600&to=1200&instance_type=m5.large");
+        let r = get(
+            &db,
+            "/query?table=sps&from=600&to=1200&instance_type=m5.large",
+        );
         let body = r.body_text();
         assert!(body.contains("\"time\":600"));
         assert!(body.contains("\"time\":1200"));
@@ -332,7 +325,10 @@ mod tests {
     #[test]
     fn window_aggregation() {
         let db = archive();
-        let r = get(&db, "/window?table=sps&window=1200&agg=count&instance_type=m5.large");
+        let r = get(
+            &db,
+            "/window?table=sps&window=1200&agg=count&instance_type=m5.large",
+        );
         let body = r.body_text();
         assert!(body.contains("\"windows\""));
         assert!(body.contains("\"count\":2"));
@@ -357,8 +353,10 @@ mod tests {
     #[test]
     fn custom_table_requires_explicit_measure() {
         let mut db = archive();
-        db.create_table("mc_price", TableOptions::default()).unwrap();
-        db.write("mc_price", &[Record::new(0, "spot_price", 0.1)]).unwrap();
+        db.create_table("mc_price", TableOptions::default())
+            .unwrap();
+        db.write("mc_price", &[Record::new(0, "spot_price", 0.1)])
+            .unwrap();
         // No default measure for a custom table: explicit 400, not an
         // empty 200.
         assert_eq!(get(&db, "/query?table=mc_price").status, 400);

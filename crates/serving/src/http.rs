@@ -157,11 +157,8 @@ impl HttpResponse {
 
     /// An error response with a JSON body.
     pub fn error(status: u16, message: &str) -> Self {
-        let body = crate::json::Json::object([(
-            "error",
-            crate::json::Json::string(message),
-        )])
-        .render();
+        let body =
+            crate::json::Json::object([("error", crate::json::Json::string(message))]).render();
         HttpResponse {
             status,
             content_type: "application/json",

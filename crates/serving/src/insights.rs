@@ -127,11 +127,7 @@ pub(crate) fn correlate(db: &Database, request: &HttpRequest) -> HttpResponse {
 }
 
 /// IF and price are both step series; sample both on the SPS tick grid.
-fn correlate_steps(
-    ticks: &[(u64, f64)],
-    a: &[(u64, f64)],
-    b: &[(u64, f64)],
-) -> Json {
+fn correlate_steps(ticks: &[(u64, f64)], a: &[(u64, f64)], b: &[(u64, f64)]) -> Json {
     let a_sampled = align_step(ticks, a).1;
     let b_sampled = align_step(ticks, b).1;
     let n = a_sampled.len().min(b_sampled.len());
@@ -142,7 +138,10 @@ fn correlate_steps(
     Json::object([
         ("samples", Json::from(n as u64)),
         ("pearson", pearson(xs, ys).map_or(Json::Null, Json::Number)),
-        ("spearman", spearman(xs, ys).map_or(Json::Null, Json::Number)),
+        (
+            "spearman",
+            spearman(xs, ys).map_or(Json::Null, Json::Number),
+        ),
     ])
 }
 
@@ -164,10 +163,12 @@ mod tests {
         for t in 0..50u64 {
             db.write(
                 "sps",
-                &[Record::new(t * 600, "sps", if t % 7 < 5 { 3.0 } else { 2.0 })
-                    .dimension("instance_type", "m5.large")
-                    .dimension("region", "us-east-1")
-                    .dimension("az", "us-east-1a")],
+                &[
+                    Record::new(t * 600, "sps", if t % 7 < 5 { 3.0 } else { 2.0 })
+                        .dimension("instance_type", "m5.large")
+                        .dimension("region", "us-east-1")
+                        .dimension("az", "us-east-1a"),
+                ],
             )
             .unwrap();
         }

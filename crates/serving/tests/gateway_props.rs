@@ -51,8 +51,7 @@ fn arb_json() -> impl Strategy<Value = Json> {
     leaf.prop_recursive(3, 32, 6, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
-            prop::collection::vec((".{0,10}", inner), 0..6)
-                .prop_map(|pairs| Json::object(pairs)),
+            prop::collection::vec((".{0,10}", inner), 0..6).prop_map(Json::object),
         ]
     })
 }

@@ -109,7 +109,9 @@ fn read_varint(data: &[u8], cursor: &mut usize) -> Result<u64, TsError> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
-        let &byte = data.get(*cursor).ok_or_else(|| corrupt("truncated varint"))?;
+        let &byte = data
+            .get(*cursor)
+            .ok_or_else(|| corrupt("truncated varint"))?;
         *cursor += 1;
         if shift >= 64 {
             return Err(corrupt("varint too long"));
@@ -170,7 +172,7 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(decode_series(&[0xFF]).is_err()); // truncated varint
-        // Valid header claiming many points with no payload.
+                                                  // Valid header claiming many points with no payload.
         let mut data = Vec::new();
         write_varint(&mut data, 50);
         assert!(decode_series(&data).is_err());

@@ -8,18 +8,74 @@ use crate::table::{Table, TableOptions};
 use std::collections::BTreeMap;
 use std::path::Path;
 
+/// Deterministic write-throttling state: a seeded rate plus a running
+/// write-call counter. Every [`Database::write`] call hashes
+/// `(seed, table, call#)` against the rate, so a given seed reproduces
+/// the identical throttle sequence — and a retried write (a new call)
+/// rolls a fresh decision.
+#[derive(Debug, Clone, Copy, Default)]
+struct WriteFaults {
+    rate: f64,
+    seed: u64,
+    calls: u64,
+}
+
+impl WriteFaults {
+    /// FNV-1a over the decision key, mapped to `[0, 1)` — the same scheme
+    /// the simulator uses for pool parameters, inlined here to keep this
+    /// crate dependency-free.
+    fn roll(&mut self, table: &str) -> bool {
+        if self.rate <= 0.0 {
+            return false;
+        }
+        let call = self.calls;
+        self.calls += 1;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for chunk in [
+            b"write-throttle".as_slice(),
+            table.as_bytes(),
+            &call.to_le_bytes(),
+            &self.seed.to_le_bytes(),
+        ] {
+            for &b in chunk {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            // Separator so ("ab", "c") and ("a", "bc") differ.
+            h ^= 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        ((h >> 11) as f64 / (1u64 << 53) as f64) < self.rate
+    }
+}
+
 /// An embedded time-series database.
 ///
 /// See the [crate docs](crate) for an overview and example.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    write_faults: WriteFaults,
 }
 
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables deterministic write throttling: each [`Database::write`]
+    /// call fails with [`TsError::Throttled`] with probability `rate`,
+    /// decided by a hash of `(seed, table, call#)`. A throttled call
+    /// stores nothing, so retrying the same batch is safe. Pass a zero
+    /// rate to disable. Throttle state is not persisted by
+    /// [`Database::save`].
+    pub fn set_write_faults(&mut self, rate: f64, seed: u64) {
+        self.write_faults = WriteFaults {
+            rate,
+            seed,
+            calls: 0,
+        };
     }
 
     /// Creates a table.
@@ -68,8 +124,14 @@ impl Database {
     /// # Errors
     ///
     /// Returns [`TsError::NoSuchTable`] or [`TsError::BadRecord`]; on a bad
-    /// record, records earlier in the batch remain written.
+    /// record, records earlier in the batch remain written. With write
+    /// faults enabled (see [`Database::set_write_faults`]) the call may
+    /// fail with [`TsError::Throttled`] *before* storing anything, so a
+    /// throttled batch can be retried without duplication.
     pub fn write(&mut self, table: &str, records: &[Record]) -> Result<usize, TsError> {
+        if self.write_faults.roll(table) {
+            return Err(TsError::Throttled);
+        }
         let table = self.table_mut(table)?;
         let mut stored = 0;
         for r in records {
@@ -168,13 +230,7 @@ mod tests {
             Err(TsError::TableExists(_))
         ));
         let stored = db
-            .write(
-                "t",
-                &[
-                    Record::new(0, "m", 1.0),
-                    Record::new(600, "m", 2.0),
-                ],
-            )
+            .write("t", &[Record::new(0, "m", 1.0), Record::new(600, "m", 2.0)])
             .unwrap();
         assert_eq!(stored, 2);
         assert_eq!(db.query("t", &Query::measure("m")).unwrap().len(), 2);
@@ -194,13 +250,42 @@ mod tests {
     }
 
     #[test]
+    fn write_faults_throttle_deterministically_and_store_nothing() {
+        let build = || {
+            let mut db = Database::new();
+            db.create_table("t", TableOptions::default()).unwrap();
+            db.set_write_faults(0.5, 7);
+            db
+        };
+        let run = |db: &mut Database| {
+            (0..40)
+                .map(|i| {
+                    db.write("t", &[Record::new(i * 600, "m", f64::from(i as u32))])
+                        .is_err()
+                })
+                .collect::<Vec<bool>>()
+        };
+        let (mut a, mut b) = (build(), build());
+        let (fa, fb) = (run(&mut a), run(&mut b));
+        assert_eq!(fa, fb, "same seed, same throttle sequence");
+        let throttled = fa.iter().filter(|&&t| t).count();
+        assert!((5..35).contains(&throttled), "throttled {throttled}/40");
+        // Throttled batches stored nothing: points == successful writes.
+        assert_eq!(a.point_count(), 40 - throttled);
+        // Zero rate is inert.
+        let mut c = Database::new();
+        c.create_table("t", TableOptions::default()).unwrap();
+        c.set_write_faults(0.0, 7);
+        for i in 0..40 {
+            c.write("t", &[Record::new(i * 600, "m", 1.0)]).unwrap();
+        }
+    }
+
+    #[test]
     fn bad_record_keeps_earlier_writes() {
         let mut db = Database::new();
         db.create_table("t", TableOptions::default()).unwrap();
-        let err = db.write(
-            "t",
-            &[Record::new(0, "m", 1.0), Record::new(1, "", 2.0)],
-        );
+        let err = db.write("t", &[Record::new(0, "m", 1.0), Record::new(1, "", 2.0)]);
         assert!(err.is_err());
         assert_eq!(db.point_count(), 1);
     }

@@ -22,6 +22,17 @@ pub enum TsError {
     },
     /// An I/O error during save/load.
     Io(std::io::Error),
+    /// The store throttled the write (injected via
+    /// [`Database::set_write_faults`](crate::Database::set_write_faults)).
+    /// Transient: the batch was not stored and a retry may succeed.
+    Throttled,
+}
+
+impl TsError {
+    /// Whether a retry of the failed operation may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, TsError::Throttled)
+    }
 }
 
 impl fmt::Display for TsError {
@@ -32,6 +43,7 @@ impl fmt::Display for TsError {
             TsError::BadRecord { reason } => write!(f, "bad record: {reason}"),
             TsError::Corrupt { detail } => write!(f, "corrupt database file: {detail}"),
             TsError::Io(e) => write!(f, "i/o error: {e}"),
+            TsError::Throttled => write!(f, "write throttled; retry may succeed"),
         }
     }
 }
@@ -62,7 +74,10 @@ mod tests {
             "no such table: \"x\""
         );
         assert_eq!(
-            TsError::BadRecord { reason: "empty measure" }.to_string(),
+            TsError::BadRecord {
+                reason: "empty measure"
+            }
+            .to_string(),
             "bad record: empty measure"
         );
     }

@@ -62,11 +62,9 @@ impl Query {
 
     /// Whether a series with these dimensions matches the filters.
     pub(crate) fn matches(&self, dimensions: &[(String, String)]) -> bool {
-        self.filters.iter().all(|(fk, fv)| {
-            dimensions
-                .iter()
-                .any(|(k, v)| k == fk && v == fv)
-        })
+        self.filters
+            .iter()
+            .all(|(fk, fv)| dimensions.iter().any(|(k, v)| k == fk && v == fv))
     }
 }
 
@@ -106,9 +104,7 @@ impl Aggregate {
             return None;
         }
         Some(match self {
-            Aggregate::Mean => {
-                points.iter().map(|&(_, v)| v).sum::<f64>() / points.len() as f64
-            }
+            Aggregate::Mean => points.iter().map(|&(_, v)| v).sum::<f64>() / points.len() as f64,
             Aggregate::Min => points.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min),
             Aggregate::Max => points
                 .iter()
@@ -116,13 +112,7 @@ impl Aggregate {
                 .fold(f64::NEG_INFINITY, f64::max),
             Aggregate::Count => points.len() as f64,
             Aggregate::Sum => points.iter().map(|&(_, v)| v).sum(),
-            Aggregate::Last => {
-                points
-                    .iter()
-                    .max_by_key(|&&(t, _)| t)
-                    .expect("nonempty")
-                    .1
-            }
+            Aggregate::Last => points.iter().max_by_key(|&&(t, _)| t).expect("nonempty").1,
         })
     }
 }
@@ -164,7 +154,11 @@ mod tests {
         assert_eq!(Aggregate::Max.apply(&pts), Some(3.0));
         assert_eq!(Aggregate::Count.apply(&pts), Some(3.0));
         assert_eq!(Aggregate::Sum.apply(&pts), Some(6.0));
-        assert_eq!(Aggregate::Last.apply(&pts), Some(3.0), "last by time, not by position");
+        assert_eq!(
+            Aggregate::Last.apply(&pts),
+            Some(3.0),
+            "last by time, not by position"
+        );
         assert_eq!(Aggregate::Mean.apply(&[]), None);
     }
 

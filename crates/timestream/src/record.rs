@@ -83,7 +83,11 @@ impl Record {
 /// Builds the canonical series key for a measure + sorted dimensions.
 pub(crate) fn series_key(measure: &str, dims: &[(String, String)]) -> String {
     let mut key = String::with_capacity(
-        measure.len() + dims.iter().map(|(k, v)| k.len() + v.len() + 2).sum::<usize>(),
+        measure.len()
+            + dims
+                .iter()
+                .map(|(k, v)| k.len() + v.len() + 2)
+                .sum::<usize>(),
     );
     key.push_str(measure);
     for (k, v) in dims {
@@ -114,8 +118,12 @@ mod tests {
 
     #[test]
     fn series_key_is_order_independent() {
-        let a = Record::new(0, "m", 1.0).dimension("a", "1").dimension("b", "2");
-        let b = Record::new(9, "m", 2.0).dimension("b", "2").dimension("a", "1");
+        let a = Record::new(0, "m", 1.0)
+            .dimension("a", "1")
+            .dimension("b", "2");
+        let b = Record::new(9, "m", 2.0)
+            .dimension("b", "2")
+            .dimension("a", "1");
         assert_eq!(a.series_key(), b.series_key());
     }
 

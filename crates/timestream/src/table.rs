@@ -85,7 +85,11 @@ impl Table {
                 });
             }
         }
-        rows.sort_by(|a, b| a.time.cmp(&b.time).then_with(|| a.dimensions.cmp(&b.dimensions)));
+        rows.sort_by(|a, b| {
+            a.time
+                .cmp(&b.time)
+                .then_with(|| a.dimensions.cmp(&b.dimensions))
+        });
         rows
     }
 
@@ -228,10 +232,8 @@ mod tests {
             (0, "p3.2xlarge", 1.0),
             (600, "p3.2xlarge", 2.0),
         ] {
-            t.write(
-                &Record::new(time, "sps", v).dimension("instance_type", ty),
-            )
-            .unwrap();
+            t.write(&Record::new(time, "sps", v).dimension("instance_type", ty))
+                .unwrap();
         }
         t
     }

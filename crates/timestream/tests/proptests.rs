@@ -2,9 +2,7 @@
 //! query/window consistency, and change-point compression invariants.
 
 use proptest::prelude::*;
-use spotlake_timestream::{
-    Aggregate, Database, Query, Record, TableOptions, WriteMode,
-};
+use spotlake_timestream::{Aggregate, Database, Query, Record, TableOptions, WriteMode};
 
 /// Strategy: a batch of records over a few series.
 fn record_batch() -> impl Strategy<Value = Vec<Record>> {
@@ -104,7 +102,7 @@ proptest! {
             // Round to one decimal so repeats actually happen.
             let v = (v * 2.0).round() / 2.0;
             let r = Record::new(i as u64 * 600, "m", v);
-            dense.write("t", &[r.clone()]).unwrap();
+            dense.write("t", std::slice::from_ref(&r)).unwrap();
             cp.write("t", &[r]).unwrap();
         }
         prop_assert!(cp.point_count() <= dense.point_count());

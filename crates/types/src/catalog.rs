@@ -548,7 +548,10 @@ const AWS_CLASSES: &[(&str, &[InstanceSize])] = &[
     ("c5a", STD8),
     ("c5ad", STD8),
     ("c5d", C5ISH),
-    ("c5n", &[Large, Xlarge, X2large, X4large, X9large, X18large, Metal]),
+    (
+        "c5n",
+        &[Large, Xlarge, X2large, X4large, X9large, X18large, Metal],
+    ),
     ("c6a", STD10),
     ("c6g", GRAV9),
     ("c6gd", GRAV9),
@@ -573,14 +576,22 @@ const AWS_CLASSES: &[(&str, &[InstanceSize])] = &[
     ("r6in", STD10),
     // X family (memory-optimized, large).
     ("x1", &[X16large, X32large]),
-    ("x1e", &[Xlarge, X2large, X4large, X8large, X16large, X32large]),
+    (
+        "x1e",
+        &[Xlarge, X2large, X4large, X8large, X16large, X32large],
+    ),
     ("x2gd", GRAV9),
     ("x2idn", &[X16large, X24large, X32large, Metal]),
     (
         "x2iedn",
-        &[Xlarge, X2large, X4large, X8large, X16large, X24large, X32large, Metal],
+        &[
+            Xlarge, X2large, X4large, X8large, X16large, X24large, X32large, Metal,
+        ],
     ),
-    ("x2iezn", &[X2large, X4large, X6large, X8large, X12large, Metal]),
+    (
+        "x2iezn",
+        &[X2large, X4large, X6large, X8large, X12large, Metal],
+    ),
     // Z family (memory-optimized, high frequency).
     ("z1d", ZN7),
     // P family (accelerated, NVIDIA training GPUs).
@@ -597,7 +608,12 @@ const AWS_CLASSES: &[(&str, &[InstanceSize])] = &[
         "g4dn",
         &[Xlarge, X2large, X4large, X8large, X12large, X16large, Metal],
     ),
-    ("g5", &[Xlarge, X2large, X4large, X8large, X12large, X16large, X24large]),
+    (
+        "g5",
+        &[
+            Xlarge, X2large, X4large, X8large, X12large, X16large, X24large,
+        ],
+    ),
     ("g5g", &[Xlarge, X2large, X4large, X8large, X16large, Metal]),
     // DL family (accelerated, Habana Gaudi).
     ("dl1", &[X24large]),
@@ -608,21 +624,37 @@ const AWS_CLASSES: &[(&str, &[InstanceSize])] = &[
     // VT family (accelerated, video transcoding).
     ("vt1", &[X3large, X6large, X24large]),
     // I family (storage-optimized, NVMe).
-    ("i3", &[Large, Xlarge, X2large, X4large, X8large, X16large, Metal]),
+    (
+        "i3",
+        &[Large, Xlarge, X2large, X4large, X8large, X16large, Metal],
+    ),
     (
         "i3en",
-        &[Large, Xlarge, X2large, X3large, X6large, X12large, X24large, Metal],
+        &[
+            Large, Xlarge, X2large, X3large, X6large, X12large, X24large, Metal,
+        ],
     ),
     (
         "i4i",
-        &[Large, Xlarge, X2large, X4large, X8large, X16large, X32large, Metal],
+        &[
+            Large, Xlarge, X2large, X4large, X8large, X16large, X32large, Metal,
+        ],
     ),
-    ("im4gn", &[Large, Xlarge, X2large, X4large, X8large, X16large]),
-    ("is4gen", &[Medium, Large, Xlarge, X2large, X4large, X8large]),
+    (
+        "im4gn",
+        &[Large, Xlarge, X2large, X4large, X8large, X16large],
+    ),
+    (
+        "is4gen",
+        &[Medium, Large, Xlarge, X2large, X4large, X8large],
+    ),
     // D family (storage-optimized, dense HDD).
     ("d2", &[Xlarge, X2large, X4large, X8large]),
     ("d3", &[Xlarge, X2large, X4large, X8large]),
-    ("d3en", &[Xlarge, X2large, X4large, X6large, X8large, X12large]),
+    (
+        "d3en",
+        &[Xlarge, X2large, X4large, X6large, X8large, X12large],
+    ),
     // H family (storage-optimized).
     ("h1", &[X2large, X4large, X8large, X16large]),
 ];
@@ -667,7 +699,9 @@ mod tests {
         let c = Catalog::aws_2022();
         for group in InstanceGroup::ALL {
             assert!(
-                c.instance_types().iter().any(|t| t.family().group() == group),
+                c.instance_types()
+                    .iter()
+                    .any(|t| t.family().group() == group),
                 "group {group} has no types"
             );
         }

@@ -13,15 +13,11 @@ use std::fmt;
 use std::str::FromStr;
 
 /// Compact index of an instance type within a [`crate::Catalog`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct InstanceTypeId(pub u32);
 
 /// The letter class of an instance type (`T`, `M`, `C`, `P`, ...).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum InstanceFamily {
     T,
@@ -116,9 +112,7 @@ impl fmt::Display for InstanceFamily {
 }
 
 /// The five instance-family groups used throughout the paper's analysis.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum InstanceGroup {
     /// T, M, A.
     General,
@@ -165,9 +159,7 @@ impl fmt::Display for InstanceGroup {
 /// Figure 5 of the paper orders sizes by their resource footprint; the
 /// [`InstanceSize::weight`] method returns that ordering's numeric weight
 /// (number of `xlarge`-equivalents, with sub-`xlarge` sizes as fractions).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum InstanceSize {
     Nano,
@@ -357,8 +349,8 @@ impl InstanceType {
         let (class, size) = name
             .split_once('.')
             .ok_or_else(|| ParseEntityError::new("instance type", name))?;
-        let size = InstanceSize::parse(size)
-            .map_err(|_| ParseEntityError::new("instance type", name))?;
+        let size =
+            InstanceSize::parse(size).map_err(|_| ParseEntityError::new("instance type", name))?;
         InstanceType::new(class, size).map_err(|_| ParseEntityError::new("instance type", name))
     }
 

@@ -34,13 +34,9 @@ mod time;
 
 pub use catalog::{Catalog, CatalogBuilder, SupportMatrix};
 pub use error::{ParseEntityError, TypesError};
-pub use instance::{
-    InstanceFamily, InstanceGroup, InstanceSize, InstanceType, InstanceTypeId,
-};
+pub use instance::{InstanceFamily, InstanceGroup, InstanceSize, InstanceType, InstanceTypeId};
 pub use price::{OnDemandPrice, Savings, SpotPrice};
 pub use region::{Az, AzId, Region, RegionId};
 pub use request::{InterruptionReason, RequestState, SpotRequest, SpotRequestConfig};
-pub use score::{
-    InterruptionBucket, InterruptionFreeScore, PlacementScore, ScoreLevel,
-};
+pub use score::{InterruptionBucket, InterruptionFreeScore, PlacementScore, ScoreLevel};
 pub use time::{SimDuration, SimTime, COLLECTION_TICK};

@@ -11,15 +11,11 @@ use std::fmt;
 use std::str::FromStr;
 
 /// Compact index of a region within a [`crate::Catalog`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RegionId(pub u16);
 
 /// Compact index of an availability zone within a [`crate::Catalog`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AzId(pub u16);
 
 /// A cloud region, e.g. `us-east-1`.
@@ -65,7 +61,10 @@ impl Region {
 
     /// The continent prefix of the code, e.g. `"eu"`.
     pub fn continent(&self) -> &str {
-        self.code.split('-').next().expect("validated at construction")
+        self.code
+            .split('-')
+            .next()
+            .expect("validated at construction")
     }
 }
 
@@ -141,7 +140,14 @@ mod tests {
 
     #[test]
     fn region_rejects_malformed_codes() {
-        for bad in ["useast1", "us-east", "us-east-", "US-east-1", "us-east-1a", ""] {
+        for bad in [
+            "useast1",
+            "us-east",
+            "us-east-",
+            "US-east-1",
+            "us-east-1a",
+            "",
+        ] {
             assert!(Region::new(bad).is_err(), "{bad:?} should be rejected");
         }
     }

@@ -20,9 +20,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The status of a spot instance request, per Table 1 of the paper.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum RequestState {
     /// A valid spot request has been submitted and is being evaluated.
     PendingEvaluation,
@@ -104,9 +102,7 @@ impl fmt::Display for RequestState {
 }
 
 /// Why a fulfilled request left the `Fulfilled` state.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum InterruptionReason {
     /// The spot price rose above the bid price.
     PriceOutbid,

@@ -192,10 +192,7 @@ mod tests {
         let t = SimTime::EPOCH + SimDuration::from_days(3);
         assert_eq!(t.day_index(), 3);
         assert_eq!(t - SimTime::EPOCH, SimDuration::from_days(3));
-        assert_eq!(
-            t.checked_since(t + SimDuration::from_secs(1)),
-            None
-        );
+        assert_eq!(t.checked_since(t + SimDuration::from_secs(1)), None);
     }
 
     #[test]

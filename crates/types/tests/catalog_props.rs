@@ -74,6 +74,9 @@ fn aws_catalog_pool_consistency() {
         assert!(c.od_price(ty).as_usd() > 0.0);
     }
     // Count matches the sum over the support map.
-    let total: u32 = c.type_ids().map(|t| c.support_map(t).values().sum::<u32>()).sum();
+    let total: u32 = c
+        .type_ids()
+        .map(|t| c.support_map(t).values().sum::<u32>())
+        .sum();
     assert_eq!(total as usize, pools.len());
 }

@@ -80,7 +80,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|r| r.value)
                 .unwrap_or(0.0);
             let score = 2.0 * sps_mean + if_now + savings / 100.0;
-            ranking.push((score, ty.clone(), region.code().to_owned(), sps_mean, if_now, savings));
+            ranking.push((
+                score,
+                ty.clone(),
+                region.code().to_owned(),
+                sps_mean,
+                if_now,
+                savings,
+            ));
         }
     }
     ranking.sort_by(|a, b| b.0.total_cmp(&a.0));
@@ -91,16 +98,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "type", "region", "SPS(7d)", "IF", "savings", "score"
     );
     for (score, ty, region, sps, ifs, savings) in ranking.iter().take(10) {
-        println!(
-            "  {ty:<14} {region:<16} {sps:>8.2} {ifs:>6.1} {savings:>7.0}% {score:>7.2}"
-        );
+        println!("  {ty:<14} {region:<16} {sps:>8.2} {ifs:>6.1} {savings:>7.0}% {score:>7.2}");
     }
 
     println!("\nbottom 5 (avoid):");
     for (score, ty, region, sps, ifs, savings) in ranking.iter().rev().take(5) {
-        println!(
-            "  {ty:<14} {region:<16} {sps:>8.2} {ifs:>6.1} {savings:>7.0}% {score:>7.2}"
-        );
+        println!("  {ty:<14} {region:<16} {sps:>8.2} {ifs:>6.1} {savings:>7.0}% {score:>7.2}");
     }
     Ok(())
 }

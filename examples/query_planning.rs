@@ -40,8 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Show one packed query end to end.
-    let plan = QueryPlanner::new(PlannerStrategy::Exact)
-        .plan(&catalog, Some(&["p3.2xlarge".to_string()]));
+    let plan =
+        QueryPlanner::new(PlannerStrategy::Exact).plan(&catalog, Some(&["p3.2xlarge".to_string()]));
     let mut cloud = SimCloud::new(catalog, SimConfig::default());
     cloud.run_days(1);
     let mut client = SpsClient::new();

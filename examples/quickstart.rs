@@ -54,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "/window?table=sps&instance_type=m5.large&window=21600&agg=mean",
     ] {
         let response = lake.http_get(path)?;
-        println!("\nGET {path}\n  -> {} {}", response.status, response.body_text());
+        println!(
+            "\nGET {path}\n  -> {} {}",
+            response.status,
+            response.body_text()
+        );
     }
 
     // And export a CSV slice, as the website's download button would.

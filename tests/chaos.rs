@@ -1,0 +1,163 @@
+//! Chaos suite: deterministic fault injection against the full pipeline.
+//!
+//! Every test drives the real `SpotLake` assembly — simulator, API layer,
+//! collectors, store — with a seeded [`FaultPlan`], so the "weather" is
+//! exactly reproducible: a failing case replays bit-for-bit from its seed.
+
+use spotlake::{CollectorConfig, SimConfig, SpotLake};
+use spotlake_collector::{Dataset, DatasetStatus, FaultPlan, ADVISOR_TABLE, SPS_TABLE};
+use spotlake_timestream::Query;
+use spotlake_types::{CatalogBuilder, SimDuration};
+
+const SEED: u64 = 20_220_901;
+
+fn lake(faults: Option<FaultPlan>) -> SpotLake {
+    let mut b = CatalogBuilder::new();
+    b.region("us-test-1", 3)
+        .region("eu-test-1", 3)
+        .instance_type("m5.large", 0.096)
+        .instance_type("c5.xlarge", 0.17)
+        .instance_type("p3.2xlarge", 3.06);
+    let mut sim = SimConfig::with_seed(SEED);
+    sim.tick = SimDuration::from_mins(30);
+    SpotLake::builder()
+        .catalog(b.build().expect("valid catalog"))
+        .sim_config(sim)
+        .collector_config(CollectorConfig {
+            faults,
+            ..CollectorConfig::default()
+        })
+        .build()
+        .expect("pipeline builds")
+}
+
+fn table_count(lake: &SpotLake, table: &str, measure: &str) -> usize {
+    lake.archive()
+        .query(table, &Query::measure(measure))
+        .expect("table exists")
+        .len()
+}
+
+fn save_bytes(lake: &SpotLake, tag: &str) -> Vec<u8> {
+    let mut path = std::env::temp_dir();
+    path.push(format!("spotlake-chaos-{tag}-{}.db", std::process::id()));
+    lake.save_archive(&path).expect("archive saves");
+    let bytes = std::fs::read(&path).expect("archive readable");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+#[test]
+fn ten_percent_faults_degrade_rounds_but_never_sink_them() {
+    let mut clean = lake(None);
+    let (clean_stats, clean_healths) = clean.run_rounds_with_health(60).expect("clean run");
+    assert_eq!(clean_stats.retries, 0, "fault-free runs spend no retries");
+    assert!(clean_healths.iter().all(|h| !h.is_degraded()));
+
+    let mut chaotic = lake(Some(FaultPlan::uniform(SEED, 0.10)));
+    let (stats, healths) = chaotic
+        .run_rounds_with_health(60)
+        .expect("transient faults must never surface as Err");
+    assert_eq!(healths.len(), 60, "every round reports its health");
+    for (i, h) in healths.iter().enumerate() {
+        assert_eq!(h.tick, (i + 1) as u64, "health records are per-round");
+    }
+    assert!(stats.retries > 0, "a 10% fault rate must trigger retries");
+
+    // The retry budget absorbs almost everything: the chaotic archive
+    // keeps at least 95% of the fault-free run's placement scores.
+    let clean_sps = table_count(&clean, SPS_TABLE, "sps");
+    let chaotic_sps = table_count(&chaotic, SPS_TABLE, "sps");
+    assert!(clean_sps > 0);
+    assert!(
+        chaotic_sps as f64 >= clean_sps as f64 * 0.95,
+        "sps completeness under chaos: {chaotic_sps}/{clean_sps}"
+    );
+}
+
+#[test]
+fn open_advisor_breaker_spares_sps_and_price() {
+    let mut lake = lake(None);
+    lake.run_rounds_with_health(1).expect("warm-up round");
+    let before_advisor = table_count(&lake, ADVISOR_TABLE, "if_score");
+
+    let tick = lake.cloud().ticks();
+    lake.collector_mut()
+        .force_breaker_open(Dataset::Advisor, tick);
+    let (stats, healths) = lake
+        .run_rounds_with_health(1)
+        .expect("a skipped dataset must not fail the round");
+
+    let health = &healths[0];
+    assert_eq!(health.advisor.status, DatasetStatus::Skipped);
+    assert_eq!(health.dataset(Dataset::Advisor).records, 0);
+    assert!(health.is_degraded());
+    assert_eq!(stats.degraded_rounds, 1);
+    // The other two datasets still land in the archive.
+    assert!(stats.sps_records > 0, "sps written despite advisor outage");
+    assert_eq!(
+        health.price.status,
+        DatasetStatus::Ok,
+        "price collection ran despite advisor outage"
+    );
+    assert_eq!(
+        table_count(&lake, ADVISOR_TABLE, "if_score"),
+        before_advisor,
+        "no advisor rows while the breaker is open"
+    );
+}
+
+#[test]
+fn same_seed_and_plan_replay_bit_identically() {
+    let plan = FaultPlan::uniform(SEED, 0.20);
+    let mut a = lake(Some(plan));
+    let mut b = lake(Some(plan));
+    let (stats_a, _) = a.run_rounds_with_health(30).expect("run a");
+    let (stats_b, _) = b.run_rounds_with_health(30).expect("run b");
+    assert_eq!(stats_a, stats_b, "counters replay exactly");
+    assert_eq!(
+        save_bytes(&a, "replay-a"),
+        save_bytes(&b, "replay-b"),
+        "archives replay bit-for-bit"
+    );
+}
+
+#[test]
+fn zero_fault_plan_is_behavior_preserving() {
+    let mut configured = lake(Some(FaultPlan::none(SEED)));
+    let mut plain = lake(None);
+    let (stats_c, _) = configured
+        .run_rounds_with_health(20)
+        .expect("configured run");
+    let (stats_p, _) = plain.run_rounds_with_health(20).expect("plain run");
+    assert_eq!(stats_c, stats_p);
+    assert_eq!(stats_c.retries, 0);
+    assert_eq!(stats_c.degraded_rounds, 0);
+    assert_eq!(
+        save_bytes(&configured, "zero-a"),
+        save_bytes(&plain, "zero-b"),
+        "a zero-rate plan changes nothing"
+    );
+}
+
+#[test]
+fn heavy_faults_exercise_the_dead_letter_queue() {
+    // At 45% per attempt a query exhausts its three tries ~9% of the time,
+    // so across 40 rounds the dead-letter queue sees real traffic.
+    let mut lake = lake(Some(FaultPlan::uniform(SEED, 0.45)));
+    let (stats, healths) = lake
+        .run_rounds_with_health(40)
+        .expect("even heavy transient faults never surface as Err");
+    assert!(
+        stats.dead_lettered > 0,
+        "heavy faults must dead-letter queries"
+    );
+    assert!(stats.degraded_rounds > 0);
+    assert!(stats.queries_failed > 0);
+    assert!(
+        healths.iter().any(|h| h.dead_letter_depth > 0),
+        "queue depth is reported while entries wait for their backoff"
+    );
+    // The queue drains: retries (and recovering weather) clear entries.
+    assert!(table_count(&lake, SPS_TABLE, "sps") > 0);
+}

@@ -75,7 +75,8 @@ fn spot_requests_flow_through_the_simulated_cloud() {
             persistent: false,
         })
         .expect("pool exists");
-    lake.run_rounds(6).expect("collection continues during requests");
+    lake.run_rounds(6)
+        .expect("collection continues during requests");
     let request = lake.cloud().request(id).expect("request registered");
     assert!(
         request.was_fulfilled(),

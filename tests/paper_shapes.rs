@@ -44,7 +44,10 @@ fn table3_shape_orderings() {
         ..ExperimentConfig::default()
     })
     .run(&mut cloud);
-    assert!(report.cases.len() >= 50, "experiment produced too few cases");
+    assert!(
+        report.cases.len() >= 50,
+        "experiment produced too few cases"
+    );
 
     let row = |s: Stratum| {
         report
@@ -72,7 +75,10 @@ fn table3_shape_orderings() {
     let hh = report.fulfillment_latencies(Stratum::HH);
     assert!(!hh.is_empty());
     let fast = hh.iter().filter(|&&l| l <= 135.0).count() as f64 / hh.len() as f64;
-    assert!(fast > 0.7, "H-H should mostly fulfill within 135s ({fast:.2})");
+    assert!(
+        fast > 0.7,
+        "H-H should mostly fulfill within 135s ({fast:.2})"
+    );
 
     // Outcome labels partition the cases.
     for case in &report.cases {
@@ -111,7 +117,10 @@ fn figure6_shape_composite_floor() {
         }
         checked += 1;
     }
-    assert!(checked > 30, "expected most AZs to support the general types");
+    assert!(
+        checked > 30,
+        "expected most AZs to support the general types"
+    );
     assert!(
         sub_additive * 20 <= checked,
         "sub-additive composites must be rare exceptions ({sub_additive}/{checked})"

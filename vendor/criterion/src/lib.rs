@@ -1,0 +1,311 @@
+// Vendored code is not held to the workspace lint bar.
+#![allow(clippy::all)]
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of criterion's API this workspace's benches use
+//! — `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size`, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BenchmarkId::from_parameter` — over a simple
+//! wall-clock measurement loop. No statistical analysis, plots, or
+//! saved baselines: each benchmark reports mean / min / max time per
+//! iteration. Command-line behaviour follows cargo's conventions:
+//! positional args filter benchmarks by substring, `--test` runs each
+//! routine once for smoke-testing.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (measurement hint only here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: one batch per sample.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named by a function + parameter pair.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark named by its parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Total measured time across recorded iterations.
+    elapsed: Duration,
+    /// Recorded iteration count.
+    iterations: u64,
+    /// Fastest / slowest single iteration.
+    min: Duration,
+    max: Duration,
+    /// Iterations to record (0 = smoke mode: run once, don't record).
+    target_iterations: u64,
+}
+
+impl Bencher {
+    fn new(target_iterations: u64) -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+            target_iterations,
+        }
+    }
+
+    fn record(&mut self, d: Duration) {
+        self.elapsed += d;
+        self.iterations += 1;
+        self.min = self.min.min(d);
+        self.max = self.max.max(d);
+    }
+
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let runs = self.target_iterations.max(1);
+        for _ in 0..runs {
+            let start = Instant::now();
+            let out = routine();
+            let d = start.elapsed();
+            drop(out);
+            self.record(d);
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let runs = self.target_iterations.max(1);
+        for _ in 0..runs {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let d = start.elapsed();
+            drop(out);
+            self.record(d);
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    smoke_test: bool,
+    default_sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            smoke_test: false,
+            default_sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration: positional args filter by
+    /// substring; `--test` switches to run-once smoke mode (used by
+    /// `cargo test --benches`).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.smoke_test = true,
+                "--bench" => {}
+                // Flags with a value we accept-and-ignore.
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with("--") => {}
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.run(name, f);
+        group.finish();
+        self
+    }
+
+    fn should_run(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of recorded iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let full_name = if id == self.name {
+            id.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if !self.criterion.should_run(&full_name) {
+            return;
+        }
+        let samples = if self.criterion.smoke_test {
+            1
+        } else {
+            self.sample_size
+                .unwrap_or(self.criterion.default_sample_size)
+        };
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        if b.iterations == 0 {
+            println!("{full_name:<40} (no iterations recorded)");
+            return;
+        }
+        let mean = b.elapsed / u32::try_from(b.iterations).unwrap_or(u32::MAX).max(1);
+        println!(
+            "{full_name:<40} time: [{} {} {}]  ({} iterations)",
+            format_duration(b.min),
+            format_duration(mean),
+            format_duration(b.max),
+            b.iterations,
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting happens eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the given benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench target composed of `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("trivial");
+        group.sample_size(10);
+        group.bench_function("add", |b| b.iter(|| std::hint::black_box(1u64 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter("x10"), &10u64, |b, &n| {
+            b.iter_batched(
+                || vec![1u64; n as usize],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion {
+            smoke_test: true,
+            ..Criterion::default()
+        };
+        trivial(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| 2 + 2));
+    }
+}

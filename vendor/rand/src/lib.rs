@@ -1,0 +1,568 @@
+// Vendored code is not held to the workspace lint bar.
+#![allow(clippy::all)]
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The build container has no access to crates.io, so this crate
+//! reimplements the (small) slice of the `rand` 0.8 API the workspace
+//! uses, with the same algorithms as upstream so that seeded streams
+//! match the real crate bit for bit:
+//!
+//! * `StdRng` is ChaCha12 (djb variant: 64-bit block counter in words
+//!   12–13), buffered four blocks at a time exactly like `rand_chacha`'s
+//!   software backend, with `rand_core`'s `BlockRng` word-pairing rules
+//!   for `next_u64`.
+//! * `SeedableRng::seed_from_u64` expands the seed through the same PCG32
+//!   stepping as `rand_core` 0.6.
+//! * `Standard` floats use the 53-bit multiply method; `gen_range` uses
+//!   the widening-multiply rejection method for integers and the
+//!   `[1, 2)` mantissa trick for floats.
+//! * `SliceRandom::{shuffle, choose}` sample indices through `u32` for
+//!   bounds that fit, as upstream's `gen_index` does.
+//!
+//! Only the API surface used by this workspace is provided.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Seed type, typically `[u8; N]`.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with the same PCG32
+    /// stepping as `rand_core` 0.6 so streams match the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value via the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range`. Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} is outside range [0.0, 1.0]");
+        // Scaled-integer comparison, as upstream's Bernoulli distribution.
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (1u128 << 64) as f64) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Random distributions.
+pub mod distributions {
+    use super::RngCore;
+
+    /// Types that can produce values of `T` from an RNG.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution: full-range ints, `[0, 1)` floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            // Sign test on the most significant bit, as upstream.
+            (rng.next_u32() as i32) < 0
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Multiply-based method: 53 random mantissa bits.
+            let value = rng.next_u64() >> (64 - 53);
+            value as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            let value = rng.next_u32() >> (32 - 24);
+            value as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    /// Uniform range sampling.
+    pub mod uniform {
+        use super::super::{Range, RangeInclusive, RngCore};
+
+        /// Types samplable by `Rng::gen_range`.
+        pub trait SampleUniform: Sized + PartialOrd {
+            /// Uniform sample from `[low, high)`.
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+            /// Uniform sample from `[low, high]`.
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self;
+        }
+
+        /// Range types usable with `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            /// Samples from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+            /// Whether the range contains no values.
+            fn is_empty(&self) -> bool;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_single(self.start, self.end, rng)
+            }
+            fn is_empty(&self) -> bool {
+                !(self.start < self.end)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (low, high) = self.into_inner();
+                T::sample_single_inclusive(low, high, rng)
+            }
+            fn is_empty(&self) -> bool {
+                RangeInclusive::is_empty(self)
+            }
+        }
+
+        macro_rules! uniform_int_impl {
+            ($ty:ty, $large:ty, $wide:ty, $large_bits:expr, $sample:ident) => {
+                impl SampleUniform for $ty {
+                    fn sample_single<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        let range = high.wrapping_sub(low) as $large;
+                        // Widening-multiply rejection, as upstream
+                        // UniformInt::sample_single.
+                        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                        loop {
+                            let v: $large = rng.$sample() as $large;
+                            let m = (v as $wide).wrapping_mul(range as $wide);
+                            let hi = (m >> $large_bits) as $large;
+                            let lo = m as $large;
+                            if lo <= zone {
+                                return low.wrapping_add(hi as $ty);
+                            }
+                        }
+                    }
+
+                    fn sample_single_inclusive<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        let range = (high.wrapping_sub(low) as $large).wrapping_add(1);
+                        if range == 0 {
+                            // The full integer span: every value is valid.
+                            return rng.$sample() as $ty;
+                        }
+                        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                        loop {
+                            let v: $large = rng.$sample() as $large;
+                            let m = (v as $wide).wrapping_mul(range as $wide);
+                            let hi = (m >> $large_bits) as $large;
+                            let lo = m as $large;
+                            if lo <= zone {
+                                return low.wrapping_add(hi as $ty);
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        uniform_int_impl!(u32, u32, u64, 32, next_u32);
+        uniform_int_impl!(u64, u64, u128, 64, next_u64);
+        uniform_int_impl!(usize, u64, u128, 64, next_u64);
+        uniform_int_impl!(i64, u64, u128, 64, next_u64);
+
+        macro_rules! uniform_float_impl {
+            ($ty:ty, $uty:ty, $bits_to_discard:expr, $exp_bias:expr, $frac_bits:expr, $sample:ident) => {
+                impl SampleUniform for $ty {
+                    fn sample_single<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        // Generate a value in [1, 2), then scale/offset —
+                        // upstream UniformFloat::sample_single.
+                        let frac = rng.$sample() >> $bits_to_discard;
+                        let value1_2 =
+                            <$ty>::from_bits(frac | (($exp_bias as $uty) << $frac_bits));
+                        let scale = high - low;
+                        let offset = low - scale;
+                        value1_2 * scale + offset
+                    }
+
+                    fn sample_single_inclusive<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        // Matches upstream: the inclusive float sampler
+                        // uses the same scale method.
+                        let frac = rng.$sample() >> $bits_to_discard;
+                        let value1_2 =
+                            <$ty>::from_bits(frac | (($exp_bias as $uty) << $frac_bits));
+                        let scale = high - low;
+                        let offset = low - scale;
+                        value1_2 * scale + offset
+                    }
+                }
+            };
+        }
+
+        uniform_float_impl!(f64, u64, 12, 1023u64, 52, next_u64);
+        uniform_float_impl!(f32, u32, 9, 127u32, 23, next_u32);
+    }
+
+    pub use uniform::{SampleRange, SampleUniform};
+}
+
+pub use distributions::{Distribution, Standard};
+
+/// Random number generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    const CHACHA_BLOCK_WORDS: usize = 16;
+    /// `rand_chacha` buffers four ChaCha blocks per refill.
+    const BUFFER_WORDS: usize = 4 * CHACHA_BLOCK_WORDS;
+
+    /// The standard RNG: ChaCha with 12 rounds, as `rand` 0.8.
+    #[derive(Clone)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        results: [u32; BUFFER_WORDS],
+        index: usize,
+    }
+
+    impl std::fmt::Debug for StdRng {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "StdRng {{ .. }}")
+        }
+    }
+
+    #[inline(always)]
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    impl StdRng {
+        /// Refills the four-block buffer and resets the cursor to `index`.
+        fn generate_and_set(&mut self, index: usize) {
+            for block in 0..4 {
+                let mut state: [u32; 16] = [
+                    0x6170_7865,
+                    0x3320_646e,
+                    0x7962_2d32,
+                    0x6b20_6574,
+                    self.key[0],
+                    self.key[1],
+                    self.key[2],
+                    self.key[3],
+                    self.key[4],
+                    self.key[5],
+                    self.key[6],
+                    self.key[7],
+                    self.counter as u32,
+                    (self.counter >> 32) as u32,
+                    0,
+                    0,
+                ];
+                let initial = state;
+                // 12 rounds = 6 double rounds.
+                for _ in 0..6 {
+                    quarter_round(&mut state, 0, 4, 8, 12);
+                    quarter_round(&mut state, 1, 5, 9, 13);
+                    quarter_round(&mut state, 2, 6, 10, 14);
+                    quarter_round(&mut state, 3, 7, 11, 15);
+                    quarter_round(&mut state, 0, 5, 10, 15);
+                    quarter_round(&mut state, 1, 6, 11, 12);
+                    quarter_round(&mut state, 2, 7, 8, 13);
+                    quarter_round(&mut state, 3, 4, 9, 14);
+                }
+                for (i, out) in state.iter().enumerate() {
+                    self.results[block * CHACHA_BLOCK_WORDS + i] =
+                        out.wrapping_add(initial[i]);
+                }
+                self.counter = self.counter.wrapping_add(1);
+            }
+            self.index = index;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut key = [0u32; 8];
+            for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            StdRng {
+                key,
+                counter: 0,
+                results: [0; BUFFER_WORDS],
+                index: BUFFER_WORDS, // empty: refill on first use
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUFFER_WORDS {
+                self.generate_and_set(0);
+            }
+            let value = self.results[self.index];
+            self.index += 1;
+            value
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // BlockRng's exact word-pairing rules, including the buffer
+            // boundary case.
+            let index = self.index;
+            if index < BUFFER_WORDS - 1 {
+                self.index += 2;
+                (u64::from(self.results[index + 1]) << 32) | u64::from(self.results[index])
+            } else if index >= BUFFER_WORDS {
+                self.generate_and_set(2);
+                (u64::from(self.results[1]) << 32) | u64::from(self.results[0])
+            } else {
+                let x = u64::from(self.results[BUFFER_WORDS - 1]);
+                self.generate_and_set(1);
+                (u64::from(self.results[0]) << 32) | x
+            }
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut chunks = dest.chunks_exact_mut(4);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let word = self.next_u32().to_le_bytes();
+                rem.copy_from_slice(&word[..rem.len()]);
+            }
+        }
+    }
+}
+
+/// Sequence-related random operations.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Uniform index in `[0, ubound)`, sampling through `u32` when the
+    /// bound fits — upstream's `gen_index`, which keeps shuffles
+    /// bit-compatible with the real crate.
+    fn gen_index<R: RngCore>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Slice element type.
+        type Item;
+
+        /// Returns one uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(gen_index(rng, self.len()))
+            }
+        }
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(0);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    /// The u32 and u64 views of the stream interleave through one shared
+    /// word buffer: two u32 pulls equal one u64 pull (lo then hi word).
+    #[test]
+    fn word_pairing_is_consistent() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        let lo = a.next_u32() as u64;
+        let hi = a.next_u32() as u64;
+        assert_eq!(b.next_u64(), (hi << 32) | lo);
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        let mut a = StdRng::seed_from_u64(20_220_901);
+        let mut b = a.clone();
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let a = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&a));
+            let b = rng.gen_range(0u32..=9);
+            assert!(b <= 9);
+            let c = rng.gen_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let &x = items.choose(&mut rng).unwrap();
+            seen[x - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

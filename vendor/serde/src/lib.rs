@@ -1,0 +1,20 @@
+// Vendored code is not held to the workspace lint bar.
+#![allow(clippy::all)]
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derive macros so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The workspace
+//! never calls serde's data model (it has its own binary archive codec),
+//! so empty traits are sufficient. Replace with upstream serde if real
+//! serialization is ever wired up.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,25 @@
+// Vendored code is not held to the workspace lint bar.
+#![allow(clippy::all)]
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace uses serde derives only as metadata on domain types — no
+//! code actually serializes through serde (the archive has its own binary
+//! codec). The container that builds this repo has no network access to
+//! crates.io, so instead of the real 40k-line proc macro we ship no-op
+//! derives: `#[derive(Serialize)]` and `#[derive(Deserialize)]` parse and
+//! expand to nothing. If real serialization is ever needed, swap this
+//! vendor crate for the upstream one; no source changes required.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
