@@ -1,0 +1,81 @@
+//! Observability kernel benches: registry overhead on the hot path
+//! (counter increments, histogram records) and the cost of a full
+//! `/metrics` render, so instrumentation stays cheap relative to the
+//! layers it measures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spotlake_obs::Registry;
+
+/// A registry shaped like a busy collector's: a handful of families with
+/// realistic label cardinality and populated histograms.
+fn populated() -> Registry {
+    let r = Registry::new();
+    for dataset in ["sps", "advisor", "price"] {
+        for i in 0..200u64 {
+            r.counter_add(
+                "spotlake_collector_records_total",
+                "Records collected per dataset per round, summed.",
+                &[("dataset", dataset)],
+                i % 13,
+            );
+            r.histogram_record(
+                "spotlake_collector_round_ops",
+                "API operations spent per dataset per round.",
+                &[("dataset", dataset)],
+                (i % 97) as f64,
+            );
+        }
+        r.gauge_set(
+            "spotlake_collector_breaker_state",
+            "Circuit-breaker state per dataset.",
+            &[("dataset", dataset)],
+            0.0,
+        );
+    }
+    for path in ["/query", "/latest", "/metrics", "/health", "other"] {
+        for i in 0..100u64 {
+            r.histogram_record(
+                "spotlake_http_response_bytes",
+                "Response body size per endpoint.",
+                &[("path", path)],
+                (i * 37 % 4096) as f64,
+            );
+        }
+    }
+    r
+}
+
+fn registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_registry");
+
+    let r = populated();
+    group.bench_function("counter_add", |b| {
+        b.iter(|| {
+            r.counter_add(
+                "spotlake_collector_records_total",
+                "Records collected per dataset per round, summed.",
+                &[("dataset", "sps")],
+                1,
+            )
+        })
+    });
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            r.histogram_record(
+                "spotlake_collector_round_ops",
+                "API operations spent per dataset per round.",
+                &[("dataset", "sps")],
+                42.0,
+            )
+        })
+    });
+    group.bench_function("render_full", |b| b.iter(|| r.render()));
+    let extra = populated();
+    group.bench_function("render_merged_2", |b| {
+        b.iter(|| Registry::render_merged([&r, &extra]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, registry);
+criterion_main!(benches);

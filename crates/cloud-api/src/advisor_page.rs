@@ -158,6 +158,15 @@ impl AdvisorClient {
         self
     }
 
+    /// Fault injections rolled by this client so far, as
+    /// `(surface, kind, count)`; empty without an injector.
+    pub fn fault_counts(&self) -> Vec<(FaultSurface, &'static str, u64)> {
+        self.faults
+            .as_ref()
+            .map(FaultInjector::fault_counts)
+            .unwrap_or_default()
+    }
+
     /// Fetches and scrapes the advisor page.
     ///
     /// # Errors

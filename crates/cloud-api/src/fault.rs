@@ -12,10 +12,10 @@
 
 use crate::error::ApiError;
 use spotlake_types::hash::hash01;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Which API surface a fault decision applies to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FaultSurface {
     /// `get-spot-placement-scores`.
     Sps,
@@ -26,7 +26,8 @@ pub enum FaultSurface {
 }
 
 impl FaultSurface {
-    fn name(self) -> &'static str {
+    /// Stable lowercase name, used as a metric label by the collector.
+    pub fn name(self) -> &'static str {
         match self {
             FaultSurface::Sps => "sps",
             FaultSurface::Price => "price",
@@ -145,6 +146,9 @@ pub struct FaultInjector {
     plan: FaultPlan,
     /// `(surface, scope)` → (tick of last roll, attempts rolled that tick).
     attempts: HashMap<(FaultSurface, String), (u64, u32)>,
+    /// `(surface, fault kind)` → injections so far, kept in a `BTreeMap`
+    /// so scrapes enumerate deterministically.
+    injected: BTreeMap<(FaultSurface, &'static str), u64>,
 }
 
 impl FaultInjector {
@@ -153,12 +157,24 @@ impl FaultInjector {
         FaultInjector {
             plan,
             attempts: HashMap::new(),
+            injected: BTreeMap::new(),
         }
     }
 
     /// The plan this injector follows.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Running totals of injected faults as `(surface, kind, count)`,
+    /// sorted — the collector scrapes these into its metric registry.
+    /// Kinds: `throttled`, `timeout`, `unavailable`, `truncated`,
+    /// `corrupted`.
+    pub fn fault_counts(&self) -> Vec<(FaultSurface, &'static str, u64)> {
+        self.injected
+            .iter()
+            .map(|(&(surface, kind), &count)| (surface, kind, count))
+            .collect()
     }
 
     /// Rolls one fault decision for a call on `surface` identified by
@@ -194,7 +210,7 @@ impl FaultInjector {
             &attempt_s,
             &seed_s,
         ]);
-        Some(match surface {
+        let fault = match surface {
             // Advisor faults include body-level damage; the API surfaces
             // only transport errors.
             FaultSurface::Advisor => match (kind * 5.0) as u32 {
@@ -213,7 +229,16 @@ impl FaultInjector {
                 1 => Fault::Error(ApiError::Timeout),
                 _ => Fault::Error(ApiError::ServiceUnavailable),
             },
-        })
+        };
+        let kind_name = match &fault {
+            Fault::Error(ApiError::Throttled { .. }) => "throttled",
+            Fault::Error(ApiError::Timeout) => "timeout",
+            Fault::Error(_) => "unavailable",
+            Fault::TruncatedBody => "truncated",
+            Fault::CorruptedBody => "corrupted",
+        };
+        *self.injected.entry((surface, kind_name)).or_insert(0) += 1;
+        Some(fault)
     }
 }
 
@@ -322,5 +347,33 @@ mod tests {
         assert!(kinds.contains("truncated"));
         assert!(kinds.contains("corrupted"));
         assert!(kinds.contains("error"));
+    }
+
+    #[test]
+    fn fault_counts_track_injections_by_surface_and_kind() {
+        let mut inj = FaultInjector::new(FaultPlan::uniform(5, 1.0));
+        let mut injected = 0u64;
+        for tick in 0..100 {
+            if inj.decide(FaultSurface::Advisor, "page", tick).is_some() {
+                injected += 1;
+            }
+            if inj.decide(FaultSurface::Sps, "a/q", tick).is_some() {
+                injected += 1;
+            }
+        }
+        let counts = inj.fault_counts();
+        assert!(injected > 0);
+        assert_eq!(counts.iter().map(|&(_, _, n)| n).sum::<u64>(), injected);
+        // Sorted by (surface, kind); all surfaces that faulted appear.
+        let surfaces: Vec<_> = counts.iter().map(|&(s, _, _)| s).collect();
+        let mut sorted = surfaces.clone();
+        sorted.sort();
+        assert_eq!(surfaces, sorted);
+        assert!(surfaces.contains(&FaultSurface::Advisor));
+        assert!(surfaces.contains(&FaultSurface::Sps));
+        // An injector that never faulted reports nothing.
+        assert!(FaultInjector::new(FaultPlan::none(1))
+            .fault_counts()
+            .is_empty());
     }
 }

@@ -103,6 +103,15 @@ impl PriceClient {
         self
     }
 
+    /// Fault injections rolled by this client so far, as
+    /// `(surface, kind, count)`; empty without an injector.
+    pub fn fault_counts(&self) -> Vec<(FaultSurface, &'static str, u64)> {
+        self.faults
+            .as_ref()
+            .map(FaultInjector::fault_counts)
+            .unwrap_or_default()
+    }
+
     /// Fetches one page of spot price-change history. The effective start
     /// time is clamped to the API's 90-day lookback relative to the cloud's
     /// current time.

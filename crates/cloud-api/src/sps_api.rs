@@ -173,6 +173,15 @@ impl SpsClient {
         self
     }
 
+    /// Fault injections rolled by this client so far, as
+    /// `(surface, kind, count)`; empty without an injector.
+    pub fn fault_counts(&self) -> Vec<(FaultSurface, &'static str, u64)> {
+        self.faults
+            .as_ref()
+            .map(FaultInjector::fault_counts)
+            .unwrap_or_default()
+    }
+
     /// Number of unique queries `account` has counted in the trailing 24
     /// hours as of `now`.
     pub fn unique_queries_used(&mut self, account: &AccountId, now: SimTime) -> usize {

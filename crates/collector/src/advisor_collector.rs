@@ -10,7 +10,7 @@
 
 use crate::error::CollectError;
 use crate::retry::RetryPolicy;
-use spotlake_cloud_api::{AdvisorClient, FaultInjector, FaultPlan};
+use spotlake_cloud_api::{AdvisorClient, FaultInjector, FaultPlan, FaultSurface};
 use spotlake_cloud_sim::SimCloud;
 use spotlake_timestream::Record;
 
@@ -46,6 +46,12 @@ impl AdvisorCollector {
     /// Installs fault injection on the page client.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.client = AdvisorClient::new().with_faults(FaultInjector::new(plan));
+    }
+
+    /// Fault injections rolled by the page client, as
+    /// `(surface, kind, count)`; empty without fault injection.
+    pub fn fault_counts(&self) -> Vec<(FaultSurface, &'static str, u64)> {
+        self.client.fault_counts()
     }
 
     /// Fetches and scrapes the advisor page with in-round retries,

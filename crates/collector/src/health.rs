@@ -17,6 +17,20 @@ pub enum Dataset {
     Price,
 }
 
+impl Dataset {
+    /// All datasets, in reporting order.
+    pub const ALL: [Dataset; 3] = [Dataset::Sps, Dataset::Advisor, Dataset::Price];
+
+    /// Stable lowercase name, used as a metric label and table name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Sps => "sps",
+            Dataset::Advisor => "advisor",
+            Dataset::Price => "price",
+        }
+    }
+}
+
 /// Outcome of one dataset within one round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DatasetStatus {
@@ -48,6 +62,19 @@ pub struct DatasetHealth {
     /// The final error, for `Failed` (and the last one seen for
     /// `Degraded`).
     pub error: Option<String>,
+}
+
+impl DatasetStatus {
+    /// Stable lowercase name, used in trace journals and `/stats` bodies.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DatasetStatus::Disabled => "disabled",
+            DatasetStatus::Ok => "ok",
+            DatasetStatus::Degraded => "degraded",
+            DatasetStatus::Skipped => "skipped",
+            DatasetStatus::Failed => "failed",
+        }
+    }
 }
 
 impl DatasetHealth {

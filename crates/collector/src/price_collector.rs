@@ -10,7 +10,9 @@
 
 use crate::error::CollectError;
 use crate::retry::RetryPolicy;
-use spotlake_cloud_api::{ApiError, FaultInjector, FaultPlan, PriceClient, PriceRequest};
+use spotlake_cloud_api::{
+    ApiError, FaultInjector, FaultPlan, FaultSurface, PriceClient, PriceRequest,
+};
 use spotlake_cloud_sim::SimCloud;
 use spotlake_timestream::Record;
 use spotlake_types::{SimDuration, SimTime};
@@ -59,6 +61,12 @@ impl PriceCollector {
     /// Installs fault injection on the price client.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.client = PriceClient::new().with_faults(FaultInjector::new(plan));
+    }
+
+    /// Fault injections rolled by the price client, as
+    /// `(surface, kind, count)`; empty without fault injection.
+    pub fn fault_counts(&self) -> Vec<(FaultSurface, &'static str, u64)> {
+        self.client.fault_counts()
     }
 
     /// Collects price-change events since the previous successful call (or

@@ -65,6 +65,27 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+impl BreakerState {
+    /// Stable lowercase name, used in trace journals and health reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    /// Numeric encoding for the breaker-state gauge: 0 closed, 1
+    /// half-open, 2 open.
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+}
+
 /// A per-dataset circuit breaker (closed → open → half-open).
 ///
 /// `failure_threshold` consecutive dataset failures open the breaker;

@@ -15,11 +15,12 @@ use crate::error::CollectError;
 use crate::health::{Dataset, DatasetStatus, RoundHealth};
 use crate::planner::{PlanStats, PlannerStrategy, QueryPlanner};
 use crate::price_collector::PriceCollector;
-use crate::retry::{CircuitBreaker, RetryPolicy};
+use crate::retry::{BreakerState, CircuitBreaker, RetryPolicy};
 use crate::sps_collector::SpsCollector;
 use crate::{ADVISOR_TABLE, PRICE_TABLE, SPS_TABLE};
 use spotlake_cloud_api::FaultPlan;
 use spotlake_cloud_sim::SimCloud;
+use spotlake_obs::{Clock, HealthReport, ManualClock, Readiness, Registry, TraceJournal};
 use spotlake_timestream::{Database, Record, TableOptions, TsError, WriteMode};
 use spotlake_types::Catalog;
 use std::collections::HashSet;
@@ -146,6 +147,18 @@ pub struct CollectorService {
     /// storage hiccup delays price data instead of losing it.
     pending_price: Vec<Record>,
     last_health: Option<RoundHealth>,
+    /// Collector-level metrics (`spotlake_collector_*` and
+    /// `spotlake_api_*` families). The store keeps its own registry on
+    /// [`Database`].
+    metrics: Registry,
+    /// Structured record of rounds and dataset outcomes, keyed on
+    /// sim-ticks via `clock`.
+    journal: TraceJournal,
+    /// The service's injected clock, advanced to the cloud's tick at the
+    /// start of every round — no wall clock anywhere.
+    clock: ManualClock,
+    /// Running totals across all rounds this service has executed.
+    totals: CollectStats,
 }
 
 impl CollectorService {
@@ -234,6 +247,10 @@ impl CollectorService {
             dead_letters: Vec::new(),
             pending_price: Vec::new(),
             last_health: None,
+            metrics: Registry::new(),
+            journal: TraceJournal::new(),
+            clock: ManualClock::new(0),
+            totals: CollectStats::default(),
         })
     }
 
@@ -267,6 +284,91 @@ impl CollectorService {
         self.dead_letters.len()
     }
 
+    /// The collector's metric registry (`spotlake_collector_*` and
+    /// `spotlake_api_*` families). The archive's own families live on
+    /// [`Database::metrics`].
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// The structured trace journal of every round executed so far.
+    pub fn journal(&self) -> &TraceJournal {
+        &self.journal
+    }
+
+    /// Running totals across all rounds executed by this service.
+    pub fn stats(&self) -> CollectStats {
+        self.totals
+    }
+
+    /// A dataset's current circuit-breaker state.
+    pub fn breaker_state(&self, dataset: Dataset) -> BreakerState {
+        match dataset {
+            Dataset::Sps => self.sps_breaker.state(),
+            Dataset::Advisor => self.advisor_breaker.state(),
+            Dataset::Price => self.price_breaker.state(),
+        }
+    }
+
+    /// Summarises the service's readiness for `/health`: one component per
+    /// enabled dataset (breaker state plus the last round's outcome) and
+    /// one for the dead-letter queue.
+    ///
+    /// An open breaker or a failed/skipped dataset degrades the component;
+    /// a round in which *every* enabled dataset failed marks the collector
+    /// unhealthy. No rounds yet reports ready — an idle service is not a
+    /// sick one.
+    pub fn health_report(&self) -> HealthReport {
+        let mut report = HealthReport::new();
+        let enabled: Vec<Dataset> = Dataset::ALL
+            .into_iter()
+            .filter(|d| match d {
+                Dataset::Sps => self.sps.is_some(),
+                Dataset::Advisor => self.advisor.is_some(),
+                Dataset::Price => self.price.is_some(),
+            })
+            .collect();
+        let all_failed = !enabled.is_empty()
+            && self.last_health.as_ref().is_some_and(|h| {
+                enabled
+                    .iter()
+                    .all(|&d| h.dataset(d).status == DatasetStatus::Failed)
+            });
+        for &dataset in &enabled {
+            let breaker = self.breaker_state(dataset);
+            let status = self.last_health.as_ref().map(|h| h.dataset(dataset).status);
+            let readiness = if all_failed {
+                Readiness::Unhealthy
+            } else if breaker != BreakerState::Closed
+                || matches!(
+                    status,
+                    Some(DatasetStatus::Failed) | Some(DatasetStatus::Skipped)
+                )
+            {
+                Readiness::Degraded
+            } else {
+                Readiness::Ready
+            };
+            let detail = format!(
+                "breaker {}, last round {}",
+                breaker.as_str(),
+                status.map_or("not yet run", DatasetStatus::as_str)
+            );
+            report.push(format!("collector/{}", dataset.name()), readiness, detail);
+        }
+        let depth = self.dead_letters.len();
+        report.push(
+            "collector/dead-letters",
+            if depth == 0 {
+                Readiness::Ready
+            } else {
+                Readiness::Degraded
+            },
+            format!("{depth} queued"),
+        );
+        report
+    }
+
     /// Forces a dataset's circuit breaker open at `tick` — the operator
     /// kill switch (and the chaos tests' lever). The dataset is skipped
     /// until the breaker's cooldown elapses.
@@ -296,6 +398,8 @@ impl CollectorService {
     /// Returns [`CollectError`] only for the non-retryable class above.
     pub fn collect_round(&mut self, cloud: &SimCloud) -> Result<RoundReport, CollectError> {
         let tick = cloud.ticks();
+        self.clock.set(tick);
+        let span = self.journal.begin_span(self.clock.now(), "round");
         let mut stats = CollectStats {
             rounds: 1,
             ..CollectStats::default()
@@ -316,8 +420,153 @@ impl CollectorService {
         if health.is_degraded() {
             stats.degraded_rounds = 1;
         }
+        self.totals.absorb(stats);
+        self.record_round_observations(cloud, &stats, &health);
+        self.journal
+            .span_attr(span, "degraded", health.is_degraded().to_string());
+        self.journal
+            .span_attr(span, "records_written", stats.records_written.to_string());
+        self.journal.end_span(span, self.clock.now());
         self.last_health = Some(health.clone());
         Ok(RoundReport { stats, health })
+    }
+
+    /// Feeds one finished round into the metric registry and journal.
+    ///
+    /// Everything recorded here is a pure function of the round's
+    /// deterministic outcome — "durations" are denominated in API
+    /// operations (first calls plus retries), never wall clock, so two
+    /// same-seed runs render byte-identical metrics and journals.
+    fn record_round_observations(
+        &mut self,
+        cloud: &SimCloud,
+        stats: &CollectStats,
+        health: &RoundHealth,
+    ) {
+        let m = &self.metrics;
+        m.counter_add(
+            "spotlake_collector_rounds_total",
+            "Collection rounds executed.",
+            &[],
+            1,
+        );
+        m.counter_add(
+            "spotlake_collector_degraded_rounds_total",
+            "Rounds in which at least one dataset fell short.",
+            &[],
+            stats.degraded_rounds as u64,
+        );
+        m.counter_add(
+            "spotlake_collector_records_written_total",
+            "Records stored across all datasets (after change-point dedup).",
+            &[],
+            stats.records_written as u64,
+        );
+        m.counter_add(
+            "spotlake_collector_dead_lettered_total",
+            "SPS queries newly parked in the dead-letter queue.",
+            &[],
+            stats.dead_lettered as u64,
+        );
+        m.gauge_set(
+            "spotlake_collector_dead_letter_depth",
+            "Dead-letter queue depth after the most recent round.",
+            &[],
+            health.dead_letter_depth as f64,
+        );
+
+        for dataset in Dataset::ALL {
+            let enabled = match dataset {
+                Dataset::Sps => self.sps.is_some(),
+                Dataset::Advisor => self.advisor.is_some(),
+                Dataset::Price => self.price.is_some(),
+            };
+            if !enabled {
+                continue;
+            }
+            let d = health.dataset(dataset);
+            let labels = [("dataset", dataset.name())];
+            m.counter_add(
+                "spotlake_collector_records_total",
+                "Records collected per dataset per round, summed.",
+                &labels,
+                d.records as u64,
+            );
+            m.counter_add(
+                "spotlake_collector_retries_total",
+                "Retry attempts spent per dataset (API calls and store writes).",
+                &labels,
+                d.retries as u64,
+            );
+            m.counter_add(
+                "spotlake_collector_failed_queries_total",
+                "Operations that failed even after retries, per dataset.",
+                &labels,
+                d.failed_queries as u64,
+            );
+            // Round "duration" in deterministic units: first calls plus
+            // retries. SPS issues the whole plan; the other datasets are
+            // one sweep each.
+            let ops = match dataset {
+                Dataset::Sps => stats.queries_issued + d.retries,
+                Dataset::Advisor | Dataset::Price => 1 + d.retries,
+            };
+            m.histogram_record(
+                "spotlake_collector_round_ops",
+                "API operations (first calls + retries) spent per dataset per round — the deterministic stand-in for round duration.",
+                &labels,
+                ops as f64,
+            );
+            let breaker = self.breaker_state(dataset);
+            m.gauge_set(
+                "spotlake_collector_breaker_state",
+                "Circuit-breaker state per dataset: 0 closed, 1 half-open, 2 open.",
+                &labels,
+                breaker.as_gauge(),
+            );
+            self.journal.event(
+                self.clock.now(),
+                "dataset",
+                &[
+                    ("dataset", dataset.name().to_owned()),
+                    ("status", d.status.as_str().to_owned()),
+                    ("records", d.records.to_string()),
+                    ("retries", d.retries.to_string()),
+                    ("failed_queries", d.failed_queries.to_string()),
+                    ("breaker", breaker.as_str().to_owned()),
+                ],
+            );
+        }
+
+        // Per-account unique-query budget consumption (50/24 h limit).
+        let mut fault_counts = Vec::new();
+        if let Some(sps) = &mut self.sps {
+            for (account, used) in sps.budget_used(cloud) {
+                self.metrics.gauge_set(
+                    "spotlake_collector_unique_queries_used",
+                    "Unique placement-score queries consumed per account in the trailing 24 h (limit 50).",
+                    &[("account", &account)],
+                    used as f64,
+                );
+            }
+            fault_counts.extend(sps.fault_counts());
+        }
+        if let Some(a) = &self.advisor {
+            fault_counts.extend(a.fault_counts());
+        }
+        if let Some(p) = &self.price {
+            fault_counts.extend(p.fault_counts());
+        }
+        // The injectors report running totals, so scrape with
+        // `counter_set` rather than re-adding them every round.
+        for (surface, kind, count) in fault_counts {
+            self.metrics.counter_set(
+                "spotlake_api_faults_injected_total",
+                "Faults injected per API surface and kind.",
+                &[("surface", surface.name()), ("kind", kind)],
+                count,
+            );
+        }
     }
 
     fn collect_sps_dataset(
@@ -758,6 +1007,80 @@ mod tests {
         assert!(report.stats.price_records > 0, "price unaffected");
         assert!(report.health.is_degraded());
         assert_eq!(report.stats.degraded_rounds, 1);
+    }
+
+    #[test]
+    fn rounds_feed_metrics_journal_and_health_report() {
+        use spotlake_obs::Readiness;
+        let mut cloud = cloud();
+        let config = CollectorConfig {
+            faults: Some(FaultPlan::uniform(7, 0.15)),
+            ..CollectorConfig::default()
+        };
+        let mut service = CollectorService::new(cloud.catalog(), config).unwrap();
+        assert!(
+            service.metrics().is_empty(),
+            "nothing before the first round"
+        );
+        assert!(service.journal().is_empty());
+        let stats = service.run(&mut cloud, 10).unwrap();
+        assert_eq!(service.stats(), stats, "totals accumulate across rounds");
+
+        let text = service.metrics().render();
+        assert!(text.contains("spotlake_collector_rounds_total 10"));
+        assert!(text.contains("spotlake_collector_breaker_state{dataset=\"sps\"}"));
+        assert!(text.contains("spotlake_collector_round_ops_bucket{dataset=\"advisor\""));
+        assert!(text.contains("spotlake_collector_unique_queries_used{account="));
+        assert!(
+            text.contains("spotlake_api_faults_injected_total{"),
+            "a 15% fault rate over 10 rounds must inject something"
+        );
+
+        let journal = service.journal().render();
+        assert_eq!(
+            journal.matches("\"kind\":\"span\"").count(),
+            10,
+            "one round span per round"
+        );
+        assert!(journal.contains("\"dataset\":\"price\""));
+
+        // A clean service reports ready; forcing a breaker open degrades
+        // exactly that dataset's component.
+        let report = service.health_report();
+        assert_eq!(report.components.len(), 4, "3 datasets + dead letters");
+        service.force_breaker_open(Dataset::Advisor, cloud.ticks());
+        let report = service.health_report();
+        assert_eq!(report.overall(), Readiness::Degraded);
+        let advisor = report
+            .components
+            .iter()
+            .find(|c| c.name == "collector/advisor")
+            .unwrap();
+        assert_eq!(advisor.readiness, Readiness::Degraded);
+        assert!(advisor.detail.contains("breaker open"));
+    }
+
+    #[test]
+    fn same_seed_runs_render_identical_metrics_and_journals() {
+        let run = || {
+            let mut cloud = cloud();
+            let config = CollectorConfig {
+                faults: Some(FaultPlan::uniform(99, 0.2)),
+                ..CollectorConfig::default()
+            };
+            let mut service = CollectorService::new(cloud.catalog(), config).unwrap();
+            service.run(&mut cloud, 15).unwrap();
+            (
+                service.metrics().render(),
+                service.journal().render(),
+                service.database().metrics().render(),
+            )
+        };
+        let (m1, j1, s1) = run();
+        let (m2, j2, s2) = run();
+        assert_eq!(m1, m2, "collector metrics must be byte-identical");
+        assert_eq!(j1, j2, "journals must be byte-identical");
+        assert_eq!(s1, s2, "store metrics must be byte-identical");
     }
 
     #[test]

@@ -11,9 +11,12 @@ use crate::accounts::AccountPool;
 use crate::error::CollectError;
 use crate::planner::PlannedQuery;
 use crate::retry::RetryPolicy;
-use spotlake_cloud_api::{AccountId, ApiError, FaultInjector, FaultPlan, SpsClient, SpsRequest};
+use spotlake_cloud_api::{
+    AccountId, ApiError, FaultInjector, FaultPlan, FaultSurface, SpsClient, SpsRequest,
+};
 use spotlake_cloud_sim::SimCloud;
 use spotlake_timestream::Record;
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
 struct Shard {
@@ -109,6 +112,32 @@ impl SpsCollector {
     /// Number of account shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Unique-query budget consumption per account as of the cloud's
+    /// current time, as `(account name, unique queries used)` in shard
+    /// order — drives the service's budget gauge.
+    pub fn budget_used(&mut self, cloud: &SimCloud) -> Vec<(String, usize)> {
+        let now = cloud.now();
+        self.shards
+            .iter_mut()
+            .map(|s| {
+                let used = s.client.unique_queries_used(&s.account, now);
+                (s.account.name().to_owned(), used)
+            })
+            .collect()
+    }
+
+    /// Fault injections across all shard clients, merged by
+    /// `(surface, kind)` and sorted; empty without fault injection.
+    pub fn fault_counts(&self) -> Vec<(FaultSurface, &'static str, u64)> {
+        let mut merged: BTreeMap<(FaultSurface, &'static str), u64> = BTreeMap::new();
+        for shard in &self.shards {
+            for (surface, kind, n) in shard.client.fault_counts() {
+                *merged.entry((surface, kind)).or_insert(0) += n;
+            }
+        }
+        merged.into_iter().map(|((s, k), n)| (s, k, n)).collect()
     }
 
     /// Runs one collection round: every shard issues its queries (in

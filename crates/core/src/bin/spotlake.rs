@@ -29,6 +29,7 @@ USAGE:
   spotlake plan [--strategy exact|ffd|bfd|naive]
   spotlake collect --out FILE [--days N] [--tick-minutes N] [--types a,b,c] [--seed N]
                    [--faults none|light|moderate|heavy]
+                   [--metrics] [--trace FILE]
   spotlake get --archive FILE PATH
   spotlake experiment [--cases N] [--warmup-days N] [--history-days N] [--seed N]
   spotlake mc [--rounds N]
@@ -72,6 +73,9 @@ struct Args {
     positional: Vec<String>,
 }
 
+/// Flags that take no value (presence is the value).
+const SWITCHES: [&str; 1] = ["metrics"];
+
 impl Args {
     fn parse(raw: &[String]) -> Result<Args, String> {
         let mut flags = HashMap::new();
@@ -79,6 +83,10 @@ impl Args {
         let mut it = raw.iter();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
+                if SWITCHES.contains(&key) {
+                    flags.insert(key.to_owned(), "true".to_owned());
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -173,19 +181,37 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
     );
     let stats = lake.run_rounds(rounds).map_err(|e| e.to_string())?;
     lake.save_archive(&out).map_err(|e| e.to_string())?;
-    println!(
+    // With --metrics, stdout carries the Prometheus document alone (so it
+    // pipes straight into a scrape file); the human summary moves to stderr.
+    let emit_metrics = args.get("metrics").is_some();
+    let say = |line: String| {
+        if emit_metrics {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    say(format!(
         "wrote {out}: {} sps, {} advisor, {} price records over {} rounds",
         stats.sps_records, stats.advisor_records, stats.price_records, stats.rounds
-    );
+    ));
     if faults.is_some() {
-        println!(
+        say(format!(
             "resilience: {} retries, {} failed operations, {} degraded rounds, {} dead-lettered queries ({} still queued)",
             stats.retries,
             stats.queries_failed,
             stats.degraded_rounds,
             stats.dead_lettered,
             lake.collector().dead_letter_depth()
-        );
+        ));
+    }
+    if emit_metrics {
+        print!("{}", lake.metrics_text());
+    }
+    if let Some(trace) = args.get("trace") {
+        std::fs::write(trace, lake.trace_text())
+            .map_err(|e| format!("cannot write trace {trace}: {e}"))?;
+        eprintln!("wrote trace journal to {trace}");
     }
     Ok(())
 }
@@ -309,6 +335,17 @@ mod tests {
     }
 
     #[test]
+    fn parse_switches_take_no_value() {
+        // `--metrics` is a switch: the following flag is not swallowed.
+        let args = Args::parse(&strings(&["--metrics", "--days", "2"])).unwrap();
+        assert_eq!(args.get("metrics"), Some("true"));
+        assert_eq!(args.get_u64("days", 1).unwrap(), 2);
+        // And it can end the argument list.
+        let args = Args::parse(&strings(&["--out", "a.db", "--metrics"])).unwrap();
+        assert_eq!(args.get("metrics"), Some("true"));
+    }
+
+    #[test]
     fn parse_rejects_dangling_flag_and_bad_numbers() {
         assert!(Args::parse(&strings(&["--out"])).is_err());
         let args = Args::parse(&strings(&["--days", "two"])).unwrap();
@@ -363,6 +400,43 @@ mod tests {
         ]))
         .unwrap();
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn collect_accepts_metrics_switch_and_writes_trace() {
+        let pid = std::process::id();
+        let mut out = std::env::temp_dir();
+        out.push(format!("spotlake-cli-obs-{pid}.db"));
+        let mut trace = std::env::temp_dir();
+        trace.push(format!("spotlake-cli-obs-{pid}.jsonl"));
+        let out_str = out.to_string_lossy().into_owned();
+        let trace_str = trace.to_string_lossy().into_owned();
+        run(&strings(&[
+            "collect",
+            "--out",
+            &out_str,
+            "--days",
+            "1",
+            "--tick-minutes",
+            "240",
+            "--types",
+            "m5.large",
+            "--faults",
+            "moderate",
+            "--metrics",
+            "--trace",
+            &trace_str,
+        ]))
+        .unwrap();
+        let journal = std::fs::read_to_string(&trace).unwrap();
+        assert!(
+            journal
+                .lines()
+                .any(|l| l.contains("\"kind\":\"span\"") && l.contains("\"name\":\"round\"")),
+            "trace journal records round spans: {journal}"
+        );
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&trace).ok();
     }
 
     #[test]

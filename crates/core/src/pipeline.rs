@@ -4,7 +4,7 @@ use spotlake_cloud_sim::{SimCloud, SimConfig};
 use spotlake_collector::{
     CollectError, CollectStats, CollectorConfig, CollectorService, PlanStats, RoundHealth,
 };
-use spotlake_serving::{ArchiveService, HttpRequest, HttpResponse, ServeError};
+use spotlake_serving::{Gateway, HttpRequest, HttpResponse, OpsContext, ServeError};
 use spotlake_timestream::Database;
 use spotlake_types::Catalog;
 use std::error::Error;
@@ -99,7 +99,11 @@ impl SpotLakeBuilder {
         let collector_config = self.collector_config.unwrap_or_default();
         let collector = CollectorService::new(&catalog, collector_config)?;
         let cloud = SimCloud::new(catalog, sim_config);
-        Ok(SpotLake { cloud, collector })
+        Ok(SpotLake {
+            cloud,
+            collector,
+            gateway: Gateway::new(),
+        })
     }
 }
 
@@ -109,6 +113,7 @@ impl SpotLakeBuilder {
 pub struct SpotLake {
     cloud: SimCloud,
     collector: CollectorService,
+    gateway: Gateway,
 }
 
 impl SpotLake {
@@ -181,7 +186,36 @@ impl SpotLake {
     /// responses, not `Err`).
     pub fn http_get(&self, path_and_query: &str) -> Result<HttpResponse, SpotLakeError> {
         let request = HttpRequest::get(path_and_query)?;
-        Ok(ArchiveService::handle(self.collector.database(), &request))
+        let health = self.collector.health_report();
+        let stats = self.collector.stats();
+        let registries = [self.collector.metrics()];
+        let ops = OpsContext {
+            registries: &registries,
+            health: Some(&health),
+            collect: Some(&stats),
+            last_round: self.collector.last_health(),
+        };
+        Ok(self
+            .gateway
+            .handle(self.collector.database(), &request, &ops))
+    }
+
+    /// Renders the full `/metrics` document — collector, store, and
+    /// gateway families — without going through the router (the CLI's
+    /// `--metrics` path).
+    pub fn metrics_text(&self) -> String {
+        let registries = [
+            self.collector.metrics(),
+            self.collector.database().metrics(),
+            self.gateway.http_metrics(),
+        ];
+        spotlake_obs::Registry::render_merged(registries)
+    }
+
+    /// Renders the collector's trace journal as JSON lines (the CLI's
+    /// `--trace` path).
+    pub fn trace_text(&self) -> String {
+        self.collector.journal().render()
     }
 
     /// Persists the archive to disk.

@@ -1,0 +1,110 @@
+//! Neutral readiness model shared between producers (the collector) and
+//! the gateway's `/health` handler.
+//!
+//! The gateway must not reverse-engineer collector internals to answer
+//! "are we healthy?", and the collector must not know about HTTP. This
+//! module is the contract between them: components report a
+//! [`Readiness`] with a human-readable detail string, and the report
+//! aggregates to the worst component state.
+
+/// How ready a component is to do its job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Readiness {
+    /// Fully operational.
+    #[default]
+    Ready,
+    /// Operating, but short of full service (open breaker, failed round,
+    /// queued dead letters).
+    Degraded,
+    /// Not serving its function at all.
+    Unhealthy,
+}
+
+impl Readiness {
+    /// Stable lowercase name, as served in `/health` bodies.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Readiness::Ready => "ok",
+            Readiness::Degraded => "degraded",
+            Readiness::Unhealthy => "unhealthy",
+        }
+    }
+}
+
+/// One component's readiness plus a human-readable explanation.
+#[derive(Debug, Clone)]
+pub struct ComponentHealth {
+    /// Component name, e.g. `store` or `collector/sps`.
+    pub name: String,
+    /// The component's readiness.
+    pub readiness: Readiness,
+    /// Why — e.g. `circuit breaker open` or `3 tables, 1200 points`.
+    pub detail: String,
+}
+
+/// Aggregated readiness across components.
+#[derive(Debug, Clone, Default)]
+pub struct HealthReport {
+    /// Per-component health, in the order reported.
+    pub components: Vec<ComponentHealth>,
+}
+
+impl HealthReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        HealthReport::default()
+    }
+
+    /// Appends a component's health.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        readiness: Readiness,
+        detail: impl Into<String>,
+    ) {
+        self.components.push(ComponentHealth {
+            name: name.into(),
+            readiness,
+            detail: detail.into(),
+        });
+    }
+
+    /// The worst readiness across all components (`Ready` when empty).
+    pub fn overall(&self) -> Readiness {
+        self.components
+            .iter()
+            .map(|c| c.readiness)
+            .max()
+            .unwrap_or(Readiness::Ready)
+    }
+
+    /// Whether any component reported.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overall_is_the_worst_component() {
+        let mut r = HealthReport::new();
+        assert_eq!(r.overall(), Readiness::Ready);
+        r.push("store", Readiness::Ready, "2 tables");
+        assert_eq!(r.overall(), Readiness::Ready);
+        r.push("collector/sps", Readiness::Degraded, "breaker open");
+        assert_eq!(r.overall(), Readiness::Degraded);
+        r.push("collector/price", Readiness::Unhealthy, "all failed");
+        assert_eq!(r.overall(), Readiness::Unhealthy);
+        assert_eq!(r.components.len(), 3);
+    }
+
+    #[test]
+    fn readiness_orders_by_severity() {
+        assert!(Readiness::Ready < Readiness::Degraded);
+        assert!(Readiness::Degraded < Readiness::Unhealthy);
+        assert_eq!(Readiness::Degraded.as_str(), "degraded");
+    }
+}

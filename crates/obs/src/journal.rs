@@ -1,0 +1,205 @@
+//! Structured trace journal: spans and events keyed on simulation ticks.
+//!
+//! The journal is the narrative complement to the registry's aggregates —
+//! *what happened, in order*, with enough structure to grep. Entries are
+//! appended in execution order and rendered as JSON lines with sorted
+//! attribute keys, so a replay under a fixed seed produces a byte-identical
+//! journal.
+
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EntryKind {
+    Event,
+    Span { end: Option<u64> },
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    tick: u64,
+    name: String,
+    kind: EntryKind,
+    attrs: Vec<(String, String)>,
+}
+
+/// Handle to an open span returned by [`TraceJournal::begin_span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+/// An append-only journal of spans and events.
+#[derive(Debug, Clone, Default)]
+pub struct TraceJournal {
+    entries: Vec<Entry>,
+}
+
+impl TraceJournal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        TraceJournal::default()
+    }
+
+    /// Records a point-in-time event at `tick` with the given attributes.
+    pub fn event(&mut self, tick: u64, name: &str, attrs: &[(&str, String)]) {
+        self.entries.push(Entry {
+            tick,
+            name: name.to_owned(),
+            kind: EntryKind::Event,
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Opens a span starting at `tick`. Close it with
+    /// [`TraceJournal::end_span`]; attach attributes with
+    /// [`TraceJournal::span_attr`].
+    pub fn begin_span(&mut self, tick: u64, name: &str) -> SpanId {
+        self.entries.push(Entry {
+            tick,
+            name: name.to_owned(),
+            kind: EntryKind::Span { end: None },
+            attrs: Vec::new(),
+        });
+        SpanId(self.entries.len() - 1)
+    }
+
+    /// Attaches an attribute to an open (or closed) span.
+    pub fn span_attr(&mut self, span: SpanId, key: &str, value: String) {
+        if let Some(entry) = self.entries.get_mut(span.0) {
+            entry.attrs.push((key.to_owned(), value));
+        }
+    }
+
+    /// Closes a span at `tick`.
+    pub fn end_span(&mut self, span: SpanId, tick: u64) {
+        if let Some(entry) = self.entries.get_mut(span.0) {
+            if let EntryKind::Span { end } = &mut entry.kind {
+                *end = Some(tick);
+            }
+        }
+    }
+
+    /// Number of journal entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the journal as JSON lines, one entry per line, in append
+    /// order. Attribute keys are sorted, strings escaped — the output is a
+    /// deterministic function of the recorded entries.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            match &entry.kind {
+                EntryKind::Event => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"event\",\"tick\":{},\"name\":\"{}\"",
+                        entry.tick,
+                        escape(&entry.name)
+                    );
+                }
+                EntryKind::Span { end } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"span\",\"start\":{},\"end\":{},\"name\":\"{}\"",
+                        entry.tick,
+                        end.map_or("null".to_owned(), |e| e.to_string()),
+                        escape(&entry.name)
+                    );
+                }
+            }
+            if !entry.attrs.is_empty() {
+                let mut attrs = entry.attrs.clone();
+                attrs.sort();
+                out.push_str(",\"attrs\":{");
+                for (i, (k, v)) in attrs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":\"{}\"", escape(k), escape(v));
+                }
+                out.push('}');
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_and_spans_render_in_order() {
+        let mut j = TraceJournal::new();
+        let span = j.begin_span(3, "round");
+        j.event(
+            3,
+            "dataset",
+            &[("dataset", "sps".into()), ("records", "12".into())],
+        );
+        j.span_attr(span, "degraded", "false".into());
+        j.end_span(span, 3);
+        let text = j.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"kind\":\"span\",\"start\":3,\"end\":3,\"name\":\"round\""));
+        assert!(lines[0].contains("\"attrs\":{\"degraded\":\"false\"}"));
+        assert!(lines[1].contains("\"dataset\":\"sps\""));
+        assert!(lines[1].contains("\"records\":\"12\""));
+        assert_eq!(j.len(), 2);
+        assert!(!j.is_empty());
+    }
+
+    #[test]
+    fn unclosed_span_renders_null_end() {
+        let mut j = TraceJournal::new();
+        j.begin_span(1, "open");
+        assert!(j.render().contains("\"end\":null"));
+    }
+
+    #[test]
+    fn attrs_render_sorted_regardless_of_insertion_order() {
+        let mut a = TraceJournal::new();
+        a.event(0, "e", &[("z", "1".into()), ("a", "2".into())]);
+        let mut b = TraceJournal::new();
+        b.event(0, "e", &[("a", "2".into()), ("z", "1".into())]);
+        assert_eq!(a.render(), b.render());
+        assert!(a.render().contains("{\"a\":\"2\",\"z\":\"1\"}"));
+    }
+
+    #[test]
+    fn strings_are_json_escaped() {
+        let mut j = TraceJournal::new();
+        j.event(0, "weird\"name", &[("k", "line\nbreak\\\u{1}".into())]);
+        let text = j.render();
+        assert!(text.contains("weird\\\"name"));
+        assert!(text.contains("line\\nbreak\\\\\\u0001"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Deterministic observability kernel for the SpotLake workspace.
+//!
+//! The paper's service runs unattended for months; its operators live off
+//! telemetry, not post-mortem counters. This crate is the workspace's
+//! shared observability substrate, built under one hard constraint: **a
+//! replay under a fixed seed must produce bit-identical telemetry**. That
+//! rules out wall clocks, randomized sampling, and hash-ordered output
+//! anywhere in the kernel. Concretely:
+//!
+//! * [`Registry`] — counters, gauges, and log-linear-bucket histograms,
+//!   addressed by `(family name, sorted label set)` and rendered in the
+//!   Prometheus text exposition format. Storage is `BTreeMap`-backed, so
+//!   the rendered text is a pure function of the recorded observations.
+//! * [`TraceJournal`] — a structured journal of spans and events keyed on
+//!   *simulation ticks*, rendered as JSON lines with sorted attribute
+//!   keys.
+//! * [`Clock`] — the only way instrumented components learn what time it
+//!   is. Production wiring drives a [`ManualClock`] from the simulator's
+//!   tick counter; tests inject whatever they like. Nothing in this
+//!   crate (or its users' instrumentation) reads the wall clock.
+//! * [`HealthReport`] — a neutral readiness model (ready / degraded /
+//!   unhealthy per component) that lets the collector describe breaker
+//!   and round state to the gateway without the gateway reverse-engineering
+//!   collector internals.
+//!
+//! Durations recorded here are denominated in deterministic units — ticks
+//! or work units (API calls, rows, bytes) — never nanoseconds, which is
+//! what makes the `/metrics` byte-identity contract testable.
+//!
+//! # Example
+//!
+//! ```
+//! use spotlake_obs::{ManualClock, Clock, Registry, TraceJournal};
+//!
+//! let clock = ManualClock::new(3);
+//! let registry = Registry::new();
+//! registry.counter_add("demo_rounds_total", "Rounds executed.", &[], 1);
+//! registry.histogram_record("demo_round_ops", "Ops per round.", &[("dataset", "sps")], 7.0);
+//!
+//! let mut journal = TraceJournal::new();
+//! let span = journal.begin_span(clock.now(), "round");
+//! journal.event(clock.now(), "dataset", &[("dataset", "sps".into())]);
+//! journal.end_span(span, clock.now());
+//!
+//! assert!(registry.render().contains("demo_rounds_total 1"));
+//! assert!(journal.render().contains("\"name\":\"round\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod health;
+mod journal;
+mod registry;
+
+pub use clock::{Clock, ManualClock};
+pub use health::{ComponentHealth, HealthReport, Readiness};
+pub use journal::{SpanId, TraceJournal};
+pub use registry::{log_linear_buckets, MetricKind, Registry};

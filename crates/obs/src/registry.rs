@@ -1,0 +1,478 @@
+//! The metric registry and its Prometheus text exposition.
+//!
+//! Families are stored in a `BTreeMap` keyed by family name, series in a
+//! `BTreeMap` keyed by the sorted label set, so [`Registry::render`] is a
+//! pure function of the recorded observations — the backbone of the
+//! workspace's byte-identical `/metrics` contract. Recording goes through
+//! shared references (`RefCell` inside): read paths like the store's query
+//! handlers can count themselves without threading `&mut` through every
+//! caller. The registry is therefore single-threaded by design, matching
+//! the rest of the serving stack.
+
+use std::cell::RefCell;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What a metric family measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Distribution over fixed buckets.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Sorted `(key, value)` pairs identifying one series within a family.
+type LabelSet = Vec<(String, String)>;
+
+#[derive(Debug, Clone)]
+enum Value {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        /// Per-bucket (non-cumulative) counts, one per bound.
+        counts: Vec<u64>,
+        sum: f64,
+        count: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Upper bounds for histogram families; empty otherwise.
+    bounds: Vec<f64>,
+    series: BTreeMap<LabelSet, Value>,
+}
+
+/// Log-linear histogram bucket bounds: `steps` linear buckets per decade
+/// across `decades` decades, starting at 1. `log_linear_buckets(3, 9)`
+/// yields 1..9, 10..90, 100..900.
+pub fn log_linear_buckets(decades: u32, steps: u32) -> Vec<f64> {
+    let mut bounds = Vec::with_capacity((decades * steps) as usize);
+    let mut scale = 1.0;
+    for _ in 0..decades {
+        for step in 1..=steps {
+            bounds.push(f64::from(step) * scale);
+        }
+        scale *= 10.0;
+    }
+    bounds
+}
+
+fn default_buckets() -> Vec<f64> {
+    log_linear_buckets(6, 9)
+}
+
+/// A registry of metric families.
+///
+/// All recording methods take `&self`; see the module docs for why. Family
+/// kind is fixed by the first recording — mixing kinds under one name is a
+/// programming error and panics.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    families: RefCell<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `delta` to a counter series, creating family and series on
+    /// first use.
+    pub fn counter_add(&self, name: &str, help: &str, labels: &[(&str, &str)], delta: u64) {
+        self.with_series(name, help, MetricKind::Counter, labels, |v| match v {
+            Value::Counter(c) => *c += delta,
+            _ => unreachable!("kind checked by with_series"),
+        });
+    }
+
+    /// Sets a counter series to an externally tracked running total —
+    /// for scraping components that keep their own monotonic counts. The
+    /// stored value never decreases.
+    pub fn counter_set(&self, name: &str, help: &str, labels: &[(&str, &str)], total: u64) {
+        self.with_series(name, help, MetricKind::Counter, labels, |v| match v {
+            Value::Counter(c) => *c = (*c).max(total),
+            _ => unreachable!("kind checked by with_series"),
+        });
+    }
+
+    /// Sets a gauge series.
+    pub fn gauge_set(&self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.with_series(name, help, MetricKind::Gauge, labels, |v| match v {
+            Value::Gauge(g) => *g = value,
+            _ => unreachable!("kind checked by with_series"),
+        });
+    }
+
+    /// Records `value` into a histogram series with the default log-linear
+    /// buckets (1 to 900 000 in 9 steps per decade).
+    pub fn histogram_record(&self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.histogram_record_with(name, help, labels, &default_buckets(), value);
+    }
+
+    /// Records `value` into a histogram series with explicit bucket
+    /// `bounds` (ascending upper bounds; `+Inf` is implicit). The first
+    /// recording fixes the family's bounds; later calls must agree.
+    pub fn histogram_record_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        value: f64,
+    ) {
+        let mut families = self.families.borrow_mut();
+        let family = match families.entry(name.to_owned()) {
+            Entry::Vacant(e) => e.insert(Family {
+                help: help.to_owned(),
+                kind: MetricKind::Histogram,
+                bounds: bounds.to_vec(),
+                series: BTreeMap::new(),
+            }),
+            Entry::Occupied(e) => e.into_mut(),
+        };
+        assert_eq!(
+            family.kind,
+            MetricKind::Histogram,
+            "metric family {name:?} already registered as {:?}",
+            family.kind
+        );
+        assert_eq!(
+            family.bounds, bounds,
+            "metric family {name:?} recorded with mismatched bucket bounds"
+        );
+        let n_bounds = family.bounds.len();
+        let value_entry = family
+            .series
+            .entry(sorted_labels(labels))
+            .or_insert_with(|| Value::Histogram {
+                counts: vec![0; n_bounds],
+                sum: 0.0,
+                count: 0,
+            });
+        let Value::Histogram { counts, sum, count } = value_entry else {
+            unreachable!("kind checked above");
+        };
+        if let Some(i) = family.bounds.iter().position(|&b| value <= b) {
+            counts[i] += 1;
+        }
+        *sum += value;
+        *count += 1;
+    }
+
+    /// Number of metric families.
+    pub fn family_count(&self) -> usize {
+        self.families.borrow().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.families.borrow().is_empty()
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    /// Families are sorted by name, series by label set, so output is a
+    /// deterministic function of the recorded observations.
+    pub fn render(&self) -> String {
+        Self::render_merged([self])
+    }
+
+    /// Renders several registries as one exposition document. Families are
+    /// merged by name across registries (the wiring keeps them disjoint by
+    /// prefix; a name collision with mismatched kinds panics), then sorted
+    /// globally — callers get one coherent document regardless of which
+    /// layer owns which family.
+    pub fn render_merged<'a>(registries: impl IntoIterator<Item = &'a Registry>) -> String {
+        let mut merged: BTreeMap<String, Family> = BTreeMap::new();
+        for registry in registries {
+            for (name, family) in registry.families.borrow().iter() {
+                match merged.entry(name.clone()) {
+                    Entry::Vacant(e) => {
+                        e.insert(family.clone());
+                    }
+                    Entry::Occupied(mut e) => {
+                        let existing = e.get_mut();
+                        assert_eq!(
+                            existing.kind, family.kind,
+                            "metric family {name:?} has conflicting kinds across registries"
+                        );
+                        assert_eq!(
+                            existing.bounds, family.bounds,
+                            "metric family {name:?} has conflicting buckets across registries"
+                        );
+                        for (labels, value) in &family.series {
+                            existing.series.insert(labels.clone(), value.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut out = String::new();
+        for (name, family) in &merged {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, value) in &family.series {
+                match value {
+                    Value::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {c}", render_labels(labels, None));
+                    }
+                    Value::Gauge(g) => {
+                        let _ =
+                            writeln!(out, "{name}{} {}", render_labels(labels, None), fmt_f64(*g));
+                    }
+                    Value::Histogram { counts, sum, count } => {
+                        let mut cumulative = 0;
+                        for (bound, bucket) in family.bounds.iter().zip(counts) {
+                            cumulative += bucket;
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cumulative}",
+                                render_labels(labels, Some(&fmt_f64(*bound)))
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {count}",
+                            render_labels(labels, Some("+Inf"))
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_sum{} {}",
+                            render_labels(labels, None),
+                            fmt_f64(*sum)
+                        );
+                        let _ =
+                            writeln!(out, "{name}_count{} {count}", render_labels(labels, None));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn with_series(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        update: impl FnOnce(&mut Value),
+    ) {
+        let mut families = self.families.borrow_mut();
+        let family = match families.entry(name.to_owned()) {
+            Entry::Vacant(e) => e.insert(Family {
+                help: help.to_owned(),
+                kind,
+                bounds: Vec::new(),
+                series: BTreeMap::new(),
+            }),
+            Entry::Occupied(e) => e.into_mut(),
+        };
+        assert_eq!(
+            family.kind, kind,
+            "metric family {name:?} already registered as {:?}",
+            family.kind
+        );
+        let value = family
+            .series
+            .entry(sorted_labels(labels))
+            .or_insert_with(|| match kind {
+                MetricKind::Counter => Value::Counter(0),
+                MetricKind::Gauge => Value::Gauge(0.0),
+                MetricKind::Histogram => unreachable!("histograms use histogram_record_with"),
+            });
+        update(value);
+    }
+}
+
+fn sorted_labels(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect();
+    set.sort();
+    set
+}
+
+/// Renders `{k="v",...}` (empty string for no labels); `le` — already
+/// formatted — is appended last, per Prometheus convention.
+fn render_labels(labels: &LabelSet, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats a value the way Prometheus clients expect: integral values
+/// without a trailing `.0`, everything else via the shortest-roundtrip
+/// float formatting (deterministic in Rust).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render_sorted() {
+        let r = Registry::new();
+        r.counter_add("b_total", "B.", &[("x", "2")], 1);
+        r.counter_add("a_total", "A.", &[], 3);
+        r.counter_add("a_total", "A.", &[], 2);
+        r.counter_add("b_total", "B.", &[("x", "1")], 7);
+        let text = r.render();
+        assert!(text.contains("# HELP a_total A.\n# TYPE a_total counter\na_total 5\n"));
+        // Families sorted by name, series by label set.
+        let a = text.find("a_total 5").unwrap();
+        let b1 = text.find("b_total{x=\"1\"} 7").unwrap();
+        let b2 = text.find("b_total{x=\"2\"} 1").unwrap();
+        assert!(a < b1 && b1 < b2);
+    }
+
+    #[test]
+    fn counter_set_is_monotonic() {
+        let r = Registry::new();
+        r.counter_set("t", "T.", &[], 5);
+        r.counter_set("t", "T.", &[], 3);
+        assert!(r.render().contains("t 5"));
+        r.counter_set("t", "T.", &[], 9);
+        assert!(r.render().contains("t 9"));
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = Registry::new();
+        r.gauge_set("g", "G.", &[("d", "sps")], 2.0);
+        r.gauge_set("g", "G.", &[("d", "sps")], 0.5);
+        assert!(r.render().contains("g{d=\"sps\"} 0.5"));
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let r = Registry::new();
+        r.counter_add("t", "T.", &[("b", "2"), ("a", "1")], 1);
+        r.counter_add("t", "T.", &[("a", "1"), ("b", "2")], 1);
+        // Same series regardless of caller's label order.
+        assert!(r.render().contains("t{a=\"1\",b=\"2\"} 2"));
+    }
+
+    #[test]
+    fn help_and_label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_add("t", "line\nbreak \\ slash", &[("v", "a\"b\\c\nd")], 1);
+        let text = r.render();
+        assert!(text.contains("# HELP t line\\nbreak \\\\ slash"));
+        assert!(text.contains("t{v=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn histogram_invariants_hold() {
+        let r = Registry::new();
+        let bounds = [1.0, 5.0, 10.0];
+        for v in [0.5, 3.0, 3.0, 7.0, 100.0] {
+            r.histogram_record_with("h", "H.", &[], &bounds, v);
+        }
+        let text = r.render();
+        // _bucket counts are cumulative and end at the +Inf == _count value.
+        assert!(text.contains("h_bucket{le=\"1\"} 1"));
+        assert!(text.contains("h_bucket{le=\"5\"} 3"));
+        assert!(text.contains("h_bucket{le=\"10\"} 4"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("h_sum 113.5"));
+        assert!(text.contains("h_count 5"));
+        assert!(text.contains("# TYPE h histogram"));
+    }
+
+    #[test]
+    fn default_buckets_are_log_linear() {
+        let b = log_linear_buckets(2, 9);
+        assert_eq!(b[..9], [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(b[9..12], [10.0, 20.0, 30.0]);
+        assert_eq!(b.len(), 18);
+        let r = Registry::new();
+        r.histogram_record("h", "H.", &[], 250_000.0);
+        assert!(r.render().contains("h_bucket{le=\"300000\"} 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter_add("m", "M.", &[], 1);
+        r.gauge_set("m", "M.", &[], 1.0);
+    }
+
+    #[test]
+    fn merged_render_combines_disjoint_families() {
+        let a = Registry::new();
+        a.counter_add("a_total", "A.", &[], 1);
+        let b = Registry::new();
+        b.gauge_set("b_state", "B.", &[], 2.0);
+        let text = Registry::render_merged([&a, &b]);
+        assert!(text.contains("a_total 1"));
+        assert!(text.contains("b_state 2"));
+        // Each family declared exactly once.
+        assert_eq!(text.matches("# TYPE ").count(), 2);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let build = || {
+            let r = Registry::new();
+            for i in 0..50 {
+                let label = format!("s{}", i % 7);
+                r.counter_add("ops_total", "Ops.", &[("shard", &label)], i);
+                r.histogram_record("ops_hist", "Hist.", &[("shard", &label)], i as f64);
+            }
+            r
+        };
+        assert_eq!(build().render(), build().render());
+    }
+
+    #[test]
+    fn float_formatting_drops_integral_fraction() {
+        assert_eq!(fmt_f64(2.0), "2");
+        assert_eq!(fmt_f64(0.5), "0.5");
+        assert_eq!(fmt_f64(-3.0), "-3");
+    }
+}

@@ -3,6 +3,8 @@
 use crate::csv::rows_to_csv;
 use crate::http::{HttpRequest, HttpResponse};
 use crate::json::Json;
+use crate::ops::OpsContext;
+use spotlake_obs::{Readiness, Registry};
 use spotlake_timestream::{Aggregate, Database, Query, Row, TsError};
 
 /// Default measure per well-known archive table; unknown tables must name
@@ -25,28 +27,142 @@ const DEFAULT_LIMIT: usize = 10_000;
 
 /// The static front-end page (served "from object storage" in the paper's
 /// architecture).
-const INDEX_HTML: &str = "<!doctype html>\n<html><head><title>SpotLake</title></head>\n<body>\n<h1>SpotLake — spot instance dataset archive</h1>\n<p>Query the archive with <code>/query?table=sps&amp;instance_type=m5.large&amp;region=us-east-1</code>.\nEndpoints: /query /latest /at /window /correlate /stats /tables /health.</p>\n</body></html>\n";
+const INDEX_HTML: &str = "<!doctype html>\n<html><head><title>SpotLake</title></head>\n<body>\n<h1>SpotLake — spot instance dataset archive</h1>\n<p>Query the archive with <code>/query?table=sps&amp;instance_type=m5.large&amp;region=us-east-1</code>.\nEndpoints: /query /latest /at /window /correlate /stats /tables /health /metrics.</p>\n</body></html>\n";
+
+/// Known endpoint paths, used to bound the cardinality of the gateway's
+/// per-endpoint metrics (unknown paths are all labelled `other`).
+const ENDPOINTS: [&str; 10] = [
+    "/",
+    "/health",
+    "/metrics",
+    "/tables",
+    "/stats",
+    "/correlate",
+    "/query",
+    "/latest",
+    "/at",
+    "/window",
+];
+
+/// The stateful gateway: routes requests like [`ArchiveService`] and
+/// additionally owns the `spotlake_http_*` registry of per-endpoint
+/// request counters and size histograms, serves `/metrics` merged across
+/// every layer's registry, and answers `/health` from real readiness
+/// instead of a constant.
+#[derive(Debug, Clone, Default)]
+pub struct Gateway {
+    http: Registry,
+}
+
+impl Gateway {
+    /// Creates a gateway with an empty request registry.
+    pub fn new() -> Self {
+        Gateway::default()
+    }
+
+    /// The gateway's own registry (`spotlake_http_*` families).
+    pub fn http_metrics(&self) -> &Registry {
+        &self.http
+    }
+
+    /// Routes a request, recording it in the gateway's registry.
+    ///
+    /// Response *size* stands in for latency in the histogram: handler
+    /// cost in this in-process service is dominated by rows serialised,
+    /// and wall-clock timing would break the byte-identical-metrics
+    /// contract.
+    pub fn handle(&self, db: &Database, request: &HttpRequest, ops: &OpsContext) -> HttpResponse {
+        let response = route(self, db, request, ops);
+        let path = match request.path() {
+            "/index.html" => "/",
+            p if ENDPOINTS.contains(&p) => p,
+            _ => "other",
+        };
+        let status = response.status.to_string();
+        self.http.counter_add(
+            "spotlake_http_requests_total",
+            "Requests served per endpoint and status.",
+            &[("path", path), ("status", &status)],
+            1,
+        );
+        self.http.histogram_record(
+            "spotlake_http_response_bytes",
+            "Response body size per endpoint (deterministic latency proxy).",
+            &[("path", path)],
+            response.body.len() as f64,
+        );
+        response
+    }
+
+    /// `/health`: aggregates the store's own readiness with whatever the
+    /// operator lent through [`OpsContext::health`]. Degraded states still
+    /// answer 200 (the archive serves what it has); only `unhealthy`
+    /// returns 503.
+    fn health(db: &Database, ops: &OpsContext) -> HttpResponse {
+        let tables = db.table_names().len();
+        let mut components = vec![(
+            "store".to_owned(),
+            Readiness::Ready,
+            format!("{tables} tables, {} points", db.point_count()),
+        )];
+        if let Some(report) = ops.health {
+            for c in &report.components {
+                components.push((c.name.clone(), c.readiness, c.detail.clone()));
+            }
+        }
+        let overall = components
+            .iter()
+            .map(|(_, r, _)| *r)
+            .max()
+            .unwrap_or(Readiness::Ready);
+        let items: Vec<Json> = components
+            .into_iter()
+            .map(|(name, readiness, detail)| {
+                Json::object([
+                    ("name", Json::from(name.as_str())),
+                    ("status", Json::from(readiness.as_str())),
+                    ("detail", Json::from(detail.as_str())),
+                ])
+            })
+            .collect();
+        let body = Json::object([
+            ("status", Json::from(overall.as_str())),
+            ("components", Json::Array(items)),
+        ])
+        .render();
+        match overall {
+            Readiness::Unhealthy => HttpResponse {
+                status: 503,
+                content_type: "application/json",
+                body: body.into(),
+            },
+            _ => HttpResponse::json(body),
+        }
+    }
+
+    /// `/metrics`: one Prometheus text document merged across the store's
+    /// registry, the gateway's own, and everything lent via
+    /// [`OpsContext::registries`].
+    fn metrics(&self, db: &Database, ops: &OpsContext) -> HttpResponse {
+        let mut registries = vec![db.metrics(), &self.http];
+        registries.extend(ops.registries.iter().copied());
+        HttpResponse::text(Registry::render_merged(registries))
+    }
+}
 
 /// The archive web service: a stateless router over a
 /// [`Database`].
+///
+/// Kept for callers that only have an archive: routes identically to
+/// [`Gateway`] with an empty [`OpsContext`], but records no request
+/// metrics. `/health` still reports the store's real state.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ArchiveService;
 
 impl ArchiveService {
     /// Routes a request to its handler.
     pub fn handle(db: &Database, request: &HttpRequest) -> HttpResponse {
-        match request.path() {
-            "/" | "/index.html" => HttpResponse::html(INDEX_HTML),
-            "/health" => HttpResponse::json(Json::object([("status", Json::from("ok"))]).render()),
-            "/tables" => Self::tables(db),
-            "/stats" => crate::insights::stats(db),
-            "/correlate" => crate::insights::correlate(db, request),
-            "/query" => Self::query(db, request),
-            "/latest" => Self::latest(db, request),
-            "/at" => Self::at(db, request),
-            "/window" => Self::window(db, request),
-            other => HttpResponse::error(404, &format!("no such endpoint: {other}")),
-        }
+        route(&Gateway::new(), db, request, &OpsContext::none())
     }
 
     fn tables(db: &Database) -> HttpResponse {
@@ -203,6 +319,28 @@ impl ArchiveService {
     }
 }
 
+/// The router shared by [`Gateway::handle`] and [`ArchiveService::handle`].
+fn route(
+    gateway: &Gateway,
+    db: &Database,
+    request: &HttpRequest,
+    ops: &OpsContext,
+) -> HttpResponse {
+    match request.path() {
+        "/" | "/index.html" => HttpResponse::html(INDEX_HTML),
+        "/health" => Gateway::health(db, ops),
+        "/metrics" => gateway.metrics(db, ops),
+        "/tables" => ArchiveService::tables(db),
+        "/stats" => crate::insights::stats(db, ops),
+        "/correlate" => crate::insights::correlate(db, request),
+        "/query" => ArchiveService::query(db, request),
+        "/latest" => ArchiveService::latest(db, request),
+        "/at" => ArchiveService::at(db, request),
+        "/window" => ArchiveService::window(db, request),
+        other => HttpResponse::error(404, &format!("no such endpoint: {other}")),
+    }
+}
+
 fn row_to_json(row: &Row) -> Json {
     let dims = Json::Object(
         row.dimensions
@@ -348,6 +486,101 @@ mod tests {
         let db = archive();
         assert_eq!(get(&db, "/query?table=nope").status, 404);
         assert_eq!(get(&db, "/query").status, 400);
+    }
+
+    #[test]
+    fn health_reports_store_and_lent_components() {
+        use spotlake_obs::{HealthReport, Readiness};
+        let db = archive();
+        // Bare archive: store only, ok.
+        let r = get(&db, "/health");
+        assert_eq!(r.status, 200);
+        let body = r.body_text();
+        assert!(body.contains("\"status\":\"ok\""));
+        assert!(body.contains("\"name\":\"store\""));
+        assert!(body.contains("2 tables"));
+
+        // A degraded collector degrades the body but still answers 200.
+        let gateway = Gateway::new();
+        let mut report = HealthReport::new();
+        report.push("collector/sps", Readiness::Degraded, "breaker open");
+        let ops = OpsContext {
+            health: Some(&report),
+            ..OpsContext::none()
+        };
+        let r = gateway.handle(&db, &HttpRequest::get("/health").unwrap(), &ops);
+        assert_eq!(r.status, 200);
+        assert!(r.body_text().contains("\"status\":\"degraded\""));
+        assert!(r.body_text().contains("breaker open"));
+
+        // Unhealthy flips to 503.
+        report.push("collector/price", Readiness::Unhealthy, "all failed");
+        let ops = OpsContext {
+            health: Some(&report),
+            ..OpsContext::none()
+        };
+        let r = gateway.handle(&db, &HttpRequest::get("/health").unwrap(), &ops);
+        assert_eq!(r.status, 503);
+        assert!(r.body_text().contains("\"status\":\"unhealthy\""));
+    }
+
+    #[test]
+    fn metrics_merges_store_and_http_families() {
+        let db = archive();
+        let gateway = Gateway::new();
+        let ops = OpsContext::none();
+        // Generate some traffic first so http families exist.
+        gateway.handle(&db, &HttpRequest::get("/query?table=sps").unwrap(), &ops);
+        gateway.handle(&db, &HttpRequest::get("/no-such").unwrap(), &ops);
+        let r = gateway.handle(&db, &HttpRequest::get("/metrics").unwrap(), &ops);
+        assert_eq!(r.status, 200);
+        assert!(r.content_type.starts_with("text/plain"));
+        let body = r.body_text();
+        assert!(body.contains("spotlake_store_records_submitted_total"));
+        assert!(
+            body.contains("spotlake_http_requests_total{path=\"/query\",status=\"200\"} 1"),
+            "{body}"
+        );
+        assert!(body.contains("spotlake_http_requests_total{path=\"other\",status=\"404\"} 1"));
+        assert!(body.contains("spotlake_http_response_bytes_bucket{path=\"/query\""));
+        // Exactly one HELP line per family — no duplicates after merging.
+        let helps: Vec<&str> = body
+            .lines()
+            .filter(|l| l.starts_with("# HELP spotlake_store_queries_total"))
+            .collect();
+        assert_eq!(helps.len(), 1);
+    }
+
+    #[test]
+    fn stats_carries_collection_totals_when_lent() {
+        use spotlake_collector::{CollectStats, RoundHealth};
+        let db = archive();
+        let gateway = Gateway::new();
+        let collect = CollectStats {
+            rounds: 7,
+            records_written: 123,
+            ..CollectStats::default()
+        };
+        let last_round = RoundHealth {
+            tick: 42,
+            ..RoundHealth::default()
+        };
+        let ops = OpsContext {
+            collect: Some(&collect),
+            last_round: Some(&last_round),
+            ..OpsContext::none()
+        };
+        let r = gateway.handle(&db, &HttpRequest::get("/stats").unwrap(), &ops);
+        let body = r.body_text();
+        assert!(body.contains("\"collection\""));
+        assert!(body.contains("\"rounds\":7"));
+        assert!(body.contains("\"records_written\":123"));
+        assert!(body.contains("\"last_round\""));
+        assert!(body.contains("\"tick\":42"));
+        // Bare ArchiveService keeps the old shape.
+        let bare = get(&db, "/stats").body_text();
+        assert!(!bare.contains("\"collection\""));
+        assert!(bare.contains("total_points"));
     }
 
     #[test]

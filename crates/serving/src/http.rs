@@ -146,6 +146,15 @@ impl HttpResponse {
         }
     }
 
+    /// A 200 plain-text response (Prometheus exposition format).
+    pub fn text(body: String) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: Bytes::from(body),
+        }
+    }
+
     /// A 200 HTML response.
     pub fn html(body: &'static str) -> Self {
         HttpResponse {

@@ -11,10 +11,12 @@
 
 use crate::http::{HttpRequest, HttpResponse};
 use crate::json::Json;
+use crate::ops::OpsContext;
 use spotlake_analysis::{align_step, pearson, spearman, Histogram};
+use spotlake_collector::{DatasetHealth, RoundHealth};
 use spotlake_timestream::{Database, Query, Row};
 
-pub(crate) fn stats(db: &Database) -> HttpResponse {
+pub(crate) fn stats(db: &Database, ops: &OpsContext) -> HttpResponse {
     let tables: Vec<Json> = db
         .table_names()
         .into_iter()
@@ -27,13 +29,47 @@ pub(crate) fn stats(db: &Database) -> HttpResponse {
             ])
         })
         .collect();
-    HttpResponse::json(
+    let mut fields = vec![
+        ("tables", Json::Array(tables)),
+        ("total_points", Json::from(db.point_count() as u64)),
+    ];
+    if let Some(c) = ops.collect {
+        fields.push((
+            "collection",
+            Json::object([
+                ("rounds", Json::from(c.rounds as u64)),
+                ("records_written", Json::from(c.records_written as u64)),
+                ("queries_issued", Json::from(c.queries_issued as u64)),
+                ("retries", Json::from(c.retries as u64)),
+                ("queries_failed", Json::from(c.queries_failed as u64)),
+                ("degraded_rounds", Json::from(c.degraded_rounds as u64)),
+                ("dead_lettered", Json::from(c.dead_lettered as u64)),
+            ]),
+        ));
+    }
+    if let Some(h) = ops.last_round {
+        fields.push(("last_round", round_to_json(h)));
+    }
+    HttpResponse::json(Json::object(fields).render())
+}
+
+fn round_to_json(h: &RoundHealth) -> Json {
+    let dataset = |d: &DatasetHealth| {
         Json::object([
-            ("tables", Json::Array(tables)),
-            ("total_points", Json::from(db.point_count() as u64)),
+            ("status", Json::from(d.status.as_str())),
+            ("records", Json::from(d.records as u64)),
+            ("retries", Json::from(d.retries as u64)),
+            ("failed_queries", Json::from(d.failed_queries as u64)),
         ])
-        .render(),
-    )
+    };
+    Json::object([
+        ("tick", Json::from(h.tick)),
+        ("degraded", Json::from(h.is_degraded())),
+        ("dead_letter_depth", Json::from(h.dead_letter_depth as u64)),
+        ("sps", dataset(&h.sps)),
+        ("advisor", dataset(&h.advisor)),
+        ("price", dataset(&h.price)),
+    ])
 }
 
 pub(crate) fn correlate(db: &Database, request: &HttpRequest) -> HttpResponse {

@@ -11,6 +11,11 @@
 //!   `/query`, `/latest`, `/at`, `/window`, `/correlate` (Section 5.3 as a
 //!   service feature), `/stats`, `/tables`, `/health`, and the
 //!   static front-end page.
+//! * [`Gateway`] — the same router, plus observability: per-endpoint
+//!   request metrics, a merged Prometheus `/metrics` document, a `/health`
+//!   that reflects real readiness (store state plus whatever the operator
+//!   lends through an [`OpsContext`]), and a `/stats` extended with
+//!   collection totals.
 //! * [`json`] — a small JSON encoder (the workspace deliberately avoids a
 //!   JSON dependency), and CSV export for bulk downloads.
 //!
@@ -45,7 +50,9 @@ mod gateway;
 mod http;
 mod insights;
 pub mod json;
+mod ops;
 
 pub use csv::rows_to_csv;
-pub use gateway::ArchiveService;
+pub use gateway::{ArchiveService, Gateway};
 pub use http::{HttpRequest, HttpResponse, ServeError};
+pub use ops::OpsContext;

@@ -5,6 +5,7 @@ use crate::error::TsError;
 use crate::query::{Aggregate, Query, Row, WindowRow};
 use crate::record::Record;
 use crate::table::{Table, TableOptions};
+use spotlake_obs::Registry;
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -56,6 +57,13 @@ impl WriteFaults {
 pub struct Database {
     tables: BTreeMap<String, Table>,
     write_faults: WriteFaults,
+    /// In-process metrics (`spotlake_store_*` families). Not persisted by
+    /// [`Database::save`]; a loaded database starts with a fresh registry.
+    metrics: Registry,
+    /// Cumulative `(submitted, stored)` per table, feeding the
+    /// compression-ratio gauge without reading values back out of the
+    /// registry.
+    write_tallies: BTreeMap<String, (u64, u64)>,
 }
 
 impl Database {
@@ -130,16 +138,93 @@ impl Database {
     /// throttled batch can be retried without duplication.
     pub fn write(&mut self, table: &str, records: &[Record]) -> Result<usize, TsError> {
         if self.write_faults.roll(table) {
+            self.metrics.counter_add(
+                "spotlake_store_write_throttled_total",
+                "Write batches rejected by deterministic throttling.",
+                &[("table", table)],
+                1,
+            );
             return Err(TsError::Throttled);
         }
-        let table = self.table_mut(table)?;
+        let tbl = self.table_mut(table)?;
         let mut stored = 0;
         for r in records {
-            if table.write(r)? {
+            if tbl.write(r)? {
                 stored += 1;
             }
         }
+        self.record_write_metrics(table, records.len() as u64, stored as u64);
         Ok(stored)
+    }
+
+    /// Updates the `spotlake_store_*` write families after a successful
+    /// batch. Deduped records are those a change-point table skipped as
+    /// repeats of the series' current value — the dataset's own
+    /// compression, which the ratio gauge tracks cumulatively.
+    fn record_write_metrics(&mut self, table: &str, submitted: u64, stored: u64) {
+        let labels = [("table", table)];
+        let m = &self.metrics;
+        m.counter_add(
+            "spotlake_store_write_batches_total",
+            "Write batches accepted per table.",
+            &labels,
+            1,
+        );
+        m.counter_add(
+            "spotlake_store_records_submitted_total",
+            "Records submitted to write batches per table.",
+            &labels,
+            submitted,
+        );
+        m.counter_add(
+            "spotlake_store_records_stored_total",
+            "Records actually stored per table.",
+            &labels,
+            stored,
+        );
+        m.counter_add(
+            "spotlake_store_records_deduped_total",
+            "Records skipped by change-point deduplication per table.",
+            &labels,
+            submitted - stored,
+        );
+        m.histogram_record(
+            "spotlake_store_write_batch_records",
+            "Records per accepted write batch.",
+            &labels,
+            submitted as f64,
+        );
+        let tally = self.write_tallies.entry(table.to_owned()).or_insert((0, 0));
+        tally.0 += submitted;
+        tally.1 += stored;
+        if tally.0 > 0 {
+            m.gauge_set(
+                "spotlake_store_compression_ratio",
+                "Cumulative stored/submitted record ratio per table (lower = more change-point dedup).",
+                &labels,
+                tally.1 as f64 / tally.0 as f64,
+            );
+        }
+    }
+
+    /// Updates the `spotlake_store_*` read families after a query. Rows
+    /// returned stand in for latency: scan cost in this in-memory store is
+    /// proportional to result size, and wall-clock timing would break the
+    /// byte-identical-metrics contract.
+    fn record_query_metrics(&self, table: &str, op: &str, rows: usize) {
+        let labels = [("table", table), ("op", op)];
+        self.metrics.counter_add(
+            "spotlake_store_queries_total",
+            "Queries served per table and operation.",
+            &labels,
+            1,
+        );
+        self.metrics.histogram_record(
+            "spotlake_store_query_rows",
+            "Rows returned per query (deterministic latency proxy).",
+            &labels,
+            rows as f64,
+        );
     }
 
     /// Runs a raw query against a table.
@@ -148,7 +233,9 @@ impl Database {
     ///
     /// Returns [`TsError::NoSuchTable`] if the table is absent.
     pub fn query(&self, table: &str, q: &Query) -> Result<Vec<Row>, TsError> {
-        Ok(self.table(table)?.query(q))
+        let rows = self.table(table)?.query(q);
+        self.record_query_metrics(table, "query", rows.len());
+        Ok(rows)
     }
 
     /// Latest point per matching series.
@@ -157,7 +244,9 @@ impl Database {
     ///
     /// Returns [`TsError::NoSuchTable`] if the table is absent.
     pub fn latest(&self, table: &str, q: &Query) -> Result<Vec<Row>, TsError> {
-        Ok(self.table(table)?.latest(q))
+        let rows = self.table(table)?.latest(q);
+        self.record_query_metrics(table, "latest", rows.len());
+        Ok(rows)
     }
 
     /// Value in effect at `at` per matching series.
@@ -166,7 +255,9 @@ impl Database {
     ///
     /// Returns [`TsError::NoSuchTable`] if the table is absent.
     pub fn value_at(&self, table: &str, q: &Query, at: u64) -> Result<Vec<Row>, TsError> {
-        Ok(self.table(table)?.value_at(q, at))
+        let rows = self.table(table)?.value_at(q, at);
+        self.record_query_metrics(table, "value_at", rows.len());
+        Ok(rows)
     }
 
     /// Tumbling-window aggregation.
@@ -181,7 +272,14 @@ impl Database {
         window: u64,
         agg: Aggregate,
     ) -> Result<Vec<WindowRow>, TsError> {
-        Ok(self.table(table)?.query_window(q, window, agg))
+        let rows = self.table(table)?.query_window(q, window, agg);
+        self.record_query_metrics(table, "query_window", rows.len());
+        Ok(rows)
+    }
+
+    /// The store's metric registry (`spotlake_store_*` families).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Total points across all tables.
@@ -279,6 +377,41 @@ mod tests {
         for i in 0..40 {
             c.write("t", &[Record::new(i * 600, "m", 1.0)]).unwrap();
         }
+    }
+
+    #[test]
+    fn writes_and_queries_feed_the_metric_registry() {
+        let mut db = Database::new();
+        let opts = TableOptions {
+            mode: crate::table::WriteMode::ChangePoint,
+            retention: None,
+        };
+        db.create_table("sps", opts).unwrap();
+        // Second record repeats the value → change-point dedup drops it.
+        let stored = db
+            .write(
+                "sps",
+                &[Record::new(0, "score", 3.0), Record::new(600, "score", 3.0)],
+            )
+            .unwrap();
+        assert_eq!(stored, 1);
+        db.query("sps", &Query::measure("score")).unwrap();
+        db.latest("sps", &Query::measure("score")).unwrap();
+        let text = db.metrics().render();
+        assert!(text.contains("spotlake_store_records_submitted_total{table=\"sps\"} 2"));
+        assert!(text.contains("spotlake_store_records_stored_total{table=\"sps\"} 1"));
+        assert!(text.contains("spotlake_store_records_deduped_total{table=\"sps\"} 1"));
+        assert!(text.contains("spotlake_store_compression_ratio{table=\"sps\"} 0.5"));
+        assert!(text.contains("spotlake_store_queries_total{op=\"query\",table=\"sps\"} 1"));
+        assert!(text.contains("spotlake_store_queries_total{op=\"latest\",table=\"sps\"} 1"));
+        assert!(text.contains("spotlake_store_query_rows_bucket"));
+        // A throttled write counts without storing.
+        db.set_write_faults(1.0, 3);
+        assert!(db.write("sps", &[Record::new(1200, "score", 4.0)]).is_err());
+        assert!(db
+            .metrics()
+            .render()
+            .contains("spotlake_store_write_throttled_total{table=\"sps\"} 1"));
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Observability suite: the workspace-wide metric registry, trace journal,
+//! and the `/metrics` + `/health` + `/stats` surfaces, driven through the
+//! full `SpotLake` assembly.
+//!
+//! The headline contract: two same-seed runs under the same fault plan
+//! render **byte-identical** `/metrics` documents and trace journals —
+//! no wall clock or other ambient nondeterminism leaks into telemetry.
+
+use spotlake::{CollectorConfig, SimConfig, SpotLake};
+use spotlake_collector::{Dataset, FaultPlan};
+use spotlake_types::{CatalogBuilder, SimDuration};
+
+const SEED: u64 = 20_220_901;
+
+fn lake(faults: Option<FaultPlan>) -> SpotLake {
+    let mut b = CatalogBuilder::new();
+    b.region("us-test-1", 3)
+        .region("eu-test-1", 3)
+        .instance_type("m5.large", 0.096)
+        .instance_type("c5.xlarge", 0.17)
+        .instance_type("p3.2xlarge", 3.06);
+    let mut sim = SimConfig::with_seed(SEED);
+    sim.tick = SimDuration::from_mins(30);
+    SpotLake::builder()
+        .catalog(b.build().expect("valid catalog"))
+        .sim_config(sim)
+        .collector_config(CollectorConfig {
+            faults,
+            ..CollectorConfig::default()
+        })
+        .build()
+        .expect("pipeline builds")
+}
+
+fn body(lake: &SpotLake, path: &str) -> String {
+    let response = lake.http_get(path).expect("request parses");
+    assert_eq!(response.status, 200, "GET {path}");
+    response.body_text()
+}
+
+#[test]
+fn metrics_covers_every_layer_without_duplicate_families() {
+    let mut lake = lake(Some(FaultPlan::uniform(SEED, 0.15)));
+    lake.run_rounds(12).expect("faulty rounds complete");
+    // Traffic before the scrape so the gateway's and the store's
+    // read-path families exist.
+    let _ = body(&lake, "/health");
+    let _ = body(&lake, "/query?table=sps&instance_type=m5.large");
+    let metrics = body(&lake, "/metrics");
+
+    for family in [
+        "spotlake_collector_rounds_total",
+        "spotlake_collector_records_total",
+        "spotlake_collector_breaker_state",
+        "spotlake_store_write_batches_total",
+        "spotlake_store_query_rows",
+        "spotlake_api_faults_injected_total",
+        "spotlake_http_requests_total",
+        "spotlake_http_response_bytes",
+    ] {
+        assert!(
+            metrics.contains(&format!("# TYPE {family} ")),
+            "missing family {family} in:\n{metrics}"
+        );
+    }
+
+    // Exactly one HELP and one TYPE line per family after the merge.
+    let mut seen = std::collections::BTreeMap::new();
+    for line in metrics.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let family = rest.split(' ').next().unwrap_or_default().to_owned();
+            *seen.entry(family).or_insert(0u32) += 1;
+        }
+    }
+    assert!(!seen.is_empty(), "scrape must not be empty");
+    for (family, count) in seen {
+        assert_eq!(count, 1, "duplicate HELP for {family}");
+    }
+}
+
+#[test]
+fn same_seed_runs_scrape_byte_identical_metrics_and_traces() {
+    let plan = FaultPlan::uniform(SEED, 0.20);
+    let mut a = lake(Some(plan));
+    let mut b = lake(Some(plan));
+    for lake in [&mut a, &mut b] {
+        lake.run_rounds(20).expect("run completes");
+    }
+    // Identical request sequences so the gateway registries match too.
+    for path in [
+        "/health",
+        "/stats",
+        "/query?table=sps&instance_type=m5.large",
+    ] {
+        let ra = body(&a, path);
+        let rb = body(&b, path);
+        assert_eq!(ra, rb, "response replay for {path}");
+    }
+    assert_eq!(
+        body(&a, "/metrics"),
+        body(&b, "/metrics"),
+        "/metrics replays byte-for-byte"
+    );
+    let trace_a = a.trace_text();
+    let trace_b = b.trace_text();
+    assert!(!trace_a.is_empty(), "journal captured the rounds");
+    assert_eq!(trace_a, trace_b, "trace journals replay byte-for-byte");
+    assert_eq!(a.metrics_text(), b.metrics_text(), "CLI render replays too");
+}
+
+#[test]
+fn health_reports_open_breaker_as_degraded_over_http() {
+    let mut lake = lake(None);
+    lake.run_rounds(1).expect("warm-up round");
+    let healthy = body(&lake, "/health");
+    assert!(healthy.contains("\"status\":\"ok\""), "{healthy}");
+
+    let tick = lake.cloud().ticks();
+    lake.collector_mut()
+        .force_breaker_open(Dataset::Advisor, tick);
+    lake.run_rounds(1).expect("round with open breaker");
+
+    // Degraded still answers 200 — the archive serves what it has.
+    let degraded = body(&lake, "/health");
+    assert!(degraded.contains("\"status\":\"degraded\""), "{degraded}");
+    assert!(degraded.contains("collector/advisor"), "{degraded}");
+    assert!(degraded.contains("breaker open"), "{degraded}");
+    // The other datasets stay individually ready.
+    assert!(
+        degraded.contains("\"name\":\"collector/sps\""),
+        "{degraded}"
+    );
+}
+
+#[test]
+fn stats_exposes_collection_totals_and_last_round_over_http() {
+    let mut lake = lake(Some(FaultPlan::uniform(SEED, 0.10)));
+    lake.run_rounds(8).expect("rounds complete");
+    let stats = body(&lake, "/stats");
+    assert!(stats.contains("\"collection\""), "{stats}");
+    assert!(stats.contains("\"rounds\":8"), "{stats}");
+    assert!(stats.contains("\"last_round\""), "{stats}");
+    assert!(stats.contains("\"tick\":8"), "{stats}");
+    // The pre-existing store shape survives.
+    assert!(stats.contains("total_points"), "{stats}");
+}
