@@ -4,7 +4,7 @@
 //! layers it measures.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spotlake_obs::Registry;
+use spotlake_obs::{FlightEntry, FlightRecorder, QualityMonitor, Registry};
 
 /// A registry shaped like a busy collector's: a handful of families with
 /// realistic label cardinality and populated histograms.
@@ -74,8 +74,51 @@ fn registry(c: &mut Criterion) {
     group.bench_function("render_merged_2", |b| {
         b.iter(|| Registry::render_merged([&r, &extra]))
     });
+    group.bench_function("histogram_quantile", |b| {
+        b.iter(|| r.histogram_quantile("spotlake_collector_round_ops", &[("dataset", "sps")], 0.99))
+    });
     group.finish();
 }
 
-criterion_group!(benches, registry);
+/// Per-query observability hot path: a flight-recorder insertion under a
+/// full buffer, and one quality-monitor round over realistic key counts.
+fn query_observability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_query");
+
+    let flight = FlightRecorder::new(32);
+    let mut trace_id = 0u64;
+    group.bench_function("flight_record_full_buffer", |b| {
+        b.iter(|| {
+            trace_id += 1;
+            flight.record(FlightEntry {
+                trace_id,
+                tick: trace_id,
+                op: "query".to_owned(),
+                query: "/query?table=sps&instance_type=m5.large".to_owned(),
+                cost: trace_id * 37 % 4096,
+                rows: 100,
+                response_bytes: 8192,
+            })
+        })
+    });
+
+    // 50 types × 18 AZs per dataset — the aws_2022 catalog's scale.
+    group.bench_function("quality_round_900_keys", |b| {
+        let mut monitor = QualityMonitor::new(1);
+        let keys: Vec<String> = (0..50)
+            .flat_map(|t| (0..18).map(move |az| format!("m5.{t}:us-east-1{az}")))
+            .collect();
+        let mut tick = 0u64;
+        b.iter(|| {
+            tick += 1;
+            for key in &keys {
+                monitor.observe("sps", key, tick);
+            }
+            monitor.round_complete(tick);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, registry, query_observability);
 criterion_main!(benches);

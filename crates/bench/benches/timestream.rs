@@ -66,6 +66,15 @@ fn query(c: &mut Criterion) {
         b.iter(|| db.query_window("t", &q, 86_400, Aggregate::Mean).unwrap())
     });
     group.bench_function("latest", |b| b.iter(|| db.latest("t", &q).unwrap()));
+    // The profiled path tallies per-stage cost counters and records the
+    // query histograms; benched against filtered_scan it bounds the
+    // observability overhead on the hot read path.
+    group.bench_function("filtered_scan_profiled", |b| {
+        b.iter(|| {
+            db.query_profiled("t", &q, spotlake_obs::QueryCtx::default())
+                .unwrap()
+        })
+    });
     group.finish();
 }
 

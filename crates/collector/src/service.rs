@@ -20,7 +20,10 @@ use crate::sps_collector::SpsCollector;
 use crate::{ADVISOR_TABLE, PRICE_TABLE, SPS_TABLE};
 use spotlake_cloud_api::FaultPlan;
 use spotlake_cloud_sim::SimCloud;
-use spotlake_obs::{Clock, HealthReport, ManualClock, Readiness, Registry, TraceJournal};
+use spotlake_obs::{
+    Clock, HealthReport, ManualClock, QualityMonitor, QualityReport, Readiness, Registry,
+    TraceJournal,
+};
 use spotlake_timestream::{Database, Record, TableOptions, TsError, WriteMode};
 use spotlake_types::Catalog;
 use std::collections::HashSet;
@@ -159,6 +162,9 @@ pub struct CollectorService {
     clock: ManualClock,
     /// Running totals across all rounds this service has executed.
     totals: CollectStats,
+    /// Per-(dataset × pool-key) coverage/staleness tracking, fed from the
+    /// records each round actually stores.
+    quality: QualityMonitor,
 }
 
 impl CollectorService {
@@ -251,6 +257,9 @@ impl CollectorService {
             journal: TraceJournal::new(),
             clock: ManualClock::new(0),
             totals: CollectStats::default(),
+            // The cloud advances one tick per round, so a live key is
+            // expected every tick; any larger delta is a coverage gap.
+            quality: QualityMonitor::new(1),
         })
     }
 
@@ -294,6 +303,13 @@ impl CollectorService {
     /// The structured trace journal of every round executed so far.
     pub fn journal(&self) -> &TraceJournal {
         &self.journal
+    }
+
+    /// A point-in-time archive data-quality report: per-dataset coverage,
+    /// staleness, and gap counts derived from what each round actually
+    /// stored.
+    pub fn quality_report(&self) -> QualityReport {
+        self.quality.report()
     }
 
     /// Running totals across all rounds executed by this service.
@@ -412,6 +428,7 @@ impl CollectorService {
         self.collect_sps_dataset(cloud, tick, &mut stats, &mut health)?;
         self.collect_advisor_dataset(cloud, tick, &mut stats, &mut health)?;
         self.collect_price_dataset(cloud, tick, &mut stats, &mut health)?;
+        self.quality.round_complete(tick);
 
         health.dead_letter_depth = self.dead_letters.len();
         stats.retries = health.sps.retries + health.advisor.retries + health.price.retries;
@@ -567,6 +584,8 @@ impl CollectorService {
                 count,
             );
         }
+
+        self.quality.export(&self.metrics);
     }
 
     fn collect_sps_dataset(
@@ -652,6 +671,9 @@ impl CollectorService {
             &mut health.sps.retries,
         ) {
             Ok(written) => {
+                for r in &outcome.records {
+                    self.quality.observe("sps", &record_key(r), tick);
+                }
                 stats.sps_records = outcome.records.len();
                 stats.records_written += written;
                 health.sps.records = outcome.records.len();
@@ -703,6 +725,11 @@ impl CollectorService {
                     &mut health.advisor.retries,
                 ) {
                     Ok(written) => {
+                        // Score and savings share a key; the monitor
+                        // dedupes same-tick observations.
+                        for r in &outcome.records {
+                            self.quality.observe("advisor", &record_key(r), tick);
+                        }
                         stats.advisor_records = outcome.records.len();
                         stats.records_written += written;
                         health.advisor.records = outcome.records.len();
@@ -765,6 +792,13 @@ impl CollectorService {
                     &mut health.price.retries,
                 ) {
                     Ok(written) => {
+                        // The price API only reports *changes*; a clean
+                        // sweep therefore refreshes every key the monitor
+                        // has ever seen, not just the changed ones.
+                        for r in &records {
+                            self.quality.observe("price", &record_key(r), tick);
+                        }
+                        self.quality.observe_sweep("price", tick);
                         stats.price_records = records.len();
                         stats.records_written += written;
                         health.price.records = records.len();
@@ -842,6 +876,22 @@ impl CollectorService {
         }
         Ok((total, healths))
     }
+}
+
+/// The quality-monitor coverage key of one record: instance type plus the
+/// record's finest location dimension (AZ when present, region otherwise —
+/// the advisor dataset has no AZ).
+fn record_key(record: &Record) -> String {
+    let dim = |key: &str| {
+        record
+            .dimensions
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    let instance_type = dim("instance_type").unwrap_or("?");
+    let location = dim("az").or_else(|| dim("region")).unwrap_or("?");
+    format!("{instance_type}:{location}")
 }
 
 /// Writes a batch, retrying store throttles within the round's budget.
@@ -1081,6 +1131,74 @@ mod tests {
         assert_eq!(m1, m2, "collector metrics must be byte-identical");
         assert_eq!(j1, j2, "journals must be byte-identical");
         assert_eq!(s1, s2, "store metrics must be byte-identical");
+    }
+
+    #[test]
+    fn quality_tracks_coverage_and_exports_gauges() {
+        let mut cloud = cloud();
+        let mut service =
+            CollectorService::new(cloud.catalog(), CollectorConfig::default()).unwrap();
+        service.run(&mut cloud, 5).unwrap();
+        let report = service.quality_report();
+        assert_eq!(report.rounds, 5);
+        assert_eq!(report.tick, cloud.ticks());
+        assert_eq!(report.datasets.len(), 3);
+        let sps = report.datasets.iter().find(|d| d.dataset == "sps").unwrap();
+        // 2 types × 6 AZs.
+        assert_eq!(sps.keys_tracked, 12);
+        assert_eq!(sps.keys_stale, 0, "a clean run leaves nothing stale");
+        assert_eq!(sps.gaps, 0);
+        assert_eq!(sps.min_coverage, 1.0);
+        let advisor = report
+            .datasets
+            .iter()
+            .find(|d| d.dataset == "advisor")
+            .unwrap();
+        assert_eq!(advisor.keys_tracked, 4, "2 types × 2 regions");
+        let price = report
+            .datasets
+            .iter()
+            .find(|d| d.dataset == "price")
+            .unwrap();
+        assert_eq!(
+            price.keys_stale, 0,
+            "sweeps refresh unchanged price keys — no false staleness"
+        );
+        assert_eq!(price.gaps, 0);
+
+        let text = service.metrics().render();
+        assert!(text.contains("spotlake_archive_keys_tracked{dataset=\"sps\"} 12"));
+        assert!(text.contains("spotlake_archive_min_coverage{dataset=\"sps\"} 1"));
+        assert!(text.contains("spotlake_archive_gaps_total{dataset=\"price\"} 0"));
+    }
+
+    #[test]
+    fn skipped_dataset_rounds_show_as_gaps_and_staleness() {
+        let mut cloud = cloud();
+        let mut service =
+            CollectorService::new(cloud.catalog(), CollectorConfig::default()).unwrap();
+        service.run(&mut cloud, 3).unwrap();
+        // Force the advisor breaker open: the next rounds skip it.
+        service.force_breaker_open(Dataset::Advisor, cloud.ticks());
+        service.run(&mut cloud, 2).unwrap();
+        let report = service.quality_report();
+        let advisor = report
+            .datasets
+            .iter()
+            .find(|d| d.dataset == "advisor")
+            .unwrap();
+        assert!(advisor.keys_stale > 0, "skipped rounds leave keys stale");
+        assert!(advisor.max_staleness >= 2);
+        assert!(
+            advisor.min_coverage < 1.0,
+            "coverage drops below 1: {}",
+            advisor.min_coverage
+        );
+        assert!(!advisor.worst.is_empty());
+        assert!(advisor.worst[0].staleness >= advisor.worst.last().unwrap().staleness);
+        // SPS kept collecting: unaffected.
+        let sps = report.datasets.iter().find(|d| d.dataset == "sps").unwrap();
+        assert_eq!(sps.keys_stale, 0);
     }
 
     #[test]

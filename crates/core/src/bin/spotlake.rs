@@ -9,7 +9,9 @@
 //!
 //! `collect` runs the full pipeline and persists the archive; `get` serves
 //! one gateway request (e.g. `"/query?table=sps&instance_type=m5.large"`)
-//! against a saved archive; `plan` prints the Figure 1 query-plan numbers;
+//! against a saved archive; `query` builds the row request from flags and,
+//! with `--explain`, prints the query plan and per-stage cost profile
+//! instead of rows; `plan` prints the Figure 1 query-plan numbers;
 //! `experiment` runs a scaled-down Section 5.4 experiment and prints
 //! Tables 3 and 4.
 
@@ -31,6 +33,8 @@ USAGE:
                    [--faults none|light|moderate|heavy]
                    [--metrics] [--trace FILE]
   spotlake get --archive FILE PATH
+  spotlake query --archive FILE --table NAME [--measure M] [--instance-type T]
+                 [--region R] [--az Z] [--from N] [--to N] [--limit N] [--explain]
   spotlake experiment [--cases N] [--warmup-days N] [--history-days N] [--seed N]
   spotlake mc [--rounds N]
   spotlake help
@@ -57,6 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "plan" => cmd_plan(&parsed),
         "collect" => cmd_collect(&parsed),
         "get" => cmd_get(&parsed),
+        "query" => cmd_query(&parsed),
         "experiment" => cmd_experiment(&parsed),
         "mc" => cmd_mc(&parsed),
         "help" | "--help" | "-h" => {
@@ -74,7 +79,7 @@ struct Args {
 }
 
 /// Flags that take no value (presence is the value).
-const SWITCHES: [&str; 1] = ["metrics"];
+const SWITCHES: [&str; 2] = ["metrics", "explain"];
 
 impl Args {
     fn parse(raw: &[String]) -> Result<Args, String> {
@@ -226,6 +231,41 @@ fn cmd_get(args: &Args) -> Result<(), String> {
     let request = HttpRequest::get(path).map_err(|e| e.to_string())?;
     let response = ArchiveService::handle(&db, &request);
     eprintln!("HTTP {} ({})", response.status, response.content_type);
+    println!("{}", response.body_text());
+    if response.status >= 400 {
+        return Err(format!("request failed with status {}", response.status));
+    }
+    Ok(())
+}
+
+/// `query`: builds the `/query` request from flags — no hand-assembled
+/// query strings — and serves it against a saved archive. With
+/// `--explain`, the response is the executed plan plus the per-stage cost
+/// profile instead of rows.
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let archive = args.require("archive")?;
+    let table = args.require("table")?;
+    let mut path = format!("/query?table={table}");
+    for (flag, param) in [
+        ("measure", "measure"),
+        ("instance-type", "instance_type"),
+        ("region", "region"),
+        ("az", "az"),
+        ("from", "from"),
+        ("to", "to"),
+        ("limit", "limit"),
+    ] {
+        if let Some(v) = args.get(flag) {
+            path.push_str(&format!("&{param}={v}"));
+        }
+    }
+    if args.get("explain").is_some() {
+        path.push_str("&explain=1");
+    }
+    let db = Database::load(archive).map_err(|e| e.to_string())?;
+    let request = HttpRequest::get(&path).map_err(|e| e.to_string())?;
+    let response = ArchiveService::handle(&db, &request);
+    eprintln!("GET {path} -> HTTP {}", response.status);
     println!("{}", response.body_text());
     if response.status >= 400 {
         return Err(format!("request failed with status {}", response.status));
@@ -483,6 +523,32 @@ mod tests {
             "/query?table=zzz"
         ]))
         .is_err());
+        // The query subcommand builds the same request from flags, with
+        // and without --explain.
+        run(&strings(&[
+            "query",
+            "--archive",
+            &out_str,
+            "--table",
+            "sps",
+            "--instance-type",
+            "m5.large",
+            "--limit",
+            "3",
+        ]))
+        .unwrap();
+        run(&strings(&[
+            "query",
+            "--archive",
+            &out_str,
+            "--table",
+            "sps",
+            "--instance-type",
+            "m5.large",
+            "--explain",
+        ]))
+        .unwrap();
+        assert!(run(&strings(&["query", "--archive", &out_str])).is_err());
         std::fs::remove_file(&out).ok();
     }
 }

@@ -188,12 +188,15 @@ impl SpotLake {
         let request = HttpRequest::get(path_and_query)?;
         let health = self.collector.health_report();
         let stats = self.collector.stats();
+        let quality = self.collector.quality_report();
         let registries = [self.collector.metrics()];
         let ops = OpsContext {
             registries: &registries,
             health: Some(&health),
             collect: Some(&stats),
             last_round: self.collector.last_health(),
+            tick: self.cloud.ticks(),
+            quality: Some(&quality),
         };
         Ok(self
             .gateway
@@ -216,6 +219,12 @@ impl SpotLake {
     /// `--trace` path).
     pub fn trace_text(&self) -> String {
         self.collector.journal().render()
+    }
+
+    /// Renders the gateway's query trace journal as JSON lines — one root
+    /// span per row query served, with per-stage cost children.
+    pub fn query_trace_text(&self) -> String {
+        self.gateway.query_trace_text()
     }
 
     /// Persists the archive to disk.

@@ -107,4 +107,65 @@ mod tests {
         assert!(Readiness::Degraded < Readiness::Unhealthy);
         assert_eq!(Readiness::Degraded.as_str(), "degraded");
     }
+
+    /// The HTTP status the gateway serves for an overall readiness: the
+    /// archive answers 200 while it can serve *anything* (ready or
+    /// degraded) and 503 only when unhealthy. Mirrored here so the
+    /// contract is pinned next to the model; the gateway's own tests
+    /// exercise it over HTTP.
+    fn http_status(overall: Readiness) -> u16 {
+        match overall {
+            Readiness::Ready | Readiness::Degraded => 200,
+            Readiness::Unhealthy => 503,
+        }
+    }
+
+    #[test]
+    fn transition_matrix_covers_component_combinations() {
+        use Readiness::{Degraded, Ready, Unhealthy};
+        // (component states, expected overall, expected HTTP status)
+        let matrix: &[(&[Readiness], Readiness, u16)] = &[
+            (&[], Ready, 200),
+            (&[Ready], Ready, 200),
+            (&[Ready, Ready, Ready], Ready, 200),
+            (&[Ready, Degraded], Degraded, 200),
+            (&[Degraded, Ready], Degraded, 200),
+            (&[Degraded, Degraded], Degraded, 200),
+            (&[Ready, Unhealthy], Unhealthy, 503),
+            (&[Unhealthy, Ready, Ready], Unhealthy, 503),
+            (&[Degraded, Unhealthy], Unhealthy, 503),
+            (&[Unhealthy, Degraded, Ready], Unhealthy, 503),
+            (&[Unhealthy, Unhealthy], Unhealthy, 503),
+        ];
+        for (states, expected, status) in matrix {
+            let mut report = HealthReport::new();
+            for (i, &readiness) in states.iter().enumerate() {
+                report.push(format!("component/{i}"), readiness, "detail");
+            }
+            assert_eq!(report.overall(), *expected, "states {states:?}");
+            assert_eq!(http_status(report.overall()), *status, "states {states:?}");
+        }
+    }
+
+    #[test]
+    fn transitions_heal_when_components_recover() {
+        use Readiness::{Degraded, Ready, Unhealthy};
+        // healthy → degraded → unhealthy → recovered, as fresh reports per
+        // round (the collector rebuilds its report every round).
+        let rounds: &[(&[Readiness], Readiness, u16)] = &[
+            (&[Ready, Ready], Ready, 200),
+            (&[Ready, Degraded], Degraded, 200),
+            (&[Unhealthy, Degraded], Unhealthy, 503),
+            (&[Ready, Degraded], Degraded, 200),
+            (&[Ready, Ready], Ready, 200),
+        ];
+        for (states, expected, status) in rounds {
+            let mut report = HealthReport::new();
+            for (i, &readiness) in states.iter().enumerate() {
+                report.push(format!("c{i}"), readiness, "d");
+            }
+            assert_eq!(report.overall(), *expected);
+            assert_eq!(http_status(report.overall()), *status);
+        }
+    }
 }

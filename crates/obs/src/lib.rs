@@ -22,6 +22,12 @@
 //!   unhealthy per component) that lets the collector describe breaker
 //!   and round state to the gateway without the gateway reverse-engineering
 //!   collector internals.
+//! * [`FlightRecorder`] — a fixed-size top-N of the most expensive
+//!   queries, ranked by a deterministic cost proxy; backs the gateway's
+//!   `/debug/queries` dump and `/stats` slow-query listing.
+//! * [`QualityMonitor`] — archive data-quality tracking: per-(dataset ×
+//!   key) coverage, staleness, and gap detection, exported as
+//!   `spotlake_archive_*` gauges and the `/quality` report.
 //!
 //! Durations recorded here are denominated in deterministic units — ticks
 //! or work units (API calls, rows, bytes) — never nanoseconds, which is
@@ -50,11 +56,15 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod flight;
 mod health;
 mod journal;
+mod quality;
 mod registry;
 
 pub use clock::{Clock, ManualClock};
+pub use flight::{FlightEntry, FlightRecorder, QueryCtx};
 pub use health::{ComponentHealth, HealthReport, Readiness};
-pub use journal::{SpanId, TraceJournal};
-pub use registry::{log_linear_buckets, MetricKind, Registry};
+pub use journal::{JournalError, SpanId, TraceJournal, JOURNAL_SCHEMA, JOURNAL_VERSION};
+pub use quality::{DatasetQuality, KeyQuality, QualityMonitor, QualityReport};
+pub use registry::{log_linear_buckets, HistogramSummary, MetricKind, Registry};

@@ -1,0 +1,419 @@
+//! Archive data-quality monitoring: per-key coverage, staleness, and gap
+//! detection for the collected datasets.
+//!
+//! The paper's archive is only as useful as it is *complete* — the authors
+//! themselves report collection gaps and the workarounds they needed. This
+//! module watches the write path: the collector reports every observed
+//! (dataset × key) pair per round, the monitor tracks when each key was
+//! last seen, counts rounds each key missed (gaps), and summarizes
+//! coverage per dataset. Everything is keyed on simulation ticks and
+//! stored in `BTreeMap`s, so reports and exported gauges are byte-stable
+//! across same-seed runs.
+
+use std::collections::BTreeMap;
+
+use crate::Registry;
+
+/// Per-key tracking state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct KeyState {
+    /// Tick of the first observation.
+    first_tick: u64,
+    /// Tick of the most recent observation.
+    last_tick: u64,
+    /// Total observations (one per round at most).
+    observed: u64,
+    /// Distinct gaps: runs of one or more missed rounds.
+    gaps: u64,
+    /// Total rounds missed across all gaps.
+    missed: u64,
+}
+
+/// Data-quality state for one key in a [`DatasetQuality`] report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyQuality {
+    /// The coverage key, e.g. `"m5.large:us-test-1a"`.
+    pub key: String,
+    /// Rounds in which the key was observed.
+    pub observed: u64,
+    /// Ticks since the key was last observed (0 when current).
+    pub staleness: u64,
+    /// Distinct gaps detected in the key's history.
+    pub gaps: u64,
+    /// Total rounds missed across all gaps.
+    pub missed: u64,
+}
+
+/// Aggregated data-quality report for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetQuality {
+    /// Dataset name (`sps`, `advisor`, `price`).
+    pub dataset: String,
+    /// Number of distinct keys ever observed.
+    pub keys_tracked: u64,
+    /// Keys not observed in the most recent round.
+    pub keys_stale: u64,
+    /// Total distinct gaps across keys.
+    pub gaps: u64,
+    /// Total missed rounds across keys.
+    pub missed_rounds: u64,
+    /// Minimum per-key coverage ratio (observed / expected rounds).
+    pub min_coverage: f64,
+    /// Maximum per-key staleness in ticks.
+    pub max_staleness: u64,
+    /// Worst keys: staleness descending, then gaps descending, then key
+    /// ascending. At most [`QualityMonitor::WORST_KEYS`] entries.
+    pub worst: Vec<KeyQuality>,
+}
+
+/// A point-in-time quality report over all datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Tick the report was taken at.
+    pub tick: u64,
+    /// Expected ticks between observations of a live key.
+    pub interval: u64,
+    /// Completed collection rounds.
+    pub rounds: u64,
+    /// Per-dataset summaries, sorted by dataset name.
+    pub datasets: Vec<DatasetQuality>,
+}
+
+/// Tracks per-(dataset × key) observation coverage.
+///
+/// The collector calls [`QualityMonitor::observe`] for every record key it
+/// successfully writes, [`QualityMonitor::observe_sweep`] when a sweep
+/// semantically covers all known keys (the price collector only reports
+/// *changes*, so a clean sweep refreshes every key it has ever seen), and
+/// [`QualityMonitor::round_complete`] once per round.
+#[derive(Debug, Clone)]
+pub struct QualityMonitor {
+    /// Expected ticks between observations of a live key.
+    interval: u64,
+    /// Tick of the last completed round.
+    tick: u64,
+    /// Completed rounds.
+    rounds: u64,
+    keys: BTreeMap<String, BTreeMap<String, KeyState>>,
+}
+
+impl QualityMonitor {
+    /// Maximum worst-offender keys listed per dataset in a report.
+    pub const WORST_KEYS: usize = 10;
+
+    /// Creates a monitor expecting one observation per key every
+    /// `interval` ticks.
+    pub fn new(interval: u64) -> Self {
+        QualityMonitor {
+            interval: interval.max(1),
+            tick: 0,
+            rounds: 0,
+            keys: BTreeMap::new(),
+        }
+    }
+
+    /// Records that `key` in `dataset` was observed at `tick`. A second
+    /// observation at the same tick is a no-op; a delta greater than the
+    /// expected interval counts one gap and `delta / interval - 1` missed
+    /// rounds.
+    pub fn observe(&mut self, dataset: &str, key: &str, tick: u64) {
+        let interval = self.interval;
+        let state = self
+            .keys
+            .entry(dataset.to_owned())
+            .or_default()
+            .entry(key.to_owned())
+            .or_insert(KeyState {
+                first_tick: tick,
+                last_tick: tick,
+                observed: 0,
+                gaps: 0,
+                missed: 0,
+            });
+        if state.observed > 0 {
+            if tick == state.last_tick {
+                return; // Same-round duplicate (e.g. two measures per key).
+            }
+            let delta = tick.saturating_sub(state.last_tick);
+            if delta > interval {
+                state.gaps += 1;
+                state.missed += delta / interval - 1;
+            }
+        }
+        state.observed += 1;
+        state.last_tick = tick;
+    }
+
+    /// Marks every key already known for `dataset` as observed at `tick` —
+    /// for sweep-style collectors whose successful pass covers all keys
+    /// even when it reports no changes.
+    pub fn observe_sweep(&mut self, dataset: &str, tick: u64) {
+        let interval = self.interval;
+        if let Some(keys) = self.keys.get_mut(dataset) {
+            for state in keys.values_mut() {
+                if tick == state.last_tick {
+                    continue;
+                }
+                let delta = tick.saturating_sub(state.last_tick);
+                if delta > interval {
+                    state.gaps += 1;
+                    state.missed += delta / interval - 1;
+                }
+                state.observed += 1;
+                state.last_tick = tick;
+            }
+        }
+    }
+
+    /// Advances the monitor to the end of a round at `tick`.
+    pub fn round_complete(&mut self, tick: u64) {
+        self.tick = self.tick.max(tick);
+        self.rounds += 1;
+    }
+
+    /// Builds the current report: per-dataset aggregates plus the worst
+    /// keys by staleness. A pure function of the observations — two
+    /// same-seed runs produce identical reports.
+    pub fn report(&self) -> QualityReport {
+        let datasets = self
+            .keys
+            .iter()
+            .map(|(dataset, keys)| {
+                let mut worst: Vec<KeyQuality> = keys
+                    .iter()
+                    .map(|(key, s)| KeyQuality {
+                        key: key.clone(),
+                        observed: s.observed,
+                        staleness: self.tick.saturating_sub(s.last_tick),
+                        gaps: s.gaps,
+                        missed: s.missed,
+                    })
+                    .collect();
+                let keys_stale = worst.iter().filter(|k| k.staleness > 0).count() as u64;
+                let gaps = worst.iter().map(|k| k.gaps).sum();
+                let missed_rounds = worst.iter().map(|k| k.missed).sum();
+                let max_staleness = worst.iter().map(|k| k.staleness).max().unwrap_or(0);
+                let min_coverage = keys
+                    .values()
+                    .map(|s| {
+                        // Rounds the key could have been observed in, from
+                        // its first sighting through the current tick.
+                        let span = self.tick.saturating_sub(s.first_tick) / self.interval + 1;
+                        s.observed as f64 / span.max(1) as f64
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                worst.sort_by(|a, b| {
+                    b.staleness
+                        .cmp(&a.staleness)
+                        .then(b.gaps.cmp(&a.gaps))
+                        .then(a.key.cmp(&b.key))
+                });
+                worst.truncate(Self::WORST_KEYS);
+                DatasetQuality {
+                    dataset: dataset.clone(),
+                    keys_tracked: keys.len() as u64,
+                    keys_stale,
+                    gaps,
+                    missed_rounds,
+                    min_coverage: if min_coverage.is_finite() {
+                        min_coverage
+                    } else {
+                        0.0
+                    },
+                    max_staleness,
+                    worst,
+                }
+            })
+            .collect();
+        QualityReport {
+            tick: self.tick,
+            interval: self.interval,
+            rounds: self.rounds,
+            datasets,
+        }
+    }
+
+    /// Exports per-dataset aggregate gauges (`spotlake_archive_*`) into
+    /// `registry`. Aggregates only — per-key series would explode scrape
+    /// cardinality with a production catalog; key-level detail lives in
+    /// the `/quality` report.
+    pub fn export(&self, registry: &Registry) {
+        for d in self.report().datasets {
+            let labels = [("dataset", d.dataset.as_str())];
+            registry.gauge_set(
+                "spotlake_archive_keys_tracked",
+                "Distinct coverage keys ever observed per dataset.",
+                &labels,
+                d.keys_tracked as f64,
+            );
+            registry.gauge_set(
+                "spotlake_archive_keys_stale",
+                "Keys not observed in the most recent round.",
+                &labels,
+                d.keys_stale as f64,
+            );
+            registry.gauge_set(
+                "spotlake_archive_gaps_total",
+                "Distinct coverage gaps detected across keys.",
+                &labels,
+                d.gaps as f64,
+            );
+            registry.gauge_set(
+                "spotlake_archive_missed_rounds_total",
+                "Total missed rounds across keys.",
+                &labels,
+                d.missed_rounds as f64,
+            );
+            registry.gauge_set(
+                "spotlake_archive_min_coverage",
+                "Minimum per-key coverage ratio (observed / expected rounds).",
+                &labels,
+                d.min_coverage,
+            );
+            registry.gauge_set(
+                "spotlake_archive_max_staleness_ticks",
+                "Maximum per-key staleness in ticks.",
+                &labels,
+                d.max_staleness as f64,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_observation_reports_full_coverage() {
+        let mut m = QualityMonitor::new(1);
+        for tick in 1..=5 {
+            m.observe("sps", "m5.large:a", tick);
+            m.observe("sps", "m5.large:b", tick);
+            m.round_complete(tick);
+        }
+        let report = m.report();
+        assert_eq!(report.tick, 5);
+        assert_eq!(report.rounds, 5);
+        let sps = &report.datasets[0];
+        assert_eq!(sps.dataset, "sps");
+        assert_eq!(sps.keys_tracked, 2);
+        assert_eq!(sps.keys_stale, 0);
+        assert_eq!(sps.gaps, 0);
+        assert_eq!(sps.missed_rounds, 0);
+        assert_eq!(sps.min_coverage, 1.0);
+        assert_eq!(sps.max_staleness, 0);
+    }
+
+    #[test]
+    fn a_skipped_round_counts_one_gap_and_its_missed_rounds() {
+        let mut m = QualityMonitor::new(1);
+        m.observe("sps", "k", 1);
+        m.round_complete(1);
+        // Rounds 2 and 3 miss the key entirely.
+        m.round_complete(2);
+        m.round_complete(3);
+        m.observe("sps", "k", 4);
+        m.round_complete(4);
+        let d = &m.report().datasets[0];
+        assert_eq!(d.gaps, 1, "one contiguous gap");
+        assert_eq!(d.missed_rounds, 2, "rounds 2 and 3 missed");
+        assert_eq!(d.keys_stale, 0, "key is current again");
+        assert!((d.min_coverage - 0.5).abs() < 1e-9, "{}", d.min_coverage);
+    }
+
+    #[test]
+    fn staleness_grows_while_a_key_is_unobserved() {
+        let mut m = QualityMonitor::new(2);
+        m.observe("advisor", "k", 2);
+        m.round_complete(2);
+        m.round_complete(4);
+        m.round_complete(6);
+        let d = &m.report().datasets[0];
+        assert_eq!(d.keys_stale, 1);
+        assert_eq!(d.max_staleness, 4);
+        assert_eq!(d.worst[0].key, "k");
+        assert_eq!(d.worst[0].staleness, 4);
+    }
+
+    #[test]
+    fn same_tick_duplicates_are_no_ops() {
+        let mut m = QualityMonitor::new(1);
+        m.observe("advisor", "k", 1);
+        m.observe("advisor", "k", 1); // score + savings measures, same round
+        m.round_complete(1);
+        m.observe("advisor", "k", 2);
+        m.observe("advisor", "k", 2);
+        m.round_complete(2);
+        let d = &m.report().datasets[0];
+        assert_eq!(d.gaps, 0);
+        assert_eq!(d.min_coverage, 1.0);
+        assert_eq!(d.worst[0].observed, 2, "one observation per round");
+    }
+
+    #[test]
+    fn sweeps_refresh_all_known_keys() {
+        let mut m = QualityMonitor::new(1);
+        m.observe("price", "a", 1);
+        m.observe("price", "b", 1);
+        m.round_complete(1);
+        // Round 2: only `a` changed, but the sweep covered both.
+        m.observe("price", "a", 2);
+        m.observe_sweep("price", 2);
+        m.round_complete(2);
+        let d = &m.report().datasets[0];
+        assert_eq!(d.keys_stale, 0);
+        assert_eq!(d.gaps, 0);
+        assert_eq!(d.min_coverage, 1.0);
+    }
+
+    #[test]
+    fn worst_keys_rank_stalest_first_and_truncate() {
+        let mut m = QualityMonitor::new(1);
+        for i in 0..15u64 {
+            // Key i last observed at tick i+1 → staleness 15-(i+1).
+            m.observe("sps", &format!("k{i:02}"), i + 1);
+        }
+        for tick in 1..=15 {
+            m.round_complete(tick);
+        }
+        let d = &m.report().datasets[0];
+        assert_eq!(d.keys_tracked, 15);
+        assert_eq!(d.worst.len(), QualityMonitor::WORST_KEYS);
+        assert_eq!(d.worst[0].key, "k00", "stalest first");
+        assert!(d.worst[0].staleness > d.worst[9].staleness);
+    }
+
+    #[test]
+    fn export_emits_aggregate_gauges_only() {
+        let mut m = QualityMonitor::new(1);
+        m.observe("sps", "k1", 1);
+        m.observe("sps", "k2", 1);
+        m.round_complete(1);
+        m.round_complete(2);
+        let r = Registry::new();
+        m.export(&r);
+        let text = r.render();
+        assert!(text.contains("spotlake_archive_keys_tracked{dataset=\"sps\"} 2"));
+        assert!(text.contains("spotlake_archive_keys_stale{dataset=\"sps\"} 2"));
+        assert!(text.contains("spotlake_archive_max_staleness_ticks{dataset=\"sps\"} 1"));
+        assert!(!text.contains("k1"), "no per-key series in the scrape");
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let build = || {
+            let mut m = QualityMonitor::new(1);
+            for tick in 1..=6 {
+                for key in ["c", "a", "b"] {
+                    if !(tick + key.len() as u64).is_multiple_of(3) {
+                        m.observe("sps", key, tick);
+                    }
+                }
+                m.round_complete(tick);
+            }
+            m.report()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -177,6 +177,54 @@ impl Registry {
         *count += 1;
     }
 
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of one histogram series
+    /// by linear interpolation inside its log-linear buckets. Observations
+    /// in the implicit `+Inf` bucket are clamped to the last finite bound —
+    /// the estimate is a floor, not a fabricated tail. Returns `None` if
+    /// the family or series is missing, empty, or not a histogram.
+    pub fn histogram_quantile(&self, name: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
+        let families = self.families.borrow();
+        let family = families.get(name)?;
+        if family.kind != MetricKind::Histogram {
+            return None;
+        }
+        let Value::Histogram { counts, count, .. } = family.series.get(&sorted_labels(labels))?
+        else {
+            return None;
+        };
+        quantile_from_buckets(&family.bounds, counts, *count, q)
+    }
+
+    /// Quantile summaries (p50/p90/p99) for every series of a histogram
+    /// family, sorted by label set. Returns an empty vector if the family
+    /// is missing or not a histogram.
+    pub fn histogram_summaries(&self, name: &str) -> Vec<HistogramSummary> {
+        let families = self.families.borrow();
+        let Some(family) = families.get(name) else {
+            return Vec::new();
+        };
+        if family.kind != MetricKind::Histogram {
+            return Vec::new();
+        }
+        family
+            .series
+            .iter()
+            .filter_map(|(labels, value)| {
+                let Value::Histogram { counts, sum, count } = value else {
+                    return None;
+                };
+                Some(HistogramSummary {
+                    labels: labels.clone(),
+                    count: *count,
+                    sum: *sum,
+                    p50: quantile_from_buckets(&family.bounds, counts, *count, 0.50)?,
+                    p90: quantile_from_buckets(&family.bounds, counts, *count, 0.90)?,
+                    p99: quantile_from_buckets(&family.bounds, counts, *count, 0.99)?,
+                })
+            })
+            .collect()
+    }
+
     /// Number of metric families.
     pub fn family_count(&self) -> usize {
         self.families.borrow().len()
@@ -301,6 +349,50 @@ impl Registry {
             });
         update(value);
     }
+}
+
+/// One histogram series summarized as interpolated quantiles, as returned
+/// by [`Registry::histogram_summaries`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Sorted `(key, value)` label pairs identifying the series.
+    pub labels: Vec<(String, String)>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+/// Interpolates the `q`-quantile from per-bucket (non-cumulative) counts.
+/// Standard Prometheus-style estimation: find the bucket holding the
+/// target rank, interpolate linearly between its lower and upper bound.
+/// Ranks landing in the `+Inf` bucket clamp to the last finite bound.
+fn quantile_from_buckets(bounds: &[f64], counts: &[u64], total: u64, q: f64) -> Option<f64> {
+    if total == 0 || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let target = q * total as f64;
+    let mut cumulative = 0u64;
+    for (i, (&bound, &bucket)) in bounds.iter().zip(counts).enumerate() {
+        let prev = cumulative;
+        cumulative += bucket;
+        if (cumulative as f64) >= target {
+            if bucket == 0 {
+                return Some(bound);
+            }
+            let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+            let fraction = (target - prev as f64) / bucket as f64;
+            return Some(lower + (bound - lower) * fraction.clamp(0.0, 1.0));
+        }
+    }
+    // Rank falls in the +Inf bucket: clamp to the largest finite bound.
+    bounds.last().copied()
 }
 
 fn sorted_labels(labels: &[(&str, &str)]) -> LabelSet {
@@ -467,6 +559,70 @@ mod tests {
             r
         };
         assert_eq!(build().render(), build().render());
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let r = Registry::new();
+        let bounds = [10.0, 20.0, 30.0, 40.0];
+        // 10 observations spread evenly over (0, 40]: quantiles track the
+        // uniform distribution's inverse CDF bucket by bucket.
+        for v in [2.0, 6.0, 12.0, 16.0, 22.0, 26.0, 27.0, 32.0, 36.0, 38.0] {
+            r.histogram_record_with("h", "H.", &[("op", "q")], &bounds, v);
+        }
+        let p50 = r.histogram_quantile("h", &[("op", "q")], 0.50).unwrap();
+        // Rank 5 lands in the (20,30] bucket (cumulative 4 → 7), one third in.
+        assert!((p50 - (20.0 + 10.0 / 3.0)).abs() < 1e-9, "{p50}");
+        let p90 = r.histogram_quantile("h", &[("op", "q")], 0.90).unwrap();
+        assert!((30.0..=40.0).contains(&p90), "{p90}");
+        let p0 = r.histogram_quantile("h", &[("op", "q")], 0.0).unwrap();
+        assert_eq!(p0, 0.0, "zeroth quantile is the distribution floor");
+        assert_eq!(r.histogram_quantile("h", &[("op", "q")], 1.5), None);
+        assert_eq!(r.histogram_quantile("h", &[("op", "zzz")], 0.5), None);
+        assert_eq!(r.histogram_quantile("nope", &[], 0.5), None);
+    }
+
+    #[test]
+    fn quantiles_clamp_overflow_to_last_finite_bound() {
+        let r = Registry::new();
+        let bounds = [1.0, 2.0];
+        for v in [0.5, 50.0, 60.0, 70.0] {
+            r.histogram_record_with("h", "H.", &[], &bounds, v);
+        }
+        // p99 rank lands in +Inf: clamped, not extrapolated.
+        assert_eq!(r.histogram_quantile("h", &[], 0.99), Some(2.0));
+    }
+
+    #[test]
+    fn summaries_cover_every_series_sorted() {
+        let r = Registry::new();
+        for (shard, v) in [("b", 5.0), ("a", 3.0), ("a", 9.0)] {
+            r.histogram_record("lat", "L.", &[("shard", shard)], v);
+        }
+        let summaries = r.histogram_summaries("lat");
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].labels, vec![("shard".into(), "a".into())]);
+        assert_eq!(summaries[0].count, 2);
+        assert_eq!(summaries[0].sum, 12.0);
+        assert!(summaries[0].p50 <= summaries[0].p90);
+        assert!(summaries[0].p90 <= summaries[0].p99);
+        assert_eq!(summaries[1].labels, vec![("shard".into(), "b".into())]);
+        assert!(r.histogram_summaries("absent").is_empty());
+        r.counter_add("c", "C.", &[], 1);
+        assert!(
+            r.histogram_summaries("c").is_empty(),
+            "non-histogram family"
+        );
+    }
+
+    #[test]
+    fn quantile_estimates_are_not_rendered_into_the_exposition() {
+        let r = Registry::new();
+        r.histogram_record("h", "H.", &[], 5.0);
+        let _ = r.histogram_summaries("h");
+        let text = r.render();
+        assert!(!text.contains("quantile"), "{text}");
+        assert!(!text.contains("p50"), "{text}");
     }
 
     #[test]

@@ -4,8 +4,9 @@ use crate::csv::rows_to_csv;
 use crate::http::{HttpRequest, HttpResponse};
 use crate::json::Json;
 use crate::ops::OpsContext;
-use spotlake_obs::{Readiness, Registry};
-use spotlake_timestream::{Aggregate, Database, Query, Row, TsError};
+use spotlake_obs::{FlightEntry, FlightRecorder, QueryCtx, Readiness, Registry, TraceJournal};
+use spotlake_timestream::{Aggregate, Database, Query, QueryProfile, Row, TsError};
+use std::cell::RefCell;
 
 /// Default measure per well-known archive table; unknown tables must name
 /// their measure explicitly (a wrong silent default would return an empty
@@ -27,11 +28,11 @@ const DEFAULT_LIMIT: usize = 10_000;
 
 /// The static front-end page (served "from object storage" in the paper's
 /// architecture).
-const INDEX_HTML: &str = "<!doctype html>\n<html><head><title>SpotLake</title></head>\n<body>\n<h1>SpotLake — spot instance dataset archive</h1>\n<p>Query the archive with <code>/query?table=sps&amp;instance_type=m5.large&amp;region=us-east-1</code>.\nEndpoints: /query /latest /at /window /correlate /stats /tables /health /metrics.</p>\n</body></html>\n";
+const INDEX_HTML: &str = "<!doctype html>\n<html><head><title>SpotLake</title></head>\n<body>\n<h1>SpotLake — spot instance dataset archive</h1>\n<p>Query the archive with <code>/query?table=sps&amp;instance_type=m5.large&amp;region=us-east-1</code>.\nEndpoints: /query /latest /at /window /correlate /stats /tables /health /metrics /quality /debug/queries /debug/traces.\nAdd <code>&amp;explain=1</code> to any row query for its plan and cost profile.</p>\n</body></html>\n";
 
 /// Known endpoint paths, used to bound the cardinality of the gateway's
 /// per-endpoint metrics (unknown paths are all labelled `other`).
-const ENDPOINTS: [&str; 10] = [
+const ENDPOINTS: [&str; 13] = [
     "/",
     "/health",
     "/metrics",
@@ -42,6 +43,9 @@ const ENDPOINTS: [&str; 10] = [
     "/latest",
     "/at",
     "/window",
+    "/quality",
+    "/debug/queries",
+    "/debug/traces",
 ];
 
 /// The stateful gateway: routes requests like [`ArchiveService`] and
@@ -49,9 +53,16 @@ const ENDPOINTS: [&str; 10] = [
 /// request counters and size histograms, serves `/metrics` merged across
 /// every layer's registry, and answers `/health` from real readiness
 /// instead of a constant.
+///
+/// It also owns the query observability state: a [`TraceJournal`] of
+/// per-query spans (root `query` span plus one child per cost stage), and
+/// a [`FlightRecorder`] retaining the most expensive queries for
+/// `/debug/queries` and the `/stats` slow-query listing.
 #[derive(Debug, Clone, Default)]
 pub struct Gateway {
     http: Registry,
+    flight: FlightRecorder,
+    traces: RefCell<TraceJournal>,
 }
 
 impl Gateway {
@@ -63,6 +74,16 @@ impl Gateway {
     /// The gateway's own registry (`spotlake_http_*` families).
     pub fn http_metrics(&self) -> &Registry {
         &self.http
+    }
+
+    /// The slow-query flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Renders the gateway's query trace journal as JSON lines.
+    pub fn query_trace_text(&self) -> String {
+        self.traces.borrow().render()
     }
 
     /// Routes a request, recording it in the gateway's registry.
@@ -148,6 +169,267 @@ impl Gateway {
         registries.extend(ops.registries.iter().copied());
         HttpResponse::text(Registry::render_merged(registries))
     }
+
+    /// Allocates the query context for one row request: the next trace id
+    /// from the gateway's journal, at the operator-supplied tick.
+    fn new_ctx(&self, ops: &OpsContext) -> QueryCtx {
+        QueryCtx {
+            trace_id: self.traces.borrow_mut().next_trace_id(),
+            tick: ops.tick,
+        }
+    }
+
+    /// Finishes a profiled query: stamps response size into the profile,
+    /// emits the root span plus one child span per cost stage, records the
+    /// flight-recorder entry and the `spotlake_query_cost` histogram, and
+    /// swaps in the EXPLAIN body when `explain=1` was requested.
+    ///
+    /// Responses that failed *after* the scan (bad `limit`/`format`) pass
+    /// through untouched: the profile is incomplete and recording it would
+    /// skew the flight recorder with parameter errors.
+    fn complete(
+        &self,
+        request: &HttpRequest,
+        mut profile: QueryProfile,
+        rows_returned: u64,
+        response: HttpResponse,
+    ) -> HttpResponse {
+        if response.status != 200 {
+            return response;
+        }
+        profile.rows_returned = rows_returned;
+        profile.response_bytes = response.body.len() as u64;
+        let cost = profile.cost();
+        let query_str = request.path_and_query();
+        {
+            let mut traces = self.traces.borrow_mut();
+            let root = traces.begin_span(profile.tick, "query");
+            traces.span_attr(root, "trace_id", profile.trace_id.to_string());
+            traces.span_attr(root, "op", profile.op.to_owned());
+            traces.span_attr(root, "table", profile.table.clone());
+            traces.span_attr(root, "query", query_str.clone());
+            traces.span_attr(root, "cost", cost.to_string());
+            // One child span per stage group; the counters within a stage
+            // become that span's attributes.
+            let mut current: Option<(&str, spotlake_obs::SpanId)> = None;
+            for (stage, name, value) in profile.stages() {
+                let span = match current {
+                    Some((open, span)) if open == stage => span,
+                    _ => {
+                        if let Some((_, open)) = current {
+                            traces.end_span(open, profile.tick);
+                        }
+                        let span = traces.begin_child_span(profile.tick, stage, root);
+                        current = Some((stage, span));
+                        span
+                    }
+                };
+                traces.span_attr(span, name, value.to_string());
+            }
+            if let Some((_, open)) = current {
+                traces.end_span(open, profile.tick);
+            }
+            traces.end_span(root, profile.tick);
+        }
+        self.flight.record(FlightEntry {
+            trace_id: profile.trace_id,
+            tick: profile.tick,
+            op: profile.op.to_owned(),
+            query: query_str,
+            cost,
+            rows: rows_returned,
+            response_bytes: profile.response_bytes,
+        });
+        self.http.histogram_record(
+            "spotlake_query_cost",
+            "Deterministic cost proxy per completed query (work units).",
+            &[("table", profile.table.as_str()), ("op", profile.op)],
+            cost as f64,
+        );
+        if wants_explain(request) {
+            HttpResponse::json(explain_json(&profile).render())
+        } else {
+            response
+        }
+    }
+
+    /// `/query`: raw row scan, profiled.
+    fn query(&self, db: &Database, request: &HttpRequest, ops: &OpsContext) -> HttpResponse {
+        let (table, q) = match ArchiveService::build_query(db, request) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        match db.query_profiled(&table, &q, self.new_ctx(ops)) {
+            Ok((rows, profile)) => {
+                let (response, returned) = ArchiveService::respond_rows(request, rows);
+                self.complete(request, profile, returned, response)
+            }
+            Err(e) => store_error(e),
+        }
+    }
+
+    /// `/latest`: last in-range point per series, profiled.
+    fn latest(&self, db: &Database, request: &HttpRequest, ops: &OpsContext) -> HttpResponse {
+        let (table, q) = match ArchiveService::build_query(db, request) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        match db.latest_profiled(&table, &q, self.new_ctx(ops)) {
+            Ok((rows, profile)) => {
+                let (response, returned) = ArchiveService::respond_rows(request, rows);
+                self.complete(request, profile, returned, response)
+            }
+            Err(e) => store_error(e),
+        }
+    }
+
+    /// `/at`: value in effect at a timestamp, profiled.
+    fn at(&self, db: &Database, request: &HttpRequest, ops: &OpsContext) -> HttpResponse {
+        let at = match request.param("timestamp").map(str::parse) {
+            Some(Ok(t)) => t,
+            Some(Err(_)) => return HttpResponse::error(400, "timestamp must be an integer"),
+            None => return HttpResponse::error(400, "missing required parameter: timestamp"),
+        };
+        let (table, q) = match ArchiveService::build_query(db, request) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        match db.value_at_profiled(&table, &q, at, self.new_ctx(ops)) {
+            Ok((rows, profile)) => {
+                let (response, returned) = ArchiveService::respond_rows(request, rows);
+                self.complete(request, profile, returned, response)
+            }
+            Err(e) => store_error(e),
+        }
+    }
+
+    /// `/window`: tumbling-window aggregation, profiled.
+    fn window(&self, db: &Database, request: &HttpRequest, ops: &OpsContext) -> HttpResponse {
+        let (table, q) = match ArchiveService::build_query(db, request) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let window = match request.param("window").map(str::parse) {
+            Some(Ok(w)) if w > 0 => w,
+            Some(_) => return HttpResponse::error(400, "window must be a positive integer"),
+            None => 86_400,
+        };
+        let agg = match request.param("agg").unwrap_or("mean") {
+            "mean" => Aggregate::Mean,
+            "min" => Aggregate::Min,
+            "max" => Aggregate::Max,
+            "count" => Aggregate::Count,
+            "sum" => Aggregate::Sum,
+            "last" => Aggregate::Last,
+            other => {
+                return HttpResponse::error(
+                    400,
+                    &format!("unknown agg: {other} (mean|min|max|count|sum|last)"),
+                )
+            }
+        };
+        match db.query_window_profiled(&table, &q, window, agg, self.new_ctx(ops)) {
+            Ok((rows, profile)) => {
+                let returned = rows.len() as u64;
+                let items: Vec<Json> = rows
+                    .iter()
+                    .map(|w| {
+                        Json::object([
+                            ("window_start", Json::from(w.window_start)),
+                            ("value", Json::from(w.value)),
+                            ("count", Json::from(w.count as u64)),
+                        ])
+                    })
+                    .collect();
+                let response =
+                    HttpResponse::json(Json::object([("windows", Json::Array(items))]).render());
+                self.complete(request, profile, returned, response)
+            }
+            Err(e) => store_error(e),
+        }
+    }
+
+    /// `/debug/queries`: the flight recorder's retained top-N, most
+    /// expensive first.
+    fn debug_queries(&self) -> HttpResponse {
+        let queries: Vec<Json> = self
+            .flight
+            .snapshot()
+            .iter()
+            .map(|e| {
+                Json::object([
+                    ("trace_id", Json::from(e.trace_id)),
+                    ("tick", Json::from(e.tick)),
+                    ("op", Json::from(e.op.as_str())),
+                    ("query", Json::from(e.query.as_str())),
+                    ("cost", Json::from(e.cost)),
+                    ("rows", Json::from(e.rows)),
+                    ("response_bytes", Json::from(e.response_bytes)),
+                ])
+            })
+            .collect();
+        HttpResponse::json(
+            Json::object([
+                ("capacity", Json::from(self.flight.capacity() as u64)),
+                ("observed", Json::from(self.flight.observed())),
+                ("queries", Json::Array(queries)),
+            ])
+            .render(),
+        )
+    }
+
+    /// `/debug/traces`: the gateway's query trace journal as JSON lines.
+    fn debug_traces(&self) -> HttpResponse {
+        HttpResponse::plain(self.traces.borrow().render())
+    }
+}
+
+/// Whether the request asked for EXPLAIN output instead of rows.
+fn wants_explain(request: &HttpRequest) -> bool {
+    matches!(request.param("explain"), Some("1") | Some("true"))
+}
+
+/// Renders the EXPLAIN body for a completed profile: the executed plan
+/// (op, table, measure, filters, range) plus per-stage cost counters and
+/// the total cost. `from`/`to` render as strings so `u64::MAX` survives
+/// JSON's f64 numbers unmangled.
+fn explain_json(profile: &QueryProfile) -> Json {
+    let filters = Json::Object(
+        profile
+            .filters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::string(v)))
+            .collect(),
+    );
+    let mut stages: Vec<(&'static str, Vec<(&'static str, u64)>)> = Vec::new();
+    for (stage, name, value) in profile.stages() {
+        match stages.last_mut() {
+            Some((open, counters)) if *open == stage => counters.push((name, value)),
+            _ => stages.push((stage, vec![(name, value)])),
+        }
+    }
+    let stage_items: Vec<Json> = stages
+        .into_iter()
+        .map(|(stage, counters)| {
+            let counter_obj = Json::object(counters.into_iter().map(|(k, v)| (k, Json::from(v))));
+            Json::object([("stage", Json::from(stage)), ("counters", counter_obj)])
+        })
+        .collect();
+    Json::object([(
+        "explain",
+        Json::object([
+            ("op", Json::from(profile.op)),
+            ("table", Json::from(profile.table.as_str())),
+            ("measure", Json::from(profile.measure.as_str())),
+            ("filters", filters),
+            ("from", Json::string(profile.from.to_string())),
+            ("to", Json::string(profile.to.to_string())),
+            ("trace_id", Json::from(profile.trace_id)),
+            ("tick", Json::from(profile.tick)),
+            ("stages", Json::Array(stage_items)),
+            ("cost", Json::from(profile.cost())),
+        ]),
+    )])
 }
 
 /// The archive web service: a stateless router over a
@@ -212,17 +494,20 @@ impl ArchiveService {
         Ok((table, q.between(from, to)))
     }
 
-    fn respond_rows(request: &HttpRequest, mut rows: Vec<Row>) -> HttpResponse {
+    /// Serialises rows to the requested format, applying `limit`. Also
+    /// returns how many rows the response carries, for the query profile.
+    fn respond_rows(request: &HttpRequest, mut rows: Vec<Row>) -> (HttpResponse, u64) {
         let limit = match request.param("limit") {
             Some(s) => match s.parse::<usize>() {
                 Ok(n) => n,
-                Err(_) => return HttpResponse::error(400, "limit must be an integer"),
+                Err(_) => return (HttpResponse::error(400, "limit must be an integer"), 0),
             },
             None => DEFAULT_LIMIT,
         };
         let truncated = rows.len() > limit;
         rows.truncate(limit);
-        match request.param("format") {
+        let returned = rows.len() as u64;
+        let response = match request.param("format") {
             Some("csv") => HttpResponse::csv(rows_to_csv(&rows)),
             Some("json") | None => {
                 let items: Vec<Json> = rows.iter().map(row_to_json).collect();
@@ -234,88 +519,14 @@ impl ArchiveService {
                     .render(),
                 )
             }
-            Some(other) => HttpResponse::error(400, &format!("unknown format: {other} (json|csv)")),
-        }
-    }
-
-    fn query(db: &Database, request: &HttpRequest) -> HttpResponse {
-        let (table, q) = match Self::build_query(db, request) {
-            Ok(v) => v,
-            Err(resp) => return resp,
-        };
-        match db.query(&table, &q) {
-            Ok(rows) => Self::respond_rows(request, rows),
-            Err(e) => store_error(e),
-        }
-    }
-
-    fn latest(db: &Database, request: &HttpRequest) -> HttpResponse {
-        let (table, q) = match Self::build_query(db, request) {
-            Ok(v) => v,
-            Err(resp) => return resp,
-        };
-        match db.latest(&table, &q) {
-            Ok(rows) => Self::respond_rows(request, rows),
-            Err(e) => store_error(e),
-        }
-    }
-
-    fn at(db: &Database, request: &HttpRequest) -> HttpResponse {
-        let (table, q) = match Self::build_query(db, request) {
-            Ok(v) => v,
-            Err(resp) => return resp,
-        };
-        let at = match request.param("timestamp").map(str::parse) {
-            Some(Ok(t)) => t,
-            Some(Err(_)) => return HttpResponse::error(400, "timestamp must be an integer"),
-            None => return HttpResponse::error(400, "missing required parameter: timestamp"),
-        };
-        match db.value_at(&table, &q, at) {
-            Ok(rows) => Self::respond_rows(request, rows),
-            Err(e) => store_error(e),
-        }
-    }
-
-    fn window(db: &Database, request: &HttpRequest) -> HttpResponse {
-        let (table, q) = match Self::build_query(db, request) {
-            Ok(v) => v,
-            Err(resp) => return resp,
-        };
-        let window = match request.param("window").map(str::parse) {
-            Some(Ok(w)) if w > 0 => w,
-            Some(_) => return HttpResponse::error(400, "window must be a positive integer"),
-            None => 86_400,
-        };
-        let agg = match request.param("agg").unwrap_or("mean") {
-            "mean" => Aggregate::Mean,
-            "min" => Aggregate::Min,
-            "max" => Aggregate::Max,
-            "count" => Aggregate::Count,
-            "sum" => Aggregate::Sum,
-            "last" => Aggregate::Last,
-            other => {
-                return HttpResponse::error(
-                    400,
-                    &format!("unknown agg: {other} (mean|min|max|count|sum|last)"),
+            Some(other) => {
+                return (
+                    HttpResponse::error(400, &format!("unknown format: {other} (json|csv)")),
+                    0,
                 )
             }
         };
-        match db.query_window(&table, &q, window, agg) {
-            Ok(rows) => {
-                let items: Vec<Json> = rows
-                    .iter()
-                    .map(|w| {
-                        Json::object([
-                            ("window_start", Json::from(w.window_start)),
-                            ("value", Json::from(w.value)),
-                            ("count", Json::from(w.count as u64)),
-                        ])
-                    })
-                    .collect();
-                HttpResponse::json(Json::object([("windows", Json::Array(items))]).render())
-            }
-            Err(e) => store_error(e),
-        }
+        (response, returned)
     }
 }
 
@@ -331,12 +542,15 @@ fn route(
         "/health" => Gateway::health(db, ops),
         "/metrics" => gateway.metrics(db, ops),
         "/tables" => ArchiveService::tables(db),
-        "/stats" => crate::insights::stats(db, ops),
+        "/stats" => crate::insights::stats(db, gateway, ops),
         "/correlate" => crate::insights::correlate(db, request),
-        "/query" => ArchiveService::query(db, request),
-        "/latest" => ArchiveService::latest(db, request),
-        "/at" => ArchiveService::at(db, request),
-        "/window" => ArchiveService::window(db, request),
+        "/quality" => crate::insights::quality(ops),
+        "/query" => gateway.query(db, request, ops),
+        "/latest" => gateway.latest(db, request, ops),
+        "/at" => gateway.at(db, request, ops),
+        "/window" => gateway.window(db, request, ops),
+        "/debug/queries" => gateway.debug_queries(),
+        "/debug/traces" => gateway.debug_traces(),
         other => HttpResponse::error(404, &format!("no such endpoint: {other}")),
     }
 }
@@ -581,6 +795,177 @@ mod tests {
         let bare = get(&db, "/stats").body_text();
         assert!(!bare.contains("\"collection\""));
         assert!(bare.contains("total_points"));
+    }
+
+    #[test]
+    fn explain_returns_plan_instead_of_rows() {
+        let db = archive();
+        let gateway = Gateway::new();
+        let ops = OpsContext::none();
+        let req = HttpRequest::get("/query?table=sps&instance_type=m5.large&explain=1").unwrap();
+        let r = gateway.handle(&db, &req, &ops);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "application/json");
+        let body = r.body_text();
+        assert!(body.contains("\"explain\""), "{body}");
+        assert!(
+            !body.contains("\"rows\":["),
+            "explain must replace rows: {body}"
+        );
+        assert!(body.contains("\"op\":\"query\""));
+        assert!(body.contains("\"table\":\"sps\""));
+        assert!(body.contains("\"stage\":\"prune\""));
+        assert!(body.contains("\"stage\":\"scan\""));
+        assert!(body.contains("\"series_scanned\":1"), "{body}");
+        assert!(body.contains("\"series_pruned\":1"), "{body}");
+        assert!(body.contains("\"rows_decoded\":5"), "{body}");
+        assert!(body.contains("\"cost\":"));
+        // `explain=true` works too; other values mean rows.
+        let r = gateway.handle(
+            &db,
+            &HttpRequest::get("/query?table=sps&explain=true").unwrap(),
+            &ops,
+        );
+        assert!(r.body_text().contains("\"explain\""));
+        let r = gateway.handle(
+            &db,
+            &HttpRequest::get("/query?table=sps&explain=0").unwrap(),
+            &ops,
+        );
+        assert!(r.body_text().contains("\"rows\""));
+    }
+
+    #[test]
+    fn explain_cost_matches_query_cost_histogram_sum() {
+        let db = archive();
+        let gateway = Gateway::new();
+        let ops = OpsContext::none();
+        let req = HttpRequest::get("/query?table=sps&instance_type=m5.large&explain=1").unwrap();
+        let body = gateway.handle(&db, &req, &ops).body_text();
+        let cost: f64 = body
+            .split("\"cost\":")
+            .nth(1)
+            .and_then(|s| s.split(['}', ',']).next())
+            .and_then(|s| s.parse().ok())
+            .expect("explain body carries a numeric cost");
+        let metrics = gateway
+            .handle(&db, &HttpRequest::get("/metrics").unwrap(), &ops)
+            .body_text();
+        let sum_line = metrics
+            .lines()
+            .find(|l| l.starts_with("spotlake_query_cost_sum{op=\"query\",table=\"sps\"}"))
+            .expect("query cost family rendered");
+        let sum: f64 = sum_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(sum, cost, "one query: histogram sum equals EXPLAIN cost");
+    }
+
+    #[test]
+    fn flight_recorder_surfaces_queries_in_cost_order() {
+        let db = archive();
+        let gateway = Gateway::new();
+        let ops = OpsContext::none();
+        // A broad scan costs more than a pruned one.
+        gateway.handle(
+            &db,
+            &HttpRequest::get("/query?table=sps&instance_type=m5.large").unwrap(),
+            &ops,
+        );
+        gateway.handle(&db, &HttpRequest::get("/query?table=sps").unwrap(), &ops);
+        gateway.handle(
+            &db,
+            &HttpRequest::get("/latest?table=advisor").unwrap(),
+            &ops,
+        );
+        let r = gateway.handle(&db, &HttpRequest::get("/debug/queries").unwrap(), &ops);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "application/json");
+        let body = r.body_text();
+        assert!(body.contains("\"observed\":3"), "{body}");
+        let entries = gateway.flight().snapshot();
+        assert_eq!(entries.len(), 3);
+        for pair in entries.windows(2) {
+            assert!(pair[0].cost >= pair[1].cost, "sorted by cost desc");
+        }
+        assert_eq!(entries[0].query, "/query?table=sps");
+        // The journal holds one root span per query plus stage children.
+        let traces = gateway.query_trace_text();
+        assert_eq!(
+            traces
+                .lines()
+                .filter(|l| l.contains("\"name\":\"query\""))
+                .count(),
+            3
+        );
+        assert!(traces.contains("\"name\":\"scan\""));
+        let dump = gateway.handle(&db, &HttpRequest::get("/debug/traces").unwrap(), &ops);
+        assert_eq!(dump.content_type, "text/plain");
+        assert!(dump.body_text().contains("spotlake-trace"));
+    }
+
+    #[test]
+    fn errors_and_explain_do_not_pollute_flight_recorder() {
+        let db = archive();
+        let gateway = Gateway::new();
+        let ops = OpsContext::none();
+        // Store error and late parameter error: no flight entries.
+        gateway.handle(&db, &HttpRequest::get("/query?table=nope").unwrap(), &ops);
+        gateway.handle(
+            &db,
+            &HttpRequest::get("/query?table=sps&format=xml").unwrap(),
+            &ops,
+        );
+        assert_eq!(gateway.flight().observed(), 0);
+        // An EXPLAIN run still records: it executed the scan.
+        gateway.handle(
+            &db,
+            &HttpRequest::get("/query?table=sps&explain=1").unwrap(),
+            &ops,
+        );
+        assert_eq!(gateway.flight().observed(), 1);
+    }
+
+    #[test]
+    fn stats_reports_quantiles_and_slow_queries() {
+        let db = archive();
+        let gateway = Gateway::new();
+        let ops = OpsContext::none();
+        gateway.handle(&db, &HttpRequest::get("/query?table=sps").unwrap(), &ops);
+        let body = gateway
+            .handle(&db, &HttpRequest::get("/stats").unwrap(), &ops)
+            .body_text();
+        assert!(body.contains("\"quantiles\""), "{body}");
+        assert!(body.contains("\"spotlake_query_cost\""), "{body}");
+        assert!(body.contains("\"p50\""), "{body}");
+        assert!(body.contains("\"p99\""), "{body}");
+        assert!(body.contains("\"slow_queries\""), "{body}");
+        assert!(body.contains("\"query\":\"/query?table=sps\""), "{body}");
+    }
+
+    #[test]
+    fn quality_without_collector_is_empty_but_well_formed() {
+        let db = archive();
+        let r = get(&db, "/quality");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "application/json");
+        assert_eq!(r.body_text(), "{\"datasets\":[],\"tick\":0}");
+    }
+
+    #[test]
+    fn content_types_per_endpoint() {
+        let db = archive();
+        let gateway = Gateway::new();
+        let ops = OpsContext::none();
+        let ct = |path: &str| {
+            gateway
+                .handle(&db, &HttpRequest::get(path).unwrap(), &ops)
+                .content_type
+        };
+        assert_eq!(ct("/metrics"), "text/plain; version=0.0.4");
+        assert_eq!(ct("/debug/traces"), "text/plain");
+        assert_eq!(ct("/query?table=sps"), "application/json");
+        assert_eq!(ct("/query?table=sps&format=csv"), "text/csv");
+        assert_eq!(ct("/health"), "application/json");
+        assert_eq!(ct("/"), "text/html");
     }
 
     #[test]

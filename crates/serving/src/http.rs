@@ -82,6 +82,21 @@ impl HttpRequest {
     pub fn params(&self) -> &[(String, String)] {
         &self.params
     }
+
+    /// Reconstructs the path-and-query string for logging — parameters in
+    /// their original order, so the same request always renders the same
+    /// way in flight-recorder entries and trace spans.
+    pub fn path_and_query(&self) -> String {
+        if self.params.is_empty() {
+            return self.path.clone();
+        }
+        let query: Vec<String> = self
+            .params
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("{}?{}", self.path, query.join("&"))
+    }
 }
 
 /// Percent-decoding for query strings (`%xx` and `+` → space).
@@ -146,11 +161,22 @@ impl HttpResponse {
         }
     }
 
-    /// A 200 plain-text response (Prometheus exposition format).
+    /// A 200 plain-text response in the Prometheus exposition format
+    /// (`/metrics` only — the version parameter is part of that contract).
     pub fn text(body: String) -> Self {
         HttpResponse {
             status: 200,
             content_type: "text/plain; version=0.0.4",
+            body: Bytes::from(body),
+        }
+    }
+
+    /// A 200 plain-text response (JSONL dumps and other non-Prometheus
+    /// text).
+    pub fn plain(body: String) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type: "text/plain",
             body: Bytes::from(body),
         }
     }
@@ -200,6 +226,21 @@ mod tests {
         let r = HttpRequest::get("/health").unwrap();
         assert_eq!(r.path(), "/health");
         assert!(r.params().is_empty());
+        assert_eq!(r.path_and_query(), "/health");
+    }
+
+    #[test]
+    fn path_and_query_round_trips_parameter_order() {
+        let r = HttpRequest::get("/query?table=sps&instance_type=m5.large").unwrap();
+        assert_eq!(
+            r.path_and_query(),
+            "/query?table=sps&instance_type=m5.large"
+        );
+        let swapped = HttpRequest::get("/query?instance_type=m5.large&table=sps").unwrap();
+        assert_eq!(
+            swapped.path_and_query(),
+            "/query?instance_type=m5.large&table=sps"
+        );
     }
 
     #[test]

@@ -7,16 +7,35 @@
 //! * `GET /correlate?instance_type=T&region=R[&az=Z]` — Pearson and
 //!   Spearman coefficients of all three dataset pairs for one pool, plus
 //!   the |SPS − IF| difference histogram.
-//! * `GET /stats` — archive-wide inventory: tables, series, points.
+//! * `GET /stats` — archive-wide inventory: tables, series, points, plus
+//!   latency-proxy quantiles and the slow-query flight recorder.
+//! * `GET /quality` — archive data-quality report: per-dataset coverage,
+//!   staleness, and gap counts from the collector's quality monitor.
 
+use crate::gateway::Gateway;
 use crate::http::{HttpRequest, HttpResponse};
 use crate::json::Json;
 use crate::ops::OpsContext;
 use spotlake_analysis::{align_step, pearson, spearman, Histogram};
 use spotlake_collector::{DatasetHealth, RoundHealth};
+use spotlake_obs::{DatasetQuality, HistogramSummary};
 use spotlake_timestream::{Database, Query, Row};
 
-pub(crate) fn stats(db: &Database, ops: &OpsContext) -> HttpResponse {
+/// Histogram families whose quantiles `/stats` surfaces. A fixed list
+/// keeps the section's key set stable across runs regardless of which
+/// registries happen to be lent on a given request.
+const QUANTILE_FAMILIES: [&str; 4] = [
+    "spotlake_http_response_bytes",
+    "spotlake_query_cost",
+    "spotlake_query_rows_decoded",
+    "spotlake_store_query_rows",
+];
+
+/// How many flight-recorder entries `/stats` lists (the full retained set
+/// stays available at `/debug/queries`).
+const STATS_SLOW_QUERIES: usize = 5;
+
+pub(crate) fn stats(db: &Database, gateway: &Gateway, ops: &OpsContext) -> HttpResponse {
     let tables: Vec<Json> = db
         .table_names()
         .into_iter()
@@ -50,7 +69,108 @@ pub(crate) fn stats(db: &Database, ops: &OpsContext) -> HttpResponse {
     if let Some(h) = ops.last_round {
         fields.push(("last_round", round_to_json(h)));
     }
+    fields.push(("quantiles", quantiles_json(db, gateway, ops)));
+    fields.push(("slow_queries", slow_queries_json(gateway)));
     HttpResponse::json(Json::object(fields).render())
+}
+
+/// Renders p50/p90/p99 summaries for the fixed [`QUANTILE_FAMILIES`],
+/// looked up across every registry visible to this request. Quantiles are
+/// derived views — they belong here, not in the Prometheus exposition,
+/// which stays raw buckets only.
+fn quantiles_json(db: &Database, gateway: &Gateway, ops: &OpsContext) -> Json {
+    let mut registries = vec![db.metrics(), gateway.http_metrics()];
+    registries.extend(ops.registries.iter().copied());
+    let families = QUANTILE_FAMILIES.into_iter().map(|family| {
+        let series: Vec<Json> = registries
+            .iter()
+            .flat_map(|r| r.histogram_summaries(family))
+            .map(summary_json)
+            .collect();
+        (family, Json::Array(series))
+    });
+    Json::object(families)
+}
+
+fn summary_json(s: HistogramSummary) -> Json {
+    let labels = Json::Object(
+        s.labels
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::string(v)))
+            .collect(),
+    );
+    Json::object([
+        ("labels", labels),
+        ("count", Json::from(s.count)),
+        ("sum", Json::from(s.sum)),
+        ("p50", Json::from(s.p50)),
+        ("p90", Json::from(s.p90)),
+        ("p99", Json::from(s.p99)),
+    ])
+}
+
+/// The most expensive retained queries, for the `/stats` overview.
+fn slow_queries_json(gateway: &Gateway) -> Json {
+    let entries: Vec<Json> = gateway
+        .flight()
+        .snapshot()
+        .iter()
+        .take(STATS_SLOW_QUERIES)
+        .map(|e| {
+            Json::object([
+                ("trace_id", Json::from(e.trace_id)),
+                ("op", Json::from(e.op.as_str())),
+                ("query", Json::from(e.query.as_str())),
+                ("cost", Json::from(e.cost)),
+                ("rows", Json::from(e.rows)),
+            ])
+        })
+        .collect();
+    Json::Array(entries)
+}
+
+/// `GET /quality`: the archive data-quality report lent through
+/// [`OpsContext::quality`]. A bare archive (no collector attached) answers
+/// with the same shape, empty — so dashboards need no special case.
+pub(crate) fn quality(ops: &OpsContext) -> HttpResponse {
+    let datasets: Vec<Json> = ops
+        .quality
+        .map(|report| report.datasets.iter().map(dataset_quality_json).collect())
+        .unwrap_or_default();
+    let tick = ops.quality.map_or(0, |r| r.tick);
+    HttpResponse::json(
+        Json::object([
+            ("tick", Json::from(tick)),
+            ("datasets", Json::Array(datasets)),
+        ])
+        .render(),
+    )
+}
+
+fn dataset_quality_json(d: &DatasetQuality) -> Json {
+    let worst: Vec<Json> = d
+        .worst
+        .iter()
+        .map(|k| {
+            Json::object([
+                ("key", Json::from(k.key.as_str())),
+                ("observed", Json::from(k.observed)),
+                ("staleness_ticks", Json::from(k.staleness)),
+                ("gaps", Json::from(k.gaps)),
+                ("missed_rounds", Json::from(k.missed)),
+            ])
+        })
+        .collect();
+    Json::object([
+        ("dataset", Json::from(d.dataset.as_str())),
+        ("keys_tracked", Json::from(d.keys_tracked)),
+        ("keys_stale", Json::from(d.keys_stale)),
+        ("gaps_total", Json::from(d.gaps)),
+        ("missed_rounds_total", Json::from(d.missed_rounds)),
+        ("min_coverage", Json::from(d.min_coverage)),
+        ("max_staleness_ticks", Json::from(d.max_staleness)),
+        ("worst", Json::Array(worst)),
+    ])
 }
 
 fn round_to_json(h: &RoundHealth) -> Json {

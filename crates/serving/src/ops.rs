@@ -11,7 +11,7 @@
 //! [`Database`]: spotlake_timestream::Database
 
 use spotlake_collector::{CollectStats, RoundHealth};
-use spotlake_obs::{HealthReport, Registry};
+use spotlake_obs::{HealthReport, QualityReport, Registry};
 
 /// Borrowed operational state for one request.
 #[derive(Debug, Clone, Copy, Default)]
@@ -25,6 +25,11 @@ pub struct OpsContext<'a> {
     pub collect: Option<&'a CollectStats>,
     /// The most recent round's health record, surfaced through `/stats`.
     pub last_round: Option<&'a RoundHealth>,
+    /// Simulation tick of the request (0 when no clock is wired) — stamped
+    /// into query traces and flight-recorder entries.
+    pub tick: u64,
+    /// Archive data-quality report, surfaced through `/quality`.
+    pub quality: Option<&'a QualityReport>,
 }
 
 impl OpsContext<'_> {

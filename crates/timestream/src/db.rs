@@ -2,10 +2,11 @@
 
 use crate::codec;
 use crate::error::TsError;
+use crate::profile::QueryProfile;
 use crate::query::{Aggregate, Query, Row, WindowRow};
 use crate::record::Record;
 use crate::table::{Table, TableOptions};
-use spotlake_obs::Registry;
+use spotlake_obs::{QueryCtx, Registry};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -227,6 +228,38 @@ impl Database {
         );
     }
 
+    /// Records a completed cost profile into the `spotlake_query_*`
+    /// histograms — scan-side stages only; the serving layer records the
+    /// final cost once it knows the response size.
+    fn record_profile_metrics(&self, profile: &QueryProfile) {
+        let labels = [("table", profile.table.as_str()), ("op", profile.op)];
+        let m = &self.metrics;
+        m.histogram_record(
+            "spotlake_query_series_scanned",
+            "Series scanned per query after pruning.",
+            &labels,
+            profile.series_scanned as f64,
+        );
+        m.histogram_record(
+            "spotlake_query_chunks_decompressed",
+            "Storage chunks decompressed per query.",
+            &labels,
+            profile.chunks_decompressed as f64,
+        );
+        m.histogram_record(
+            "spotlake_query_rows_decoded",
+            "Points decoded per query.",
+            &labels,
+            profile.rows_decoded as f64,
+        );
+        m.histogram_record(
+            "spotlake_query_rows_post_filter",
+            "Result rows per query before response limits.",
+            &labels,
+            profile.rows_post_filter as f64,
+        );
+    }
+
     /// Runs a raw query against a table.
     ///
     /// # Errors
@@ -236,6 +269,88 @@ impl Database {
         let rows = self.table(table)?.query(q);
         self.record_query_metrics(table, "query", rows.len());
         Ok(rows)
+    }
+
+    /// [`Database::query`] with cost profiling: returns the rows plus the
+    /// completed scan-side [`QueryProfile`], and records the
+    /// `spotlake_query_*` stage histograms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NoSuchTable`] if the table is absent.
+    pub fn query_profiled(
+        &self,
+        table: &str,
+        q: &Query,
+        ctx: QueryCtx,
+    ) -> Result<(Vec<Row>, QueryProfile), TsError> {
+        let mut profile = QueryProfile::start("query", table).with_ctx(ctx);
+        let rows = self.table(table)?.query_profiled(q, &mut profile);
+        self.record_query_metrics(table, "query", rows.len());
+        self.record_profile_metrics(&profile);
+        Ok((rows, profile))
+    }
+
+    /// [`Database::latest`] with cost profiling; see
+    /// [`Database::query_profiled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NoSuchTable`] if the table is absent.
+    pub fn latest_profiled(
+        &self,
+        table: &str,
+        q: &Query,
+        ctx: QueryCtx,
+    ) -> Result<(Vec<Row>, QueryProfile), TsError> {
+        let mut profile = QueryProfile::start("latest", table).with_ctx(ctx);
+        let rows = self.table(table)?.latest_profiled(q, &mut profile);
+        self.record_query_metrics(table, "latest", rows.len());
+        self.record_profile_metrics(&profile);
+        Ok((rows, profile))
+    }
+
+    /// [`Database::value_at`] with cost profiling; see
+    /// [`Database::query_profiled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NoSuchTable`] if the table is absent.
+    pub fn value_at_profiled(
+        &self,
+        table: &str,
+        q: &Query,
+        at: u64,
+        ctx: QueryCtx,
+    ) -> Result<(Vec<Row>, QueryProfile), TsError> {
+        let mut profile = QueryProfile::start("value_at", table).with_ctx(ctx);
+        let rows = self.table(table)?.value_at_profiled(q, at, &mut profile);
+        self.record_query_metrics(table, "value_at", rows.len());
+        self.record_profile_metrics(&profile);
+        Ok((rows, profile))
+    }
+
+    /// [`Database::query_window`] with cost profiling; see
+    /// [`Database::query_profiled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NoSuchTable`] if the table is absent.
+    pub fn query_window_profiled(
+        &self,
+        table: &str,
+        q: &Query,
+        window: u64,
+        agg: Aggregate,
+        ctx: QueryCtx,
+    ) -> Result<(Vec<WindowRow>, QueryProfile), TsError> {
+        let mut profile = QueryProfile::start("window", table).with_ctx(ctx);
+        let rows = self
+            .table(table)?
+            .query_window_profiled(q, window, agg, &mut profile);
+        self.record_query_metrics(table, "query_window", rows.len());
+        self.record_profile_metrics(&profile);
+        Ok((rows, profile))
     }
 
     /// Latest point per matching series.
@@ -412,6 +527,60 @@ mod tests {
             .metrics()
             .render()
             .contains("spotlake_store_write_throttled_total{table=\"sps\"} 1"));
+    }
+
+    #[test]
+    fn profiled_queries_return_profiles_and_feed_query_histograms() {
+        let mut db = Database::new();
+        db.create_table("sps", TableOptions::default()).unwrap();
+        for i in 0..5u64 {
+            db.write(
+                "sps",
+                &[
+                    Record::new(i * 600, "score", i as f64).dimension("instance_type", "m5.large"),
+                    Record::new(i * 600, "score", 1.0).dimension("instance_type", "c5.xlarge"),
+                ],
+            )
+            .unwrap();
+        }
+        let ctx = QueryCtx {
+            trace_id: 9,
+            tick: 3,
+        };
+        let q = Query::measure("score").filter("instance_type", "m5.large");
+        let (rows, profile) = db.query_profiled("sps", &q, ctx).unwrap();
+        assert_eq!(rows, db.query("sps", &q).unwrap());
+        assert_eq!(profile.trace_id, 9);
+        assert_eq!(profile.tick, 3);
+        assert_eq!(profile.op, "query");
+        assert_eq!(profile.table, "sps");
+        assert_eq!(profile.series_scanned, 1);
+        assert_eq!(profile.rows_decoded, 5);
+        assert!(profile.cost() > 0);
+
+        let (latest, _) = db.latest_profiled("sps", &q, ctx).unwrap();
+        assert_eq!(latest.len(), 1);
+        let (at, _) = db.value_at_profiled("sps", &q, 700, ctx).unwrap();
+        assert_eq!(at[0].time, 600);
+        let (win, wp) = db
+            .query_window_profiled("sps", &q, 1200, Aggregate::Mean, ctx)
+            .unwrap();
+        assert!(!win.is_empty());
+        assert_eq!(wp.op, "window");
+
+        let text = db.metrics().render();
+        // One observation per profiled call, stage sums match the profile.
+        assert!(text.contains("spotlake_query_series_scanned_count{op=\"query\",table=\"sps\"} 1"));
+        assert!(text.contains("spotlake_query_rows_decoded_sum{op=\"query\",table=\"sps\"} 5"));
+        assert!(text
+            .contains("spotlake_query_chunks_decompressed_count{op=\"latest\",table=\"sps\"} 1"));
+        assert!(
+            text.contains("spotlake_query_rows_post_filter_sum{op=\"value_at\",table=\"sps\"} 1")
+        );
+        // The unprofiled read path recorded the legacy families too.
+        assert!(text.contains("spotlake_store_queries_total{op=\"query\",table=\"sps\"} 2"));
+
+        assert!(db.query_profiled("nope", &q, ctx).is_err());
     }
 
     #[test]

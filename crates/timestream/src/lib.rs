@@ -45,6 +45,7 @@ mod codec;
 mod compress;
 mod db;
 mod error;
+mod profile;
 mod query;
 mod record;
 mod series;
@@ -52,6 +53,7 @@ mod table;
 
 pub use db::Database;
 pub use error::TsError;
+pub use profile::QueryProfile;
 pub use query::{Aggregate, Query, Row, WindowRow};
 pub use record::Record;
 pub use table::{Table, TableOptions, WriteMode};

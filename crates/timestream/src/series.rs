@@ -1,5 +1,22 @@
 //! One series: the points of a single (measure, dimensions) pair.
 
+/// Storage chunk size in points, for query cost accounting. The on-disk
+/// codec compresses each series as one Gorilla stream, but a columnar
+/// store pages data in fixed chunks; the cost model charges a query one
+/// "chunk decompressed" per [`CHUNK_POINTS`]-point page its scan touches,
+/// which keeps EXPLAIN costs meaningful without changing storage.
+pub(crate) const CHUNK_POINTS: usize = 256;
+
+/// Number of [`CHUNK_POINTS`]-sized pages the index range `[start, end)`
+/// touches.
+pub(crate) fn chunks_touched(start: usize, end: usize) -> u64 {
+    if end <= start {
+        0
+    } else {
+        ((end - 1) / CHUNK_POINTS - start / CHUNK_POINTS + 1) as u64
+    }
+}
+
 /// A single time series, sorted by timestamp.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct Series {
@@ -55,17 +72,33 @@ impl Series {
         &self.points
     }
 
-    /// Points with `from <= t <= to`.
-    pub(crate) fn range(&self, from: u64, to: u64) -> &[(u64, f64)] {
+    /// Points with `from <= t <= to`, plus the number of storage chunks
+    /// the scan touched, for query cost accounting.
+    pub(crate) fn range_scan(&self, from: u64, to: u64) -> (&[(u64, f64)], u64) {
         let start = self.points.partition_point(|&(t, _)| t < from);
         let end = self.points.partition_point(|&(t, _)| t <= to);
-        &self.points[start..end]
+        (&self.points[start..end], chunks_touched(start, end))
     }
 
-    /// The latest point at or before `at`.
-    pub(crate) fn value_at(&self, at: u64) -> Option<(u64, f64)> {
+    /// The latest point at or before `at`, plus the chunks touched (one
+    /// when a point is found: the lookup decodes only the page holding
+    /// it).
+    pub(crate) fn value_at_scan(&self, at: u64) -> (Option<(u64, f64)>, u64) {
         let idx = self.points.partition_point(|&(t, _)| t <= at);
-        idx.checked_sub(1).map(|i| self.points[i])
+        match idx.checked_sub(1) {
+            Some(i) => (Some(self.points[i]), 1),
+            None => (None, 0),
+        }
+    }
+
+    /// Whether any stored point could fall inside `[from, to]` — the
+    /// cheap bounds check that lets a scan prune this series without
+    /// touching its chunks.
+    pub(crate) fn overlaps(&self, from: u64, to: u64) -> bool {
+        match (self.points.first(), self.points.last()) {
+            (Some(&(first, _)), Some(&(last, _))) => first <= to && last >= from,
+            _ => false,
+        }
     }
 
     /// Drops points strictly older than `cutoff`. Returns how many were
@@ -90,6 +123,14 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    fn range(s: &Series, from: u64, to: u64) -> &[(u64, f64)] {
+        s.range_scan(from, to).0
+    }
+
+    fn value_at(s: &Series, at: u64) -> Option<(u64, f64)> {
+        s.value_at_scan(at).0
+    }
+
     #[test]
     fn insert_keeps_order_and_overwrites() {
         let mut s = Series::new(vec![]);
@@ -99,7 +140,7 @@ mod tests {
         assert_eq!(s.points(), &[(5, 0.5), (10, 1.0), (20, 2.0)]);
         // Overwrite.
         assert!(s.insert(10, 1.5));
-        assert_eq!(s.value_at(10), Some((10, 1.5)));
+        assert_eq!(value_at(&s, 10), Some((10, 1.5)));
         // Same value at same time: no change.
         assert!(!s.insert(10, 1.5));
     }
@@ -123,13 +164,54 @@ mod tests {
         for t in [0u64, 600, 1200, 1800] {
             s.insert(t, t as f64);
         }
-        assert_eq!(s.range(600, 1200), &[(600, 600.0), (1200, 1200.0)]);
-        assert_eq!(s.range(601, 1199), &[]);
-        assert_eq!(s.range(0, u64::MAX).len(), 4);
-        assert_eq!(s.value_at(599), Some((0, 0.0)));
-        assert_eq!(s.value_at(1800), Some((1800, 1800.0)));
+        assert_eq!(range(&s, 600, 1200), &[(600, 600.0), (1200, 1200.0)]);
+        assert_eq!(range(&s, 601, 1199), &[] as &[(u64, f64)]);
+        assert_eq!(range(&s, 0, u64::MAX).len(), 4);
+        assert_eq!(value_at(&s, 599), Some((0, 0.0)));
+        assert_eq!(value_at(&s, 1800), Some((1800, 1800.0)));
         let empty = Series::new(vec![]);
-        assert_eq!(empty.value_at(100), None);
+        assert_eq!(value_at(&empty, 100), None);
+    }
+
+    #[test]
+    fn chunk_accounting_counts_touched_pages() {
+        assert_eq!(chunks_touched(0, 0), 0);
+        assert_eq!(chunks_touched(5, 5), 0);
+        assert_eq!(chunks_touched(0, 1), 1);
+        assert_eq!(chunks_touched(0, CHUNK_POINTS), 1);
+        assert_eq!(chunks_touched(0, CHUNK_POINTS + 1), 2);
+        assert_eq!(chunks_touched(CHUNK_POINTS - 1, CHUNK_POINTS + 1), 2);
+        assert_eq!(chunks_touched(10, 20), 1, "within one page");
+
+        let mut s = Series::new(vec![]);
+        for t in 0..600u64 {
+            s.insert(t, t as f64);
+        }
+        let (pts, chunks) = s.range_scan(0, u64::MAX);
+        assert_eq!(pts.len(), 600);
+        assert_eq!(chunks, 3, "600 points span 3 pages of 256");
+        let (pts, chunks) = s.range_scan(10, 20);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(chunks, 1);
+        let (found, chunks) = s.value_at_scan(300);
+        assert_eq!(found, Some((300, 300.0)));
+        assert_eq!(chunks, 1);
+        let (found, chunks) = Series::new(vec![]).value_at_scan(300);
+        assert_eq!(found, None);
+        assert_eq!(chunks, 0);
+    }
+
+    #[test]
+    fn overlaps_is_a_bounds_check() {
+        let mut s = Series::new(vec![]);
+        s.insert(100, 1.0);
+        s.insert(200, 2.0);
+        assert!(s.overlaps(0, 100));
+        assert!(s.overlaps(150, 160), "range inside the bounds");
+        assert!(s.overlaps(200, 300));
+        assert!(!s.overlaps(0, 99));
+        assert!(!s.overlaps(201, 300));
+        assert!(!Series::new(vec![]).overlaps(0, u64::MAX));
     }
 
     #[test]

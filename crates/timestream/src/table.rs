@@ -1,6 +1,7 @@
 //! Tables: named collections of series with a write mode and retention.
 
 use crate::error::TsError;
+use crate::profile::QueryProfile;
 use crate::query::{Aggregate, Query, Row, WindowRow};
 use crate::record::{series_key, Record};
 use crate::series::Series;
@@ -74,10 +75,19 @@ impl Table {
     /// Runs a raw query: all matching points from all matching series,
     /// sorted by (time, series).
     pub fn query(&self, q: &Query) -> Vec<Row> {
+        self.query_profiled(q, &mut QueryProfile::default())
+    }
+
+    /// [`Table::query`] while accumulating scan costs into `profile`.
+    pub fn query_profiled(&self, q: &Query, profile: &mut QueryProfile) -> Vec<Row> {
         let (from, to) = q.time_range();
+        profile.observe_query(q);
         let mut rows = Vec::new();
-        for series in self.matching_series(q) {
-            for &(time, value) in series.range(from, to) {
+        for series in self.scan_candidates(q, from, to, profile) {
+            let (pts, chunks) = series.range_scan(from, to);
+            profile.chunks_decompressed += chunks;
+            profile.rows_decoded += pts.len() as u64;
+            for &(time, value) in pts {
                 rows.push(Row {
                     time,
                     value,
@@ -90,37 +100,71 @@ impl Table {
                 .cmp(&b.time)
                 .then_with(|| a.dimensions.cmp(&b.dimensions))
         });
+        profile.rows_post_filter = rows.len() as u64;
         rows
     }
 
     /// The latest point (within the query's range) of each matching series.
     pub fn latest(&self, q: &Query) -> Vec<Row> {
+        self.latest_profiled(q, &mut QueryProfile::default())
+    }
+
+    /// [`Table::latest`] while accumulating scan costs into `profile`.
+    /// The lookup decodes only the page holding each series' last
+    /// in-range point, so it charges one chunk and one row per hit.
+    pub fn latest_profiled(&self, q: &Query, profile: &mut QueryProfile) -> Vec<Row> {
         let (from, to) = q.time_range();
-        self.matching_series(q)
+        profile.observe_query(q);
+        let rows: Vec<Row> = self
+            .scan_candidates(q, from, to, profile)
+            .into_iter()
             .filter_map(|series| {
-                let pts = series.range(from, to);
-                pts.last().map(|&(time, value)| Row {
-                    time,
-                    value,
-                    dimensions: series.dimensions.clone(),
+                let (pts, _) = series.range_scan(from, to);
+                pts.last().map(|&(time, value)| {
+                    profile.chunks_decompressed += 1;
+                    profile.rows_decoded += 1;
+                    Row {
+                        time,
+                        value,
+                        dimensions: series.dimensions.clone(),
+                    }
                 })
             })
-            .collect()
+            .collect();
+        profile.rows_post_filter = rows.len() as u64;
+        rows
     }
 
     /// The value in effect at `at` (latest point at or before `at`) of each
     /// matching series — how the archive answers "what did the advisor say
     /// on day X".
     pub fn value_at(&self, q: &Query, at: u64) -> Vec<Row> {
-        self.matching_series(q)
+        self.value_at_profiled(q, at, &mut QueryProfile::default())
+    }
+
+    /// [`Table::value_at`] while accumulating scan costs into `profile`.
+    pub fn value_at_profiled(&self, q: &Query, at: u64, profile: &mut QueryProfile) -> Vec<Row> {
+        profile.observe_query(q);
+        profile.from = 0;
+        profile.to = at;
+        let rows: Vec<Row> = self
+            .scan_candidates(q, 0, at, profile)
+            .into_iter()
             .filter_map(|series| {
-                series.value_at(at).map(|(time, value)| Row {
-                    time,
-                    value,
-                    dimensions: series.dimensions.clone(),
+                let (found, chunks) = series.value_at_scan(at);
+                profile.chunks_decompressed += chunks;
+                found.map(|(time, value)| {
+                    profile.rows_decoded += 1;
+                    Row {
+                        time,
+                        value,
+                        dimensions: series.dimensions.clone(),
+                    }
                 })
             })
-            .collect()
+            .collect();
+        profile.rows_post_filter = rows.len() as u64;
+        rows
     }
 
     /// Tumbling-window aggregation pooled across all matching series:
@@ -131,17 +175,38 @@ impl Table {
     ///
     /// Panics if `window` is zero.
     pub fn query_window(&self, q: &Query, window: u64, agg: Aggregate) -> Vec<WindowRow> {
+        self.query_window_profiled(q, window, agg, &mut QueryProfile::default())
+    }
+
+    /// [`Table::query_window`] while accumulating scan costs into
+    /// `profile`: every in-range point is decoded, and the aggregated
+    /// window rows are what survives the filter stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn query_window_profiled(
+        &self,
+        q: &Query,
+        window: u64,
+        agg: Aggregate,
+        profile: &mut QueryProfile,
+    ) -> Vec<WindowRow> {
         assert!(window > 0, "window length must be positive");
         let (from, to) = q.time_range();
+        profile.observe_query(q);
         let base = from;
         let mut buckets: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
-        for series in self.matching_series(q) {
-            for &(time, value) in series.range(from, to) {
+        for series in self.scan_candidates(q, from, to, profile) {
+            let (pts, chunks) = series.range_scan(from, to);
+            profile.chunks_decompressed += chunks;
+            profile.rows_decoded += pts.len() as u64;
+            for &(time, value) in pts {
                 let w = base + ((time - base) / window) * window;
                 buckets.entry(w).or_default().push((time, value));
             }
         }
-        buckets
+        let rows: Vec<WindowRow> = buckets
             .into_iter()
             .filter_map(|(window_start, pts)| {
                 agg.apply(&pts).map(|value| WindowRow {
@@ -150,15 +215,34 @@ impl Table {
                     count: pts.len(),
                 })
             })
-            .collect()
+            .collect();
+        profile.rows_post_filter = rows.len() as u64;
+        rows
     }
 
-    fn matching_series<'a>(&'a self, q: &'a Query) -> impl Iterator<Item = &'a Series> + 'a {
-        self.series
-            .get(q.measure_name())
-            .into_iter()
-            .flat_map(|m| m.values())
-            .filter(move |s| q.matches(&s.dimensions))
+    /// Selects the series a scan must touch, tallying the candidates that
+    /// were pruned without decompression — by dimension-filter mismatch or
+    /// because their time bounds are disjoint from `[from, to]`.
+    fn scan_candidates<'a>(
+        &'a self,
+        q: &Query,
+        from: u64,
+        to: u64,
+        profile: &mut QueryProfile,
+    ) -> Vec<&'a Series> {
+        let mut candidates = Vec::new();
+        if let Some(measure) = self.series.get(q.measure_name()) {
+            for series in measure.values() {
+                profile.series_total += 1;
+                if q.matches(&series.dimensions) && series.overlaps(from, to) {
+                    candidates.push(series);
+                } else {
+                    profile.series_pruned += 1;
+                }
+            }
+        }
+        profile.series_scanned = profile.series_total - profile.series_pruned;
+        candidates
     }
 
     /// Number of distinct series.
@@ -335,5 +419,64 @@ mod tests {
         let t = sample_table();
         assert_eq!(t.series_count(), 2);
         assert_eq!(t.point_count(), 5);
+    }
+
+    #[test]
+    fn profiled_query_tallies_prune_scan_decode_and_filter() {
+        let t = sample_table();
+        let q = Query::measure("sps").filter("instance_type", "m5.large");
+        let mut profile = QueryProfile::default();
+        let rows = t.query_profiled(&q, &mut profile);
+        assert_eq!(rows, t.query(&q), "profiling does not change results");
+        assert_eq!(profile.measure, "sps");
+        assert_eq!(profile.series_total, 2);
+        assert_eq!(profile.series_pruned, 1, "p3.2xlarge filtered out");
+        assert_eq!(profile.series_scanned, 1);
+        assert_eq!(profile.chunks_decompressed, 1, "3 points fit one page");
+        assert_eq!(profile.rows_decoded, 3);
+        assert_eq!(profile.rows_post_filter, 3);
+
+        // A time range disjoint from every series prunes without scanning.
+        let mut disjoint = QueryProfile::default();
+        let none = t.query_profiled(
+            &Query::measure("sps").between(10_000, 20_000),
+            &mut disjoint,
+        );
+        assert!(none.is_empty());
+        assert_eq!(disjoint.series_pruned, 2, "bounds check pruned both");
+        assert_eq!(disjoint.chunks_decompressed, 0);
+    }
+
+    #[test]
+    fn profiled_latest_and_value_at_charge_single_chunks() {
+        let t = sample_table();
+        let q = Query::measure("sps");
+        let mut latest = QueryProfile::default();
+        let rows = t.latest_profiled(&q, &mut latest);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(latest.series_scanned, 2);
+        assert_eq!(latest.chunks_decompressed, 2, "one page per hit");
+        assert_eq!(latest.rows_decoded, 2);
+        assert_eq!(latest.rows_post_filter, 2);
+
+        let mut at = QueryProfile::default();
+        let rows = t.value_at_profiled(&q, 700, &mut at);
+        assert_eq!(rows, t.value_at(&q, 700));
+        assert_eq!(at.to, 700, "value_at range is [0, at]");
+        assert_eq!(at.rows_post_filter, 2);
+    }
+
+    #[test]
+    fn profiled_window_counts_decoded_points_and_window_rows() {
+        let t = sample_table();
+        let mut profile = QueryProfile::default();
+        let rows =
+            t.query_window_profiled(&Query::measure("sps"), 600, Aggregate::Mean, &mut profile);
+        assert_eq!(
+            rows,
+            t.query_window(&Query::measure("sps"), 600, Aggregate::Mean)
+        );
+        assert_eq!(profile.rows_decoded, 5, "every in-range point decoded");
+        assert_eq!(profile.rows_post_filter, 3, "three non-empty windows");
     }
 }

@@ -143,4 +143,163 @@ fn stats_exposes_collection_totals_and_last_round_over_http() {
     assert!(stats.contains("\"tick\":8"), "{stats}");
     // The pre-existing store shape survives.
     assert!(stats.contains("total_points"), "{stats}");
+    // The new sections ride along: histogram quantiles and the
+    // slow-query listing (empty before any row query, populated after).
+    assert!(stats.contains("\"quantiles\""), "{stats}");
+    assert!(stats.contains("\"slow_queries\":[]"), "{stats}");
+    let _ = body(&lake, "/query?table=sps&instance_type=m5.large");
+    let stats = body(&lake, "/stats");
+    assert!(stats.contains("\"spotlake_query_cost\""), "{stats}");
+    assert!(stats.contains("\"p99\""), "{stats}");
+    assert!(
+        stats.contains("\"query\":\"/query?table=sps&instance_type=m5.large\""),
+        "{stats}"
+    );
+}
+
+#[test]
+fn explain_and_debug_surfaces_replay_byte_identical() {
+    let plan = FaultPlan::uniform(SEED, 0.20);
+    let run = || {
+        let mut lake = lake(Some(plan));
+        lake.run_rounds(16).expect("run completes");
+        // A fixed request mix: broad scan, pruned scan, latest, window.
+        for path in [
+            "/query?table=sps",
+            "/query?table=sps&instance_type=m5.large&az=us-test-1a",
+            "/latest?table=price",
+            "/window?table=sps&window=3600&agg=mean",
+        ] {
+            let _ = body(&lake, path);
+        }
+        (
+            body(&lake, "/query?table=sps&instance_type=m5.large&explain=1"),
+            body(&lake, "/debug/queries"),
+            body(&lake, "/quality"),
+            lake.query_trace_text(),
+        )
+    };
+    let (ea, da, qa, ta) = run();
+    let (eb, db, qb, tb) = run();
+    assert!(!ea.is_empty() && ea.contains("\"explain\""), "{ea}");
+    assert_eq!(ea, eb, "EXPLAIN replays byte-for-byte");
+    assert_eq!(da, db, "/debug/queries replays byte-for-byte");
+    assert_eq!(qa, qb, "/quality replays byte-for-byte");
+    assert!(!ta.is_empty(), "query journal captured the requests");
+    assert_eq!(ta, tb, "query trace journals replay byte-for-byte");
+    // The flight recorder saw all five row queries (EXPLAIN included).
+    assert!(da.contains("\"observed\":5"), "{da}");
+}
+
+#[test]
+fn explain_costs_reconcile_with_query_histograms() {
+    let mut lake = lake(None);
+    lake.run_rounds(10).expect("rounds complete");
+    let explain = body(&lake, "/query?table=sps&instance_type=m5.large&explain=1");
+    let pick = |key: &str| -> f64 {
+        explain
+            .split(&format!("\"{key}\":"))
+            .nth(1)
+            .and_then(|s| s.split(['}', ',']).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no {key} in {explain}"))
+    };
+    let cost = pick("cost");
+    let rows_decoded = pick("rows_decoded");
+    assert!(cost > 0.0);
+    let metrics = body(&lake, "/metrics");
+    let sum_of = |family: &str| -> f64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(&format!("{family}_sum{{op=\"query\",table=\"sps\"}}")))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no {family} sum in metrics"))
+    };
+    assert_eq!(
+        sum_of("spotlake_query_cost"),
+        cost,
+        "single query: histogram sum equals EXPLAIN cost"
+    );
+    assert_eq!(sum_of("spotlake_query_rows_decoded"), rows_decoded);
+}
+
+#[test]
+fn quality_reports_coverage_and_flags_faulted_gaps() {
+    // Clean run: full coverage, nothing stale.
+    let mut clean = lake(None);
+    clean.run_rounds(12).expect("clean run");
+    let q = body(&clean, "/quality");
+    assert!(q.contains("\"dataset\":\"sps\""), "{q}");
+    // 3 types × 6 AZs.
+    assert!(q.contains("\"keys_tracked\":18"), "{q}");
+    assert!(q.contains("\"min_coverage\":1"), "{q}");
+    let metrics = body(&clean, "/metrics");
+    assert!(
+        metrics.contains("spotlake_archive_keys_tracked{dataset=\"sps\"} 18"),
+        "{metrics}"
+    );
+
+    // Skipped rounds (breaker forced open) must show as staleness and a
+    // coverage gap for exactly the skipped dataset.
+    let mut faulty = lake(None);
+    faulty.run_rounds(6).expect("warm-up");
+    let tick = faulty.cloud().ticks();
+    faulty
+        .collector_mut()
+        .force_breaker_open(Dataset::Advisor, tick);
+    faulty.run_rounds(3).expect("rounds with open breaker");
+    let q = body(&faulty, "/quality");
+    // Keys render sorted, so the per-dataset aggregates are contiguous:
+    // all 6 advisor keys (3 types × 2 regions) went stale for the 3
+    // skipped rounds, while sps kept full coverage.
+    assert!(
+        q.contains("\"dataset\":\"advisor\",\"gaps_total\":0,\"keys_stale\":6,\"keys_tracked\":6,\"max_staleness_ticks\":3"),
+        "{q}"
+    );
+    assert!(
+        q.contains("\"dataset\":\"sps\",\"gaps_total\":0,\"keys_stale\":0"),
+        "{q}"
+    );
+    let metrics = body(&faulty, "/metrics");
+    let stale_line = metrics
+        .lines()
+        .find(|l| l.starts_with("spotlake_archive_keys_stale{dataset=\"advisor\"}"))
+        .expect("staleness gauge exported");
+    assert!(!stale_line.ends_with(" 0"), "{stale_line}");
+
+    // Once the breaker cools down and the advisor recovers, the outage is
+    // no longer staleness but a recorded *gap* with missed rounds.
+    faulty.run_rounds(12).expect("recovery rounds");
+    let q = body(&faulty, "/quality");
+    assert!(
+        q.contains("\"dataset\":\"advisor\",\"gaps_total\":6,\"keys_stale\":0"),
+        "one gap per advisor key after recovery: {q}"
+    );
+    let missed: u64 = q
+        .split("\"missed_rounds_total\":")
+        .nth(1)
+        .and_then(|s| s.split(['}', ',']).next())
+        .and_then(|s| s.parse().ok())
+        .expect("missed_rounds_total present");
+    assert!(missed > 0, "{q}");
+}
+
+#[test]
+fn http_content_types_are_correct_over_the_full_stack() {
+    let mut lake = lake(None);
+    lake.run_rounds(2).expect("rounds complete");
+    let ct = |path: &str| {
+        let r = lake.http_get(path).expect("request parses");
+        assert_eq!(r.status, 200, "GET {path}");
+        r.content_type
+    };
+    assert_eq!(ct("/metrics"), "text/plain; version=0.0.4");
+    assert_eq!(ct("/debug/traces"), "text/plain");
+    assert_eq!(ct("/debug/queries"), "application/json");
+    assert_eq!(ct("/quality"), "application/json");
+    assert_eq!(ct("/stats"), "application/json");
+    assert_eq!(ct("/query?table=sps"), "application/json");
+    assert_eq!(ct("/query?table=sps&format=csv"), "text/csv");
+    assert_eq!(ct("/"), "text/html");
 }
