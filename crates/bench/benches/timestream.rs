@@ -1,8 +1,11 @@
 //! Timestream substrate benches: ingest (dense vs change-point — the
-//! DESIGN.md §5 storage ablation), range queries, and windowed aggregation.
+//! DESIGN.md §5 storage ablation), range queries, windowed aggregation,
+//! and the durability path (WAL append + crash recovery).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use spotlake_timestream::{Aggregate, Database, Query, Record, TableOptions, WriteMode};
+use spotlake_timestream::{
+    recover, Aggregate, Database, Query, Record, TableOptions, Wal, WriteMode,
+};
 
 fn records(n: usize, changing: bool) -> Vec<Record> {
     (0..n)
@@ -78,5 +81,44 @@ fn query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ingest, query);
+/// The durability tax and the recovery bill: one fsynced WAL append of a
+/// 1k-record batch (what each committed dataset batch costs on top of
+/// the in-memory write), and a full crash recovery replaying 20 such
+/// frames from a cold directory.
+fn durability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timestream_durability");
+    group.sample_size(20);
+    let batch = records(1_000, true);
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("spotlake-bench-wal-{}", std::process::id()));
+
+    group.bench_function("wal_append_1k_fsync", |b| {
+        b.iter_batched(
+            || {
+                std::fs::remove_dir_all(&dir).ok();
+                Wal::open(&dir).unwrap()
+            },
+            |mut wal| {
+                wal.append("t", TableOptions::default(), 1, &batch).unwrap();
+                wal
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    std::fs::remove_dir_all(&dir).ok();
+    let mut wal = Wal::open(&dir).unwrap();
+    for tick in 1..=20u64 {
+        wal.append("t", TableOptions::default(), tick, &batch)
+            .unwrap();
+    }
+    drop(wal);
+    group.bench_function("recover_20_frames_of_1k", |b| {
+        b.iter(|| recover(&dir).unwrap())
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    group.finish();
+}
+
+criterion_group!(benches, ingest, query, durability);
 criterion_main!(benches);

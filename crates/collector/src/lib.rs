@@ -46,6 +46,7 @@
 
 mod accounts;
 mod advisor_collector;
+mod durability;
 mod error;
 mod health;
 mod planner;
@@ -67,6 +68,10 @@ pub use sps_collector::{FailedQuery, SpsCollector, SpsOutcome, SpsQueryOutcome};
 // Re-exported so downstream crates (bench, CLI) can configure fault
 // injection without a direct `spotlake-cloud-api` dependency.
 pub use spotlake_cloud_api::FaultPlan;
+
+// Re-exported so the CLI and pipeline can configure durability and read
+// recovery/WAL state without a direct `spotlake-timestream` dependency.
+pub use spotlake_timestream::{IoFaultPlan, RecoveryReport, WalStats};
 
 /// Table name for placement scores.
 pub const SPS_TABLE: &str = "sps";

@@ -11,6 +11,7 @@
 
 use crate::accounts::AccountPool;
 use crate::advisor_collector::AdvisorCollector;
+use crate::durability::{load_dead_letters, save_dead_letters, Durability};
 use crate::error::CollectError;
 use crate::health::{Dataset, DatasetStatus, RoundHealth};
 use crate::planner::{PlanStats, PlannerStrategy, QueryPlanner};
@@ -24,9 +25,12 @@ use spotlake_obs::{
     Clock, HealthReport, ManualClock, QualityMonitor, QualityReport, Readiness, Registry,
     TraceJournal,
 };
-use spotlake_timestream::{Database, Record, TableOptions, TsError, WriteMode};
+use spotlake_timestream::{
+    Database, IoFaultPlan, Record, RecoveryReport, TableOptions, TsError, WalStats, WriteMode,
+};
 use spotlake_types::Catalog;
 use std::collections::HashSet;
+use std::path::PathBuf;
 
 /// Re-attempts per dead-lettered query before it is dropped for good.
 const DEAD_LETTER_MAX_ATTEMPTS: u32 = 5;
@@ -53,6 +57,19 @@ pub struct CollectorConfig {
     pub faults: Option<FaultPlan>,
     /// Retry budget and backoff schedule.
     pub retry: RetryPolicy,
+    /// Directory for the write-ahead log, checkpoint snapshot, and
+    /// persisted dead-letter queue. `None` (the default) runs without
+    /// durability, exactly as before. With a directory set, the service
+    /// recovers from it at startup and commits every round's batches
+    /// through the WAL before applying them in memory.
+    pub wal_dir: Option<PathBuf>,
+    /// Checkpoint cadence in rounds (only meaningful with
+    /// [`CollectorConfig::wal_dir`]): after every N completed rounds the
+    /// archive is snapshotted and the replayed WAL prefix truncated.
+    pub checkpoint_every: u64,
+    /// Deterministic disk-fault injection behind the WAL and checkpoint
+    /// writers (only meaningful with [`CollectorConfig::wal_dir`]).
+    pub io_faults: Option<IoFaultPlan>,
 }
 
 impl Default for CollectorConfig {
@@ -67,6 +84,9 @@ impl Default for CollectorConfig {
             collect_price: true,
             faults: None,
             retry: RetryPolicy::default(),
+            wal_dir: None,
+            checkpoint_every: 8,
+            io_faults: None,
         }
     }
 }
@@ -123,11 +143,11 @@ pub struct RoundReport {
 
 /// A persistently failing SPS query parked for later re-attempts.
 #[derive(Debug, Clone)]
-struct DeadLetter {
-    shard: usize,
-    query: usize,
-    attempts: u32,
-    eligible_at: u64,
+pub(crate) struct DeadLetter {
+    pub(crate) shard: usize,
+    pub(crate) query: usize,
+    pub(crate) attempts: u32,
+    pub(crate) eligible_at: u64,
 }
 
 /// The SpotLake collection service: owns the archive database, the three
@@ -165,6 +185,10 @@ pub struct CollectorService {
     /// Per-(dataset × pool-key) coverage/staleness tracking, fed from the
     /// records each round actually stores.
     quality: QualityMonitor,
+    /// The WAL/checkpoint state when the service runs durably
+    /// ([`CollectorConfig::wal_dir`]); `None` keeps the legacy in-memory
+    /// write path untouched.
+    durability: Option<Durability>,
 }
 
 impl CollectorService {
@@ -204,22 +228,35 @@ impl CollectorService {
             }
         });
 
-        let mut db = Database::new();
-        db.create_table(
+        // With a WAL directory configured, the database is whatever
+        // recovery reconstructs (checkpoint + replay); the tables are
+        // then ensured rather than created, since a recovered archive
+        // already has them.
+        let (mut db, durability) = match &config.wal_dir {
+            Some(dir) => {
+                let (db, d) = Durability::open(dir, config.io_faults, config.checkpoint_every)?;
+                (db, Some(d))
+            }
+            None => (Database::new(), None),
+        };
+        ensure_table(
+            &mut db,
             SPS_TABLE,
             TableOptions {
                 mode: WriteMode::Dense,
                 retention: None,
             },
         )?;
-        db.create_table(
+        ensure_table(
+            &mut db,
             ADVISOR_TABLE,
             TableOptions {
                 mode: WriteMode::ChangePoint,
                 retention: None,
             },
         )?;
-        db.create_table(
+        ensure_table(
+            &mut db,
             PRICE_TABLE,
             TableOptions {
                 mode: WriteMode::ChangePoint,
@@ -240,6 +277,28 @@ impl CollectorService {
             db.set_write_faults(plan.write_rate, plan.seed);
         }
 
+        let metrics = Registry::new();
+        let mut journal = TraceJournal::new();
+        // The cloud advances one tick per round, so a live key is
+        // expected every tick; any larger delta is a coverage gap.
+        let mut quality = QualityMonitor::new(1);
+        let start_tick = durability
+            .as_ref()
+            .and_then(|d| d.recovery.last_tick)
+            .unwrap_or(0);
+        let clock = ManualClock::new(start_tick);
+        let dead_letters = match &durability {
+            Some(d) => load_dead_letters(&d.dir),
+            None => Vec::new(),
+        };
+        if let Some(d) = &durability {
+            // Every recovered series becomes a tracked key as of the last
+            // committed tick, so post-restart staleness and gaps measure
+            // from the crash point instead of silently resetting.
+            prime_quality(&mut quality, &db, start_tick);
+            record_recovery_observations(&metrics, &mut journal, &clock, &d.recovery);
+        }
+
         Ok(CollectorService {
             db,
             sps,
@@ -250,16 +309,15 @@ impl CollectorService {
             sps_breaker: CircuitBreaker::new(3, 8),
             advisor_breaker: CircuitBreaker::new(3, 8),
             price_breaker: CircuitBreaker::new(3, 8),
-            dead_letters: Vec::new(),
+            dead_letters,
             pending_price: Vec::new(),
             last_health: None,
-            metrics: Registry::new(),
-            journal: TraceJournal::new(),
-            clock: ManualClock::new(0),
+            metrics,
+            journal,
+            clock,
             totals: CollectStats::default(),
-            // The cloud advances one tick per round, so a live key is
-            // expected every tick; any larger delta is a coverage gap.
-            quality: QualityMonitor::new(1),
+            quality,
+            durability,
         })
     }
 
@@ -291,6 +349,17 @@ impl CollectorService {
     /// Current dead-letter queue depth.
     pub fn dead_letter_depth(&self) -> usize {
         self.dead_letters.len()
+    }
+
+    /// What startup recovery found and replayed, when the service runs
+    /// durably ([`CollectorConfig::wal_dir`]).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.durability.as_ref().map(|d| &d.recovery)
+    }
+
+    /// The WAL's counters, when the service runs durably.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.durability.as_ref().map(|d| d.wal.stats())
     }
 
     /// The collector's metric registry (`spotlake_collector_*` and
@@ -382,6 +451,36 @@ impl CollectorService {
             },
             format!("{depth} queued"),
         );
+        if let Some(d) = &self.durability {
+            let (readiness, detail) = if d.wal.is_dead() {
+                (
+                    Readiness::Unhealthy,
+                    "wal dead after crash fault; restart required".to_owned(),
+                )
+            } else if d.recovery.recovered_anything() && self.totals.rounds == 0 {
+                // Replay is done but no fresh round has landed yet: the
+                // service is serving recovered data only.
+                (
+                    Readiness::Degraded,
+                    format!(
+                        "recovering: replayed {} frames ({} rounds), truncated {} bytes",
+                        d.recovery.frames_replayed,
+                        d.recovery.rounds_recovered,
+                        d.recovery.bytes_truncated
+                    ),
+                )
+            } else {
+                let s = d.wal.stats();
+                (
+                    Readiness::Ready,
+                    format!(
+                        "{} frames appended, {} checkpoints",
+                        s.frames_appended, s.checkpoints
+                    ),
+                )
+            };
+            report.push("store/wal", readiness, detail);
+        }
         report
     }
 
@@ -429,6 +528,7 @@ impl CollectorService {
         self.collect_advisor_dataset(cloud, tick, &mut stats, &mut health)?;
         self.collect_price_dataset(cloud, tick, &mut stats, &mut health)?;
         self.quality.round_complete(tick);
+        self.maintain_durability()?;
 
         health.dead_letter_depth = self.dead_letters.len();
         stats.retries = health.sps.retries + health.advisor.retries + health.price.retries;
@@ -446,6 +546,27 @@ impl CollectorService {
         self.journal.end_span(span, self.clock.now());
         self.last_health = Some(health.clone());
         Ok(RoundReport { stats, health })
+    }
+
+    /// End-of-round durability maintenance: persist the dead-letter
+    /// queue next to the WAL and rotate a checkpoint every
+    /// `checkpoint_every` rounds. A transient checkpoint fault just
+    /// postpones the rotation to the next round (the log still holds
+    /// everything); a crash fault surfaces as the round's error.
+    fn maintain_durability(&mut self) -> Result<(), CollectError> {
+        let Some(d) = &mut self.durability else {
+            return Ok(());
+        };
+        save_dead_letters(&d.dir, &self.dead_letters)?;
+        d.rounds_since_checkpoint += 1;
+        if d.rounds_since_checkpoint >= d.checkpoint_every {
+            match d.wal.checkpoint(&self.db) {
+                Ok(()) => d.rounds_since_checkpoint = 0,
+                Err(e) if e.is_retryable() => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
     }
 
     /// Feeds one finished round into the metric registry and journal.
@@ -585,6 +706,51 @@ impl CollectorService {
             );
         }
 
+        if let Some(d) = &self.durability {
+            let s = d.wal.stats();
+            let m = &self.metrics;
+            // WAL counters are running totals on the log itself, so they
+            // are scraped with `counter_set`, like the fault injectors.
+            m.counter_set(
+                "spotlake_wal_frames_appended_total",
+                "WAL frames appended and fsynced.",
+                &[],
+                s.frames_appended,
+            );
+            m.counter_set(
+                "spotlake_wal_bytes_appended_total",
+                "Bytes appended to the WAL, frame headers included.",
+                &[],
+                s.bytes_appended,
+            );
+            m.counter_set(
+                "spotlake_wal_checkpoints_total",
+                "Checkpoint snapshots rotated.",
+                &[],
+                s.checkpoints,
+            );
+            m.gauge_set(
+                "spotlake_wal_size_bytes",
+                "Committed bytes currently in the WAL.",
+                &[],
+                s.wal_bytes as f64,
+            );
+            m.gauge_set(
+                "spotlake_wal_dead",
+                "1 when a crash fault has killed the WAL (restart required).",
+                &[],
+                if s.dead { 1.0 } else { 0.0 },
+            );
+            for (kind, count) in &s.faults_injected {
+                m.counter_set(
+                    "spotlake_wal_faults_injected_total",
+                    "Disk faults injected into the WAL and checkpoint writers, per kind.",
+                    &[("kind", kind)],
+                    *count,
+                );
+            }
+        }
+
         self.quality.export(&self.metrics);
     }
 
@@ -663,9 +829,11 @@ impl CollectorService {
         }
         health.sps.failed_queries = failing.len();
 
-        match write_with_retry(
+        match commit_with_retry(
             &mut self.db,
+            &mut self.durability,
             SPS_TABLE,
+            tick,
             &outcome.records,
             &self.policy,
             &mut health.sps.retries,
@@ -717,9 +885,11 @@ impl CollectorService {
         match advisor.collect_with(cloud, &self.policy) {
             Ok(outcome) => {
                 health.advisor.retries = outcome.retries;
-                match write_with_retry(
+                match commit_with_retry(
                     &mut self.db,
+                    &mut self.durability,
                     ADVISOR_TABLE,
+                    tick,
                     &outcome.records,
                     &self.policy,
                     &mut health.advisor.retries,
@@ -784,9 +954,11 @@ impl CollectorService {
                 // Older, previously unwritable records go first.
                 let mut records = std::mem::take(&mut self.pending_price);
                 records.extend(outcome.records);
-                match write_with_retry(
+                match commit_with_retry(
                     &mut self.db,
+                    &mut self.durability,
                     PRICE_TABLE,
+                    tick,
                     &records,
                     &self.policy,
                     &mut health.price.retries,
@@ -882,16 +1054,140 @@ impl CollectorService {
 /// record's finest location dimension (AZ when present, region otherwise —
 /// the advisor dataset has no AZ).
 fn record_key(record: &Record) -> String {
-    let dim = |key: &str| {
-        record
-            .dimensions
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-    };
+    key_from_dims(&record.dimensions)
+}
+
+/// [`record_key`] over a bare dimension list — what recovery priming has.
+fn key_from_dims(dims: &[(String, String)]) -> String {
+    let dim = |key: &str| dims.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
     let instance_type = dim("instance_type").unwrap_or("?");
     let location = dim("az").or_else(|| dim("region")).unwrap_or("?");
     format!("{instance_type}:{location}")
+}
+
+/// Creates `name` if absent; a recovered archive already has its tables.
+fn ensure_table(db: &mut Database, name: &str, options: TableOptions) -> Result<(), TsError> {
+    match db.create_table(name, options) {
+        Ok(()) | Err(TsError::TableExists(_)) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Registers every recovered series with the quality monitor as of the
+/// last committed tick, so the crash itself shows up as staleness and
+/// the first post-restart round's delta as a gap — instead of the
+/// monitor starting blank and hiding the outage.
+fn prime_quality(quality: &mut QualityMonitor, db: &Database, tick: u64) {
+    for (table, dataset) in [
+        (SPS_TABLE, "sps"),
+        (ADVISOR_TABLE, "advisor"),
+        (PRICE_TABLE, "price"),
+    ] {
+        let Ok(t) = db.table(table) else { continue };
+        for (_measure, dims) in t.series_dimension_sets() {
+            quality.observe(dataset, &key_from_dims(dims), tick);
+        }
+    }
+}
+
+/// Exports what recovery did: `spotlake_recovery_*` metric families and
+/// (when anything was recovered) a `recovery` span in the trace journal,
+/// stamped at the last committed tick.
+fn record_recovery_observations(
+    metrics: &Registry,
+    journal: &mut TraceJournal,
+    clock: &ManualClock,
+    recovery: &RecoveryReport,
+) {
+    metrics.counter_set(
+        "spotlake_recovery_frames_replayed_total",
+        "WAL frames replayed by startup recovery.",
+        &[],
+        recovery.frames_replayed,
+    );
+    metrics.counter_set(
+        "spotlake_recovery_records_replayed_total",
+        "Records replayed by startup recovery.",
+        &[],
+        recovery.records_replayed,
+    );
+    metrics.counter_set(
+        "spotlake_recovery_rounds_recovered_total",
+        "Distinct collection rounds recovered from the WAL.",
+        &[],
+        recovery.rounds_recovered,
+    );
+    metrics.counter_set(
+        "spotlake_recovery_bytes_truncated_total",
+        "Torn-tail bytes truncated from the WAL at recovery.",
+        &[],
+        recovery.bytes_truncated,
+    );
+    metrics.gauge_set(
+        "spotlake_recovery_point_count",
+        "Points in the archive immediately after recovery.",
+        &[],
+        recovery.point_count as f64,
+    );
+    metrics.gauge_set(
+        "spotlake_recovery_checkpoint_loaded",
+        "1 when recovery loaded a checkpoint snapshot.",
+        &[],
+        if recovery.checkpoint_loaded { 1.0 } else { 0.0 },
+    );
+    if recovery.recovered_anything() {
+        let span = journal.begin_span(clock.now(), "recovery");
+        journal.span_attr(
+            span,
+            "frames_replayed",
+            recovery.frames_replayed.to_string(),
+        );
+        journal.span_attr(
+            span,
+            "rounds_recovered",
+            recovery.rounds_recovered.to_string(),
+        );
+        journal.span_attr(
+            span,
+            "bytes_truncated",
+            recovery.bytes_truncated.to_string(),
+        );
+        journal.span_attr(span, "point_count", recovery.point_count.to_string());
+        journal.end_span(span, clock.now());
+    }
+}
+
+/// Commits a batch durably: append to the WAL (retrying transient disk
+/// faults within the round's budget), then apply in memory. The apply
+/// bypasses the store's write-throttle — once a frame is fsynced the
+/// batch *is* committed, and memory must match what replay would
+/// rebuild. Without durability configured this is [`write_with_retry`],
+/// unchanged.
+fn commit_with_retry(
+    db: &mut Database,
+    durability: &mut Option<Durability>,
+    table: &str,
+    tick: u64,
+    records: &[Record],
+    policy: &RetryPolicy,
+    retries: &mut usize,
+) -> Result<usize, TsError> {
+    let Some(d) = durability else {
+        return write_with_retry(db, table, records, policy, retries);
+    };
+    let options = db.table(table)?.options();
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match d.wal.append(table, options, tick, records) {
+            Ok(()) => break,
+            Err(e) if e.is_retryable() && attempt < policy.max_attempts => {
+                *retries += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    db.apply_committed(table, records)
 }
 
 /// Writes a batch, retrying store throttles within the round's budget.
@@ -1215,5 +1511,112 @@ mod tests {
         assert_eq!(health.advisor.status, DatasetStatus::Ok);
         assert_eq!(health.price.status, DatasetStatus::Ok);
         assert_eq!(health.dead_letter_depth, 0);
+    }
+
+    fn wal_tempdir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spotlake-svc-wal-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    fn durable_config(dir: &std::path::Path) -> CollectorConfig {
+        CollectorConfig {
+            wal_dir: Some(dir.to_owned()),
+            checkpoint_every: 2,
+            ..CollectorConfig::default()
+        }
+    }
+
+    #[test]
+    fn durable_service_journals_rounds_and_survives_restart() {
+        let dir = wal_tempdir("restart");
+        let mut cloud = cloud();
+        let mut service = CollectorService::new(cloud.catalog(), durable_config(&dir)).unwrap();
+        assert!(
+            !service.recovery_report().unwrap().recovered_anything(),
+            "fresh directory has nothing to recover"
+        );
+        service.run(&mut cloud, 3).unwrap();
+        let committed = service.database().point_count();
+        let wal = service.wal_stats().unwrap();
+        assert!(wal.frames_appended >= 9, "3 rounds × 3 datasets");
+        assert!(wal.checkpoints >= 1, "checkpoint_every=2 fired");
+        assert!(!wal.dead);
+        drop(service);
+
+        // A new service over the same directory recovers every point.
+        let mut restarted = CollectorService::new(cloud.catalog(), durable_config(&dir)).unwrap();
+        let report = restarted.recovery_report().unwrap();
+        assert_eq!(report.point_count, committed);
+        assert_eq!(restarted.database().point_count(), committed);
+        // The restarted service's health shows it as recovering until a
+        // round completes, then ready again.
+        let health = restarted.health_report();
+        let wal_component = health
+            .components
+            .iter()
+            .find(|c| c.name == "store/wal")
+            .unwrap();
+        assert!(
+            wal_component.detail.contains("recovering"),
+            "{}",
+            wal_component.detail
+        );
+        cloud.step();
+        restarted.collect_once(&cloud).unwrap();
+        assert!(
+            restarted.database().point_count() > committed,
+            "collection continues after recovery"
+        );
+        let health = restarted.health_report();
+        let wal_component = health
+            .components
+            .iter()
+            .find(|c| c.name == "store/wal")
+            .unwrap();
+        assert!(!wal_component.detail.contains("recovering"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_exports_metrics_and_a_trace_span() {
+        let dir = wal_tempdir("recovery-obs");
+        let mut cloud = cloud();
+        let mut service = CollectorService::new(cloud.catalog(), durable_config(&dir)).unwrap();
+        service.run(&mut cloud, 1).unwrap();
+        drop(service);
+
+        let restarted = CollectorService::new(cloud.catalog(), durable_config(&dir)).unwrap();
+        let metrics = restarted.metrics().render();
+        assert!(metrics.contains("spotlake_recovery_frames_replayed_total"));
+        assert!(metrics.contains("spotlake_recovery_point_count"));
+        let journal = restarted.journal().render();
+        assert!(journal.contains("recovery"), "{journal}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovered_series_resume_quality_tracking_from_the_crash_tick() {
+        let dir = wal_tempdir("quality");
+        let mut cloud = cloud();
+        let mut service = CollectorService::new(cloud.catalog(), durable_config(&dir)).unwrap();
+        service.run(&mut cloud, 2).unwrap();
+        drop(service);
+
+        // Simulate downtime: the cloud advances while the collector is dead.
+        for _ in 0..3 {
+            cloud.step();
+        }
+        let mut restarted = CollectorService::new(cloud.catalog(), durable_config(&dir)).unwrap();
+        cloud.step();
+        restarted.collect_once(&cloud).unwrap();
+        let report = restarted.quality_report();
+        let sps = report.datasets.iter().find(|d| d.dataset == "sps").unwrap();
+        assert!(
+            sps.gaps > 0,
+            "the outage shows up as a coverage gap, not a blank slate"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -7,18 +7,21 @@
 //! spotlake experiment [--cases N] [--warmup-days N] [--history-days N]
 //! ```
 //!
-//! `collect` runs the full pipeline and persists the archive; `get` serves
-//! one gateway request (e.g. `"/query?table=sps&instance_type=m5.large"`)
-//! against a saved archive; `query` builds the row request from flags and,
-//! with `--explain`, prints the query plan and per-stage cost profile
-//! instead of rows; `plan` prints the Figure 1 query-plan numbers;
-//! `experiment` runs a scaled-down Section 5.4 experiment and prints
-//! Tables 3 and 4.
+//! `collect` runs the full pipeline and persists the archive — with
+//! `--wal-dir` it commits every round through a write-ahead log first, so
+//! a crash (or `--io-faults crash` injection) loses nothing that was
+//! committed; `fsck` checks a WAL directory offline and reports what
+//! recovery would do; `get` serves one gateway request (e.g.
+//! `"/query?table=sps&instance_type=m5.large"`) against a saved archive;
+//! `query` builds the row request from flags and, with `--explain`,
+//! prints the query plan and per-stage cost profile instead of rows;
+//! `plan` prints the Figure 1 query-plan numbers; `experiment` runs a
+//! scaled-down Section 5.4 experiment and prints Tables 3 and 4.
 
 use spotlake::experiment::{ExperimentConfig, FulfillmentExperiment};
 use spotlake::prediction;
 use spotlake::{CollectorConfig, SimCloud, SimConfig, SpotLake};
-use spotlake_collector::{AccountPool, FaultPlan, PlannerStrategy, QueryPlanner};
+use spotlake_collector::{AccountPool, FaultPlan, IoFaultPlan, PlannerStrategy, QueryPlanner};
 use spotlake_serving::{ArchiveService, HttpRequest};
 use spotlake_timestream::Database;
 use spotlake_types::{Catalog, SimDuration};
@@ -31,7 +34,9 @@ USAGE:
   spotlake plan [--strategy exact|ffd|bfd|naive]
   spotlake collect --out FILE [--days N] [--tick-minutes N] [--types a,b,c] [--seed N]
                    [--faults none|light|moderate|heavy]
+                   [--wal-dir DIR] [--checkpoint-every N] [--io-faults none|transient|crash]
                    [--metrics] [--trace FILE]
+  spotlake fsck --wal-dir DIR
   spotlake get --archive FILE PATH
   spotlake query --archive FILE --table NAME [--measure M] [--instance-type T]
                  [--region R] [--az Z] [--from N] [--to N] [--limit N] [--explain]
@@ -60,6 +65,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "plan" => cmd_plan(&parsed),
         "collect" => cmd_collect(&parsed),
+        "fsck" => cmd_fsck(&parsed),
         "get" => cmd_get(&parsed),
         "query" => cmd_query(&parsed),
         "experiment" => cmd_experiment(&parsed),
@@ -165,6 +171,20 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
             format!("unknown fault profile: {profile} (expected none, light, moderate, or heavy)")
         })?),
     };
+    let wal_dir = args.get("wal-dir").map(std::path::PathBuf::from);
+    let checkpoint_every = args.get_u64("checkpoint-every", 8)?;
+    if checkpoint_every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    let io_faults = match args.get("io-faults") {
+        None => None,
+        Some(profile) => Some(IoFaultPlan::profile(profile, seed).ok_or_else(|| {
+            format!("unknown io-fault profile: {profile} (expected none, transient, or crash)")
+        })?),
+    };
+    if io_faults.is_some() && wal_dir.is_none() {
+        return Err("--io-faults needs --wal-dir (disk faults target the write-ahead log)".into());
+    }
 
     let sim = SimConfig {
         tick: SimDuration::from_mins(tick_minutes),
@@ -175,10 +195,18 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
         .collector_config(CollectorConfig {
             type_filter,
             faults,
+            wal_dir,
+            checkpoint_every,
+            io_faults,
             ..CollectorConfig::default()
         })
         .build()
         .map_err(|e| e.to_string())?;
+    if let Some(report) = lake.recovery_report() {
+        if report.recovered_anything() {
+            eprintln!("{}", report.render());
+        }
+    }
     let rounds = days * 24 * 60 / tick_minutes;
     eprintln!(
         "collecting {days} simulated day(s) at a {tick_minutes}-minute tick ({rounds} rounds, {} planned queries/round)...",
@@ -210,6 +238,12 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
             lake.collector().dead_letter_depth()
         ));
     }
+    if let Some(wal) = lake.collector().wal_stats() {
+        say(format!(
+            "durability: {} WAL frames appended ({} bytes), {} checkpoints, log now {} bytes",
+            wal.frames_appended, wal.bytes_appended, wal.checkpoints, wal.wal_bytes
+        ));
+    }
     if emit_metrics {
         print!("{}", lake.metrics_text());
     }
@@ -219,6 +253,24 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
         eprintln!("wrote trace journal to {trace}");
     }
     Ok(())
+}
+
+/// `fsck`: offline integrity check of a durable archive directory. Prints
+/// what the checkpoint and WAL contain and what recovery would do;
+/// exits nonzero when the directory needs repair (torn tail, stale temp
+/// file, or unreadable checkpoint).
+fn cmd_fsck(args: &Args) -> Result<(), String> {
+    let dir = std::path::PathBuf::from(args.require("wal-dir")?);
+    let report = spotlake_timestream::fsck(&dir).map_err(|e| e.to_string())?;
+    println!("{}", report.render());
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} needs recovery (run collect with --wal-dir to repair)",
+            dir.display()
+        ))
+    }
 }
 
 fn cmd_get(args: &Args) -> Result<(), String> {
@@ -477,6 +529,72 @@ mod tests {
         );
         std::fs::remove_file(&out).ok();
         std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn collect_with_wal_dir_is_durable_and_fsck_is_clean() {
+        let pid = std::process::id();
+        let mut out = std::env::temp_dir();
+        out.push(format!("spotlake-cli-wal-{pid}.db"));
+        let mut wal = std::env::temp_dir();
+        wal.push(format!("spotlake-cli-wal-{pid}"));
+        std::fs::remove_dir_all(&wal).ok();
+        let out_str = out.to_string_lossy().into_owned();
+        let wal_str = wal.to_string_lossy().into_owned();
+        // io-faults without a wal-dir is a config error.
+        assert!(run(&strings(&[
+            "collect",
+            "--out",
+            &out_str,
+            "--io-faults",
+            "crash"
+        ]))
+        .is_err());
+        assert!(run(&strings(&[
+            "collect",
+            "--out",
+            &out_str,
+            "--wal-dir",
+            &wal_str,
+            "--io-faults",
+            "catastrophic"
+        ]))
+        .is_err());
+        run(&strings(&[
+            "collect",
+            "--out",
+            &out_str,
+            "--days",
+            "1",
+            "--tick-minutes",
+            "240",
+            "--types",
+            "m5.large",
+            "--wal-dir",
+            &wal_str,
+            "--checkpoint-every",
+            "2",
+        ]))
+        .unwrap();
+        // The WAL directory passes fsck and a second collect recovers it.
+        run(&strings(&["fsck", "--wal-dir", &wal_str])).unwrap();
+        run(&strings(&[
+            "collect",
+            "--out",
+            &out_str,
+            "--days",
+            "1",
+            "--tick-minutes",
+            "240",
+            "--types",
+            "m5.large",
+            "--wal-dir",
+            &wal_str,
+        ]))
+        .unwrap();
+        assert!(run(&strings(&["fsck"])).is_err(), "fsck requires --wal-dir");
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_dir_all(&wal).ok();
     }
 
     #[test]

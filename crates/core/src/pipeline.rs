@@ -172,6 +172,12 @@ impl SpotLake {
         &self.collector
     }
 
+    /// What startup recovery replayed, when the pipeline runs with a
+    /// durable archive (`CollectorConfig::wal_dir`); `None` otherwise.
+    pub fn recovery_report(&self) -> Option<&spotlake_collector::RecoveryReport> {
+        self.collector.recovery_report()
+    }
+
     /// Mutable access to the collector service.
     pub fn collector_mut(&mut self) -> &mut CollectorService {
         &mut self.collector
@@ -197,6 +203,7 @@ impl SpotLake {
             last_round: self.collector.last_health(),
             tick: self.cloud.ticks(),
             quality: Some(&quality),
+            recovery: self.collector.recovery_report(),
         };
         Ok(self
             .gateway

@@ -69,6 +69,20 @@ pub(crate) fn stats(db: &Database, gateway: &Gateway, ops: &OpsContext) -> HttpR
     if let Some(h) = ops.last_round {
         fields.push(("last_round", round_to_json(h)));
     }
+    if let Some(r) = ops.recovery {
+        fields.push((
+            "recovery",
+            Json::object([
+                ("checkpoint_loaded", Json::from(r.checkpoint_loaded)),
+                ("checkpoint_points", Json::from(r.checkpoint_points as u64)),
+                ("frames_replayed", Json::from(r.frames_replayed)),
+                ("records_replayed", Json::from(r.records_replayed)),
+                ("rounds_recovered", Json::from(r.rounds_recovered)),
+                ("bytes_truncated", Json::from(r.bytes_truncated)),
+                ("point_count", Json::from(r.point_count as u64)),
+            ]),
+        ));
+    }
     fields.push(("quantiles", quantiles_json(db, gateway, ops)));
     fields.push(("slow_queries", slow_queries_json(gateway)));
     HttpResponse::json(Json::object(fields).render())

@@ -12,6 +12,7 @@
 
 use spotlake_collector::{CollectStats, RoundHealth};
 use spotlake_obs::{HealthReport, QualityReport, Registry};
+use spotlake_timestream::RecoveryReport;
 
 /// Borrowed operational state for one request.
 #[derive(Debug, Clone, Copy, Default)]
@@ -30,6 +31,9 @@ pub struct OpsContext<'a> {
     pub tick: u64,
     /// Archive data-quality report, surfaced through `/quality`.
     pub quality: Option<&'a QualityReport>,
+    /// What startup recovery replayed, when the archive runs durably —
+    /// surfaced through `/stats`.
+    pub recovery: Option<&'a RecoveryReport>,
 }
 
 impl OpsContext<'_> {

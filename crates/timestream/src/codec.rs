@@ -8,84 +8,113 @@
 //!            | u32 series_count
 //! per series: str measure | u32 dim_count | (str key, str value)*
 //!             | u32 blob_len | <compressed points>
+//! trailer:   u32 crc32 over everything before it
 //! ```
 //!
 //! Integers are little-endian; strings are `u32` length + UTF-8 bytes.
 //! Points are compressed with the delta-of-delta + XOR scheme of
-//! [`crate::compress`] (format version 2; version 1 stored raw points).
+//! [`crate::compress`]. Format version 3 added the whole-file CRC-32
+//! trailer (version 2 had none; version 1 stored raw points), which is
+//! what guarantees the corruption-matrix property: flipping *any* byte of
+//! a saved archive makes [`load`] fail rather than decode garbage.
+//!
+//! [`save`] is atomic: the archive is serialized in memory, written to a
+//! `.tmp` sibling, fsynced, and renamed over the target — a crash mid-save
+//! leaves the previous archive untouched and loadable.
 
 use crate::compress::{decode_series, encode_series};
+use crate::crc::crc32;
 use crate::db::Database;
 use crate::error::TsError;
 use crate::table::{Table, TableOptions, WriteMode};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"SPTL";
-const VERSION: u8 = 2;
+const VERSION: u8 = 3;
 /// Guards length fields against corrupt files asking for absurd
 /// allocations.
-const MAX_LEN: u32 = 64 * 1024 * 1024;
+pub(crate) const MAX_LEN: u32 = 64 * 1024 * 1024;
 
 pub(crate) fn save(db: &Database, path: &Path) -> Result<(), TsError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    w.write_all(&[VERSION])?;
-    write_u32(&mut w, db.tables().len() as u32)?;
+    atomic_write(path, &encode(db))?;
+    Ok(())
+}
+
+pub(crate) fn load(path: &Path) -> Result<Database, TsError> {
+    decode(&std::fs::read(path)?)
+}
+
+/// Serializes the database to the version-3 byte format, CRC trailer
+/// included.
+pub(crate) fn encode(db: &Database) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    put_u32(&mut out, db.tables().len() as u32);
     for (name, table) in db.tables() {
-        write_str(&mut w, name)?;
+        put_str(&mut out, name);
         let opts = table.options();
         let mode = match opts.mode {
             WriteMode::Dense => 0u8,
             WriteMode::ChangePoint => 1u8,
         };
-        w.write_all(&[mode])?;
+        out.push(mode);
         match opts.retention {
             Some(r) => {
-                w.write_all(&[1])?;
-                write_u64(&mut w, r)?;
+                out.push(1);
+                put_u64(&mut out, r);
             }
-            None => w.write_all(&[0])?,
+            None => out.push(0),
         }
         let series: Vec<_> = table.series_entries().collect();
-        write_u32(&mut w, series.len() as u32)?;
+        put_u32(&mut out, series.len() as u32);
         for (measure, s) in series {
-            write_str(&mut w, measure)?;
-            write_u32(&mut w, s.dimensions.len() as u32)?;
+            put_str(&mut out, measure);
+            put_u32(&mut out, s.dimensions.len() as u32);
             for (k, v) in &s.dimensions {
-                write_str(&mut w, k)?;
-                write_str(&mut w, v)?;
+                put_str(&mut out, k);
+                put_str(&mut out, v);
             }
             let blob = encode_series(s.points());
-            write_u32(&mut w, blob.len() as u32)?;
-            w.write_all(&blob)?;
+            put_u32(&mut out, blob.len() as u32);
+            out.extend_from_slice(&blob);
         }
     }
-    w.flush()?;
-    Ok(())
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
 }
 
-pub(crate) fn load(path: &Path) -> Result<Database, TsError> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(TsError::Corrupt {
-            detail: "bad magic".into(),
-        });
+/// Decodes a version-3 archive. Every length field is bounded by the
+/// bytes actually remaining in the buffer *before* any allocation, so a
+/// corrupt file can never request an implausible allocation — and the CRC
+/// trailer is verified first, so it never gets the chance to.
+pub(crate) fn decode(bytes: &[u8]) -> Result<Database, TsError> {
+    if bytes.len() < MAGIC.len() + 1 + 4 {
+        return Err(corrupt("file too short"));
     }
-    let version = read_u8(&mut r)?;
+    if &bytes[..4] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = bytes[4];
     if version != VERSION {
         return Err(TsError::Corrupt {
             detail: format!("unsupported version {version}"),
         });
     }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    if crc32(body) != stored {
+        return Err(corrupt("checksum mismatch"));
+    }
     let mut db = Database::new();
-    let table_count = read_u32(&mut r)?;
+    let mut c = Cursor::new(&body[5..]);
+    let table_count = c.u32()?;
     for _ in 0..table_count {
-        let name = read_str(&mut r)?;
-        let mode = match read_u8(&mut r)? {
+        let name = c.str_()?;
+        let mode = match c.u8()? {
             0 => WriteMode::Dense,
             1 => WriteMode::ChangePoint,
             m => {
@@ -94,9 +123,9 @@ pub(crate) fn load(path: &Path) -> Result<Database, TsError> {
                 })
             }
         };
-        let retention = match read_u8(&mut r)? {
+        let retention = match c.u8()? {
             0 => None,
-            1 => Some(read_u64(&mut r)?),
+            1 => Some(c.u64()?),
             f => {
                 return Err(TsError::Corrupt {
                     detail: format!("bad retention flag {f}"),
@@ -104,37 +133,52 @@ pub(crate) fn load(path: &Path) -> Result<Database, TsError> {
             }
         };
         let mut table = Table::new(TableOptions { mode, retention });
-        let series_count = read_u32(&mut r)?;
+        let series_count = c.u32()?;
         for _ in 0..series_count {
-            let measure = read_str(&mut r)?;
-            let dim_count = read_u32(&mut r)?;
-            check_len(dim_count)?;
-            let mut dims = Vec::with_capacity(dim_count as usize);
-            for _ in 0..dim_count {
-                let k = read_str(&mut r)?;
-                let v = read_str(&mut r)?;
-                dims.push((k, v));
-            }
-            let blob_len = read_u32(&mut r)?;
+            let measure = c.str_()?;
+            let dims = c.dimensions()?;
+            let blob_len = c.u32()?;
             check_len(blob_len)?;
-            let mut blob = vec![0u8; blob_len as usize];
-            r.read_exact(&mut blob)?;
-            let points = decode_series(&blob)?;
+            let blob = c.take(blob_len as usize)?;
+            let points = decode_series(blob)?;
             table.insert_series_raw(dims, &measure, points);
         }
         db.insert_table_raw(name, table);
     }
     // Trailing garbage means the file is not what we wrote.
-    let mut rest = [0u8; 1];
-    if r.read(&mut rest)? != 0 {
-        return Err(TsError::Corrupt {
-            detail: "trailing data".into(),
-        });
+    if !c.is_done() {
+        return Err(corrupt("trailing data"));
     }
     Ok(db)
 }
 
-fn check_len(n: u32) -> Result<(), TsError> {
+/// Writes `bytes` to `path` atomically: temp sibling + fsync + rename.
+/// A crash at any point leaves either the old file or the new one, never
+/// a torn mixture.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), TsError> {
+    let tmp = tmp_path(path);
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// The temp sibling [`atomic_write`] stages into: `<path>.tmp`.
+pub(crate) fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+fn corrupt(detail: &str) -> TsError {
+    TsError::Corrupt {
+        detail: detail.to_owned(),
+    }
+}
+
+pub(crate) fn check_len(n: u32) -> Result<(), TsError> {
     if n > MAX_LEN {
         return Err(TsError::Corrupt {
             detail: format!("length field {n} exceeds limit"),
@@ -143,45 +187,88 @@ fn check_len(n: u32) -> Result<(), TsError> {
     Ok(())
 }
 
-fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn write_str<W: Write>(w: &mut W, s: &str) -> std::io::Result<()> {
-    write_u32(w, s.len() as u32)?;
-    w.write_all(s.as_bytes())
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
 }
 
-fn read_u8<R: Read>(r: &mut R) -> Result<u8, TsError> {
-    let mut b = [0u8; 1];
-    r.read_exact(&mut b)?;
-    Ok(b[0])
+/// Bounds-checked reader over an in-memory buffer. Every read verifies
+/// the requested bytes actually remain, so no length field can drive an
+/// allocation or read past the end.
+pub(crate) struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, TsError> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, TsError> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
+    pub(crate) fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
 
-fn read_str<R: Read>(r: &mut R) -> Result<String, TsError> {
-    let len = read_u32(r)?;
-    check_len(len)?;
-    let mut buf = vec![0u8; len as usize];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf).map_err(|_| TsError::Corrupt {
-        detail: "invalid utf-8 in string".into(),
-    })
+    pub(crate) fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], TsError> {
+        if n > self.remaining() {
+            return Err(corrupt("truncated input"));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, TsError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, TsError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, TsError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn str_(&mut self) -> Result<String, TsError> {
+        let len = self.u32()?;
+        check_len(len)?;
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("invalid utf-8 in string"))
+    }
+
+    /// Reads a dimension list: `u32 count | (str key, str value)*`. The
+    /// count is bounded by the bytes remaining (each entry needs at least
+    /// its two length prefixes) before the vector is allocated.
+    pub(crate) fn dimensions(&mut self) -> Result<Vec<(String, String)>, TsError> {
+        let count = self.u32()? as usize;
+        if count > self.remaining() / 8 {
+            return Err(corrupt("dimension count implausible for payload size"));
+        }
+        let mut dims = Vec::with_capacity(count);
+        for _ in 0..count {
+            let k = self.str_()?;
+            let v = self.str_()?;
+            dims.push((k, v));
+        }
+        Ok(dims)
+    }
 }
 
 #[cfg(test)]
@@ -243,7 +330,7 @@ mod tests {
     #[test]
     fn rejects_bad_magic_and_truncation() {
         let path = tempfile("bad-magic");
-        std::fs::write(&path, b"NOPE....").unwrap();
+        std::fs::write(&path, b"NOPE.....").unwrap();
         assert!(matches!(
             Database::load(&path),
             Err(TsError::Corrupt { .. })
@@ -277,5 +364,55 @@ mod tests {
         let loaded = Database::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(loaded.table_names().is_empty());
+    }
+
+    #[test]
+    fn old_version_is_rejected_not_misread() {
+        let db = Database::new();
+        let mut bytes = encode(&db);
+        bytes[4] = 2; // pretend to be the pre-checksum format
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("unsupported version 2"), "{err}");
+    }
+
+    #[test]
+    fn interrupted_save_leaves_the_old_archive_loadable() {
+        // First generation saved successfully.
+        let mut db = Database::new();
+        db.create_table("t", TableOptions::default()).unwrap();
+        db.write("t", &[Record::new(0, "m", 1.0)]).unwrap();
+        let path = tempfile("interrupted");
+        db.save(&path).unwrap();
+
+        // Second save dies mid-write: only a prefix of the new bytes
+        // reaches the temp sibling and the rename never happens — exactly
+        // the state a crash inside `atomic_write` leaves behind.
+        db.write("t", &[Record::new(600, "m", 2.0)]).unwrap();
+        let next = encode(&db);
+        std::fs::write(tmp_path(&path), &next[..next.len() / 2]).unwrap();
+
+        let loaded = Database::load(&path).expect("old archive survives a torn save");
+        assert_eq!(loaded.point_count(), 1, "the first generation, untouched");
+        // And the torn temp file itself never loads as a database.
+        assert!(Database::load(tmp_path(&path)).is_err());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(tmp_path(&path)).ok();
+    }
+
+    #[test]
+    fn cursor_bounds_every_read() {
+        let mut c = Cursor::new(&[1, 0, 0, 0]);
+        assert_eq!(c.u32().unwrap(), 1);
+        assert!(c.u8().is_err(), "reads past the end fail");
+        // A dimension count far beyond the remaining bytes is rejected
+        // before any allocation.
+        let mut huge = Vec::new();
+        put_u32(&mut huge, u32::MAX);
+        assert!(Cursor::new(&huge).dimensions().is_err());
+        // A string length beyond the remaining bytes likewise.
+        let mut s = Vec::new();
+        put_u32(&mut s, 1000);
+        s.extend_from_slice(b"short");
+        assert!(Cursor::new(&s).str_().is_err());
     }
 }

@@ -1,0 +1,71 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Shared by the persistence codec (whole-file checksum, so the
+//! corruption-matrix property "any flipped byte makes `load` fail" holds)
+//! and the write-ahead log (per-frame checksum, so recovery can find the
+//! first torn frame). Hand-rolled to keep the crate dependency-free; the
+//! table is built at compile time.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// The CRC-32 of `data`.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let idx = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn every_single_byte_flip_changes_the_checksum() {
+        let data: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let clean = crc32(&data);
+        let mut mutated = data.clone();
+        for i in 0..mutated.len() {
+            for bit in 0..8 {
+                mutated[i] ^= 1 << bit;
+                assert_ne!(crc32(&mutated), clean, "flip at byte {i} bit {bit}");
+                mutated[i] ^= 1 << bit;
+            }
+        }
+    }
+}

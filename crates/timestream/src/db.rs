@@ -158,6 +158,27 @@ impl Database {
         Ok(stored)
     }
 
+    /// Writes a batch that is already durable — appended to a write-ahead
+    /// log or replayed from one. Identical to [`Database::write`] except
+    /// that the deterministic write-throttle never fires: a committed
+    /// batch must land in memory unconditionally, or the in-memory state
+    /// would diverge from what WAL replay reconstructs after a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NoSuchTable`] or [`TsError::BadRecord`].
+    pub fn apply_committed(&mut self, table: &str, records: &[Record]) -> Result<usize, TsError> {
+        let tbl = self.table_mut(table)?;
+        let mut stored = 0;
+        for r in records {
+            if tbl.write(r)? {
+                stored += 1;
+            }
+        }
+        self.record_write_metrics(table, records.len() as u64, stored as u64);
+        Ok(stored)
+    }
+
     /// Updates the `spotlake_store_*` write families after a successful
     /// batch. Deduped records are those a change-point table skipped as
     /// repeats of the series' current value — the dataset's own

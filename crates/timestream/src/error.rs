@@ -26,12 +26,22 @@ pub enum TsError {
     /// [`Database::set_write_faults`](crate::Database::set_write_faults)).
     /// Transient: the batch was not stored and a retry may succeed.
     Throttled,
+    /// A transient disk fault (injected via
+    /// [`Wal::set_faults`](crate::Wal::set_faults)) interrupted a WAL
+    /// write. The partial append was undone, so retrying is safe.
+    WalFault {
+        /// The injected fault kind (`short-write`, `fsync-fail`).
+        kind: &'static str,
+    },
+    /// A crash fault killed the write-ahead log mid-write. Nothing else
+    /// can be appended; only a restart (recovery) brings the store back.
+    WalDead,
 }
 
 impl TsError {
     /// Whether a retry of the failed operation may succeed.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, TsError::Throttled)
+        matches!(self, TsError::Throttled | TsError::WalFault { .. })
     }
 }
 
@@ -44,6 +54,13 @@ impl fmt::Display for TsError {
             TsError::Corrupt { detail } => write!(f, "corrupt database file: {detail}"),
             TsError::Io(e) => write!(f, "i/o error: {e}"),
             TsError::Throttled => write!(f, "write throttled; retry may succeed"),
+            TsError::WalFault { kind } => {
+                write!(f, "wal write fault ({kind}); retry may succeed")
+            }
+            TsError::WalDead => write!(
+                f,
+                "write-ahead log dead after crash fault; restart required"
+            ),
         }
     }
 }

@@ -1,0 +1,258 @@
+//! Deterministic disk-fault injection for the durability layer.
+//!
+//! The storage-side twin of `cloud-api`'s `FaultPlan`: every write the WAL
+//! or the checkpoint writer performs rolls a seeded hash of
+//! `(kind, scope, attempt, seed)`, so a given seed reproduces the identical
+//! fault sequence bit-for-bit — which is what makes crash-recovery testable.
+//!
+//! Two fault classes with different semantics:
+//!
+//! * **Transient** (`fsync-fail`, `short-write`): the writer undoes the
+//!   partial append (truncating back to the last committed offset) and
+//!   returns a retryable [`TsError::WalFault`](crate::TsError::WalFault).
+//!   Retrying the same batch is always safe.
+//! * **Crash** (`torn-write`, `bit-flip`): models the process dying mid
+//!   write. A partial or mangled frame is left on disk, the log is marked
+//!   *dead* ([`TsError::WalDead`](crate::TsError::WalDead); every later
+//!   operation fails), and only a restart — i.e. recovery — brings the
+//!   store back. Recovery truncates the mangled tail, so the surviving
+//!   state is exactly the committed prefix.
+
+use std::collections::BTreeMap;
+
+/// Seeded disk-fault rates for the WAL and checkpoint writers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoFaultPlan {
+    /// Seed for every fault decision.
+    pub seed: u64,
+    /// Probability a write dies mid-frame, leaving a torn tail (crash).
+    pub torn_write_rate: f64,
+    /// Probability a written frame has one bit flipped on disk (crash).
+    pub bit_flip_rate: f64,
+    /// Probability a write lands only partially and is undone (transient).
+    pub short_write_rate: f64,
+    /// Probability the post-write fsync fails and the append is undone
+    /// (transient).
+    pub fsync_fail_rate: f64,
+}
+
+impl IoFaultPlan {
+    /// A zero-rate plan: the injector is wired but never fires.
+    pub fn none(seed: u64) -> Self {
+        IoFaultPlan {
+            seed,
+            torn_write_rate: 0.0,
+            bit_flip_rate: 0.0,
+            short_write_rate: 0.0,
+            fsync_fail_rate: 0.0,
+        }
+    }
+
+    /// Transient-only weather: fsync failures and short writes the retry
+    /// path absorbs. Never kills the log.
+    pub fn transient(seed: u64) -> Self {
+        IoFaultPlan {
+            short_write_rate: 0.05,
+            fsync_fail_rate: 0.05,
+            ..IoFaultPlan::none(seed)
+        }
+    }
+
+    /// Crash weather: torn writes and bit flips that kill the log mid-run
+    /// and exercise the recovery path.
+    pub fn crash(seed: u64) -> Self {
+        IoFaultPlan {
+            torn_write_rate: 0.02,
+            bit_flip_rate: 0.01,
+            ..IoFaultPlan::none(seed)
+        }
+    }
+
+    /// A named profile, for CLI flags: `none`, `transient`, or `crash`.
+    pub fn profile(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "none" => Some(IoFaultPlan::none(seed)),
+            "transient" => Some(IoFaultPlan::transient(seed)),
+            "crash" => Some(IoFaultPlan::crash(seed)),
+            _ => None,
+        }
+    }
+
+    /// Whether every rate is zero (the plan can never fire).
+    pub fn is_zero(&self) -> bool {
+        self.torn_write_rate <= 0.0
+            && self.bit_flip_rate <= 0.0
+            && self.short_write_rate <= 0.0
+            && self.fsync_fail_rate <= 0.0
+    }
+}
+
+/// One injected fault decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum IoFault {
+    /// Die after writing this fraction of the frame.
+    TornWrite(f64),
+    /// Write the whole frame with this bit index flipped, then die.
+    BitFlip(u64),
+    /// Write only part of the frame; the writer undoes it (retryable).
+    ShortWrite,
+    /// The durability barrier fails; the writer undoes the append
+    /// (retryable).
+    FsyncFail,
+}
+
+impl IoFault {
+    pub(crate) fn kind(self) -> &'static str {
+        match self {
+            IoFault::TornWrite(_) => "torn-write",
+            IoFault::BitFlip(_) => "bit-flip",
+            IoFault::ShortWrite => "short-write",
+            IoFault::FsyncFail => "fsync-fail",
+        }
+    }
+
+    /// Whether this fault models the process dying (vs. transient weather).
+    pub(crate) fn is_crash(self) -> bool {
+        matches!(self, IoFault::TornWrite(_) | IoFault::BitFlip(_))
+    }
+}
+
+/// Rolls fault decisions against a plan, keeping a per-scope attempt
+/// counter so a retried write (a new attempt) rolls a fresh decision —
+/// the same scheme as `cloud-api::fault::FaultInjector`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IoFaultState {
+    plan: Option<IoFaultPlan>,
+    attempts: BTreeMap<String, u64>,
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl IoFaultState {
+    pub(crate) fn set_plan(&mut self, plan: IoFaultPlan) {
+        self.plan = (!plan.is_zero()).then_some(plan);
+    }
+
+    /// Rolls the next decision for `scope` (`"append"`, `"checkpoint"`).
+    /// Crash kinds are checked first: when a crash and a transient fault
+    /// would both fire on the same attempt, the crash wins — dying
+    /// pre-empts retrying.
+    pub(crate) fn next(&mut self, scope: &str) -> Option<IoFault> {
+        let plan = self.plan?;
+        let attempt = self.attempts.entry(scope.to_owned()).or_insert(0);
+        *attempt += 1;
+        let attempt = *attempt;
+        let roll =
+            |kind: &str, rate: f64| rate > 0.0 && hash01(kind, scope, attempt, plan.seed) < rate;
+        let fault = if roll("torn-write", plan.torn_write_rate) {
+            // Tear the frame at a seeded fraction of its length.
+            Some(IoFault::TornWrite(hash01(
+                "torn-frac",
+                scope,
+                attempt,
+                plan.seed,
+            )))
+        } else if roll("bit-flip", plan.bit_flip_rate) {
+            Some(IoFault::BitFlip(hash_u64(
+                "bit-pos", scope, attempt, plan.seed,
+            )))
+        } else if roll("fsync-fail", plan.fsync_fail_rate) {
+            Some(IoFault::FsyncFail)
+        } else if roll("short-write", plan.short_write_rate) {
+            Some(IoFault::ShortWrite)
+        } else {
+            None
+        };
+        if let Some(f) = fault {
+            *self.counts.entry(f.kind()).or_insert(0) += 1;
+        }
+        fault
+    }
+
+    /// Running totals of injected faults per kind, for metric export.
+    pub(crate) fn counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counts
+    }
+}
+
+/// FNV-1a over the decision key — the same hash the store's write
+/// throttling and the simulator use, inlined to keep this crate
+/// dependency-free.
+fn hash_u64(kind: &str, scope: &str, attempt: u64, seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in [
+        b"io-fault".as_slice(),
+        kind.as_bytes(),
+        scope.as_bytes(),
+        &attempt.to_le_bytes(),
+        &seed.to_le_bytes(),
+    ] {
+        for &b in chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separator so ("ab", "c") and ("a", "bc") differ.
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn hash01(kind: &str, scope: &str, attempt: u64, seed: u64) -> f64 {
+    (hash_u64(kind, scope, attempt, seed) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_parse_and_classify() {
+        assert!(IoFaultPlan::profile("none", 1).unwrap().is_zero());
+        assert!(!IoFaultPlan::profile("transient", 1).unwrap().is_zero());
+        assert!(!IoFaultPlan::profile("crash", 1).unwrap().is_zero());
+        assert!(IoFaultPlan::profile("apocalyptic", 1).is_none());
+        assert!(IoFault::TornWrite(0.5).is_crash());
+        assert!(IoFault::BitFlip(3).is_crash());
+        assert!(!IoFault::ShortWrite.is_crash());
+        assert!(!IoFault::FsyncFail.is_crash());
+    }
+
+    #[test]
+    fn decisions_replay_from_the_seed() {
+        let run = || {
+            let mut s = IoFaultState::default();
+            s.set_plan(IoFaultPlan {
+                seed: 42,
+                torn_write_rate: 0.1,
+                bit_flip_rate: 0.1,
+                short_write_rate: 0.2,
+                fsync_fail_rate: 0.2,
+            });
+            (0..200)
+                .map(|_| s.next("append"))
+                .collect::<Vec<Option<IoFault>>>()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same seed, same fault sequence");
+        assert!(a.iter().any(Option::is_some), "rates this high must fire");
+        assert!(a.iter().any(Option::is_none), "and must not always fire");
+    }
+
+    #[test]
+    fn scopes_roll_independently_and_zero_plans_never_fire() {
+        let mut s = IoFaultState::default();
+        s.set_plan(IoFaultPlan {
+            seed: 7,
+            short_write_rate: 0.5,
+            ..IoFaultPlan::none(7)
+        });
+        let appends: Vec<_> = (0..50).map(|_| s.next("append")).collect();
+        let checkpoints: Vec<_> = (0..50).map(|_| s.next("checkpoint")).collect();
+        assert_ne!(appends, checkpoints, "scope feeds the hash");
+        assert!(s.counts().get("short-write").copied().unwrap_or(0) > 0);
+
+        let mut zero = IoFaultState::default();
+        zero.set_plan(IoFaultPlan::none(7));
+        assert!((0..100).all(|_| zero.next("append").is_none()));
+    }
+}

@@ -17,7 +17,12 @@
 //!   what the analysis layer uses for daily heatmap averages.
 //! * **Retention**: optional per-table retention window.
 //! * **Persistence**: a compact hand-rolled binary codec
-//!   ([`Database::save`] / [`Database::load`]).
+//!   ([`Database::save`] / [`Database::load`]), checksummed and written
+//!   atomically.
+//! * **Durability**: a checksummed write-ahead log ([`Wal`]) with
+//!   checkpoint rotation, crash [`recover`]y that replays exactly the
+//!   committed prefix, an offline [`fsck`], and deterministic disk-fault
+//!   injection ([`IoFaultPlan`]) to prove all of it.
 //!
 //! # Example
 //!
@@ -43,17 +48,24 @@
 
 mod codec;
 mod compress;
+mod crc;
 mod db;
 mod error;
+mod iofault;
 mod profile;
 mod query;
 mod record;
+mod recovery;
 mod series;
 mod table;
+mod wal;
 
 pub use db::Database;
 pub use error::TsError;
+pub use iofault::IoFaultPlan;
 pub use profile::QueryProfile;
 pub use query::{Aggregate, Query, Row, WindowRow};
 pub use record::Record;
+pub use recovery::{fsck, recover, FsckReport, RecoveryReport};
 pub use table::{Table, TableOptions, WriteMode};
+pub use wal::{Wal, WalStats};

@@ -277,6 +277,16 @@ impl Table {
         dropped
     }
 
+    /// Iterates over `(measure, dimensions)` of every stored series —
+    /// lets recovery re-prime freshness tracking for series that predate
+    /// the crash.
+    pub fn series_dimension_sets(&self) -> impl Iterator<Item = (&str, &[(String, String)])> {
+        self.series.iter().flat_map(|(measure, m)| {
+            m.values()
+                .map(move |s| (measure.as_str(), s.dimensions.as_slice()))
+        })
+    }
+
     /// Iterates over `(measure, series)` pairs — used by the persistence
     /// codec.
     pub(crate) fn series_entries(&self) -> impl Iterator<Item = (&String, &Series)> {

@@ -1,0 +1,635 @@
+//! Write-ahead log: the durability half of the archive.
+//!
+//! Every committed write batch is appended here — checksummed and
+//! length-prefixed — *before* it is applied in memory, so a crash at any
+//! instant loses at most the batch being written, never a committed one.
+//!
+//! ```text
+//! wal.log:  magic "SPWL" | u8 version
+//! frame:    u32 payload_len | u32 crc32(payload) | payload
+//! payload:  u8 kind (1 = batch) | str table | u8 mode
+//!           | u8 has_retention [u64 retention] | u64 tick
+//!           | u32 record_count
+//!           | per record: u64 time | str measure | u64 value_bits
+//!                         | u32 dim_count | (str key, str value)*
+//! ```
+//!
+//! Frames carry the table's [`TableOptions`] so recovery can re-create a
+//! table that was born after the last checkpoint. [`Wal::checkpoint`]
+//! rotates a full snapshot atomically (temp + fsync + rename, via the
+//! codec) and then truncates the log back to its header — the snapshot
+//! now owns everything the truncated prefix recorded.
+//!
+//! Fault semantics (see [`crate::iofault`]): transient faults undo the
+//! partial append (truncate back to the last committed offset) and return
+//! a retryable [`TsError::WalFault`]; crash faults leave the torn/mangled
+//! bytes on disk and mark the log **dead** — every later call returns
+//! [`TsError::WalDead`] until a restart runs recovery.
+
+use crate::codec::{self, check_len, Cursor};
+use crate::crc::crc32;
+use crate::db::Database;
+use crate::error::TsError;
+use crate::iofault::{IoFault, IoFaultPlan, IoFaultState};
+use crate::record::Record;
+use crate::table::{TableOptions, WriteMode};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const WAL_MAGIC: &[u8; 4] = b"SPWL";
+const WAL_VERSION: u8 = 1;
+/// Bytes of `magic | version` before the first frame.
+pub(crate) const HEADER_LEN: u64 = 5;
+const FRAME_KIND_BATCH: u8 = 1;
+
+/// The log file inside a WAL directory.
+pub(crate) fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("wal.log")
+}
+
+/// The checkpoint snapshot inside a WAL directory.
+pub(crate) fn checkpoint_path(dir: &Path) -> PathBuf {
+    dir.join("checkpoint.db")
+}
+
+/// An open write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    file: File,
+    /// Committed length: every byte below this offset is a fully written,
+    /// fsynced frame (or the header).
+    len: u64,
+    dead: bool,
+    faults: IoFaultState,
+    frames_appended: u64,
+    bytes_appended: u64,
+    checkpoints: u64,
+}
+
+/// A snapshot of a [`Wal`]'s counters, for metric export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WalStats {
+    /// Frames successfully appended and fsynced.
+    pub frames_appended: u64,
+    /// Bytes those frames occupied (headers included).
+    pub bytes_appended: u64,
+    /// Checkpoints successfully rotated.
+    pub checkpoints: u64,
+    /// Current size of `wal.log`, committed bytes only.
+    pub wal_bytes: u64,
+    /// Whether an injected crash fault has killed the log.
+    pub dead: bool,
+    /// Injected faults per kind, sorted by kind name.
+    pub faults_injected: Vec<(&'static str, u64)>,
+}
+
+impl Wal {
+    /// Opens (or creates) the log in `dir`, truncating any torn tail left
+    /// by a previous crash. Run [`crate::recovery::recover`] first when
+    /// in-memory state must be rebuilt — opening alone does not replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::Io`] on filesystem failure.
+    pub fn open(dir: &Path) -> Result<Wal, TsError> {
+        std::fs::create_dir_all(dir)?;
+        let path = wal_path(dir);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let bytes = std::fs::read(&path)?;
+        let scan = scan_frames(&bytes);
+        let len = if scan.valid_len < HEADER_LEN {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(WAL_MAGIC)?;
+            file.write_all(&[WAL_VERSION])?;
+            file.sync_data()?;
+            HEADER_LEN
+        } else {
+            if scan.valid_len < bytes.len() as u64 {
+                file.set_len(scan.valid_len)?;
+            }
+            scan.valid_len
+        };
+        file.seek(SeekFrom::Start(len))?;
+        Ok(Wal {
+            dir: dir.to_owned(),
+            file,
+            len,
+            dead: false,
+            faults: IoFaultState::default(),
+            frames_appended: 0,
+            bytes_appended: 0,
+            checkpoints: 0,
+        })
+    }
+
+    /// Arms deterministic disk-fault injection for this log.
+    pub fn set_faults(&mut self, plan: IoFaultPlan) {
+        self.faults.set_plan(plan);
+    }
+
+    /// Appends one committed batch. On success the frame is fully written
+    /// and fsynced — it *will* survive a crash.
+    ///
+    /// # Errors
+    ///
+    /// * [`TsError::BadRecord`] if any record is invalid (nothing is
+    ///   written — bad data never becomes durable).
+    /// * [`TsError::WalFault`] for an injected transient fault; the
+    ///   append was undone and retrying it is safe.
+    /// * [`TsError::WalDead`] after an injected crash fault; the log is
+    ///   unusable until recovery.
+    pub fn append(
+        &mut self,
+        table: &str,
+        options: TableOptions,
+        tick: u64,
+        records: &[Record],
+    ) -> Result<(), TsError> {
+        if self.dead {
+            return Err(TsError::WalDead);
+        }
+        for r in records {
+            r.validate()?;
+        }
+        let frame = WalFrame {
+            table: table.to_owned(),
+            options,
+            tick,
+            records: records.to_vec(),
+        };
+        let payload = frame.encode();
+        let mut full = Vec::with_capacity(payload.len() + 8);
+        codec::put_u32(&mut full, payload.len() as u32);
+        codec::put_u32(&mut full, crc32(&payload));
+        full.extend_from_slice(&payload);
+
+        match self.faults.next("append") {
+            None => {
+                self.file.write_all(&full)?;
+                self.file.sync_data()?;
+                self.len += full.len() as u64;
+                self.frames_appended += 1;
+                self.bytes_appended += full.len() as u64;
+                Ok(())
+            }
+            Some(IoFault::ShortWrite) => {
+                self.file.write_all(&full[..full.len() / 2])?;
+                self.undo_partial_append()?;
+                Err(TsError::WalFault {
+                    kind: "short-write",
+                })
+            }
+            Some(IoFault::FsyncFail) => {
+                self.file.write_all(&full)?;
+                self.undo_partial_append()?;
+                Err(TsError::WalFault { kind: "fsync-fail" })
+            }
+            Some(IoFault::TornWrite(frac)) => {
+                let n = ((frac * full.len() as f64) as usize).clamp(1, full.len() - 1);
+                self.file.write_all(&full[..n])?;
+                let _ = self.file.sync_data();
+                self.dead = true;
+                Err(TsError::WalDead)
+            }
+            Some(IoFault::BitFlip(pos)) => {
+                let bit = (pos % (full.len() as u64 * 8)) as usize;
+                full[bit / 8] ^= 1 << (bit % 8);
+                self.file.write_all(&full)?;
+                let _ = self.file.sync_data();
+                self.dead = true;
+                Err(TsError::WalDead)
+            }
+        }
+    }
+
+    /// Rotates a checkpoint: snapshots `db` atomically (temp + fsync +
+    /// rename) and truncates the log back to its header — the frames
+    /// below are now owned by the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// * [`TsError::WalFault`] for an injected transient fault; nothing
+    ///   changed and the checkpoint can be retried (e.g. next round).
+    /// * [`TsError::WalDead`] after an injected crash fault: a mangled
+    ///   temp file is left behind but never renamed, so the previous
+    ///   checkpoint and the full log both survive for recovery.
+    pub fn checkpoint(&mut self, db: &Database) -> Result<(), TsError> {
+        if self.dead {
+            return Err(TsError::WalDead);
+        }
+        let target = checkpoint_path(&self.dir);
+        match self.faults.next("checkpoint") {
+            None => {
+                codec::atomic_write(&target, &codec::encode(db))?;
+                self.file.set_len(HEADER_LEN)?;
+                self.file.seek(SeekFrom::Start(HEADER_LEN))?;
+                self.file.sync_data()?;
+                self.len = HEADER_LEN;
+                self.checkpoints += 1;
+                Ok(())
+            }
+            Some(f @ (IoFault::ShortWrite | IoFault::FsyncFail)) => {
+                std::fs::remove_file(codec::tmp_path(&target)).ok();
+                Err(TsError::WalFault { kind: f.kind() })
+            }
+            Some(f) => {
+                // Crash mid-checkpoint: a torn temp file is left on disk
+                // but the rename never happens, so nothing of value is
+                // lost — recovery discards the temp and replays the log.
+                debug_assert!(f.is_crash());
+                let bytes = codec::encode(db);
+                let torn = &bytes[..bytes.len() / 2];
+                std::fs::write(codec::tmp_path(&target), torn)?;
+                self.dead = true;
+                Err(TsError::WalDead)
+            }
+        }
+    }
+
+    /// Whether a crash fault has killed this log.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Counter snapshot for metric export.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            frames_appended: self.frames_appended,
+            bytes_appended: self.bytes_appended,
+            checkpoints: self.checkpoints,
+            wal_bytes: self.len,
+            dead: self.dead,
+            faults_injected: self.faults.counts().iter().map(|(&k, &v)| (k, v)).collect(),
+        }
+    }
+
+    /// Truncates back to the last committed offset after a transient
+    /// fault, so no partial bytes precede a later good frame.
+    fn undo_partial_append(&mut self) -> Result<(), TsError> {
+        self.file.set_len(self.len)?;
+        self.file.seek(SeekFrom::Start(self.len))?;
+        Ok(())
+    }
+}
+
+/// One decoded log frame.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct WalFrame {
+    pub(crate) table: String,
+    pub(crate) options: TableOptions,
+    pub(crate) tick: u64,
+    pub(crate) records: Vec<Record>,
+}
+
+impl WalFrame {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(FRAME_KIND_BATCH);
+        codec::put_str(&mut out, &self.table);
+        out.push(match self.options.mode {
+            WriteMode::Dense => 0u8,
+            WriteMode::ChangePoint => 1u8,
+        });
+        match self.options.retention {
+            Some(r) => {
+                out.push(1);
+                codec::put_u64(&mut out, r);
+            }
+            None => out.push(0),
+        }
+        codec::put_u64(&mut out, self.tick);
+        codec::put_u32(&mut out, self.records.len() as u32);
+        for r in &self.records {
+            codec::put_u64(&mut out, r.time);
+            codec::put_str(&mut out, &r.measure);
+            codec::put_u64(&mut out, r.value.to_bits());
+            codec::put_u32(&mut out, r.dimensions.len() as u32);
+            for (k, v) in &r.dimensions {
+                codec::put_str(&mut out, k);
+                codec::put_str(&mut out, v);
+            }
+        }
+        out
+    }
+
+    pub(crate) fn decode(payload: &[u8]) -> Result<WalFrame, TsError> {
+        let mut c = Cursor::new(payload);
+        let kind = c.u8()?;
+        if kind != FRAME_KIND_BATCH {
+            return Err(TsError::Corrupt {
+                detail: format!("unknown WAL frame kind {kind}"),
+            });
+        }
+        let table = c.str_()?;
+        let mode = match c.u8()? {
+            0 => WriteMode::Dense,
+            1 => WriteMode::ChangePoint,
+            m => {
+                return Err(TsError::Corrupt {
+                    detail: format!("unknown write mode {m}"),
+                })
+            }
+        };
+        let retention = match c.u8()? {
+            0 => None,
+            1 => Some(c.u64()?),
+            f => {
+                return Err(TsError::Corrupt {
+                    detail: format!("bad retention flag {f}"),
+                })
+            }
+        };
+        let tick = c.u64()?;
+        let count = c.u32()? as usize;
+        // Each record needs at least 24 bytes of fixed fields; bound the
+        // allocation by what is actually present.
+        if count > c.remaining() / 24 {
+            return Err(TsError::Corrupt {
+                detail: "record count implausible for frame size".to_owned(),
+            });
+        }
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            let time = c.u64()?;
+            let measure = c.str_()?;
+            let value = f64::from_bits(c.u64()?);
+            let dimensions = c.dimensions()?;
+            records.push(Record {
+                time,
+                measure,
+                value,
+                dimensions,
+            });
+        }
+        if !c.is_done() {
+            return Err(TsError::Corrupt {
+                detail: "trailing data in WAL frame".to_owned(),
+            });
+        }
+        Ok(WalFrame {
+            table,
+            options: TableOptions { mode, retention },
+            tick,
+            records,
+        })
+    }
+}
+
+/// The outcome of scanning a `wal.log` byte image.
+#[derive(Debug)]
+pub(crate) struct ScanOutcome {
+    /// Frames decoded from the valid prefix, in append order.
+    pub(crate) frames: Vec<WalFrame>,
+    /// Offset up to which every frame is intact; a torn tail (if any)
+    /// starts here.
+    pub(crate) valid_len: u64,
+    /// What made the scan stop early, when something did.
+    pub(crate) torn_detail: Option<String>,
+}
+
+/// Scans a WAL image frame by frame, stopping at the first bad frame
+/// (short header, implausible length, checksum mismatch, or payload that
+/// fails to decode). Everything before the stop point is committed;
+/// everything after is a torn tail a crash left behind.
+pub(crate) fn scan_frames(bytes: &[u8]) -> ScanOutcome {
+    if bytes.len() < HEADER_LEN as usize || &bytes[..4] != WAL_MAGIC || bytes[4] != WAL_VERSION {
+        return ScanOutcome {
+            frames: Vec::new(),
+            valid_len: 0,
+            torn_detail: (!bytes.is_empty()).then(|| "bad WAL header".to_owned()),
+        };
+    }
+    let mut frames = Vec::new();
+    let mut offset = HEADER_LEN as usize;
+    let mut torn_detail = None;
+    while offset < bytes.len() {
+        let stop = |detail: String| Some(detail);
+        if bytes.len() - offset < 8 {
+            torn_detail = stop(format!("torn frame header at offset {offset}"));
+            break;
+        }
+        let payload_len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
+        let stored_crc =
+            u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        if check_len(payload_len).is_err() {
+            torn_detail = stop(format!("implausible frame length at offset {offset}"));
+            break;
+        }
+        let start = offset + 8;
+        let end = start + payload_len as usize;
+        if end > bytes.len() {
+            torn_detail = stop(format!("torn frame payload at offset {offset}"));
+            break;
+        }
+        let payload = &bytes[start..end];
+        if crc32(payload) != stored_crc {
+            torn_detail = stop(format!("frame checksum mismatch at offset {offset}"));
+            break;
+        }
+        match WalFrame::decode(payload) {
+            Ok(f) => frames.push(f),
+            Err(e) => {
+                torn_detail = stop(format!("undecodable frame at offset {offset}: {e}"));
+                break;
+            }
+        }
+        offset = end;
+    }
+    ScanOutcome {
+        frames,
+        valid_len: offset as u64,
+        torn_detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spotlake-ts-wal-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    fn batch(n: u64) -> Vec<Record> {
+        (0..3)
+            .map(|i| {
+                Record::new(n * 600 + i, "sps", (n + i) as f64)
+                    .dimension("instance_type", "m5.large")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_then_scan_roundtrips_frames() {
+        let dir = tempdir("roundtrip");
+        let mut wal = Wal::open(&dir).unwrap();
+        let opts = TableOptions::default();
+        wal.append("sps", opts, 1, &batch(1)).unwrap();
+        wal.append("sps", opts, 2, &batch(2)).unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.frames_appended, 2);
+        assert_eq!(stats.wal_bytes, HEADER_LEN + stats.bytes_appended);
+        assert!(!stats.dead);
+
+        let scan = scan_frames(&std::fs::read(wal_path(&dir)).unwrap());
+        assert!(scan.torn_detail.is_none());
+        assert_eq!(scan.frames.len(), 2);
+        assert_eq!(scan.frames[0].tick, 1);
+        assert_eq!(scan.frames[1].records, batch(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_faults_undo_the_append_and_stay_retryable() {
+        let dir = tempdir("transient");
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.set_faults(IoFaultPlan {
+            short_write_rate: 1.0,
+            ..IoFaultPlan::none(9)
+        });
+        let err = wal
+            .append("sps", TableOptions::default(), 1, &batch(1))
+            .unwrap_err();
+        assert!(err.is_retryable(), "{err}");
+        assert!(!wal.is_dead());
+        // The partial bytes were truncated away: the file is back to just
+        // its header and a later good append scans cleanly.
+        assert_eq!(std::fs::metadata(wal_path(&dir)).unwrap().len(), HEADER_LEN);
+        wal.set_faults(IoFaultPlan::none(9));
+        wal.append("sps", TableOptions::default(), 1, &batch(1))
+            .unwrap();
+        let scan = scan_frames(&std::fs::read(wal_path(&dir)).unwrap());
+        assert!(scan.torn_detail.is_none());
+        assert_eq!(scan.frames.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_faults_kill_the_log_and_leave_a_torn_tail() {
+        let dir = tempdir("crash");
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append("sps", TableOptions::default(), 1, &batch(1))
+            .unwrap();
+        wal.set_faults(IoFaultPlan {
+            torn_write_rate: 1.0,
+            ..IoFaultPlan::none(9)
+        });
+        let err = wal
+            .append("sps", TableOptions::default(), 2, &batch(2))
+            .unwrap_err();
+        assert!(matches!(err, TsError::WalDead));
+        assert!(wal.is_dead());
+        // Everything now fails until recovery.
+        assert!(matches!(
+            wal.append("sps", TableOptions::default(), 3, &batch(3)),
+            Err(TsError::WalDead)
+        ));
+        assert!(matches!(
+            wal.checkpoint(&Database::new()),
+            Err(TsError::WalDead)
+        ));
+        // The scan finds exactly the committed prefix.
+        let scan = scan_frames(&std::fs::read(wal_path(&dir)).unwrap());
+        assert_eq!(scan.frames.len(), 1, "only the committed frame");
+        assert!(scan.torn_detail.is_some());
+        // Re-opening truncates the torn tail.
+        drop(wal);
+        let wal = Wal::open(&dir).unwrap();
+        assert_eq!(
+            std::fs::metadata(wal_path(&dir)).unwrap().len(),
+            wal.stats().wal_bytes
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flips_never_pass_the_frame_checksum() {
+        let dir = tempdir("bitflip");
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.set_faults(IoFaultPlan {
+            bit_flip_rate: 1.0,
+            ..IoFaultPlan::none(17)
+        });
+        assert!(matches!(
+            wal.append("sps", TableOptions::default(), 1, &batch(1)),
+            Err(TsError::WalDead)
+        ));
+        let scan = scan_frames(&std::fs::read(wal_path(&dir)).unwrap());
+        assert!(scan.frames.is_empty(), "mangled frame must not decode");
+        assert!(scan.torn_detail.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_rotates_the_snapshot_and_truncates_the_log() {
+        let dir = tempdir("checkpoint");
+        let mut db = Database::new();
+        db.create_table("sps", TableOptions::default()).unwrap();
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append("sps", TableOptions::default(), 1, &batch(1))
+            .unwrap();
+        db.write("sps", &batch(1)).unwrap();
+        wal.checkpoint(&db).unwrap();
+        assert_eq!(wal.stats().checkpoints, 1);
+        assert_eq!(wal.stats().wal_bytes, HEADER_LEN);
+        let snap = Database::load(checkpoint_path(&dir)).unwrap();
+        assert_eq!(snap.point_count(), 3);
+        // Appends after the rotation land in the fresh log.
+        wal.append("sps", TableOptions::default(), 2, &batch(2))
+            .unwrap();
+        let scan = scan_frames(&std::fs::read(wal_path(&dir)).unwrap());
+        assert_eq!(scan.frames.len(), 1);
+        assert_eq!(scan.frames[0].tick, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn invalid_records_are_rejected_before_becoming_durable() {
+        let dir = tempdir("invalid");
+        let mut wal = Wal::open(&dir).unwrap();
+        let bad = vec![Record::new(0, "", 1.0)];
+        assert!(matches!(
+            wal.append("sps", TableOptions::default(), 1, &bad),
+            Err(TsError::BadRecord { .. })
+        ));
+        assert_eq!(wal.stats().frames_appended, 0);
+        assert_eq!(std::fs::metadata(wal_path(&dir)).unwrap().len(), HEADER_LEN);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn frame_codec_roundtrips_and_bounds_lengths() {
+        let frame = WalFrame {
+            table: "prices".to_owned(),
+            options: TableOptions {
+                mode: WriteMode::ChangePoint,
+                retention: Some(7_776_000),
+            },
+            tick: 42,
+            records: batch(1),
+        };
+        let payload = frame.encode();
+        assert_eq!(WalFrame::decode(&payload).unwrap(), frame);
+        // An implausible record count is rejected before any allocation.
+        let mut mangled = Vec::new();
+        mangled.push(FRAME_KIND_BATCH);
+        codec::put_str(&mut mangled, "t");
+        mangled.push(0);
+        mangled.push(0);
+        codec::put_u64(&mut mangled, 1);
+        codec::put_u32(&mut mangled, u32::MAX);
+        assert!(WalFrame::decode(&mangled).is_err());
+    }
+}

@@ -140,6 +140,65 @@ fn zero_fault_plan_is_behavior_preserving() {
     );
 }
 
+fn durable_lake(wal_dir: &std::path::Path, faults: Option<FaultPlan>) -> SpotLake {
+    let mut b = CatalogBuilder::new();
+    b.region("us-test-1", 3)
+        .region("eu-test-1", 3)
+        .instance_type("m5.large", 0.096)
+        .instance_type("c5.xlarge", 0.17)
+        .instance_type("p3.2xlarge", 3.06);
+    let mut sim = SimConfig::with_seed(SEED);
+    sim.tick = SimDuration::from_mins(30);
+    SpotLake::builder()
+        .catalog(b.build().expect("valid catalog"))
+        .sim_config(sim)
+        .collector_config(CollectorConfig {
+            faults,
+            wal_dir: Some(wal_dir.to_owned()),
+            checkpoint_every: 4,
+            ..CollectorConfig::default()
+        })
+        .build()
+        .expect("pipeline builds")
+}
+
+#[test]
+fn dead_letter_queue_survives_a_restart() {
+    let mut wal = std::env::temp_dir();
+    wal.push(format!("spotlake-chaos-dlq-{}", std::process::id()));
+    std::fs::remove_dir_all(&wal).ok();
+
+    // Heavy API weather until queries actually sit in the queue.
+    let mut lake = durable_lake(&wal, Some(FaultPlan::uniform(SEED, 0.45)));
+    let mut depth = 0;
+    for _ in 0..60 {
+        lake.run_rounds(1)
+            .expect("heavy transient faults never sink a round");
+        depth = lake.collector().dead_letter_depth();
+        if depth > 0 {
+            break;
+        }
+    }
+    assert!(depth > 0, "heavy faults must leave dead letters queued");
+    let committed = lake.archive().point_count();
+    drop(lake);
+
+    // A restart over the same directory brings back both the archive and
+    // the parked queries — deferred retries survive the process.
+    let restarted = durable_lake(&wal, None);
+    assert_eq!(
+        restarted.collector().dead_letter_depth(),
+        depth,
+        "dead-letter depth survives the restart"
+    );
+    assert_eq!(
+        restarted.archive().point_count(),
+        committed,
+        "every committed point survives the restart"
+    );
+    std::fs::remove_dir_all(&wal).ok();
+}
+
 #[test]
 fn heavy_faults_exercise_the_dead_letter_queue() {
     // At 45% per attempt a query exhausts its three tries ~9% of the time,
