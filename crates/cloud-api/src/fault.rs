@@ -12,7 +12,7 @@
 
 use crate::error::ApiError;
 use spotlake_types::hash::hash01;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Which API surface a fault decision applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -145,7 +145,7 @@ impl Default for FaultPlan {
 pub struct FaultInjector {
     plan: FaultPlan,
     /// `(surface, scope)` → (tick of last roll, attempts rolled that tick).
-    attempts: HashMap<(FaultSurface, String), (u64, u32)>,
+    attempts: BTreeMap<(FaultSurface, String), (u64, u32)>,
     /// `(surface, fault kind)` → injections so far, kept in a `BTreeMap`
     /// so scrapes enumerate deterministically.
     injected: BTreeMap<(FaultSurface, &'static str), u64>,
@@ -156,7 +156,7 @@ impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Self {
         FaultInjector {
             plan,
-            attempts: HashMap::new(),
+            attempts: BTreeMap::new(),
             injected: BTreeMap::new(),
         }
     }

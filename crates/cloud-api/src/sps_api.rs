@@ -4,7 +4,7 @@ use crate::error::ApiError;
 use crate::fault::{Fault, FaultInjector, FaultSurface};
 use spotlake_cloud_sim::SimCloud;
 use spotlake_types::{PlacementScore, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Maximum number of placement scores returned by one query; when more
@@ -16,7 +16,7 @@ pub const MAX_RESULTS: usize = 10;
 pub const UNIQUE_QUERY_LIMIT: usize = 50;
 
 /// A cloud account, the unit of API rate limiting.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AccountId(String);
 
 impl AccountId {
@@ -140,7 +140,7 @@ pub struct SpsScore {
 #[derive(Debug, Clone, Default)]
 struct AccountWindow {
     /// fingerprint → first time the query was counted inside the window.
-    seen: HashMap<String, SimTime>,
+    seen: BTreeMap<String, SimTime>,
 }
 
 impl AccountWindow {
@@ -156,7 +156,7 @@ impl AccountWindow {
 /// the cloud itself is passed per call.
 #[derive(Debug, Clone, Default)]
 pub struct SpsClient {
-    windows: HashMap<AccountId, AccountWindow>,
+    windows: BTreeMap<AccountId, AccountWindow>,
     faults: Option<FaultInjector>,
 }
 

@@ -12,7 +12,7 @@
 
 use crate::pool::Pool;
 use spotlake_types::{InstanceTypeId, InterruptionBucket, RegionId, Savings, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One published advisor row: interruption bucket and savings for an
 /// (instance type, region) pair.
@@ -33,7 +33,7 @@ pub(crate) struct AdvisorBoard {
     daily: Vec<f64>,
     window_days: usize,
     cursor: usize,
-    published: HashMap<(InstanceTypeId, RegionId), AdvisorEntry>,
+    published: BTreeMap<(InstanceTypeId, RegionId), AdvisorEntry>,
     last_day_roll: SimTime,
     last_publish: SimTime,
 }
@@ -44,7 +44,7 @@ impl AdvisorBoard {
             daily: vec![0.0; pools * window_days],
             window_days,
             cursor: 0,
-            published: HashMap::new(),
+            published: BTreeMap::new(),
             last_day_roll: SimTime::EPOCH,
             last_publish: SimTime::EPOCH,
         }

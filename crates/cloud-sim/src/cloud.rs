@@ -10,7 +10,7 @@ use spotlake_types::{
     AzId, Catalog, InstanceTypeId, InterruptionBucket, PlacementScore, RegionId, Savings,
     SimDuration, SimTime, SpotPrice, SpotRequest, SpotRequestConfig, TypesError,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Handle to a submitted spot request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,9 +28,9 @@ pub struct SimCloud {
     config: SimConfig,
     now: SimTime,
     pools: Vec<Pool>,
-    pool_index: HashMap<(InstanceTypeId, AzId), PoolId>,
+    pool_index: BTreeMap<(InstanceTypeId, AzId), PoolId>,
     /// Pools grouped per (type, region), for advisor aggregation.
-    region_groups: HashMap<(InstanceTypeId, RegionId), Vec<PoolId>>,
+    region_groups: BTreeMap<(InstanceTypeId, RegionId), Vec<PoolId>>,
     advisor: AdvisorBoard,
     prices: PriceBook,
     lifecycle: Lifecycle,
@@ -44,8 +44,8 @@ impl SimCloud {
     pub fn new(catalog: Catalog, config: SimConfig) -> SimCloud {
         let pairs = catalog.supported_pools();
         let mut pools = Vec::with_capacity(pairs.len());
-        let mut pool_index = HashMap::with_capacity(pairs.len());
-        let mut region_groups: HashMap<(InstanceTypeId, RegionId), Vec<PoolId>> = HashMap::new();
+        let mut pool_index = BTreeMap::new();
+        let mut region_groups: BTreeMap<(InstanceTypeId, RegionId), Vec<PoolId>> = BTreeMap::new();
         for (ty, az) in pairs {
             let id = PoolId(pools.len() as u32);
             pools.push(Pool::new(&catalog, &config, ty, az));

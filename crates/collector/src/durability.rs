@@ -7,7 +7,9 @@
 //! rotation, replay — live in `spotlake_timestream`.
 
 use crate::service::DeadLetter;
-use spotlake_timestream::{recover, Database, IoFaultPlan, RecoveryReport, TsError, Wal};
+use spotlake_timestream::{
+    atomic_write, recover, Database, IoFaultPlan, RecoveryReport, TsError, Wal,
+};
 use std::path::{Path, PathBuf};
 
 const DEAD_LETTER_MAGIC: &[u8; 4] = b"SPDL";
@@ -78,11 +80,10 @@ pub(crate) fn save_dead_letters(dir: &Path, letters: &[DeadLetter]) -> Result<()
     }
     let sum = fnv64(&out);
     out.extend_from_slice(&sum.to_le_bytes());
-    let path = dead_letter_path(dir);
-    let tmp = path.with_extension("bin.tmp");
-    std::fs::write(&tmp, &out)?;
-    std::fs::rename(&tmp, &path)?;
-    Ok(())
+    // Temp + fsync + rename via the shared helper: a rename without the
+    // fsync (the old code here) can surface as an empty file after a
+    // power loss, which is exactly what the durability lint now rejects.
+    atomic_write(&dead_letter_path(dir), &out)
 }
 
 /// Loads the persisted dead-letter queue. A missing, truncated, or

@@ -29,7 +29,7 @@ use spotlake_timestream::{
     Database, IoFaultPlan, Record, RecoveryReport, TableOptions, TsError, WalStats, WriteMode,
 };
 use spotlake_types::Catalog;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 
 /// Re-attempts per dead-lettered query before it is dropped for good.
@@ -776,7 +776,7 @@ impl CollectorService {
         // Which plan slots are failing *right now*. Dead letters whose
         // query recovered in this regular pass are satisfied and dropped;
         // the rest are re-attempted once their backoff elapses.
-        let mut failing: HashSet<(usize, usize)> =
+        let mut failing: BTreeSet<(usize, usize)> =
             outcome.failed.iter().map(|f| (f.shard, f.query)).collect();
         health.sps.error = outcome.failed.first().map(|f| f.error.to_string());
         self.dead_letters

@@ -1,0 +1,135 @@
+//! `spotlake-lint` — workspace invariant checker.
+//!
+//! Enforces the conventions the test suite cannot see locally:
+//! determinism (no wall clocks / hash-order leaks in simulated layers),
+//! fail-closed decode paths (no panics on hostile bytes), durable writes
+//! (fsync-then-rename only), a closed metrics namespace, and checked
+//! arithmetic in frame parsing. Run as `cargo run -p spotlake-lint` or
+//! via the `cargo lint` alias; see `--list-rules` for the rule set and
+//! DESIGN.md ("Machine-checked invariants") for each rule's rationale.
+//!
+//! Violations are suppressed per line with
+//! `// lint:allow(<rule>): <justification>` — the justification is
+//! mandatory and an unknown rule name is itself a violation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use report::{render_json, Finding};
+pub use rules::{analyze_source, FileAnalysis, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Analyzes every workspace crate under `root` and returns all findings,
+/// sorted by path then line.
+///
+/// Scans `crates/*/src/**/*.rs` (the lint crate included — it must pass
+/// its own rules). Tests, benches, fixtures, and vendored code are out
+/// of scope: integration tests may use `unwrap` freely, and vendor code
+/// is not ours to lint.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let mut metric_literals: Vec<(String, usize, String)> = Vec::new();
+
+    let crates_dir = root.join("crates");
+    for crate_dir in sorted_dirs(&crates_dir)? {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        for file in sorted_rs_files(&src)? {
+            let rel = rel_path(root, &file);
+            let source = std::fs::read_to_string(&file)?;
+            let analysis = analyze_source(&crate_name, &rel, &source);
+            findings.extend(analysis.findings);
+            for (line, name) in analysis.metric_literals {
+                metric_literals.push((rel.clone(), line, name));
+            }
+        }
+    }
+
+    findings.extend(check_manifest_usage(root, &metric_literals));
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(findings)
+}
+
+/// Reverse direction of the metrics contract: every family in the
+/// canonical manifest must be emitted somewhere outside the manifest
+/// itself, or it is dead weight that will silently drift. Findings are
+/// anchored at the name's own line in `obs/src/names.rs`.
+fn check_manifest_usage(root: &Path, literals: &[(String, usize, String)]) -> Vec<Finding> {
+    const MANIFEST_PATH: &str = "crates/obs/src/names.rs";
+    let manifest_src = std::fs::read_to_string(root.join(MANIFEST_PATH)).unwrap_or_default();
+    let mut findings = Vec::new();
+    for family in spotlake_obs::names::METRIC_FAMILIES {
+        let used = literals
+            .iter()
+            .any(|(path, _, name)| name == family.name && path != MANIFEST_PATH);
+        if used {
+            continue;
+        }
+        let line = manifest_src
+            .lines()
+            .position(|l| l.contains(&format!("\"{}\"", family.name)))
+            .map(|idx| idx + 1)
+            .unwrap_or(1);
+        findings.push(Finding {
+            rule: "metrics-contract".to_owned(),
+            path: MANIFEST_PATH.to_owned(),
+            line,
+            message: format!(
+                "manifest family {:?} is never emitted by any crate; remove it or wire it up",
+                family.name
+            ),
+        });
+    }
+    findings
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn sorted_dirs(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+fn sorted_rs_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&d)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}

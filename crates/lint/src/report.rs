@@ -1,0 +1,100 @@
+//! Diagnostic rendering: human-readable text and machine-readable JSON.
+
+/// One rule violation, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name, e.g. `determinism`.
+    pub rule: String,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong and what to use instead.
+    pub message: String,
+}
+
+impl Finding {
+    /// `path:line: [rule] message` — the compiler-style text form.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The full report as a stable JSON document:
+/// `{"version":1,"findings":[…],"total":N}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"version\":1,\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            json_str(&f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message)
+        ));
+    }
+    out.push_str(&format!("],\"total\":{}}}", findings.len()));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len().saturating_add(2));
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            rule: "determinism".into(),
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "wall clock \"now\"".into(),
+        }
+    }
+
+    #[test]
+    fn text_form_is_compiler_style() {
+        assert_eq!(
+            sample().render_text(),
+            "crates/x/src/lib.rs:7: [determinism] wall clock \"now\""
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let doc = render_json(&[sample()]);
+        assert!(doc.starts_with("{\"version\":1,"));
+        assert!(doc.contains("\\\"now\\\""));
+        assert!(doc.ends_with("\"total\":1}"));
+    }
+
+    #[test]
+    fn json_empty_report() {
+        assert_eq!(
+            render_json(&[]),
+            "{\"version\":1,\"findings\":[],\"total\":0}"
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Lexical pass: strips comments and string literals out of Rust source
+//! so rule checks never match inside either, while keeping comment text
+//! (for `lint:allow` directives) and string values (for the metrics
+//! contract) attributed to their lines.
+//!
+//! This is a hand-rolled character state machine, not a parser — the
+//! vendored dependency set has no `syn`, and the rules only need token
+//! shapes: brace depth, identifiers, and which bytes are code at all.
+
+/// One source line after stripping.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code with comments removed and string/char contents blanked
+    /// (delimiting quotes kept, so token boundaries survive).
+    pub code: String,
+    /// Comment text on the line, `//` and `/* */` alike.
+    pub comment: String,
+}
+
+/// The stripped view of one file.
+#[derive(Debug, Default)]
+pub struct Stripped {
+    /// Per-line code and comment text, in order.
+    pub lines: Vec<Line>,
+    /// Complete string-literal values with the 1-based line each starts on.
+    pub strings: Vec<(usize, String)>,
+}
+
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    /// `raw_hashes` is `Some(n)` inside `r#…"` strings with `n` hashes.
+    Str {
+        raw_hashes: Option<u32>,
+    },
+}
+
+/// Splits `source` into blanked code, comments, and string values.
+pub fn strip(source: &str) -> Stripped {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Stripped::default();
+    let mut cur = Line::default();
+    let mut cur_str = String::new();
+    let mut str_start_line = 0usize;
+    let mut state = State::Code;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            out.lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Str { raw_hashes: None };
+                    cur.code.push('"');
+                    cur_str.clear();
+                    str_start_line = out.lines.len() + 1;
+                    i += 1;
+                    continue;
+                }
+                // Raw and byte string prefixes: r".."  r#".."#  b".."  br#".."#
+                if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    let mut j = i;
+                    if chars.get(j) == Some(&'b') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    let mut raw = false;
+                    if chars.get(j) == Some(&'r') {
+                        raw = true;
+                        j += 1;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                    }
+                    if chars.get(j) == Some(&'"') && (raw || c == 'b') {
+                        for &p in chars.get(i..j).unwrap_or(&[]) {
+                            cur.code.push(p);
+                        }
+                        cur.code.push('"');
+                        state = State::Str {
+                            raw_hashes: raw.then_some(hashes),
+                        };
+                        cur_str.clear();
+                        str_start_line = out.lines.len() + 1;
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    let next = chars.get(i + 1).copied();
+                    let is_lifetime = match next {
+                        Some(ch) if ch.is_alphabetic() || ch == '_' => {
+                            chars.get(i + 2) != Some(&'\'')
+                        }
+                        _ => false,
+                    };
+                    if is_lifetime {
+                        cur.code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    // Char literal: consume through the closing quote.
+                    cur.code.push('\'');
+                    i += 1;
+                    if chars.get(i) == Some(&'\\') {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    while i < chars.len() && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    if i < chars.len() {
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                    continue;
+                }
+                cur.code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth <= 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes: None } => {
+                if c == '\\' {
+                    if let Some(&esc) = chars.get(i + 1) {
+                        cur_str.push('\\');
+                        cur_str.push(esc);
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    out.strings
+                        .push((str_start_line, std::mem::take(&mut cur_str)));
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur_str.push(c);
+                    i += 1;
+                }
+            }
+            State::Str {
+                raw_hashes: Some(hashes),
+            } => {
+                let closes =
+                    c == '"' && (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                if closes {
+                    cur.code.push('"');
+                    out.strings
+                        .push((str_start_line, std::mem::take(&mut cur_str)));
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    cur_str.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        out.lines.push(cur);
+    }
+    out
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i.checked_sub(1)
+        .and_then(|p| chars.get(p))
+        .is_some_and(|&c| c.is_alphanumeric() || c == '_')
+}
+
+/// Whether `code[idx..]` starts with `pat` at an identifier boundary on
+/// both sides (ASCII identifier chars).
+pub fn word_at(code: &str, idx: usize, pat: &str) -> bool {
+    if !code[idx..].starts_with(pat) {
+        return false;
+    }
+    let before_ok = idx == 0
+        || !code[..idx]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let after = idx + pat.len();
+    let after_ok = !code[after..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+/// All byte offsets where `pat` occurs in `code` as a whole word.
+pub fn word_occurrences(code: &str, pat: &str) -> Vec<usize> {
+    let mut found = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(pat) {
+        let idx = from + rel;
+        if word_at(code, idx, pat) {
+            found.push(idx);
+        }
+        from = idx + pat.len().max(1);
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated() {
+        let s = strip("let x = \"a // b\"; // real comment\n");
+        assert_eq!(s.lines.len(), 1);
+        assert_eq!(s.lines[0].code.trim(), "let x = \"\";");
+        assert_eq!(s.lines[0].comment.trim(), "real comment");
+        assert_eq!(s.strings, vec![(1, "a // b".to_owned())]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_blank() {
+        let s = strip("let m = br#\"magic \"quoted\" ]\"#; let n = b\"x\";\n");
+        assert!(s.lines[0].code.contains("br#\"\""), "{}", s.lines[0].code);
+        assert_eq!(s.strings.len(), 2);
+        assert_eq!(s.strings[0].1, "magic \"quoted\" ]");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = strip("fn f<'a>(x: &'a str) -> char { '\\'' }\n");
+        assert!(s.lines[0].code.contains("<'a>"));
+        assert!(s.lines[0].code.contains("''"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let s = strip("a /* x /* y */ z */ b\n");
+        assert_eq!(s.lines[0].code.replace(' ', ""), "ab");
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(word_at("use HashMap;", 4, "HashMap"));
+        assert!(!word_at("use MyHashMap;", 6, "HashMap"));
+        assert_eq!(
+            word_occurrences("HashMap HashMapX HashMap", "HashMap").len(),
+            2
+        );
+    }
+}

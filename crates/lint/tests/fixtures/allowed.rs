@@ -1,0 +1,8 @@
+// lint:allow(determinism): fixture exercises the next-line directive form
+pub fn boot_instant() -> std::time::Instant {
+    probe() // lint:allow(determinism): fixture exercises the same-line form
+}
+
+fn probe() -> std::time::Instant {
+    std::time::Instant::now() // lint:allow(determinism): fixture needs a real wall-clock read
+}

@@ -1,0 +1,5 @@
+// lint:allow(determinism)
+pub fn unjustified() {}
+
+// lint:allow(nonsense): the rule name does not exist
+pub fn unknown_rule() {}

@@ -1,0 +1,5 @@
+pub fn read_u16(bytes: &[u8]) -> Option<u16> {
+    let lo = bytes.first().copied()?;
+    let hi = bytes.get(1).copied()?;
+    Some((u16::from(hi) << 8) | u16::from(lo))
+}

@@ -1,0 +1,6 @@
+pub fn now_ms() -> u128 {
+    let at = std::time::SystemTime::now();
+    at.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}

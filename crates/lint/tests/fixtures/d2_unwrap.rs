@@ -1,0 +1,3 @@
+pub fn parse(input: &str) -> u32 {
+    input.parse().unwrap()
+}

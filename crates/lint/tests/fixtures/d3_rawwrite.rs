@@ -1,0 +1,5 @@
+use std::fs;
+
+pub fn persist(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    fs::write(path, bytes)
+}

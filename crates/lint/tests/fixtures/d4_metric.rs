@@ -1,0 +1,1 @@
+pub const BOGUS_FAMILY: &str = "spotlake_bogus_metric_total";

@@ -1,0 +1,3 @@
+pub fn narrow(n: usize) -> u32 {
+    n as u32
+}

@@ -1,0 +1,11 @@
+pub fn double(n: u32) -> u32 {
+    n.saturating_mul(2)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn doubles() {
+        assert_eq!(super::double(2).checked_add(0).unwrap(), 4);
+    }
+}

@@ -1,0 +1,199 @@
+//! End-to-end tests for the invariant checker: each fixture violates
+//! exactly one rule (or none), and the binary's exit codes and output
+//! formats are part of the CI contract.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use spotlake_lint::{analyze_source, Finding};
+
+fn fixture(name: &str) -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path).expect("fixture readable");
+    (path, source)
+}
+
+fn findings(name: &str, as_crate: &str, as_path: &str) -> Vec<Finding> {
+    let (_, source) = fixture(name);
+    analyze_source(as_crate, as_path, &source).findings
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+#[test]
+fn d1_wallclock_is_flagged_in_sim_crates_only() {
+    let hits = findings("d1_wallclock.rs", "cloud-sim", "crates/cloud-sim/src/x.rs");
+    assert_eq!(rules_of(&hits), ["determinism"]);
+    assert_eq!(hits[0].line, 2);
+    assert!(hits[0].message.contains("SystemTime::now"));
+    // The same source in an out-of-scope crate is fine.
+    assert!(findings("d1_wallclock.rs", "analysis", "crates/analysis/src/x.rs").is_empty());
+}
+
+#[test]
+fn d1_hashmap_is_flagged() {
+    let hits = findings("d1_hashmap.rs", "collector", "crates/collector/src/x.rs");
+    assert_eq!(rules_of(&hits), ["determinism"]);
+    assert!(hits[0].message.contains("HashMap"));
+}
+
+#[test]
+fn d2_unwrap_is_flagged_in_serving() {
+    let hits = findings("d2_unwrap.rs", "serving", "crates/serving/src/x.rs");
+    assert_eq!(rules_of(&hits), ["fail-closed"]);
+    assert_eq!(hits[0].line, 2);
+}
+
+#[test]
+fn d2_indexing_is_flagged_only_in_the_parser_trio() {
+    let hits = findings(
+        "d2_indexing.rs",
+        "timestream",
+        "crates/timestream/src/codec.rs",
+    );
+    assert_eq!(rules_of(&hits), ["fail-closed"]);
+    assert!(hits[0].message.contains("indexing"));
+    // Indexing is allowed in serving (only panicking macros are not).
+    assert!(findings("d2_indexing.rs", "serving", "crates/serving/src/x.rs").is_empty());
+}
+
+#[test]
+fn d3_raw_write_is_flagged_outside_the_helpers() {
+    let hits = findings(
+        "d3_rawwrite.rs",
+        "timestream",
+        "crates/timestream/src/wal.rs",
+    );
+    assert_eq!(rules_of(&hits), ["durability"]);
+    assert!(hits[0].message.contains("atomic_write"));
+}
+
+#[test]
+fn d4_unknown_metric_is_flagged_everywhere() {
+    let hits = findings("d4_metric.rs", "analysis", "crates/analysis/src/x.rs");
+    assert_eq!(rules_of(&hits), ["metrics-contract"]);
+    assert!(hits[0].message.contains("spotlake_bogus_metric_total"));
+}
+
+#[test]
+fn d5_narrowing_cast_is_flagged_in_the_parser_trio() {
+    let hits = findings("d5_cast.rs", "timestream", "crates/timestream/src/codec.rs");
+    assert_eq!(rules_of(&hits), ["unchecked-arith"]);
+    assert!(hits[0].message.contains("as u32"));
+    assert!(findings("d5_cast.rs", "timestream", "crates/timestream/src/store.rs").is_empty());
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    assert!(findings("clean.rs", "timestream", "crates/timestream/src/codec.rs").is_empty());
+}
+
+#[test]
+fn allow_directives_suppress_with_justification() {
+    assert!(findings("allowed.rs", "cloud-sim", "crates/cloud-sim/src/x.rs").is_empty());
+}
+
+#[test]
+fn malformed_allow_directives_are_themselves_findings() {
+    let hits = findings("bad_allow.rs", "cloud-sim", "crates/cloud-sim/src/x.rs");
+    assert_eq!(rules_of(&hits), ["allow-syntax", "allow-syntax"]);
+    assert!(hits[0].message.contains("justification"));
+    assert!(hits[1].message.contains("nonsense"));
+}
+
+#[test]
+fn cfg_test_regions_are_exempt() {
+    assert!(findings("test_mod.rs", "serving", "crates/serving/src/x.rs").is_empty());
+}
+
+// ---- binary contract ---------------------------------------------------
+
+fn lint_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spotlake-lint"))
+}
+
+#[test]
+fn binary_exits_nonzero_with_diagnostics_on_violation() {
+    let (path, _) = fixture("d1_wallclock.rs");
+    let out = lint_bin()
+        .args(["--check-file"])
+        .arg(&path)
+        .args([
+            "--as-crate",
+            "cloud-sim",
+            "--as-path",
+            "crates/cloud-sim/src/x.rs",
+        ])
+        .args(["--json", "-"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/cloud-sim/src/x.rs:2: [determinism]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"version\":1"), "{stdout}");
+    assert!(stdout.contains("\"total\":1"), "{stdout}");
+}
+
+#[test]
+fn binary_exits_zero_on_clean_file() {
+    let (path, _) = fixture("clean.rs");
+    let out = lint_bin()
+        .args(["--check-file"])
+        .arg(&path)
+        .args([
+            "--as-crate",
+            "timestream",
+            "--as-path",
+            "crates/timestream/src/codec.rs",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn binary_exits_two_on_usage_error() {
+    let out = lint_bin()
+        .arg("--no-such-flag")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn binary_lists_rules() {
+    let out = lint_bin()
+        .arg("--list-rules")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "determinism",
+        "fail-closed",
+        "durability",
+        "metrics-contract",
+        "unchecked-arith",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in {stdout}");
+    }
+}
+
+#[test]
+fn workspace_self_scan_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = lint_bin()
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+}

@@ -59,6 +59,7 @@ mod clock;
 mod flight;
 mod health;
 mod journal;
+pub mod names;
 mod quality;
 mod registry;
 

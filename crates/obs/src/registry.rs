@@ -138,6 +138,10 @@ impl Registry {
         bounds: &[f64],
         value: f64,
     ) {
+        debug_assert!(
+            crate::names::family_matches(name, MetricKind::Histogram),
+            "metric family {name:?} (histogram) is not in the canonical manifest (obs::names)"
+        );
         let mut families = self.families.borrow_mut();
         let family = match families.entry(name.to_owned()) {
             Entry::Vacant(e) => e.insert(Family {
@@ -324,6 +328,11 @@ impl Registry {
         labels: &[(&str, &str)],
         update: impl FnOnce(&mut Value),
     ) {
+        debug_assert!(
+            crate::names::family_matches(name, kind),
+            "metric family {name:?} ({}) is not in the canonical manifest (obs::names)",
+            kind.as_str()
+        );
         let mut families = self.families.borrow_mut();
         let family = match families.entry(name.to_owned()) {
             Entry::Vacant(e) => e.insert(Family {

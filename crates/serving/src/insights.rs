@@ -39,13 +39,15 @@ pub(crate) fn stats(db: &Database, gateway: &Gateway, ops: &OpsContext) -> HttpR
     let tables: Vec<Json> = db
         .table_names()
         .into_iter()
-        .map(|name| {
-            let table = db.table(name).expect("name comes from the listing");
-            Json::object([
+        .filter_map(|name| {
+            // The name came from the listing, but fail closed anyway: a
+            // racing drop must degrade the listing, not panic a request.
+            let table = db.table(name).ok()?;
+            Some(Json::object([
                 ("name", Json::from(name)),
                 ("series", Json::from(table.series_count() as u64)),
                 ("points", Json::from(table.point_count() as u64)),
-            ])
+            ]))
         })
         .collect();
     let mut fields = vec![

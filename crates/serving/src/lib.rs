@@ -44,6 +44,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Request handlers fail closed, never fail loud: the native lint carries
+// part of what `spotlake-lint`'s fail-closed rule enforces. Test modules
+// are exempt — an assertion that unwraps is the point of a test.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod csv;
 mod gateway;

@@ -27,18 +27,20 @@ use crate::crc::crc32;
 use crate::db::Database;
 use crate::error::TsError;
 use crate::table::{Table, TableOptions, WriteMode};
-use std::fs::File;
+use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"SPTL";
 const VERSION: u8 = 3;
+/// Bytes of `magic | version` before the first table.
+const FILE_HEADER_LEN: usize = 5;
 /// Guards length fields against corrupt files asking for absurd
 /// allocations.
 pub(crate) const MAX_LEN: u32 = 64 * 1024 * 1024;
 
 pub(crate) fn save(db: &Database, path: &Path) -> Result<(), TsError> {
-    atomic_write(path, &encode(db))?;
+    atomic_write(path, &encode(db)?)?;
     Ok(())
 }
 
@@ -47,14 +49,16 @@ pub(crate) fn load(path: &Path) -> Result<Database, TsError> {
 }
 
 /// Serializes the database to the version-3 byte format, CRC trailer
-/// included.
-pub(crate) fn encode(db: &Database) -> Vec<u8> {
+/// included. Fails closed with [`TsError::TooLarge`] if any collection
+/// cannot express its length as a `u32` — nothing is ever truncated into
+/// a length field.
+pub(crate) fn encode(db: &Database) -> Result<Vec<u8>, TsError> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
-    put_u32(&mut out, db.tables().len() as u32);
+    put_len(&mut out, db.tables().len(), "table count")?;
     for (name, table) in db.tables() {
-        put_str(&mut out, name);
+        put_str(&mut out, name)?;
         let opts = table.options();
         let mode = match opts.mode {
             WriteMode::Dense => 0u8,
@@ -69,22 +73,22 @@ pub(crate) fn encode(db: &Database) -> Vec<u8> {
             None => out.push(0),
         }
         let series: Vec<_> = table.series_entries().collect();
-        put_u32(&mut out, series.len() as u32);
+        put_len(&mut out, series.len(), "series count")?;
         for (measure, s) in series {
-            put_str(&mut out, measure);
-            put_u32(&mut out, s.dimensions.len() as u32);
+            put_str(&mut out, measure)?;
+            put_len(&mut out, s.dimensions.len(), "dimension count")?;
             for (k, v) in &s.dimensions {
-                put_str(&mut out, k);
-                put_str(&mut out, v);
+                put_str(&mut out, k)?;
+                put_str(&mut out, v)?;
             }
             let blob = encode_series(s.points());
-            put_u32(&mut out, blob.len() as u32);
+            put_len(&mut out, blob.len(), "series blob")?;
             out.extend_from_slice(&blob);
         }
     }
     let crc = crc32(&out);
     put_u32(&mut out, crc);
-    out
+    Ok(out)
 }
 
 /// Decodes a version-3 archive. Every length field is bounded by the
@@ -92,25 +96,34 @@ pub(crate) fn encode(db: &Database) -> Vec<u8> {
 /// corrupt file can never request an implausible allocation — and the CRC
 /// trailer is verified first, so it never gets the chance to.
 pub(crate) fn decode(bytes: &[u8]) -> Result<Database, TsError> {
-    if bytes.len() < MAGIC.len() + 1 + 4 {
-        return Err(corrupt("file too short"));
-    }
-    if &bytes[..4] != MAGIC {
+    let body_len = match bytes.len().checked_sub(4) {
+        Some(n) if n >= FILE_HEADER_LEN => n,
+        _ => return Err(corrupt("file too short")),
+    };
+    if bytes.get(..MAGIC.len()) != Some(MAGIC.as_slice()) {
         return Err(corrupt("bad magic"));
     }
-    let version = bytes[4];
-    if version != VERSION {
-        return Err(TsError::Corrupt {
-            detail: format!("unsupported version {version}"),
-        });
+    match bytes.get(MAGIC.len()).copied() {
+        Some(VERSION) => {}
+        Some(version) => {
+            return Err(TsError::Corrupt {
+                detail: format!("unsupported version {version}"),
+            })
+        }
+        None => return Err(corrupt("file too short")),
     }
-    let (body, trailer) = bytes.split_at(bytes.len() - 4);
-    let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    let body = bytes
+        .get(..body_len)
+        .ok_or_else(|| corrupt("file too short"))?;
+    let stored = read_u32_le(bytes, body_len).ok_or_else(|| corrupt("file too short"))?;
     if crc32(body) != stored {
         return Err(corrupt("checksum mismatch"));
     }
     let mut db = Database::new();
-    let mut c = Cursor::new(&body[5..]);
+    let frames = body
+        .get(FILE_HEADER_LEN..)
+        .ok_or_else(|| corrupt("file too short"))?;
+    let mut c = Cursor::new(frames);
     let table_count = c.u32()?;
     for _ in 0..table_count {
         let name = c.str_()?;
@@ -155,13 +168,32 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<Database, TsError> {
 /// Writes `bytes` to `path` atomically: temp sibling + fsync + rename.
 /// A crash at any point leaves either the old file or the new one, never
 /// a torn mixture.
-pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), TsError> {
+///
+/// This is the single designated write path for durable artifacts — the
+/// workspace lint (rule `durability`) rejects raw `File::create` +
+/// `write` anywhere else in the persistence layer.
+///
+/// # Errors
+///
+/// Returns [`TsError::Io`] on filesystem failure; the temp sibling may
+/// remain but the target is untouched.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), TsError> {
     let tmp = tmp_path(path);
     let mut f = File::create(&tmp)?;
     f.write_all(bytes)?;
     f.sync_all()?;
     drop(f);
     std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Truncates `path` to `len` bytes and fsyncs — the designated helper for
+/// cutting a torn WAL tail. Part of the audited durability surface next
+/// to [`atomic_write`].
+pub(crate) fn truncate_sync(path: &Path, len: u64) -> Result<(), TsError> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    f.sync_all()?;
     Ok(())
 }
 
@@ -195,9 +227,26 @@ pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
+/// Writes a collection/byte length as a `u32` field, failing closed with
+/// [`TsError::TooLarge`] when it cannot fit — never narrowing silently.
+pub(crate) fn put_len(out: &mut Vec<u8>, n: usize, what: &'static str) -> Result<(), TsError> {
+    let v = u32::try_from(n).map_err(|_| TsError::TooLarge { what })?;
+    put_u32(out, v);
+    Ok(())
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), TsError> {
+    put_len(out, s.len(), "string length")?;
     out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Reads a little-endian `u32` at byte offset `at`, if those four bytes
+/// exist — the bounds-checked primitive frame scanning is built on.
+pub(crate) fn read_u32_le(bytes: &[u8], at: usize) -> Option<u32> {
+    let end = at.checked_add(4)?;
+    let slice = bytes.get(at..end)?;
+    <[u8; 4]>::try_from(slice).ok().map(u32::from_le_bytes)
 }
 
 /// Bounds-checked reader over an in-memory buffer. Every read verifies
@@ -214,7 +263,7 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn remaining(&self) -> usize {
-        self.data.len() - self.pos
+        self.data.len().saturating_sub(self.pos)
     }
 
     pub(crate) fn is_done(&self) -> bool {
@@ -222,28 +271,33 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], TsError> {
-        if n > self.remaining() {
-            return Err(corrupt("truncated input"));
-        }
-        let slice = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| corrupt("truncated input"))?;
+        let slice = self
+            .data
+            .get(self.pos..end)
+            .ok_or_else(|| corrupt("truncated input"))?;
+        self.pos = end;
         Ok(slice)
     }
 
     pub(crate) fn u8(&mut self) -> Result<u8, TsError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or_else(|| corrupt("truncated input"))
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, TsError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let arr = <[u8; 4]>::try_from(self.take(4)?).map_err(|_| corrupt("truncated input"))?;
+        Ok(u32::from_le_bytes(arr))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, TsError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let arr = <[u8; 8]>::try_from(self.take(8)?).map_err(|_| corrupt("truncated input"))?;
+        Ok(u64::from_le_bytes(arr))
     }
 
     pub(crate) fn str_(&mut self) -> Result<String, TsError> {
@@ -369,7 +423,7 @@ mod tests {
     #[test]
     fn old_version_is_rejected_not_misread() {
         let db = Database::new();
-        let mut bytes = encode(&db);
+        let mut bytes = encode(&db).unwrap();
         bytes[4] = 2; // pretend to be the pre-checksum format
         let err = decode(&bytes).unwrap_err();
         assert!(err.to_string().contains("unsupported version 2"), "{err}");
@@ -388,7 +442,7 @@ mod tests {
         // reaches the temp sibling and the rename never happens — exactly
         // the state a crash inside `atomic_write` leaves behind.
         db.write("t", &[Record::new(600, "m", 2.0)]).unwrap();
-        let next = encode(&db);
+        let next = encode(&db).unwrap();
         std::fs::write(tmp_path(&path), &next[..next.len() / 2]).unwrap();
 
         let loaded = Database::load(&path).expect("old archive survives a torn save");

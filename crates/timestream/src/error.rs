@@ -36,6 +36,14 @@ pub enum TsError {
     /// A crash fault killed the write-ahead log mid-write. Nothing else
     /// can be appended; only a restart (recovery) brings the store back.
     WalDead,
+    /// An in-memory structure is too large for the on-disk format (a
+    /// length field would overflow its `u32` slot). Practically
+    /// unreachable — the store throttles long before — but the encoder
+    /// refuses rather than silently truncating.
+    TooLarge {
+        /// Which length field would have overflowed.
+        what: &'static str,
+    },
 }
 
 impl TsError {
@@ -61,6 +69,9 @@ impl fmt::Display for TsError {
                 f,
                 "write-ahead log dead after crash fault; restart required"
             ),
+            TsError::TooLarge { what } => {
+                write!(f, "too large to serialize: {what} exceeds u32 range")
+            }
         }
     }
 }

@@ -60,6 +60,7 @@ mod series;
 mod table;
 mod wal;
 
+pub use codec::atomic_write;
 pub use db::Database;
 pub use error::TsError;
 pub use iofault::IoFaultPlan;

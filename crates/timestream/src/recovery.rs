@@ -121,9 +121,7 @@ pub fn recover(dir: &Path) -> Result<(Database, RecoveryReport), TsError> {
             // committed frame. A file too mangled to even hold a header
             // is dropped entirely; Wal::open rewrites it.
             if scan.valid_len >= HEADER_LEN {
-                let f = std::fs::OpenOptions::new().write(true).open(&wal)?;
-                f.set_len(scan.valid_len)?;
-                f.sync_all()?;
+                codec::truncate_sync(&wal, scan.valid_len)?;
             } else {
                 std::fs::remove_file(&wal)?;
             }
@@ -133,7 +131,9 @@ pub fn recover(dir: &Path) -> Result<(Database, RecoveryReport), TsError> {
             if db.table(&frame.table).is_err() {
                 db.create_table(&frame.table, frame.options)?;
             }
-            report.records_replayed += frame.records.len() as u64;
+            report.records_replayed = report
+                .records_replayed
+                .saturating_add(frame.records.len() as u64);
             db.apply_committed(&frame.table, &frame.records)?;
             ticks.insert(frame.tick);
         }
@@ -270,7 +270,9 @@ pub fn fsck(dir: &Path) -> Result<FsckReport, TsError> {
         report.torn_bytes = bytes.len() as u64 - scan.valid_len;
         report.torn_detail = scan.torn_detail.clone();
         for frame in &scan.frames {
-            report.wal_records += frame.records.len() as u64;
+            report.wal_records = report
+                .wal_records
+                .saturating_add(frame.records.len() as u64);
             ticks.insert(frame.tick);
             if db.table(&frame.table).is_err() {
                 db.create_table(&frame.table, frame.options)?;

@@ -165,9 +165,9 @@ impl Wal {
             tick,
             records: records.to_vec(),
         };
-        let payload = frame.encode();
-        let mut full = Vec::with_capacity(payload.len() + 8);
-        codec::put_u32(&mut full, payload.len() as u32);
+        let payload = frame.encode()?;
+        let mut full = Vec::with_capacity(payload.len().saturating_add(8));
+        codec::put_len(&mut full, payload.len(), "WAL frame payload")?;
         codec::put_u32(&mut full, crc32(&payload));
         full.extend_from_slice(&payload);
 
@@ -175,13 +175,13 @@ impl Wal {
             None => {
                 self.file.write_all(&full)?;
                 self.file.sync_data()?;
-                self.len += full.len() as u64;
-                self.frames_appended += 1;
-                self.bytes_appended += full.len() as u64;
+                self.len = self.len.saturating_add(full.len() as u64);
+                self.frames_appended = self.frames_appended.saturating_add(1);
+                self.bytes_appended = self.bytes_appended.saturating_add(full.len() as u64);
                 Ok(())
             }
             Some(IoFault::ShortWrite) => {
-                self.file.write_all(&full[..full.len() / 2])?;
+                self.file.write_all(prefix(&full, full.len() / 2))?;
                 self.undo_partial_append()?;
                 Err(TsError::WalFault {
                     kind: "short-write",
@@ -193,15 +193,18 @@ impl Wal {
                 Err(TsError::WalFault { kind: "fsync-fail" })
             }
             Some(IoFault::TornWrite(frac)) => {
+                // lint:allow(unchecked-arith): fault-injected fraction of the frame length, clamped to a strict prefix below
                 let n = ((frac * full.len() as f64) as usize).clamp(1, full.len() - 1);
-                self.file.write_all(&full[..n])?;
+                self.file.write_all(prefix(&full, n))?;
                 let _ = self.file.sync_data();
                 self.dead = true;
                 Err(TsError::WalDead)
             }
             Some(IoFault::BitFlip(pos)) => {
                 let bit = (pos % (full.len() as u64 * 8)) as usize;
-                full[bit / 8] ^= 1 << (bit % 8);
+                if let Some(byte) = full.get_mut(bit / 8) {
+                    *byte ^= 1 << (bit % 8);
+                }
                 self.file.write_all(&full)?;
                 let _ = self.file.sync_data();
                 self.dead = true;
@@ -228,7 +231,7 @@ impl Wal {
         let target = checkpoint_path(&self.dir);
         match self.faults.next("checkpoint") {
             None => {
-                codec::atomic_write(&target, &codec::encode(db))?;
+                codec::atomic_write(&target, &codec::encode(db)?)?;
                 self.file.set_len(HEADER_LEN)?;
                 self.file.seek(SeekFrom::Start(HEADER_LEN))?;
                 self.file.sync_data()?;
@@ -245,8 +248,9 @@ impl Wal {
                 // but the rename never happens, so nothing of value is
                 // lost — recovery discards the temp and replays the log.
                 debug_assert!(f.is_crash());
-                let bytes = codec::encode(db);
-                let torn = &bytes[..bytes.len() / 2];
+                let bytes = codec::encode(db)?;
+                let torn = prefix(&bytes, bytes.len() / 2);
+                // lint:allow(durability): fault injection deliberately leaves a torn, never-renamed temp artifact
                 std::fs::write(codec::tmp_path(&target), torn)?;
                 self.dead = true;
                 Err(TsError::WalDead)
@@ -280,6 +284,12 @@ impl Wal {
     }
 }
 
+/// The first `n` bytes of `buf` (all of it when shorter) — what a torn
+/// write leaves on disk, without any panicking slice arithmetic.
+fn prefix(buf: &[u8], n: usize) -> &[u8] {
+    buf.get(..n).unwrap_or(buf)
+}
+
 /// One decoded log frame.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct WalFrame {
@@ -290,10 +300,10 @@ pub(crate) struct WalFrame {
 }
 
 impl WalFrame {
-    pub(crate) fn encode(&self) -> Vec<u8> {
+    pub(crate) fn encode(&self) -> Result<Vec<u8>, TsError> {
         let mut out = Vec::new();
         out.push(FRAME_KIND_BATCH);
-        codec::put_str(&mut out, &self.table);
+        codec::put_str(&mut out, &self.table)?;
         out.push(match self.options.mode {
             WriteMode::Dense => 0u8,
             WriteMode::ChangePoint => 1u8,
@@ -306,18 +316,18 @@ impl WalFrame {
             None => out.push(0),
         }
         codec::put_u64(&mut out, self.tick);
-        codec::put_u32(&mut out, self.records.len() as u32);
+        codec::put_len(&mut out, self.records.len(), "record count")?;
         for r in &self.records {
             codec::put_u64(&mut out, r.time);
-            codec::put_str(&mut out, &r.measure);
+            codec::put_str(&mut out, &r.measure)?;
             codec::put_u64(&mut out, r.value.to_bits());
-            codec::put_u32(&mut out, r.dimensions.len() as u32);
+            codec::put_len(&mut out, r.dimensions.len(), "dimension count")?;
             for (k, v) in &r.dimensions {
-                codec::put_str(&mut out, k);
-                codec::put_str(&mut out, v);
+                codec::put_str(&mut out, k)?;
+                codec::put_str(&mut out, v)?;
             }
         }
-        out
+        Ok(out)
     }
 
     pub(crate) fn decode(payload: &[u8]) -> Result<WalFrame, TsError> {
@@ -400,7 +410,9 @@ pub(crate) struct ScanOutcome {
 /// fails to decode). Everything before the stop point is committed;
 /// everything after is a torn tail a crash left behind.
 pub(crate) fn scan_frames(bytes: &[u8]) -> ScanOutcome {
-    if bytes.len() < HEADER_LEN as usize || &bytes[..4] != WAL_MAGIC || bytes[4] != WAL_VERSION {
+    let header_ok =
+        bytes.get(..4) == Some(WAL_MAGIC.as_slice()) && bytes.get(4).copied() == Some(WAL_VERSION);
+    if !header_ok {
         return ScanOutcome {
             frames: Vec::new(),
             valid_len: 0,
@@ -411,34 +423,36 @@ pub(crate) fn scan_frames(bytes: &[u8]) -> ScanOutcome {
     let mut offset = HEADER_LEN as usize;
     let mut torn_detail = None;
     while offset < bytes.len() {
-        let stop = |detail: String| Some(detail);
-        if bytes.len() - offset < 8 {
-            torn_detail = stop(format!("torn frame header at offset {offset}"));
-            break;
-        }
-        let payload_len =
-            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
-        let stored_crc =
-            u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let header = (
+            codec::read_u32_le(bytes, offset),
+            codec::read_u32_le(bytes, offset.saturating_add(4)),
+        );
+        let ((payload_len, stored_crc), start) = match (header, offset.checked_add(8)) {
+            ((Some(l), Some(c)), Some(s)) => ((l, c), s),
+            _ => {
+                torn_detail = Some(format!("torn frame header at offset {offset}"));
+                break;
+            }
+        };
         if check_len(payload_len).is_err() {
-            torn_detail = stop(format!("implausible frame length at offset {offset}"));
+            torn_detail = Some(format!("implausible frame length at offset {offset}"));
             break;
         }
-        let start = offset + 8;
-        let end = start + payload_len as usize;
-        if end > bytes.len() {
-            torn_detail = stop(format!("torn frame payload at offset {offset}"));
+        let payload = start
+            .checked_add(payload_len as usize)
+            .and_then(|end| bytes.get(start..end).map(|p| (p, end)));
+        let Some((payload, end)) = payload else {
+            torn_detail = Some(format!("torn frame payload at offset {offset}"));
             break;
-        }
-        let payload = &bytes[start..end];
+        };
         if crc32(payload) != stored_crc {
-            torn_detail = stop(format!("frame checksum mismatch at offset {offset}"));
+            torn_detail = Some(format!("frame checksum mismatch at offset {offset}"));
             break;
         }
         match WalFrame::decode(payload) {
             Ok(f) => frames.push(f),
             Err(e) => {
-                torn_detail = stop(format!("undecodable frame at offset {offset}: {e}"));
+                torn_detail = Some(format!("undecodable frame at offset {offset}: {e}"));
                 break;
             }
         }
@@ -620,12 +634,12 @@ mod tests {
             tick: 42,
             records: batch(1),
         };
-        let payload = frame.encode();
+        let payload = frame.encode().unwrap();
         assert_eq!(WalFrame::decode(&payload).unwrap(), frame);
         // An implausible record count is rejected before any allocation.
         let mut mangled = Vec::new();
         mangled.push(FRAME_KIND_BATCH);
-        codec::put_str(&mut mangled, "t");
+        codec::put_str(&mut mangled, "t").unwrap();
         mangled.push(0);
         mangled.push(0);
         codec::put_u64(&mut mangled, 1);

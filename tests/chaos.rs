@@ -4,25 +4,17 @@
 //! collectors, store — with a seeded [`FaultPlan`], so the "weather" is
 //! exactly reproducible: a failing case replays bit-for-bit from its seed.
 
-use spotlake::{CollectorConfig, SimConfig, SpotLake};
+mod common;
+
+use common::SEED;
+use spotlake::{CollectorConfig, SpotLake};
 use spotlake_collector::{Dataset, DatasetStatus, FaultPlan, ADVISOR_TABLE, SPS_TABLE};
 use spotlake_timestream::Query;
-use spotlake_types::{CatalogBuilder, SimDuration};
-
-const SEED: u64 = 20_220_901;
 
 fn lake(faults: Option<FaultPlan>) -> SpotLake {
-    let mut b = CatalogBuilder::new();
-    b.region("us-test-1", 3)
-        .region("eu-test-1", 3)
-        .instance_type("m5.large", 0.096)
-        .instance_type("c5.xlarge", 0.17)
-        .instance_type("p3.2xlarge", 3.06);
-    let mut sim = SimConfig::with_seed(SEED);
-    sim.tick = SimDuration::from_mins(30);
     SpotLake::builder()
-        .catalog(b.build().expect("valid catalog"))
-        .sim_config(sim)
+        .catalog(common::test_catalog(common::GPU_MENU))
+        .sim_config(common::sim_config())
         .collector_config(CollectorConfig {
             faults,
             ..CollectorConfig::default()
@@ -39,8 +31,7 @@ fn table_count(lake: &SpotLake, table: &str, measure: &str) -> usize {
 }
 
 fn save_bytes(lake: &SpotLake, tag: &str) -> Vec<u8> {
-    let mut path = std::env::temp_dir();
-    path.push(format!("spotlake-chaos-{tag}-{}.db", std::process::id()));
+    let path = common::scratch_path("chaos", tag);
     lake.save_archive(&path).expect("archive saves");
     let bytes = std::fs::read(&path).expect("archive readable");
     std::fs::remove_file(&path).ok();
@@ -141,17 +132,9 @@ fn zero_fault_plan_is_behavior_preserving() {
 }
 
 fn durable_lake(wal_dir: &std::path::Path, faults: Option<FaultPlan>) -> SpotLake {
-    let mut b = CatalogBuilder::new();
-    b.region("us-test-1", 3)
-        .region("eu-test-1", 3)
-        .instance_type("m5.large", 0.096)
-        .instance_type("c5.xlarge", 0.17)
-        .instance_type("p3.2xlarge", 3.06);
-    let mut sim = SimConfig::with_seed(SEED);
-    sim.tick = SimDuration::from_mins(30);
     SpotLake::builder()
-        .catalog(b.build().expect("valid catalog"))
-        .sim_config(sim)
+        .catalog(common::test_catalog(common::GPU_MENU))
+        .sim_config(common::sim_config())
         .collector_config(CollectorConfig {
             faults,
             wal_dir: Some(wal_dir.to_owned()),
@@ -164,9 +147,7 @@ fn durable_lake(wal_dir: &std::path::Path, faults: Option<FaultPlan>) -> SpotLak
 
 #[test]
 fn dead_letter_queue_survives_a_restart() {
-    let mut wal = std::env::temp_dir();
-    wal.push(format!("spotlake-chaos-dlq-{}", std::process::id()));
-    std::fs::remove_dir_all(&wal).ok();
+    let wal = common::scratch_path("chaos", "dlq");
 
     // Heavy API weather until queries actually sit in the queue.
     let mut lake = durable_lake(&wal, Some(FaultPlan::uniform(SEED, 0.45)));

@@ -8,27 +8,23 @@
 //! it, and checks the recovered archive is *exactly* the committed
 //! prefix.
 
-use spotlake_cloud_sim::{SimCloud, SimConfig};
+mod common;
+
+use common::SEED;
+use spotlake_cloud_sim::SimCloud;
 use spotlake_collector::{CollectorConfig, CollectorService, IoFaultPlan};
 use spotlake_timestream::fsck;
-use spotlake_types::{CatalogBuilder, SimDuration};
 use std::path::{Path, PathBuf};
-
-const SEED: u64 = 20_220_901;
 
 /// More than enough rounds for the crash profile (~3% per append, three
 /// appends per round) to fire.
 const MAX_ROUNDS: u64 = 400;
 
 fn cloud() -> SimCloud {
-    let mut b = CatalogBuilder::new();
-    b.region("us-test-1", 3)
-        .region("eu-test-1", 3)
-        .instance_type("m5.large", 0.096)
-        .instance_type("c5.xlarge", 0.17);
-    let mut sim = SimConfig::with_seed(SEED);
-    sim.tick = SimDuration::from_mins(30);
-    SimCloud::new(b.build().expect("valid catalog"), sim)
+    SimCloud::new(
+        common::test_catalog(common::SMALL_MENU),
+        common::sim_config(),
+    )
 }
 
 fn config(dir: &Path, io_faults: Option<IoFaultPlan>) -> CollectorConfig {
@@ -41,10 +37,7 @@ fn config(dir: &Path, io_faults: Option<IoFaultPlan>) -> CollectorConfig {
 }
 
 fn tempdir(name: &str) -> PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!("spotlake-crash-{}-{name}", std::process::id()));
-    std::fs::remove_dir_all(&p).ok();
-    p
+    common::scratch_path("crash", name)
 }
 
 /// What a crashed run leaves behind: the cloud (still ticking), the
