@@ -22,11 +22,15 @@ use spotlake::experiment::{ExperimentConfig, FulfillmentExperiment};
 use spotlake::prediction;
 use spotlake::{CollectorConfig, SimCloud, SimConfig, SpotLake};
 use spotlake_collector::{AccountPool, FaultPlan, IoFaultPlan, PlannerStrategy, QueryPlanner};
-use spotlake_serving::{ArchiveService, HttpRequest};
+use spotlake_serving::server::{loadgen, ChaosProfile, LoadConfig, LoadMode};
+use spotlake_serving::{ArchiveService, HttpRequest, Server, ServerConfig, SharedArchive};
 use spotlake_timestream::Database;
 use spotlake_types::{Catalog, SimDuration};
 use std::collections::HashMap;
+use std::io::BufRead as _;
+use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "spotlake — diverse spot instance dataset archive service (reproduction)
 
@@ -42,6 +46,11 @@ USAGE:
                  [--region R] [--az Z] [--from N] [--to N] [--limit N] [--explain]
   spotlake experiment [--cases N] [--warmup-days N] [--history-days N] [--seed N]
   spotlake mc [--rounds N]
+  spotlake serve --archive FILE [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                 [--deadline-ms N] [--read-timeout-ms N] [--write-timeout-ms N]
+  spotlake loadgen (--addr HOST:PORT | --archive FILE) [--seed N] [--clients N]
+                   [--requests N] [--mode closed|open] [--interval-ms N]
+                   [--chaos none|light|heavy] [--out FILE]
   spotlake help
 ";
 
@@ -70,6 +79,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "query" => cmd_query(&parsed),
         "experiment" => cmd_experiment(&parsed),
         "mc" => cmd_mc(&parsed),
+        "serve" => cmd_serve(&parsed),
+        "loadgen" => cmd_loadgen(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -370,6 +381,133 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds a [`ServerConfig`] from the shared serving flags.
+fn server_config_from(args: &Args) -> Result<ServerConfig, String> {
+    let defaults = ServerConfig::default();
+    let workers = args.get_u64("workers", defaults.workers as u64)? as usize;
+    let queue_depth = args.get_u64("queue-depth", defaults.queue_depth as u64)? as usize;
+    if workers == 0 || queue_depth == 0 {
+        return Err("--workers and --queue-depth must be at least 1".into());
+    }
+    Ok(ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:0").to_owned(),
+        workers,
+        queue_depth,
+        deadline: Duration::from_millis(
+            args.get_u64("deadline-ms", defaults.deadline.as_millis() as u64)?,
+        ),
+        read_timeout: Duration::from_millis(
+            args.get_u64("read-timeout-ms", defaults.read_timeout.as_millis() as u64)?,
+        ),
+        write_timeout: Duration::from_millis(args.get_u64(
+            "write-timeout-ms",
+            defaults.write_timeout.as_millis() as u64,
+        )?),
+        ..defaults
+    })
+}
+
+/// `serve`: load a saved archive and serve it over real TCP until stdin
+/// reaches EOF, then drain gracefully and report what happened.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let archive = args.require("archive")?;
+    let db = Database::load(archive).map_err(|e| e.to_string())?;
+    let config = server_config_from(args)?;
+    let handle = Server::start(SharedArchive::new(db), config).map_err(|e| e.to_string())?;
+    // The address goes to stdout alone so scripts can capture it.
+    println!("{}", handle.addr());
+    eprintln!(
+        "serving {archive} on {} — send EOF (ctrl-d) to stop",
+        handle.addr()
+    );
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    let report = handle.shutdown();
+    let t = report.totals;
+    eprintln!(
+        "drained: {} accepted, {} served, {} shed, {} deadline-exceeded, {} bad requests, {} slow clients closed, {} worker panics",
+        t.accepted, t.served, t.shed, t.deadline_exceeded, t.bad_requests, t.slow_clients_closed, t.worker_panics
+    );
+    Ok(())
+}
+
+/// `loadgen`: drive a server (an external one via `--addr`, or a
+/// self-served archive via `--archive`) with the seeded load/chaos plan
+/// and write the `BENCH_serving.json` scoreboard.
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    let chaos = match args.get("chaos").unwrap_or("none") {
+        "none" => ChaosProfile::None,
+        "light" => ChaosProfile::Light,
+        "heavy" => ChaosProfile::Heavy,
+        other => return Err(format!("unknown chaos profile: {other}")),
+    };
+    let mode = match args.get("mode").unwrap_or("closed") {
+        "closed" => LoadMode::Closed,
+        "open" => LoadMode::Open {
+            interval: Duration::from_millis(args.get_u64("interval-ms", 10)?.max(1)),
+        },
+        other => return Err(format!("unknown mode: {other} (expected closed or open)")),
+    };
+    let load = LoadConfig {
+        seed: args.get_u64("seed", 7)?,
+        clients: args.get_u64("clients", 4)?.max(1) as usize,
+        requests_per_client: args.get_u64("requests", 50)?.max(1) as usize,
+        mode,
+        chaos,
+        ..LoadConfig::default()
+    };
+    let out = args.get("out").unwrap_or("BENCH_serving.json").to_owned();
+
+    let (report, server_totals) = match (args.get("addr"), args.get("archive")) {
+        (Some(addr), _) => {
+            let addr: SocketAddr = addr
+                .parse()
+                .map_err(|e| format!("bad --addr {addr:?}: {e}"))?;
+            (loadgen::run(addr, &load), None)
+        }
+        (None, Some(archive)) => {
+            let db = Database::load(archive).map_err(|e| e.to_string())?;
+            let handle = Server::start(SharedArchive::new(db), server_config_from(args)?)
+                .map_err(|e| e.to_string())?;
+            eprintln!("self-serving {archive} on {}", handle.addr());
+            let report = loadgen::run(handle.addr(), &load);
+            (report, Some(handle.shutdown().totals))
+        }
+        (None, None) => return Err("loadgen needs --addr HOST:PORT or --archive FILE".into()),
+    };
+
+    let json = report.to_json(server_totals.as_ref());
+    std::fs::write(&out, format!("{json}\n")).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "loadgen seed {}: {}/{} completed, {} io errors, p50 {:.0}us p90 {:.0}us p99 {:.0}us, {:.0} rps -> {out}",
+        report.seed,
+        report.completed,
+        report.planned,
+        report.io_errors,
+        report.p50_micros,
+        report.p90_micros,
+        report.p99_micros,
+        report.throughput_rps
+    );
+    println!("{json}");
+    if let Some(totals) = server_totals {
+        if totals.worker_panics > 0 {
+            return Err(format!(
+                "{} handler panic(s) surfaced as 500s during the run",
+                totals.worker_panics
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// The Section 7 multi-vendor comparison, as a command.
 fn cmd_mc(args: &Args) -> Result<(), String> {
     let rounds = args.get_u64("rounds", 12)?;
@@ -595,6 +733,66 @@ mod tests {
         assert!(run(&strings(&["fsck"])).is_err(), "fsck requires --wal-dir");
         std::fs::remove_file(&out).ok();
         std::fs::remove_dir_all(&wal).ok();
+    }
+
+    #[test]
+    fn loadgen_self_serves_an_archive_and_writes_the_bench_file() {
+        let pid = std::process::id();
+        let mut out = std::env::temp_dir();
+        out.push(format!("spotlake-cli-loadgen-{pid}.db"));
+        let mut bench = std::env::temp_dir();
+        bench.push(format!("spotlake-cli-loadgen-{pid}.json"));
+        let out_str = out.to_string_lossy().into_owned();
+        let bench_str = bench.to_string_lossy().into_owned();
+        run(&strings(&[
+            "collect",
+            "--out",
+            &out_str,
+            "--days",
+            "1",
+            "--tick-minutes",
+            "240",
+            "--types",
+            "m5.large",
+        ]))
+        .unwrap();
+        run(&strings(&[
+            "loadgen",
+            "--archive",
+            &out_str,
+            "--clients",
+            "2",
+            "--requests",
+            "8",
+            "--seed",
+            "11",
+            "--out",
+            &bench_str,
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&bench).unwrap();
+        assert!(json.contains("\"bench\":\"serving\""), "{json}");
+        assert!(json.contains("\"planned\":16"), "{json}");
+        assert!(json.contains("\"worker_panics\":0"), "{json}");
+        // Bad knobs are rejected before any socket work.
+        assert!(run(&strings(&["loadgen", "--chaos", "cosmic"])).is_err());
+        assert!(run(&strings(&["loadgen", "--mode", "sideways"])).is_err());
+        assert!(run(&strings(&["loadgen"])).is_err());
+        assert!(run(&strings(&["loadgen", "--addr", "not-an-address",])).is_err());
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&bench).ok();
+    }
+
+    #[test]
+    fn serve_rejects_zero_workers() {
+        assert!(run(&strings(&[
+            "serve",
+            "--archive",
+            "nonexistent.db",
+            "--workers",
+            "0"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -49,6 +49,29 @@ fn d2_unwrap_is_flagged_in_serving() {
 }
 
 #[test]
+fn d2_server_modules_are_in_fail_closed_scope() {
+    // The fail-closed rule covers the whole serving crate, so the TCP
+    // server under serving/src/server/ is inside the scope by
+    // construction — this pins that down against future scope edits.
+    for path in [
+        "crates/serving/src/server/engine.rs",
+        "crates/serving/src/server/wire.rs",
+        "crates/serving/src/server/loadgen.rs",
+    ] {
+        let hits = findings("d2_unwrap.rs", "serving", path);
+        assert_eq!(rules_of(&hits), ["fail-closed"], "{path}");
+    }
+    // Deadlines and latency measurement need a monotonic clock, so
+    // serving deliberately stays outside the determinism scope.
+    assert!(findings(
+        "d1_wallclock.rs",
+        "serving",
+        "crates/serving/src/server/engine.rs"
+    )
+    .is_empty());
+}
+
+#[test]
 fn d2_indexing_is_flagged_only_in_the_parser_trio() {
     let hits = findings(
         "d2_indexing.rs",

@@ -5,10 +5,18 @@
 //! aggregate histograms. The recorder keeps the top-N completed queries
 //! ranked by a deterministic cost proxy (work units, never nanoseconds),
 //! so two same-seed runs dump byte-identical flight records. Recording
-//! goes through `&self` (`RefCell` inside) like the registry, so the
-//! gateway's read path can feed it without `&mut` plumbing.
+//! goes through `&self` (`Mutex` inside) like the registry, so the
+//! gateway's read path can feed it without `&mut` plumbing and the
+//! serving layer's worker threads can share one recorder. Poisoned locks
+//! are recovered: each mutation is a whole-value update, so a panicking
+//! worker cannot leave the recorder half-written.
 
-use std::cell::RefCell;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard from a poisoned lock.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Identity and timing context a query carries through the store layers.
 ///
@@ -44,13 +52,13 @@ pub struct FlightEntry {
 }
 
 /// Fixed-capacity top-N recorder of the most expensive queries.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FlightRecorder {
     capacity: usize,
     /// Retained entries, sorted: highest cost first, ties broken by
     /// ascending trace id (first occurrence wins the display slot).
-    entries: RefCell<Vec<FlightEntry>>,
-    observed: RefCell<u64>,
+    entries: Mutex<Vec<FlightEntry>>,
+    observed: Mutex<u64>,
 }
 
 impl Default for FlightRecorder {
@@ -59,13 +67,23 @@ impl Default for FlightRecorder {
     }
 }
 
+impl Clone for FlightRecorder {
+    fn clone(&self) -> Self {
+        FlightRecorder {
+            capacity: self.capacity,
+            entries: Mutex::new(lock(&self.entries).clone()),
+            observed: Mutex::new(*lock(&self.observed)),
+        }
+    }
+}
+
 impl FlightRecorder {
     /// Creates a recorder retaining the `capacity` most expensive queries.
     pub fn new(capacity: usize) -> Self {
         FlightRecorder {
             capacity: capacity.max(1),
-            entries: RefCell::new(Vec::new()),
-            observed: RefCell::new(0),
+            entries: Mutex::new(Vec::new()),
+            observed: Mutex::new(0),
         }
     }
 
@@ -73,8 +91,8 @@ impl FlightRecorder {
     /// when over capacity. Ordering is fully deterministic: cost
     /// descending, then trace id ascending.
     pub fn record(&self, entry: FlightEntry) {
-        *self.observed.borrow_mut() += 1;
-        let mut entries = self.entries.borrow_mut();
+        *lock(&self.observed) += 1;
+        let mut entries = lock(&self.entries);
         let at = entries.partition_point(|e| {
             (e.cost, std::cmp::Reverse(e.trace_id))
                 > (entry.cost, std::cmp::Reverse(entry.trace_id))
@@ -85,12 +103,12 @@ impl FlightRecorder {
 
     /// The retained entries, most expensive first.
     pub fn snapshot(&self) -> Vec<FlightEntry> {
-        self.entries.borrow().clone()
+        lock(&self.entries).clone()
     }
 
     /// Total queries observed (including those since evicted).
     pub fn observed(&self) -> u64 {
-        *self.observed.borrow()
+        *lock(&self.observed)
     }
 
     /// Maximum number of retained entries.

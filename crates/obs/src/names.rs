@@ -157,6 +157,18 @@ pub const METRIC_FAMILIES: &[MetricFamilyDef] = &[
         help: "HTTP response body sizes in bytes",
     },
     MetricFamilyDef {
+        name: "spotlake_loadgen_latency_micros",
+        kind: Histogram,
+        layer: "loadgen",
+        help: "Client-observed request latency in microseconds (open-loop: from scheduled start)",
+    },
+    MetricFamilyDef {
+        name: "spotlake_loadgen_requests_total",
+        kind: Counter,
+        layer: "loadgen",
+        help: "Load-generator actions executed, by kind and outcome",
+    },
+    MetricFamilyDef {
         name: "spotlake_query_chunks_decompressed",
         kind: Histogram,
         layer: "store",
@@ -221,6 +233,66 @@ pub const METRIC_FAMILIES: &[MetricFamilyDef] = &[
         kind: Counter,
         layer: "recovery",
         help: "Distinct round ticks recovered from the WAL",
+    },
+    MetricFamilyDef {
+        name: "spotlake_server_bad_requests_total",
+        kind: Counter,
+        layer: "server",
+        help: "Requests rejected by the fail-closed wire parser, by status",
+    },
+    MetricFamilyDef {
+        name: "spotlake_server_connections_total",
+        kind: Counter,
+        layer: "server",
+        help: "TCP connections accepted by the listener",
+    },
+    MetricFamilyDef {
+        name: "spotlake_server_deadline_exceeded_total",
+        kind: Counter,
+        layer: "server",
+        help: "Requests answered 504 because the per-request deadline elapsed",
+    },
+    MetricFamilyDef {
+        name: "spotlake_server_inflight",
+        kind: Gauge,
+        layer: "server",
+        help: "Requests currently being handled by worker threads",
+    },
+    MetricFamilyDef {
+        name: "spotlake_server_queue_depth",
+        kind: Gauge,
+        layer: "server",
+        help: "Connections waiting in the bounded admission queue",
+    },
+    MetricFamilyDef {
+        name: "spotlake_server_request_micros",
+        kind: Histogram,
+        layer: "server",
+        help: "Server-side request wall time in microseconds",
+    },
+    MetricFamilyDef {
+        name: "spotlake_server_requests_total",
+        kind: Counter,
+        layer: "server",
+        help: "Requests answered on the TCP path, by status",
+    },
+    MetricFamilyDef {
+        name: "spotlake_server_shed_total",
+        kind: Counter,
+        layer: "server",
+        help: "Connections answered 503 because the admission queue was full",
+    },
+    MetricFamilyDef {
+        name: "spotlake_server_slow_clients_closed_total",
+        kind: Counter,
+        layer: "server",
+        help: "Connections closed for exceeding read/write timeouts",
+    },
+    MetricFamilyDef {
+        name: "spotlake_server_worker_panics_total",
+        kind: Counter,
+        layer: "server",
+        help: "Handler panics caught and converted to 500s by worker isolation",
     },
     MetricFamilyDef {
         name: "spotlake_store_compression_ratio",

@@ -4,15 +4,24 @@
 //! `BTreeMap` keyed by the sorted label set, so [`Registry::render`] is a
 //! pure function of the recorded observations — the backbone of the
 //! workspace's byte-identical `/metrics` contract. Recording goes through
-//! shared references (`RefCell` inside): read paths like the store's query
+//! shared references (`Mutex` inside): read paths like the store's query
 //! handlers can count themselves without threading `&mut` through every
-//! caller. The registry is therefore single-threaded by design, matching
-//! the rest of the serving stack.
+//! caller, and the serving layer's worker threads can share one registry.
+//! A poisoned lock is recovered rather than propagated — a panic in one
+//! worker must not take the whole metrics surface down with it (every
+//! mutation here is a single whole-value update, so the protected map is
+//! never observable in a half-written state).
 
-use std::cell::RefCell;
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard from a poisoned lock. See the module
+/// docs for why poisoning is survivable here.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What a metric family measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,12 +89,21 @@ fn default_buckets() -> Vec<f64> {
 
 /// A registry of metric families.
 ///
-/// All recording methods take `&self`; see the module docs for why. Family
-/// kind is fixed by the first recording — mixing kinds under one name is a
-/// programming error and panics.
-#[derive(Debug, Clone, Default)]
+/// All recording methods take `&self`; see the module docs for why. The
+/// registry is `Send + Sync`: the serving layer's worker threads record
+/// into one shared instance. Family kind is fixed by the first recording —
+/// mixing kinds under one name is a programming error and panics.
+#[derive(Debug, Default)]
 pub struct Registry {
-    families: RefCell<BTreeMap<String, Family>>,
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Clone for Registry {
+    fn clone(&self) -> Self {
+        Registry {
+            families: Mutex::new(lock(&self.families).clone()),
+        }
+    }
 }
 
 impl Registry {
@@ -142,7 +160,7 @@ impl Registry {
             crate::names::family_matches(name, MetricKind::Histogram),
             "metric family {name:?} (histogram) is not in the canonical manifest (obs::names)"
         );
-        let mut families = self.families.borrow_mut();
+        let mut families = lock(&self.families);
         let family = match families.entry(name.to_owned()) {
             Entry::Vacant(e) => e.insert(Family {
                 help: help.to_owned(),
@@ -187,7 +205,7 @@ impl Registry {
     /// the estimate is a floor, not a fabricated tail. Returns `None` if
     /// the family or series is missing, empty, or not a histogram.
     pub fn histogram_quantile(&self, name: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
-        let families = self.families.borrow();
+        let families = lock(&self.families);
         let family = families.get(name)?;
         if family.kind != MetricKind::Histogram {
             return None;
@@ -203,7 +221,7 @@ impl Registry {
     /// family, sorted by label set. Returns an empty vector if the family
     /// is missing or not a histogram.
     pub fn histogram_summaries(&self, name: &str) -> Vec<HistogramSummary> {
-        let families = self.families.borrow();
+        let families = lock(&self.families);
         let Some(family) = families.get(name) else {
             return Vec::new();
         };
@@ -231,12 +249,12 @@ impl Registry {
 
     /// Number of metric families.
     pub fn family_count(&self) -> usize {
-        self.families.borrow().len()
+        lock(&self.families).len()
     }
 
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.families.borrow().is_empty()
+        lock(&self.families).is_empty()
     }
 
     /// Renders the registry in the Prometheus text exposition format.
@@ -254,7 +272,7 @@ impl Registry {
     pub fn render_merged<'a>(registries: impl IntoIterator<Item = &'a Registry>) -> String {
         let mut merged: BTreeMap<String, Family> = BTreeMap::new();
         for registry in registries {
-            for (name, family) in registry.families.borrow().iter() {
+            for (name, family) in lock(&registry.families).iter() {
                 match merged.entry(name.clone()) {
                     Entry::Vacant(e) => {
                         e.insert(family.clone());
@@ -333,7 +351,7 @@ impl Registry {
             "metric family {name:?} ({}) is not in the canonical manifest (obs::names)",
             kind.as_str()
         );
-        let mut families = self.families.borrow_mut();
+        let mut families = lock(&self.families);
         let family = match families.entry(name.to_owned()) {
             Entry::Vacant(e) => e.insert(Family {
                 help: help.to_owned(),

@@ -6,7 +6,14 @@ use crate::json::Json;
 use crate::ops::OpsContext;
 use spotlake_obs::{FlightEntry, FlightRecorder, QueryCtx, Readiness, Registry, TraceJournal};
 use spotlake_timestream::{Aggregate, Database, Query, QueryProfile, Row, TsError};
-use std::cell::RefCell;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard from a poisoned lock: a panicking
+/// worker thread must not take the gateway's trace journal down with it
+/// (the journal's mutations are append-only and complete per call).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default measure per well-known archive table; unknown tables must name
 /// their measure explicitly (a wrong silent default would return an empty
@@ -58,11 +65,24 @@ const ENDPOINTS: [&str; 13] = [
 /// per-query spans (root `query` span plus one child per cost stage), and
 /// a [`FlightRecorder`] retaining the most expensive queries for
 /// `/debug/queries` and the `/stats` slow-query listing.
-#[derive(Debug, Clone, Default)]
+///
+/// The gateway is `Send + Sync`: the [`server`](crate::server) worker
+/// pool routes concurrent requests through one shared instance.
+#[derive(Debug, Default)]
 pub struct Gateway {
     http: Registry,
     flight: FlightRecorder,
-    traces: RefCell<TraceJournal>,
+    traces: Mutex<TraceJournal>,
+}
+
+impl Clone for Gateway {
+    fn clone(&self) -> Self {
+        Gateway {
+            http: self.http.clone(),
+            flight: self.flight.clone(),
+            traces: Mutex::new(lock(&self.traces).clone()),
+        }
+    }
 }
 
 impl Gateway {
@@ -83,7 +103,7 @@ impl Gateway {
 
     /// Renders the gateway's query trace journal as JSON lines.
     pub fn query_trace_text(&self) -> String {
-        self.traces.borrow().render()
+        lock(&self.traces).render()
     }
 
     /// Routes a request, recording it in the gateway's registry.
@@ -174,7 +194,7 @@ impl Gateway {
     /// from the gateway's journal, at the operator-supplied tick.
     fn new_ctx(&self, ops: &OpsContext) -> QueryCtx {
         QueryCtx {
-            trace_id: self.traces.borrow_mut().next_trace_id(),
+            trace_id: lock(&self.traces).next_trace_id(),
             tick: ops.tick,
         }
     }
@@ -202,7 +222,7 @@ impl Gateway {
         let cost = profile.cost();
         let query_str = request.path_and_query();
         {
-            let mut traces = self.traces.borrow_mut();
+            let mut traces = lock(&self.traces);
             let root = traces.begin_span(profile.tick, "query");
             traces.span_attr(root, "trace_id", profile.trace_id.to_string());
             traces.span_attr(root, "op", profile.op.to_owned());
@@ -380,7 +400,7 @@ impl Gateway {
 
     /// `/debug/traces`: the gateway's query trace journal as JSON lines.
     fn debug_traces(&self) -> HttpResponse {
-        HttpResponse::plain(self.traces.borrow().render())
+        HttpResponse::plain(lock(&self.traces).render())
     }
 }
 

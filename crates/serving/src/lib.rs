@@ -18,6 +18,10 @@
 //!   collection totals.
 //! * [`json`] — a small JSON encoder (the workspace deliberately avoids a
 //!   JSON dependency), and CSV export for bulk downloads.
+//! * [`server`] — the real thing: a dependency-light multithreaded TCP
+//!   listener with admission control, deadlines, panic isolation, and
+//!   graceful shutdown, plus the seeded load/chaos generator that writes
+//!   `BENCH_serving.json`.
 //!
 //! Users "can query specifying the timestamp, regions, availability zones,
 //! and instance types" — those are exactly the supported query parameters.
@@ -55,8 +59,10 @@ mod http;
 mod insights;
 pub mod json;
 mod ops;
+pub mod server;
 
 pub use csv::rows_to_csv;
 pub use gateway::{ArchiveService, Gateway};
 pub use http::{HttpRequest, HttpResponse, ServeError};
 pub use ops::OpsContext;
+pub use server::{Server, ServerConfig, ServerHandle, SharedArchive};

@@ -1,0 +1,394 @@
+//! The serving engine: listener, bounded worker pool, and the overload
+//! envelope.
+//!
+//! The design goal is that *no client behaviour can take the server
+//! down*, and overload degrades service predictably instead of
+//! collapsing it:
+//!
+//! * **Admission control** — accepted connections enter a bounded queue
+//!   (`queue_depth`); when it is full the listener answers `503` with a
+//!   `Retry-After` header and closes, shedding load at the cheapest
+//!   possible point instead of queueing unboundedly.
+//! * **Concurrency cap** — `workers` threads bound in-flight handling,
+//!   so at most `workers + queue_depth + 1` connections are ever open.
+//! * **Deadlines** — each request gets `deadline` of wall time; requests
+//!   that blow it are answered `504` rather than holding a worker
+//!   indefinitely from the client's point of view.
+//! * **Slowloris protection** — socket read/write timeouts bound how
+//!   long a slow client can pin a worker; a head that does not arrive in
+//!   time is answered `408` and the connection closed.
+//! * **Panic isolation** — handler panics are caught per request,
+//!   answered `500`, counted, and the worker keeps serving.
+//! * **Graceful shutdown** — [`ServerHandle::shutdown`] stops accepting,
+//!   drains queued and in-flight requests, joins every thread, and
+//!   returns a [`ServerReport`] with flushed metrics.
+
+use super::metrics::{ServerMetrics, ServerTotals};
+use super::shared::SharedArchive;
+use super::wire::{self, WireLimits};
+use crate::gateway::Gateway;
+use crate::http::HttpResponse;
+use crate::ops::OpsContext;
+use spotlake_obs::Registry;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Locks `m`, recovering the guard from a poisoned lock (workers share
+/// the receiver; a panicking worker must not wedge the pool).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bounded admission-queue depth; beyond it connections are shed.
+    pub queue_depth: usize,
+    /// Per-request wall-time budget before a `504`.
+    pub deadline: Duration,
+    /// Socket read timeout (slow-client bound for the request head).
+    pub read_timeout: Duration,
+    /// Socket write timeout (slow-client bound for the response).
+    pub write_timeout: Duration,
+    /// Seconds advertised in the `Retry-After` header of shed responses.
+    pub retry_after_secs: u32,
+    /// Wire-parser byte/count limits.
+    pub limits: WireLimits,
+    /// Simulation tick stamped into query traces (0 when unclocked).
+    pub tick: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            deadline: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(1),
+            write_timeout: Duration::from_secs(1),
+            retry_after_secs: 1,
+            limits: WireLimits::default(),
+            tick: 0,
+        }
+    }
+}
+
+/// What the server did over its lifetime, returned by
+/// [`ServerHandle::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Monotonic totals from the serving path.
+    pub totals: ServerTotals,
+    /// The final merged Prometheus exposition (server + gateway +
+    /// archive-snapshot families), flushed at shutdown.
+    pub metrics_text: String,
+}
+
+/// The serving engine. Construct with [`Server::start`].
+#[derive(Debug)]
+pub struct Server;
+
+/// Shared state every listener/worker thread holds an `Arc` to.
+#[derive(Debug)]
+struct ServerState {
+    archive: SharedArchive,
+    gateway: Gateway,
+    metrics: ServerMetrics,
+    deadline: Duration,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    limits: WireLimits,
+    tick: u64,
+}
+
+impl Server {
+    /// Binds `config.addr`, spawns the listener and worker pool, and
+    /// returns a handle to the running server.
+    pub fn start(archive: SharedArchive, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            archive,
+            gateway: Gateway::new(),
+            metrics: ServerMetrics::new(),
+            deadline: config.deadline,
+            read_timeout: config.read_timeout.max(Duration::from_millis(1)),
+            write_timeout: config.write_timeout.max(Duration::from_millis(1)),
+            limits: config.limits,
+            tick: config.tick,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let state = Arc::clone(&state);
+            let rx = Arc::clone(&rx);
+            let handle = std::thread::Builder::new()
+                .name(format!("spotlake-worker-{i}"))
+                .spawn(move || worker_loop(&state, &rx))?;
+            workers.push(handle);
+        }
+
+        let accept_state = Arc::clone(&state);
+        let accept_stop = Arc::clone(&stop);
+        let retry_after = config.retry_after_secs;
+        let acceptor = std::thread::Builder::new()
+            .name("spotlake-listener".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_state, &accept_stop, tx, retry_after))?;
+
+        Ok(ServerHandle {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+            state,
+        })
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down
+/// (discarding the report); call [`ServerHandle::shutdown`] to get one.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The gateway serving this listener (for trace/flight inspection).
+    pub fn gateway(&self) -> &Gateway {
+        &self.state.gateway
+    }
+
+    /// The shared archive this server queries.
+    pub fn archive(&self) -> &SharedArchive {
+        &self.state.archive
+    }
+
+    /// Point-in-time serving totals.
+    pub fn totals(&self) -> ServerTotals {
+        self.state.metrics.totals()
+    }
+
+    /// Stops accepting, drains queued and in-flight requests, joins all
+    /// threads, and returns the final report with flushed metrics.
+    pub fn shutdown(mut self) -> ServerReport {
+        self.stop_and_join();
+        let snapshot = self.state.archive.snapshot();
+        let registries: [&Registry; 3] = [
+            self.state.metrics.registry(),
+            self.state.gateway.http_metrics(),
+            snapshot.metrics(),
+        ];
+        ServerReport {
+            totals: self.state.metrics.totals(),
+            metrics_text: Registry::render_merged(registries),
+        }
+    }
+
+    /// Idempotent: signals stop, wakes the blocked `accept`, and joins
+    /// the listener (which closes the admission queue) then the workers
+    /// (which drain it).
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            // accept() has no native timeout; nudge it with a throwaway
+            // connection so it observes the stop flag.
+            for _ in 0..4 {
+                if acceptor.is_finished() {
+                    break;
+                }
+                let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &ServerState,
+    stop: &AtomicBool,
+    tx: SyncSender<TcpStream>,
+    retry_after_secs: u32,
+) {
+    loop {
+        let conn = match listener.accept() {
+            Ok((conn, _)) => conn,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        if stop.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client): refuse by close.
+            drop(conn);
+            break;
+        }
+        state.metrics.connection_accepted();
+        // Count the admission before the send: the receiving worker's
+        // matching `dequeued` is ordered after it by the channel.
+        state.metrics.enqueued();
+        match tx.try_send(conn) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut conn)) => {
+                state.metrics.dequeued();
+                state.metrics.shed();
+                let _ = conn.set_write_timeout(Some(state.write_timeout));
+                let response = HttpResponse::error(503, "admission queue full; retry shortly");
+                let _ = wire::write_response(
+                    &mut conn,
+                    &response,
+                    &[("retry-after", retry_after_secs.to_string())],
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `tx` closes the queue: workers drain what is left, then
+    // their `recv` errors out and they exit.
+}
+
+fn worker_loop(state: &ServerState, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the handling,
+        // so the pool keeps pulling work while this thread serves.
+        let conn = match lock(rx).recv() {
+            Ok(conn) => conn,
+            Err(_) => break,
+        };
+        state.metrics.dequeued();
+        let mut conn = conn;
+        serve_connection(state, &mut conn);
+    }
+}
+
+/// Handles one connection end to end. Never panics outward: the handler
+/// is wrapped in `catch_unwind`, and every wire error maps to a status
+/// or a silent close.
+fn serve_connection(state: &ServerState, conn: &mut TcpStream) {
+    let start = Instant::now();
+    state.metrics.request_started();
+    let _ = conn.set_nodelay(true);
+    let _ = conn.set_read_timeout(Some(state.read_timeout));
+    let _ = conn.set_write_timeout(Some(state.write_timeout));
+
+    let parsed = wire::read_head(conn, &state.limits)
+        .and_then(|head| wire::parse_head(&head, &state.limits));
+    // An oversized head leaves unread bytes in the socket buffer; closing
+    // over them would RST the 431 out of the client's hands, so that path
+    // drains (bounded) before the connection drops.
+    let drain_excess = matches!(parsed, Err(wire::WireError::TooLarge));
+
+    let (response, status_label): (Option<HttpResponse>, String) = match parsed {
+        Err(err) => match err.status() {
+            Some(408) => {
+                state.metrics.slow_client_closed();
+                (Some(HttpResponse::error(408, &err.reason())), "408".into())
+            }
+            Some(status) => {
+                state.metrics.bad_request(status);
+                (
+                    Some(HttpResponse::error(status, &err.reason())),
+                    status.to_string(),
+                )
+            }
+            None => (None, "aborted".into()),
+        },
+        Ok(request) => {
+            if start.elapsed() >= state.deadline {
+                state.metrics.deadline_exceeded();
+                (
+                    Some(HttpResponse::error(
+                        504,
+                        "deadline exceeded before handling",
+                    )),
+                    "504".into(),
+                )
+            } else {
+                let snapshot = state.archive.snapshot();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let registries: [&Registry; 1] = [state.metrics.registry()];
+                    let ops = OpsContext {
+                        registries: &registries,
+                        tick: state.tick,
+                        ..OpsContext::default()
+                    };
+                    state.gateway.handle(&snapshot, &request, &ops)
+                }));
+                match outcome {
+                    Ok(_) if start.elapsed() > state.deadline => {
+                        // Computed too late to be useful: the client-visible
+                        // contract is the deadline, so answer 504.
+                        state.metrics.deadline_exceeded();
+                        (
+                            Some(HttpResponse::error(504, "deadline exceeded")),
+                            "504".into(),
+                        )
+                    }
+                    Ok(resp) => {
+                        let label = resp.status.to_string();
+                        (Some(resp), label)
+                    }
+                    Err(_) => {
+                        state.metrics.worker_panic();
+                        (
+                            Some(HttpResponse::error(500, "internal error")),
+                            "500".into(),
+                        )
+                    }
+                }
+            }
+        }
+    };
+
+    if let Some(response) = &response {
+        if let Err(e) = wire::write_response(conn, response, &[]) {
+            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
+                state.metrics.slow_client_closed();
+            }
+        }
+    }
+    if drain_excess {
+        let _ = conn.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut scratch = [0u8; 4096];
+        for _ in 0..32 {
+            match io::Read::read(conn, &mut scratch) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+    let micros = start.elapsed().as_secs_f64() * 1_000_000.0;
+    state.metrics.request_finished(&status_label, micros);
+}

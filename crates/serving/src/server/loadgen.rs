@@ -1,0 +1,771 @@
+//! Seeded, deterministic load and chaos generator for the TCP server.
+//!
+//! The generator is the repo's serving scoreboard: it drives the *real*
+//! listener with a realistic query mix (the archive's tables, instance
+//! types, and regions from the paper's collection scope), measures
+//! client-observed latency into an `obs` histogram, and renders
+//! `BENCH_serving.json`. Two properties make its numbers trustworthy:
+//!
+//! * **Determinism** — the action plan (which request each client sends,
+//!   and where chaos strikes) is a pure function of the seed, so two
+//!   same-seed runs issue byte-identical request sequences.
+//! * **Coordinated-omission correction** — in open-loop mode latency is
+//!   measured from each request's *scheduled* start, not its send time,
+//!   so a stalled server cannot hide queueing delay from the quantiles.
+//!
+//! Chaos modes exercise the overload envelope end to end: slow clients
+//! (drip-fed heads), malformed and oversized requests, connection churn,
+//! and mid-request disconnects.
+
+use super::metrics::ServerTotals;
+use crate::json::Json;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use spotlake_obs::Registry;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const LATENCY_MICROS: &str = "spotlake_loadgen_latency_micros";
+const REQUESTS_TOTAL: &str = "spotlake_loadgen_requests_total";
+
+/// How clients pace their requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Each client sends its next request as soon as the previous one
+    /// completes (throughput-seeking).
+    Closed,
+    /// Each client fires on a fixed schedule regardless of completions;
+    /// latency is measured from the scheduled start.
+    Open {
+        /// Gap between one client's consecutive scheduled requests.
+        interval: Duration,
+    },
+}
+
+impl LoadMode {
+    fn as_str(&self) -> &'static str {
+        match self {
+            LoadMode::Closed => "closed",
+            LoadMode::Open { .. } => "open",
+        }
+    }
+}
+
+/// How much chaos to mix into the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosProfile {
+    /// Clean requests only.
+    None,
+    /// ~10% of actions are hostile (2% per chaos kind).
+    Light,
+    /// ~30% of actions are hostile (6% per chaos kind).
+    Heavy,
+}
+
+impl ChaosProfile {
+    fn as_str(&self) -> &'static str {
+        match self {
+            ChaosProfile::None => "none",
+            ChaosProfile::Light => "light",
+            ChaosProfile::Heavy => "heavy",
+        }
+    }
+
+    /// Per-kind probability in percent (five kinds total).
+    fn per_kind_percent(&self) -> u32 {
+        match self {
+            ChaosProfile::None => 0,
+            ChaosProfile::Light => 2,
+            ChaosProfile::Heavy => 6,
+        }
+    }
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Seed for the deterministic action plan.
+    pub seed: u64,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Actions per client.
+    pub requests_per_client: usize,
+    /// Pacing discipline.
+    pub mode: LoadMode,
+    /// Chaos mix.
+    pub chaos: ChaosProfile,
+    /// Connect / read / write timeout per request.
+    pub io_timeout: Duration,
+    /// Delay between drip-fed chunks of a slow-client head.
+    pub slow_chunk_delay: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            seed: 7,
+            clients: 4,
+            requests_per_client: 50,
+            mode: LoadMode::Closed,
+            chaos: ChaosProfile::None,
+            io_timeout: Duration::from_secs(5),
+            slow_chunk_delay: Duration::from_millis(10),
+        }
+    }
+}
+
+/// One planned client action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Action {
+    /// What to do on the wire.
+    pub kind: ActionKind,
+    /// Path-and-query for clean/slow requests.
+    pub path: String,
+}
+
+/// The wire behaviour of an [`Action`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionKind {
+    /// A clean GET (latency is recorded for these only).
+    Get,
+    /// The same GET with the head drip-fed slowly.
+    Slow,
+    /// A syntactically broken request line (expect 400).
+    Malformed,
+    /// A request line far over the head limit (expect 431).
+    Oversized,
+    /// Connect and immediately hang up.
+    Churn,
+    /// Send half a head, then hang up.
+    MidDisconnect,
+}
+
+impl ActionKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            ActionKind::Get => "get",
+            ActionKind::Slow => "slow",
+            ActionKind::Malformed => "malformed",
+            ActionKind::Oversized => "oversized",
+            ActionKind::Churn => "churn",
+            ActionKind::MidDisconnect => "mid_disconnect",
+        }
+    }
+}
+
+/// Instance types in the generated query mix (SpotLake's collection
+/// scope: general, compute, memory, and accelerator families).
+const INSTANCE_TYPES: &[&str] = &[
+    "m5.large",
+    "m5.xlarge",
+    "c5.large",
+    "r5.xlarge",
+    "t3.medium",
+    "p3.2xlarge",
+];
+
+/// Regions in the generated query mix.
+const REGIONS: &[&str] = &["us-east-1", "us-west-2", "eu-west-1", "ap-northeast-2"];
+
+/// Tables in the generated query mix (weighted towards SPS, like the
+/// paper's workload).
+const TABLES: &[&str] = &["sps", "sps", "sps", "price", "advisor"];
+
+/// Generates the per-client action plans — a pure function of the
+/// config, so identical configs yield identical plans.
+pub fn plan(config: &LoadConfig) -> Vec<Vec<Action>> {
+    (0..config.clients)
+        .map(|client| {
+            let mut rng = StdRng::seed_from_u64(
+                config
+                    .seed
+                    .wrapping_add((client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            (0..config.requests_per_client)
+                .map(|_| plan_action(&mut rng, config.chaos))
+                .collect()
+        })
+        .collect()
+}
+
+fn plan_action(rng: &mut StdRng, chaos: ChaosProfile) -> Action {
+    let per_kind = chaos.per_kind_percent();
+    let roll = rng.gen_range(0u32..100);
+    let kind = match roll {
+        r if r < per_kind => ActionKind::Slow,
+        r if r < per_kind * 2 => ActionKind::Malformed,
+        r if r < per_kind * 3 => ActionKind::Oversized,
+        r if r < per_kind * 4 => ActionKind::Churn,
+        r if r < per_kind * 5 => ActionKind::MidDisconnect,
+        _ => ActionKind::Get,
+    };
+    Action {
+        kind,
+        path: plan_path(rng),
+    }
+}
+
+fn plan_path(rng: &mut StdRng) -> String {
+    let pick = |rng: &mut StdRng, options: &[&str]| -> String {
+        options
+            .choose(rng)
+            .copied()
+            .unwrap_or("m5.large")
+            .to_owned()
+    };
+    match rng.gen_range(0u32..100) {
+        // Filtered range queries dominate, like real archive traffic.
+        r if r < 45 => {
+            let table = pick(rng, TABLES);
+            let mut path = format!("/query?table={table}");
+            if rng.gen_bool(0.7) {
+                path.push_str(&format!("&instance_type={}", pick(rng, INSTANCE_TYPES)));
+            }
+            if rng.gen_bool(0.5) {
+                path.push_str(&format!("&region={}", pick(rng, REGIONS)));
+            }
+            if rng.gen_bool(0.3) {
+                let from = rng.gen_range(0u64..5_000);
+                let span = rng.gen_range(100u64..2_000);
+                path.push_str(&format!("&from={from}&to={}", from + span));
+            }
+            if rng.gen_bool(0.2) {
+                path.push_str(&format!("&limit={}", rng.gen_range(1u64..200)));
+            }
+            path
+        }
+        r if r < 60 => format!("/latest?table={}", pick(rng, TABLES)),
+        r if r < 70 => {
+            let window = [60u64, 300, 600].choose(rng).copied().unwrap_or(60);
+            format!(
+                "/window?table={}&agg=mean&window={window}",
+                pick(rng, TABLES)
+            )
+        }
+        r if r < 80 => format!(
+            "/at?table={}&timestamp={}",
+            pick(rng, TABLES),
+            rng.gen_range(0u64..10_000)
+        ),
+        r if r < 85 => "/stats".to_owned(),
+        r if r < 90 => "/tables".to_owned(),
+        r if r < 95 => "/health".to_owned(),
+        _ => "/metrics".to_owned(),
+    }
+}
+
+/// What one finished load run observed.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The seed the plan was generated from.
+    pub seed: u64,
+    /// Client threads.
+    pub clients: usize,
+    /// Actions per client.
+    pub requests_per_client: usize,
+    /// Pacing discipline (`closed` / `open`).
+    pub mode: String,
+    /// Chaos profile name.
+    pub chaos_profile: String,
+    /// Total planned actions (deterministic per seed).
+    pub planned: u64,
+    /// Actions that received a complete HTTP response.
+    pub completed: u64,
+    /// Actions that failed with a socket error.
+    pub io_errors: u64,
+    /// Response-status histogram.
+    pub statuses: BTreeMap<u16, u64>,
+    /// Chaos actions sent, by kind (deterministic per seed).
+    pub chaos_sent: BTreeMap<String, u64>,
+    /// Client-observed latency quantiles over clean GETs, microseconds.
+    pub p50_micros: f64,
+    /// 90th percentile, microseconds.
+    pub p90_micros: f64,
+    /// 99th percentile, microseconds.
+    pub p99_micros: f64,
+    /// Completed responses per second of wall time.
+    pub throughput_rps: f64,
+    /// Run wall time in microseconds.
+    pub duration_micros: u64,
+}
+
+impl LoadReport {
+    /// Responses in the 5xx range (shed 503s included).
+    pub fn fivexx(&self) -> u64 {
+        self.statuses
+            .iter()
+            .filter(|(s, _)| (500..600).contains(*s))
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Renders the `BENCH_serving.json` document, optionally folding in
+    /// the server's own totals (when the caller owns the server too).
+    pub fn to_json(&self, server: Option<&ServerTotals>) -> String {
+        let statuses = Json::Object(
+            self.statuses
+                .iter()
+                .map(|(status, n)| (status.to_string(), Json::from(*n)))
+                .collect(),
+        );
+        let chaos = Json::Object(
+            self.chaos_sent
+                .iter()
+                .map(|(kind, n)| (kind.clone(), Json::from(*n)))
+                .collect(),
+        );
+        let server = match server {
+            Some(totals) => Json::object([
+                ("accepted", Json::from(totals.accepted)),
+                ("served", Json::from(totals.served)),
+                ("shed", Json::from(totals.shed)),
+                ("deadline_exceeded", Json::from(totals.deadline_exceeded)),
+                (
+                    "slow_clients_closed",
+                    Json::from(totals.slow_clients_closed),
+                ),
+                ("bad_requests", Json::from(totals.bad_requests)),
+                ("worker_panics", Json::from(totals.worker_panics)),
+            ]),
+            None => Json::Null,
+        };
+        Json::object([
+            ("bench", Json::from("serving")),
+            ("version", Json::from(1u64)),
+            ("seed", Json::from(self.seed)),
+            ("mode", Json::string(&self.mode)),
+            ("chaos", Json::string(&self.chaos_profile)),
+            ("clients", Json::from(self.clients as u64)),
+            (
+                "requests_per_client",
+                Json::from(self.requests_per_client as u64),
+            ),
+            ("planned", Json::from(self.planned)),
+            ("completed", Json::from(self.completed)),
+            ("io_errors", Json::from(self.io_errors)),
+            ("statuses", statuses),
+            ("chaos_sent", chaos),
+            (
+                "latency_micros",
+                Json::object([
+                    ("p50", Json::from(self.p50_micros)),
+                    ("p90", Json::from(self.p90_micros)),
+                    ("p99", Json::from(self.p99_micros)),
+                ]),
+            ),
+            ("throughput_rps", Json::from(self.throughput_rps)),
+            ("duration_micros", Json::from(self.duration_micros)),
+            ("server", server),
+        ])
+        .render()
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClientTally {
+    completed: u64,
+    io_errors: u64,
+    statuses: BTreeMap<u16, u64>,
+    chaos_sent: BTreeMap<String, u64>,
+}
+
+/// Runs the configured load against `addr` and summarizes what came
+/// back. Blocks until every client finishes its plan.
+pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
+    let plans = plan(config);
+    let planned: u64 = plans.iter().map(|p| p.len() as u64).sum();
+    let registry = Registry::new();
+    let started = Instant::now();
+
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|actions| {
+                let registry = &registry;
+                scope.spawn(move || run_client(addr, config, actions, registry))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+
+    let duration = started.elapsed();
+    let mut statuses = BTreeMap::new();
+    let mut chaos_sent = BTreeMap::new();
+    let mut completed = 0u64;
+    let mut io_errors = 0u64;
+    for tally in tallies {
+        completed += tally.completed;
+        io_errors += tally.io_errors;
+        for (status, n) in tally.statuses {
+            *statuses.entry(status).or_insert(0) += n;
+        }
+        for (kind, n) in tally.chaos_sent {
+            *chaos_sent.entry(kind).or_insert(0) += n;
+        }
+    }
+
+    let quantile = |q: f64| {
+        registry
+            .histogram_quantile(LATENCY_MICROS, &[], q)
+            .unwrap_or(0.0)
+    };
+    LoadReport {
+        seed: config.seed,
+        clients: config.clients,
+        requests_per_client: config.requests_per_client,
+        mode: config.mode.as_str().to_owned(),
+        chaos_profile: config.chaos.as_str().to_owned(),
+        planned,
+        completed,
+        io_errors,
+        statuses,
+        chaos_sent,
+        p50_micros: quantile(0.50),
+        p90_micros: quantile(0.90),
+        p99_micros: quantile(0.99),
+        throughput_rps: if duration.as_secs_f64() > 0.0 {
+            completed as f64 / duration.as_secs_f64()
+        } else {
+            0.0
+        },
+        duration_micros: duration.as_micros() as u64,
+    }
+}
+
+fn run_client(
+    addr: SocketAddr,
+    config: &LoadConfig,
+    actions: &[Action],
+    registry: &Registry,
+) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let base = Instant::now();
+    for (i, action) in actions.iter().enumerate() {
+        let scheduled = match config.mode {
+            LoadMode::Closed => Instant::now(),
+            LoadMode::Open { interval } => {
+                let at = base + interval * (i as u32);
+                let now = Instant::now();
+                if at > now {
+                    std::thread::sleep(at - now);
+                }
+                at
+            }
+        };
+        let outcome = execute(addr, config, action);
+        let latency = scheduled.elapsed();
+        record(registry, action.kind, &outcome, latency, &mut tally);
+    }
+    tally
+}
+
+enum Outcome {
+    /// A complete response with this status came back.
+    Status(u16),
+    /// The socket failed (connect, write, or read).
+    IoError,
+    /// The action hung up on purpose; no response expected.
+    Dropped,
+}
+
+impl Outcome {
+    fn as_str(&self) -> &'static str {
+        match self {
+            Outcome::Status(_) => "response",
+            Outcome::IoError => "io_error",
+            Outcome::Dropped => "dropped",
+        }
+    }
+}
+
+fn record(
+    registry: &Registry,
+    kind: ActionKind,
+    outcome: &Outcome,
+    latency: Duration,
+    tally: &mut ClientTally,
+) {
+    registry.counter_add(
+        REQUESTS_TOTAL,
+        "Load-generator actions executed, by kind and outcome",
+        &[("kind", kind.as_str()), ("outcome", outcome.as_str())],
+        1,
+    );
+    if kind != ActionKind::Get {
+        *tally
+            .chaos_sent
+            .entry(kind.as_str().to_owned())
+            .or_insert(0) += 1;
+    }
+    match outcome {
+        Outcome::Status(status) => {
+            tally.completed += 1;
+            *tally.statuses.entry(*status).or_insert(0) += 1;
+            if kind == ActionKind::Get {
+                registry.histogram_record(
+                    LATENCY_MICROS,
+                    "Client-observed request latency in microseconds",
+                    &[],
+                    latency.as_secs_f64() * 1_000_000.0,
+                );
+            }
+        }
+        Outcome::IoError => tally.io_errors += 1,
+        Outcome::Dropped => {}
+    }
+}
+
+fn execute(addr: SocketAddr, config: &LoadConfig, action: &Action) -> Outcome {
+    match action.kind {
+        ActionKind::Get => match fetch(addr, &action.path, config.io_timeout) {
+            Ok((status, _)) => Outcome::Status(status),
+            Err(_) => Outcome::IoError,
+        },
+        ActionKind::Slow => {
+            let head = format!(
+                "GET {} HTTP/1.1\r\nhost: spotlake\r\nconnection: close\r\n\r\n",
+                action.path
+            );
+            send_raw_chunked(addr, head.as_bytes(), config, 4)
+        }
+        ActionKind::Malformed => send_raw(
+            addr,
+            b"GET badpath-without-a-slash\r\n\r\n",
+            config.io_timeout,
+        ),
+        ActionKind::Oversized => {
+            let head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(16 * 1024));
+            send_raw(addr, head.as_bytes(), config.io_timeout)
+        }
+        ActionKind::Churn => match TcpStream::connect_timeout(&addr, config.io_timeout) {
+            Ok(conn) => {
+                drop(conn);
+                Outcome::Dropped
+            }
+            Err(_) => Outcome::IoError,
+        },
+        ActionKind::MidDisconnect => match TcpStream::connect_timeout(&addr, config.io_timeout) {
+            Ok(mut conn) => {
+                let _ = conn.write_all(b"GET /hea");
+                drop(conn);
+                Outcome::Dropped
+            }
+            Err(_) => Outcome::IoError,
+        },
+    }
+}
+
+/// Sends `payload` and reads a full response.
+fn send_raw(addr: SocketAddr, payload: &[u8], timeout: Duration) -> Outcome {
+    match exchange(addr, payload, timeout, None) {
+        Ok(status) => Outcome::Status(status),
+        Err(_) => Outcome::IoError,
+    }
+}
+
+/// Sends `payload` drip-fed in `chunks` pieces with the configured delay
+/// between them, then reads a full response.
+fn send_raw_chunked(
+    addr: SocketAddr,
+    payload: &[u8],
+    config: &LoadConfig,
+    chunks: usize,
+) -> Outcome {
+    match exchange(
+        addr,
+        payload,
+        config.io_timeout,
+        Some((chunks, config.slow_chunk_delay)),
+    ) {
+        Ok(status) => Outcome::Status(status),
+        Err(_) => Outcome::IoError,
+    }
+}
+
+fn exchange(
+    addr: SocketAddr,
+    payload: &[u8],
+    timeout: Duration,
+    drip: Option<(usize, Duration)>,
+) -> io::Result<u16> {
+    let mut conn = TcpStream::connect_timeout(&addr, timeout)?;
+    conn.set_read_timeout(Some(timeout))?;
+    conn.set_write_timeout(Some(timeout))?;
+    match drip {
+        None => conn.write_all(payload)?,
+        Some((chunks, delay)) => {
+            let size = payload.len().div_ceil(chunks.max(1));
+            for chunk in payload.chunks(size.max(1)) {
+                conn.write_all(chunk)?;
+                conn.flush()?;
+                std::thread::sleep(delay);
+            }
+        }
+    }
+    let mut response = Vec::new();
+    conn.read_to_end(&mut response)?;
+    parse_status(&response)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unparseable response"))
+}
+
+/// Issues one clean GET and returns `(status, body)`. Shared by the
+/// loadgen, the CLI, and the integration tests.
+pub fn fetch(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<(u16, String)> {
+    let mut conn = TcpStream::connect_timeout(&addr, timeout)?;
+    conn.set_read_timeout(Some(timeout))?;
+    conn.set_write_timeout(Some(timeout))?;
+    conn.write_all(
+        format!("GET {path} HTTP/1.1\r\nhost: spotlake\r\nconnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = Vec::new();
+    conn.read_to_end(&mut response)?;
+    let status = parse_status(&response)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unparseable response"))?;
+    let body = match find_body(&response) {
+        Some(at) => String::from_utf8_lossy(&response[at..]).into_owned(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+fn parse_status(response: &[u8]) -> Option<u16> {
+    let text = std::str::from_utf8(response.get(..response.len().min(64))?).ok()?;
+    let mut parts = text.split(' ');
+    if !parts.next()?.starts_with("HTTP/1.") {
+        return None;
+    }
+    parts.next()?.parse().ok()
+}
+
+fn find_body(response: &[u8]) -> Option<usize> {
+    response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let config = LoadConfig {
+            chaos: ChaosProfile::Heavy,
+            clients: 3,
+            requests_per_client: 40,
+            ..LoadConfig::default()
+        };
+        assert_eq!(plan(&config), plan(&config));
+        let other = LoadConfig {
+            seed: config.seed + 1,
+            ..config.clone()
+        };
+        assert_ne!(plan(&config), plan(&other));
+    }
+
+    #[test]
+    fn clients_get_distinct_streams() {
+        let config = LoadConfig {
+            clients: 2,
+            requests_per_client: 20,
+            ..LoadConfig::default()
+        };
+        let plans = plan(&config);
+        assert_eq!(plans.len(), 2);
+        assert_ne!(plans[0], plans[1]);
+    }
+
+    #[test]
+    fn chaos_free_plans_are_all_clean_gets() {
+        let config = LoadConfig {
+            clients: 4,
+            requests_per_client: 50,
+            chaos: ChaosProfile::None,
+            ..LoadConfig::default()
+        };
+        for action in plan(&config).iter().flatten() {
+            assert_eq!(action.kind, ActionKind::Get);
+            assert!(action.path.starts_with('/'), "{}", action.path);
+        }
+    }
+
+    #[test]
+    fn heavy_chaos_plans_include_every_kind() {
+        let config = LoadConfig {
+            clients: 8,
+            requests_per_client: 200,
+            chaos: ChaosProfile::Heavy,
+            ..LoadConfig::default()
+        };
+        let kinds: std::collections::BTreeSet<&'static str> = plan(&config)
+            .iter()
+            .flatten()
+            .map(|a| a.kind.as_str())
+            .collect();
+        for kind in [
+            "get",
+            "slow",
+            "malformed",
+            "oversized",
+            "churn",
+            "mid_disconnect",
+        ] {
+            assert!(kinds.contains(kind), "no {kind} action in 1600 draws");
+        }
+    }
+
+    #[test]
+    fn status_line_parsing() {
+        assert_eq!(parse_status(b"HTTP/1.1 200 OK\r\n\r\n"), Some(200));
+        assert_eq!(
+            parse_status(b"HTTP/1.1 503 Service Unavailable\r\n"),
+            Some(503)
+        );
+        assert_eq!(parse_status(b"garbage"), None);
+        assert_eq!(parse_status(b""), None);
+        assert_eq!(find_body(b"HTTP/1.1 200 OK\r\n\r\nbody"), Some(19));
+    }
+
+    #[test]
+    fn report_json_has_the_scoreboard_keys() {
+        let report = LoadReport {
+            seed: 7,
+            clients: 2,
+            requests_per_client: 10,
+            mode: "closed".into(),
+            chaos_profile: "none".into(),
+            planned: 20,
+            completed: 20,
+            io_errors: 0,
+            statuses: [(200u16, 19u64), (503, 1)].into_iter().collect(),
+            chaos_sent: BTreeMap::new(),
+            p50_micros: 120.0,
+            p90_micros: 400.0,
+            p99_micros: 900.0,
+            throughput_rps: 1234.5,
+            duration_micros: 16_000,
+        };
+        let json = report.to_json(Some(&ServerTotals::default()));
+        for key in [
+            "\"bench\":\"serving\"",
+            "\"seed\":7",
+            "\"p50\":120",
+            "\"p90\":400",
+            "\"p99\":900",
+            "\"throughput_rps\":1234.5",
+            "\"statuses\":{\"200\":19,\"503\":1}",
+            "\"worker_panics\":0",
+        ] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
+        assert_eq!(report.fivexx(), 1);
+        assert!(report.to_json(None).contains("\"server\":null"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Server-side metrics: the `spotlake_server_*` families.
+//!
+//! Every family lives in one shared [`Registry`] (merged into `/metrics`
+//! through the gateway's [`OpsContext`](crate::OpsContext)), and the
+//! counters the shutdown report needs are mirrored in atomics so the
+//! engine can read totals without parsing the exposition text.
+
+use spotlake_obs::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const CONNECTIONS_TOTAL: &str = "spotlake_server_connections_total";
+const REQUESTS_TOTAL: &str = "spotlake_server_requests_total";
+const SHED_TOTAL: &str = "spotlake_server_shed_total";
+const DEADLINE_TOTAL: &str = "spotlake_server_deadline_exceeded_total";
+const SLOW_CLIENTS_TOTAL: &str = "spotlake_server_slow_clients_closed_total";
+const BAD_REQUESTS_TOTAL: &str = "spotlake_server_bad_requests_total";
+const PANICS_TOTAL: &str = "spotlake_server_worker_panics_total";
+const INFLIGHT: &str = "spotlake_server_inflight";
+const QUEUE_DEPTH: &str = "spotlake_server_queue_depth";
+const REQUEST_MICROS: &str = "spotlake_server_request_micros";
+
+/// Shared counters and gauges for the TCP serving path.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    registry: Registry,
+    accepted: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    slow_clients: AtomicU64,
+    bad_requests: AtomicU64,
+    panics: AtomicU64,
+    inflight: AtomicU64,
+    queued: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Creates an empty metrics surface.
+    pub fn new() -> Self {
+        ServerMetrics::default()
+    }
+
+    /// The registry holding the `spotlake_server_*` families, for merging
+    /// into `/metrics` and the shutdown report.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A connection was accepted by the listener.
+    pub fn connection_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.registry
+            .counter_add(CONNECTIONS_TOTAL, "TCP connections accepted", &[], 1);
+    }
+
+    /// A connection is entering the admission queue. Called *before* the
+    /// channel send, so a fast worker's [`dequeued`](Self::dequeued)
+    /// always observes the increment first.
+    pub fn enqueued(&self) {
+        let depth = self.queued.fetch_add(1, Ordering::SeqCst).saturating_add(1);
+        self.registry.gauge_set(
+            QUEUE_DEPTH,
+            "Connections waiting in the admission queue",
+            &[],
+            depth as f64,
+        );
+    }
+
+    /// A connection left the admission queue (a worker picked it up, or
+    /// a full-queue send was rolled back). Saturating: a stray extra
+    /// call must not wrap the gauge.
+    pub fn dequeued(&self) {
+        let depth = self
+            .queued
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                Some(v.saturating_sub(1))
+            })
+            .map_or(0, |prev| prev.saturating_sub(1));
+        self.registry.gauge_set(
+            QUEUE_DEPTH,
+            "Connections waiting in the admission queue",
+            &[],
+            depth as f64,
+        );
+    }
+
+    /// A connection was answered 503 because the queue was full.
+    pub fn shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.registry.counter_add(
+            SHED_TOTAL,
+            "Connections answered 503 because the admission queue was full",
+            &[],
+            1,
+        );
+    }
+
+    /// A worker started handling a request.
+    pub fn request_started(&self) {
+        let inflight = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.registry.gauge_set(
+            INFLIGHT,
+            "Requests currently being handled",
+            &[],
+            inflight as f64,
+        );
+    }
+
+    /// A worker finished a request: records the status-labelled counter
+    /// and the wall-time histogram, and drops the in-flight gauge.
+    pub fn request_finished(&self, status_label: &str, micros: f64) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let inflight = self
+            .inflight
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
+        self.registry.gauge_set(
+            INFLIGHT,
+            "Requests currently being handled",
+            &[],
+            inflight as f64,
+        );
+        self.registry.counter_add(
+            REQUESTS_TOTAL,
+            "Requests answered on the TCP path, by status",
+            &[("status", status_label)],
+            1,
+        );
+        self.registry.histogram_record(
+            REQUEST_MICROS,
+            "Server-side request wall time in microseconds",
+            &[],
+            micros,
+        );
+    }
+
+    /// A request was answered 504 after its deadline elapsed.
+    pub fn deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        self.registry.counter_add(
+            DEADLINE_TOTAL,
+            "Requests answered 504 past their deadline",
+            &[],
+            1,
+        );
+    }
+
+    /// A connection was closed for blowing a read/write timeout.
+    pub fn slow_client_closed(&self) {
+        self.slow_clients.fetch_add(1, Ordering::Relaxed);
+        self.registry.counter_add(
+            SLOW_CLIENTS_TOTAL,
+            "Connections closed for exceeding read/write timeouts",
+            &[],
+            1,
+        );
+    }
+
+    /// The wire parser rejected a request with `status`.
+    pub fn bad_request(&self, status: u16) {
+        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+        let status = status.to_string();
+        self.registry.counter_add(
+            BAD_REQUESTS_TOTAL,
+            "Requests rejected by the fail-closed wire parser",
+            &[("status", status.as_str())],
+            1,
+        );
+    }
+
+    /// A handler panic was caught and converted to a 500.
+    pub fn worker_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+        self.registry.counter_add(
+            PANICS_TOTAL,
+            "Handler panics caught by worker isolation",
+            &[],
+            1,
+        );
+    }
+
+    /// Point-in-time totals for the shutdown report.
+    pub fn totals(&self) -> ServerTotals {
+        ServerTotals {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            slow_clients_closed: self.slow_clients.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            worker_panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Monotonic totals mirrored out of [`ServerMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerTotals {
+    /// Connections accepted by the listener.
+    pub accepted: u64,
+    /// Requests a worker finished (any status).
+    pub served: u64,
+    /// Connections answered 503 at admission.
+    pub shed: u64,
+    /// Requests answered 504 past their deadline.
+    pub deadline_exceeded: u64,
+    /// Connections closed for blowing a timeout.
+    pub slow_clients_closed: u64,
+    /// Requests the wire parser rejected.
+    pub bad_requests: u64,
+    /// Handler panics caught by worker isolation.
+    pub worker_panics: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_mirror_the_registry() {
+        let m = ServerMetrics::new();
+        m.connection_accepted();
+        m.enqueued();
+        m.dequeued();
+        m.request_started();
+        m.request_finished("200", 1500.0);
+        m.shed();
+        m.deadline_exceeded();
+        m.slow_client_closed();
+        m.bad_request(400);
+        m.worker_panic();
+
+        let totals = m.totals();
+        assert_eq!(totals.accepted, 1);
+        assert_eq!(totals.served, 1);
+        assert_eq!(totals.shed, 1);
+        assert_eq!(totals.deadline_exceeded, 1);
+        assert_eq!(totals.slow_clients_closed, 1);
+        assert_eq!(totals.bad_requests, 1);
+        assert_eq!(totals.worker_panics, 1);
+
+        let text = m.registry().render();
+        assert!(text.contains("spotlake_server_connections_total 1"));
+        assert!(text.contains("spotlake_server_requests_total{status=\"200\"} 1"));
+        assert!(text.contains("spotlake_server_shed_total 1"));
+        assert!(text.contains("spotlake_server_deadline_exceeded_total 1"));
+        assert!(text.contains("spotlake_server_slow_clients_closed_total 1"));
+        assert!(text.contains("spotlake_server_bad_requests_total{status=\"400\"} 1"));
+        assert!(text.contains("spotlake_server_worker_panics_total 1"));
+        assert!(text.contains("spotlake_server_inflight 0"));
+        assert!(text.contains("spotlake_server_queue_depth 0"));
+        assert!(text.contains("spotlake_server_request_micros_count 1"));
+    }
+}

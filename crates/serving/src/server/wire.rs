@@ -1,0 +1,371 @@
+//! Fail-closed HTTP/1.1 wire parsing and response serialization.
+//!
+//! The parser sits between an untrusted socket and the gateway, so it
+//! fails closed at every decision: hard byte limits before allocation,
+//! exactly one request per connection (`Connection: close`), GET only,
+//! no request bodies. Anything that is not a well-formed GET head maps
+//! to a specific 4xx/5xx status — never a panic, never a best-effort
+//! guess at what the client meant. Timeouts surface as their own error
+//! so the engine can distinguish a slow client (408) from a malformed
+//! one (400).
+
+use crate::http::{HttpRequest, HttpResponse};
+use std::io::{ErrorKind, Read, Write};
+
+/// Byte and count limits the parser enforces before interpreting input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireLimits {
+    /// Maximum bytes of the request head (request line + headers).
+    pub max_head_bytes: usize,
+    /// Maximum bytes of the request line (method + target + version).
+    pub max_line_bytes: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+}
+
+impl Default for WireLimits {
+    fn default() -> Self {
+        WireLimits {
+            max_head_bytes: 8 * 1024,
+            max_line_bytes: 4 * 1024,
+            max_headers: 64,
+        }
+    }
+}
+
+/// Why a request could not be served from the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The head was not well-formed HTTP (400).
+    Malformed(String),
+    /// A syntactically valid method other than GET (405).
+    MethodNotAllowed(String),
+    /// A request body was signalled; the archive is read-only (413).
+    BodyNotAllowed,
+    /// A [`WireLimits`] bound was exceeded (431).
+    TooLarge,
+    /// An HTTP version this server does not speak (505).
+    UnsupportedVersion(String),
+    /// The client was too slow to send its head (408).
+    TimedOut,
+    /// The client disconnected before completing the head (no response).
+    Disconnected,
+    /// Another I/O failure on the socket (no response).
+    Io(ErrorKind),
+}
+
+impl WireError {
+    /// The HTTP status this error is answered with, or `None` when the
+    /// peer is gone and no response can be delivered.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            WireError::Malformed(_) => Some(400),
+            WireError::MethodNotAllowed(_) => Some(405),
+            WireError::BodyNotAllowed => Some(413),
+            WireError::TooLarge => Some(431),
+            WireError::UnsupportedVersion(_) => Some(505),
+            WireError::TimedOut => Some(408),
+            WireError::Disconnected | WireError::Io(_) => None,
+        }
+    }
+
+    /// A short human-readable reason for the error body.
+    pub fn reason(&self) -> String {
+        match self {
+            WireError::Malformed(why) => format!("malformed request: {why}"),
+            WireError::MethodNotAllowed(m) => {
+                format!("method {m:?} not allowed; the archive is read-only (GET)")
+            }
+            WireError::BodyNotAllowed => "request bodies are not accepted".to_owned(),
+            WireError::TooLarge => "request head exceeds server limits".to_owned(),
+            WireError::UnsupportedVersion(v) => format!("unsupported HTTP version {v:?}"),
+            WireError::TimedOut => "timed out reading the request head".to_owned(),
+            WireError::Disconnected => "client disconnected".to_owned(),
+            WireError::Io(kind) => format!("socket error: {kind:?}"),
+        }
+    }
+}
+
+/// Reads bytes until the `\r\n\r\n` head terminator, honouring
+/// `limits.max_head_bytes`. Returns only the head (terminator included).
+pub fn read_head<R: Read>(reader: &mut R, limits: &WireLimits) -> Result<Vec<u8>, WireError> {
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match reader.read(&mut chunk) {
+            // EOF before the terminator: either nothing was sent or the
+            // head was truncated — the peer is gone either way.
+            Ok(0) => return Err(WireError::Disconnected),
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(WireError::TimedOut);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == ErrorKind::ConnectionReset
+                    || e.kind() == ErrorKind::ConnectionAborted
+                    || e.kind() == ErrorKind::BrokenPipe =>
+            {
+                return Err(WireError::Disconnected);
+            }
+            Err(e) => return Err(WireError::Io(e.kind())),
+        };
+        head.extend_from_slice(&chunk[..n]);
+        if let Some(end) = find_terminator(&head) {
+            head.truncate(end);
+            return Ok(head);
+        }
+        if head.len() > limits.max_head_bytes {
+            return Err(WireError::TooLarge);
+        }
+    }
+}
+
+/// Index just past the first `\r\n\r\n`, if present.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Parses a complete request head into an [`HttpRequest`], enforcing the
+/// GET-only, body-free contract.
+pub fn parse_head(head: &[u8], limits: &WireLimits) -> Result<HttpRequest, WireError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| WireError::Malformed("head is not valid UTF-8".to_owned()))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| WireError::Malformed("empty head".to_owned()))?;
+    if request_line.len() > limits.max_line_bytes {
+        return Err(WireError::TooLarge);
+    }
+
+    let mut tokens = request_line.split(' ');
+    let (method, target, version) = match (tokens.next(), tokens.next(), tokens.next()) {
+        (Some(m), Some(t), Some(v)) if tokens.next().is_none() && !m.is_empty() => (m, t, v),
+        _ => {
+            return Err(WireError::Malformed(format!(
+                "request line is not 'METHOD target HTTP/x.y': {request_line:?}"
+            )));
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(WireError::Malformed(format!("bad method token {method:?}")));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(WireError::UnsupportedVersion(version.to_owned()));
+    }
+    if method != "GET" {
+        return Err(WireError::MethodNotAllowed(method.to_owned()));
+    }
+    if !target.starts_with('/') {
+        return Err(WireError::Malformed(format!(
+            "target must be an absolute path: {target:?}"
+        )));
+    }
+
+    let mut header_count = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        header_count += 1;
+        if header_count > limits.max_headers || line.len() > limits.max_line_bytes {
+            return Err(WireError::TooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| WireError::Malformed(format!("header without ':': {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(WireError::Malformed(format!("bad header name {name:?}")));
+        }
+        let name = name.to_ascii_lowercase();
+        let value = value.trim();
+        if name == "transfer-encoding" {
+            return Err(WireError::BodyNotAllowed);
+        }
+        if name == "content-length" && value.parse::<u64>().map_or(true, |n| n > 0) {
+            return Err(WireError::BodyNotAllowed);
+        }
+    }
+
+    HttpRequest::get(target).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// The canonical reason phrase for the statuses this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Response",
+    }
+}
+
+/// Serializes `response` (plus any `extra_headers`) as a complete
+/// `Connection: close` HTTP/1.1 message.
+pub fn encode_response(response: &HttpResponse, extra_headers: &[(&str, String)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + response.body.len());
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {} {}\r\n",
+            response.status,
+            status_reason(response.status)
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(format!("content-type: {}\r\n", response.content_type).as_bytes());
+    out.extend_from_slice(format!("content-length: {}\r\n", response.body.len()).as_bytes());
+    out.extend_from_slice(b"connection: close\r\n");
+    for (name, value) in extra_headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&response.body);
+    out
+}
+
+/// Writes `response` to the socket in one shot.
+pub fn write_response(
+    writer: &mut impl Write,
+    response: &HttpResponse,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    writer.write_all(&encode_response(response, extra_headers))?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(head: &str) -> Result<HttpRequest, WireError> {
+        parse_head(head.as_bytes(), &WireLimits::default())
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let req = parse("GET /query?table=sps HTTP/1.1\r\nhost: x\r\n\r\n").unwrap();
+        assert_eq!(req.path(), "/query");
+        assert_eq!(req.param("table"), Some("sps"));
+    }
+
+    #[test]
+    fn malformed_heads_fail_closed_as_400() {
+        for head in [
+            "GET /x\r\n\r\n",                     // missing version
+            "GET  /x HTTP/1.1\r\n\r\n",           // empty token
+            "GET /x HTTP/1.1 extra\r\n\r\n",      // four tokens
+            "get /x HTTP/1.1\r\n\r\n",            // lowercase method token
+            "GET x HTTP/1.1\r\n\r\n",             // relative target
+            "GET /x HTTP/1.1\r\nnocolon\r\n\r\n", // header without colon
+            "GET /x HTTP/1.1\r\n: v\r\n\r\n",     // empty header name
+            "GET /q?novalue HTTP/1.1\r\n\r\n",    // bad query pair
+            "\r\n\r\n",                           // empty request line
+        ] {
+            let err = parse(head).unwrap_err();
+            assert_eq!(err.status(), Some(400), "{head:?} -> {err:?}");
+        }
+        let err = parse_head(b"GET /\xff\xfe HTTP/1.1\r\n\r\n", &WireLimits::default());
+        assert_eq!(err.unwrap_err().status(), Some(400));
+    }
+
+    #[test]
+    fn non_get_methods_are_405() {
+        for method in ["POST", "PUT", "DELETE", "HEAD"] {
+            let err = parse(&format!("{method} /x HTTP/1.1\r\n\r\n")).unwrap_err();
+            assert_eq!(err, WireError::MethodNotAllowed(method.to_owned()));
+            assert_eq!(err.status(), Some(405));
+        }
+    }
+
+    #[test]
+    fn old_or_future_versions_are_505() {
+        let err = parse("GET /x HTTP/2.0\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), Some(505));
+        assert!(parse("GET /x HTTP/1.0\r\n\r\n").is_ok());
+    }
+
+    #[test]
+    fn bodies_are_rejected_413() {
+        for head in [
+            "GET /x HTTP/1.1\r\ncontent-length: 5\r\n\r\n",
+            "GET /x HTTP/1.1\r\nContent-Length: nonsense\r\n\r\n",
+            "GET /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+        ] {
+            assert_eq!(parse(head).unwrap_err().status(), Some(413), "{head:?}");
+        }
+        // Explicit zero is fine: no body follows.
+        assert!(parse("GET /x HTTP/1.1\r\ncontent-length: 0\r\n\r\n").is_ok());
+    }
+
+    #[test]
+    fn oversized_heads_are_431() {
+        let limits = WireLimits::default();
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(8192));
+        assert_eq!(
+            parse_head(long_target.as_bytes(), &limits).unwrap_err(),
+            WireError::TooLarge
+        );
+        let many_headers = format!(
+            "GET /x HTTP/1.1\r\n{}\r\n",
+            "h: v\r\n".repeat(limits.max_headers + 1)
+        );
+        assert_eq!(
+            parse_head(many_headers.as_bytes(), &limits).unwrap_err(),
+            WireError::TooLarge
+        );
+    }
+
+    #[test]
+    fn read_head_stops_at_terminator_and_enforces_limits() {
+        let limits = WireLimits::default();
+        let mut input: &[u8] = b"GET / HTTP/1.1\r\n\r\ntrailing-bytes";
+        let head = read_head(&mut input, &limits).unwrap();
+        assert_eq!(head, b"GET / HTTP/1.1\r\n\r\n");
+
+        let mut oversized: &[u8] = &vec![b'a'; limits.max_head_bytes + 1024];
+        assert_eq!(
+            read_head(&mut oversized, &limits).unwrap_err(),
+            WireError::TooLarge
+        );
+
+        let mut truncated: &[u8] = b"GET / HTT";
+        assert_eq!(
+            read_head(&mut truncated, &limits).unwrap_err(),
+            WireError::Disconnected
+        );
+        let mut empty: &[u8] = b"";
+        assert_eq!(
+            read_head(&mut empty, &limits).unwrap_err(),
+            WireError::Disconnected
+        );
+    }
+
+    #[test]
+    fn responses_encode_with_length_and_close() {
+        let resp = HttpResponse::json("{\"ok\":true}".to_owned());
+        let bytes = encode_response(&resp, &[("retry-after", "1".to_owned())]);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn every_emitted_status_has_a_reason() {
+        for status in [200, 400, 404, 405, 408, 413, 431, 500, 503, 504, 505] {
+            assert_ne!(status_reason(status), "Response", "{status}");
+        }
+        assert_eq!(status_reason(418), "Response");
+    }
+}
