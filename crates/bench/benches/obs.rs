@@ -92,6 +92,7 @@ fn query_observability(c: &mut Criterion) {
             trace_id += 1;
             flight.record(FlightEntry {
                 trace_id,
+                request_id: trace_id,
                 tick: trace_id,
                 op: "query".to_owned(),
                 query: "/query?table=sps&instance_type=m5.large".to_owned(),

@@ -48,9 +48,11 @@ USAGE:
   spotlake mc [--rounds N]
   spotlake serve --archive FILE [--addr HOST:PORT] [--workers N] [--queue-depth N]
                  [--deadline-ms N] [--read-timeout-ms N] [--write-timeout-ms N]
+                 [--telemetry-interval-ms N] [--telemetry-capacity N]
   spotlake loadgen (--addr HOST:PORT | --archive FILE) [--seed N] [--clients N]
                    [--requests N] [--mode closed|open] [--interval-ms N]
                    [--chaos none|light|heavy] [--out FILE]
+                   [--telemetry-out FILE] [--telemetry-interval-ms N]
   spotlake help
 ";
 
@@ -389,6 +391,8 @@ fn server_config_from(args: &Args) -> Result<ServerConfig, String> {
     if workers == 0 || queue_depth == 0 {
         return Err("--workers and --queue-depth must be at least 1".into());
     }
+    // 0 (the default) leaves the telemetry sampler off.
+    let telemetry_ms = args.get_u64("telemetry-interval-ms", 0)?;
     Ok(ServerConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:0").to_owned(),
         workers,
@@ -403,6 +407,10 @@ fn server_config_from(args: &Args) -> Result<ServerConfig, String> {
             "write-timeout-ms",
             defaults.write_timeout.as_millis() as u64,
         )?),
+        telemetry_interval: (telemetry_ms > 0).then(|| Duration::from_millis(telemetry_ms)),
+        telemetry_capacity: args
+            .get_u64("telemetry-capacity", defaults.telemetry_capacity as u64)?
+            .max(1) as usize,
         ..defaults
     })
 }
@@ -464,27 +472,62 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         ..LoadConfig::default()
     };
     let out = args.get("out").unwrap_or("BENCH_serving.json").to_owned();
+    let telemetry_out = args.get("telemetry-out").map(str::to_owned);
 
-    let (report, server_totals) = match (args.get("addr"), args.get("archive")) {
+    let (report, server_report, telemetry_jsonl) = match (args.get("addr"), args.get("archive")) {
         (Some(addr), _) => {
             let addr: SocketAddr = addr
                 .parse()
                 .map_err(|e| format!("bad --addr {addr:?}: {e}"))?;
-            (loadgen::run(addr, &load), None)
+            let report = loadgen::run(addr, &load);
+            // An external server keeps its own ring buffer; pull it over
+            // the wire when the caller wants the artifact.
+            let telemetry = match &telemetry_out {
+                Some(_) => match loadgen::fetch(addr, "/debug/telemetry", load.io_timeout) {
+                    Ok((200, body)) => Some(body),
+                    Ok((status, _)) => {
+                        return Err(format!(
+                            "--telemetry-out: server answered {status} for /debug/telemetry \
+                             (was it started with --telemetry-interval-ms?)"
+                        ))
+                    }
+                    Err(e) => return Err(format!("--telemetry-out: {e}")),
+                },
+                None => None,
+            };
+            (report, None, telemetry)
         }
         (None, Some(archive)) => {
             let db = Database::load(archive).map_err(|e| e.to_string())?;
-            let handle = Server::start(SharedArchive::new(db), server_config_from(args)?)
-                .map_err(|e| e.to_string())?;
+            let mut config = server_config_from(args)?;
+            // Asking for the telemetry artifact implies sampling.
+            if telemetry_out.is_some() && config.telemetry_interval.is_none() {
+                config.telemetry_interval = Some(Duration::from_millis(50));
+            }
+            let handle =
+                Server::start(SharedArchive::new(db), config).map_err(|e| e.to_string())?;
             eprintln!("self-serving {archive} on {}", handle.addr());
             let report = loadgen::run(handle.addr(), &load);
-            (report, Some(handle.shutdown().totals))
+            let server = handle.shutdown();
+            let telemetry = server.telemetry_jsonl.clone();
+            (report, Some(server), telemetry)
         }
         (None, None) => return Err("loadgen needs --addr HOST:PORT or --archive FILE".into()),
     };
 
-    let json = report.to_json(server_totals.as_ref());
+    let totals = server_report.as_ref().map(|r| r.totals);
+    let phases = server_report
+        .as_ref()
+        .map(|r| r.phases.as_slice())
+        .unwrap_or(&[]);
+    let json = report.to_json(totals.as_ref(), phases);
     std::fs::write(&out, format!("{json}\n")).map_err(|e| format!("cannot write {out}: {e}"))?;
+    if let Some(path) = &telemetry_out {
+        let jsonl = telemetry_jsonl
+            .ok_or_else(|| "--telemetry-out: the run produced no telemetry".to_owned())?;
+        std::fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("telemetry time-series -> {path}");
+    }
     eprintln!(
         "loadgen seed {}: {}/{} completed, {} io errors, p50 {:.0}us p90 {:.0}us p99 {:.0}us, {:.0} rps -> {out}",
         report.seed,
@@ -497,7 +540,7 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         report.throughput_rps
     );
     println!("{json}");
-    if let Some(totals) = server_totals {
+    if let Some(totals) = totals {
         if totals.worker_panics > 0 {
             return Err(format!(
                 "{} handler panic(s) surfaced as 500s during the run",
@@ -742,8 +785,11 @@ mod tests {
         out.push(format!("spotlake-cli-loadgen-{pid}.db"));
         let mut bench = std::env::temp_dir();
         bench.push(format!("spotlake-cli-loadgen-{pid}.json"));
+        let mut telemetry = std::env::temp_dir();
+        telemetry.push(format!("spotlake-cli-loadgen-{pid}.jsonl"));
         let out_str = out.to_string_lossy().into_owned();
         let bench_str = bench.to_string_lossy().into_owned();
+        let telemetry_str = telemetry.to_string_lossy().into_owned();
         run(&strings(&[
             "collect",
             "--out",
@@ -768,12 +814,23 @@ mod tests {
             "11",
             "--out",
             &bench_str,
+            "--telemetry-out",
+            &telemetry_str,
+            "--telemetry-interval-ms",
+            "5",
         ]))
         .unwrap();
         let json = std::fs::read_to_string(&bench).unwrap();
         assert!(json.contains("\"bench\":\"serving\""), "{json}");
+        assert!(json.contains("\"version\":2"), "{json}");
         assert!(json.contains("\"planned\":16"), "{json}");
         assert!(json.contains("\"worker_panics\":0"), "{json}");
+        assert!(json.contains("\"queue_wait_p99\":"), "{json}");
+        // The telemetry artifact is JSONL with registry samples.
+        let jsonl = std::fs::read_to_string(&telemetry).unwrap();
+        let first = jsonl.lines().next().unwrap_or_default();
+        assert!(first.starts_with("{\"seq\":0,"), "{first}");
+        assert!(jsonl.contains("spotlake_server_requests_total"), "{jsonl}");
         // Bad knobs are rejected before any socket work.
         assert!(run(&strings(&["loadgen", "--chaos", "cosmic"])).is_err());
         assert!(run(&strings(&["loadgen", "--mode", "sideways"])).is_err());
@@ -781,6 +838,7 @@ mod tests {
         assert!(run(&strings(&["loadgen", "--addr", "not-an-address",])).is_err());
         std::fs::remove_file(&out).ok();
         std::fs::remove_file(&bench).ok();
+        std::fs::remove_file(&telemetry).ok();
     }
 
     #[test]

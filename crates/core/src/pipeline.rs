@@ -202,6 +202,8 @@ impl SpotLake {
             collect: Some(&stats),
             last_round: self.collector.last_health(),
             tick: self.cloud.ticks(),
+            // In-process requests have no wire-level id.
+            request_id: 0,
             quality: Some(&quality),
             recovery: self.collector.recovery_report(),
         };

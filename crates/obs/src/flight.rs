@@ -30,6 +30,10 @@ pub struct QueryCtx {
     pub trace_id: u64,
     /// Simulation tick at which the query ran.
     pub tick: u64,
+    /// Wire-level request id assigned by the serving listener at accept
+    /// (0 when the query ran without a network request, e.g. in-process).
+    /// Joins gateway query traces to the server's request timeline.
+    pub request_id: u64,
 }
 
 /// One completed query as retained by the [`FlightRecorder`].
@@ -37,6 +41,9 @@ pub struct QueryCtx {
 pub struct FlightEntry {
     /// Trace id correlating this entry with the trace journal.
     pub trace_id: u64,
+    /// Wire-level request id (0 for in-process queries) — joins this
+    /// entry to the server's `/debug/requests` timeline.
+    pub request_id: u64,
     /// Simulation tick of the request.
     pub tick: u64,
     /// Store operation (`query`, `latest`, `value_at`, `window`).
@@ -124,6 +131,7 @@ mod tests {
     fn entry(trace_id: u64, cost: u64) -> FlightEntry {
         FlightEntry {
             trace_id,
+            request_id: trace_id + 100,
             tick: trace_id,
             op: "query".into(),
             query: format!("/query?n={trace_id}"),

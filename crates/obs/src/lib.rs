@@ -25,6 +25,14 @@
 //! * [`FlightRecorder`] — a fixed-size top-N of the most expensive
 //!   queries, ranked by a deterministic cost proxy; backs the gateway's
 //!   `/debug/queries` dump and `/stats` slow-query listing.
+//! * [`RequestRecorder`] — the wire-level counterpart: per-request phase
+//!   timelines (queue wait, parse, handle, write) retained top-N by
+//!   total time, backing the server's `/debug/requests`. Offsets are
+//!   measured by the caller and passed in — this crate stays clock-free.
+//! * [`TelemetryRecorder`] — a fixed-capacity ring buffer of
+//!   whole-registry samples (counters, gauges, histogram quantiles)
+//!   stamped with caller-supplied timestamps, rendered as JSONL for the
+//!   server's `/debug/telemetry` time series.
 //! * [`QualityMonitor`] — archive data-quality tracking: per-(dataset ×
 //!   key) coverage, staleness, and gap detection, exported as
 //!   `spotlake_archive_*` gauges and the `/quality` report.
@@ -59,13 +67,17 @@ mod clock;
 mod flight;
 mod health;
 mod journal;
+mod lifecycle;
 pub mod names;
 mod quality;
 mod registry;
+mod telemetry;
 
 pub use clock::{Clock, ManualClock};
 pub use flight::{FlightEntry, FlightRecorder, QueryCtx};
 pub use health::{ComponentHealth, HealthReport, Readiness};
 pub use journal::{JournalError, SpanId, TraceJournal, JOURNAL_SCHEMA, JOURNAL_VERSION};
+pub use lifecycle::{PhaseSpan, RequestRecord, RequestRecorder, REQUEST_PHASES};
 pub use quality::{DatasetQuality, KeyQuality, QualityMonitor, QualityReport};
 pub use registry::{log_linear_buckets, HistogramSummary, MetricKind, Registry};
+pub use telemetry::{TelemetryRecorder, TelemetrySample};

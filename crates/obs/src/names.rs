@@ -259,6 +259,13 @@ pub const METRIC_FAMILIES: &[MetricFamilyDef] = &[
         help: "Requests currently being handled by worker threads",
     },
     MetricFamilyDef {
+        name: "spotlake_server_phase_micros",
+        kind: Histogram,
+        layer: "server",
+        help:
+            "Per-request lifecycle phase durations in microseconds (queue_wait|parse|handle|write)",
+    },
+    MetricFamilyDef {
         name: "spotlake_server_queue_depth",
         kind: Gauge,
         layer: "server",
@@ -347,6 +354,18 @@ pub const METRIC_FAMILIES: &[MetricFamilyDef] = &[
         kind: Counter,
         layer: "store",
         help: "Write batches rejected by injected throttling",
+    },
+    MetricFamilyDef {
+        name: "spotlake_telemetry_evicted_total",
+        kind: Counter,
+        layer: "telemetry",
+        help: "Telemetry ring-buffer samples evicted to stay within capacity",
+    },
+    MetricFamilyDef {
+        name: "spotlake_telemetry_samples_total",
+        kind: Counter,
+        layer: "telemetry",
+        help: "Telemetry samples taken since server start",
     },
     MetricFamilyDef {
         name: "spotlake_wal_bytes_appended_total",

@@ -247,6 +247,38 @@ impl Registry {
             .collect()
     }
 
+    /// Flattens every series into `(key, value)` pairs for time-series
+    /// sampling (the [`TelemetryRecorder`](crate::TelemetryRecorder)'s
+    /// view of a registry). Counters and gauges yield one pair keyed
+    /// `name{labels}`; histograms yield `name_count{labels}` plus
+    /// interpolated `name_p50{labels}` / `name_p99{labels}` estimates.
+    /// Keys come out sorted (BTreeMap iteration), so the flattening is a
+    /// pure function of the recorded observations.
+    pub fn sampled_values(&self) -> Vec<(String, f64)> {
+        let families = lock(&self.families);
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, value) in &family.series {
+                let series = render_labels(labels, None);
+                match value {
+                    Value::Counter(c) => out.push((format!("{name}{series}"), *c as f64)),
+                    Value::Gauge(g) => out.push((format!("{name}{series}"), *g)),
+                    Value::Histogram { counts, count, .. } => {
+                        out.push((format!("{name}_count{series}"), *count as f64));
+                        for (q, suffix) in [(0.50, "p50"), (0.99, "p99")] {
+                            if let Some(v) =
+                                quantile_from_buckets(&family.bounds, counts, *count, q)
+                            {
+                                out.push((format!("{name}_{suffix}{series}"), v));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Number of metric families.
     pub fn family_count(&self) -> usize {
         lock(&self.families).len()
@@ -459,8 +491,9 @@ fn escape_label(s: &str) -> String {
 
 /// Formats a value the way Prometheus clients expect: integral values
 /// without a trailing `.0`, everything else via the shortest-roundtrip
-/// float formatting (deterministic in Rust).
-fn fmt_f64(v: f64) -> String {
+/// float formatting (deterministic in Rust). Shared with the telemetry
+/// JSONL renderer so both surfaces format numbers identically.
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
@@ -650,6 +683,33 @@ mod tests {
         let text = r.render();
         assert!(!text.contains("quantile"), "{text}");
         assert!(!text.contains("p50"), "{text}");
+    }
+
+    #[test]
+    fn sampled_values_flatten_every_kind() {
+        let r = Registry::new();
+        r.counter_add("ops_total", "O.", &[("k", "a")], 3);
+        r.gauge_set("depth", "D.", &[], 2.5);
+        r.histogram_record_with("lat", "L.", &[], &[10.0, 20.0], 15.0);
+        let values = r.sampled_values();
+        let keys: Vec<&str> = values.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "depth",
+                "lat_count",
+                "lat_p50",
+                "lat_p99",
+                "ops_total{k=\"a\"}"
+            ]
+        );
+        let get = |key: &str| values.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        assert_eq!(get("ops_total{k=\"a\"}"), Some(3.0));
+        assert_eq!(get("depth"), Some(2.5));
+        assert_eq!(get("lat_count"), Some(1.0));
+        assert!(get("lat_p50").is_some_and(|v| (10.0..=20.0).contains(&v)));
+        // Pure function of the observations.
+        assert_eq!(values, r.sampled_values());
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Telemetry time-series: a fixed-capacity ring buffer of whole-registry
+//! samples.
+//!
+//! Point-in-time `/metrics` scrapes cannot answer "when during the run
+//! did the queue start backing up?" — that needs a time series. The
+//! [`TelemetryRecorder`] takes periodic samples of one or more
+//! [`Registry`] instances (every counter and gauge, plus interpolated
+//! p50/p99 estimates per histogram series via
+//! [`Registry::sampled_values`]) and retains the most recent `capacity`
+//! of them, oldest evicted first.
+//!
+//! Like everything in this crate, the recorder itself never reads a
+//! clock: the caller stamps each sample with `at_micros` (the serving
+//! layer passes elapsed wall micros since server start; tests drive a
+//! [`ManualClock`](crate::ManualClock)). Two runs feeding identical
+//! registries and timestamps produce byte-identical JSONL.
+
+use crate::registry::{fmt_f64, Registry};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard from a poisoned lock: a panicking
+/// sampler thread must not take the telemetry surface down (mutations
+/// are whole-value updates, never half-written).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One point-in-time capture of the sampled registries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySample {
+    /// Monotonic sample number (0-based, never reused after eviction).
+    pub seq: u64,
+    /// Caller-supplied timestamp in microseconds.
+    pub at_micros: u64,
+    /// Flattened `(key, value)` pairs, sorted by key — the union of
+    /// every sampled registry's [`Registry::sampled_values`].
+    pub values: Vec<(String, f64)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    samples: VecDeque<TelemetrySample>,
+    taken: u64,
+    evicted: u64,
+}
+
+/// Fixed-capacity ring buffer of [`TelemetrySample`]s, oldest evicted
+/// first. Sampling goes through `&self` (`Mutex` inside) so a dedicated
+/// sampler thread and readers can share one recorder.
+#[derive(Debug)]
+pub struct TelemetryRecorder {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for TelemetryRecorder {
+    fn default() -> Self {
+        TelemetryRecorder::new(1024)
+    }
+}
+
+impl TelemetryRecorder {
+    /// Creates a recorder retaining the `capacity` most recent samples.
+    pub fn new(capacity: usize) -> Self {
+        TelemetryRecorder {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Captures one sample of `registries` at `at_micros`, evicting the
+    /// oldest retained sample when over capacity. When registries share
+    /// a key (the wiring keeps them disjoint by family prefix), the
+    /// last one sampled wins. Returns the sample's `seq`.
+    pub fn sample<'a>(
+        &self,
+        at_micros: u64,
+        registries: impl IntoIterator<Item = &'a Registry>,
+    ) -> u64 {
+        let mut merged: BTreeMap<String, f64> = BTreeMap::new();
+        for registry in registries {
+            merged.extend(registry.sampled_values());
+        }
+        let mut inner = lock(&self.inner);
+        let seq = inner.taken;
+        inner.taken += 1;
+        inner.samples.push_back(TelemetrySample {
+            seq,
+            at_micros,
+            values: merged.into_iter().collect(),
+        });
+        while inner.samples.len() > self.capacity {
+            inner.samples.pop_front();
+            inner.evicted += 1;
+        }
+        seq
+    }
+
+    /// The retained samples, oldest first.
+    pub fn snapshot(&self) -> Vec<TelemetrySample> {
+        lock(&self.inner).samples.iter().cloned().collect()
+    }
+
+    /// Total samples ever taken (including those since evicted).
+    pub fn samples_taken(&self) -> u64 {
+        lock(&self.inner).taken
+    }
+
+    /// Samples evicted to stay within capacity.
+    pub fn evicted(&self) -> u64 {
+        lock(&self.inner).evicted
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Renders the retained samples as JSON lines, one object per
+    /// sample: `{"seq":N,"at_micros":N,"metrics":{key:value,...}}` with
+    /// metric keys sorted. Values use the same formatting as the
+    /// Prometheus exposition (integral floats render without `.0`).
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for sample in lock(&self.inner).samples.iter() {
+            out.push_str(&format!(
+                "{{\"seq\":{},\"at_micros\":{},\"metrics\":{{",
+                sample.seq, sample.at_micros
+            ));
+            for (i, (key, value)) in sample.values.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", escape_json(key), fmt_f64(*value)));
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+}
+
+/// Escapes a metric key for embedding in a JSON string (keys carry
+/// Prometheus-style label syntax, including quotes).
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, ManualClock};
+
+    fn registry_at(tick: u64) -> Registry {
+        let r = Registry::new();
+        r.counter_add("rounds_total", "R.", &[], tick);
+        r.gauge_set("depth", "D.", &[("q", "admit")], tick as f64);
+        r.histogram_record("lat", "L.", &[], (tick * 10) as f64);
+        r
+    }
+
+    #[test]
+    fn sampling_under_an_injected_clock_is_deterministic() {
+        let run = || {
+            let clock = ManualClock::new(0);
+            let recorder = TelemetryRecorder::new(8);
+            for tick in 1..=4u64 {
+                clock.advance(250);
+                recorder.sample(clock.now(), [&registry_at(tick)]);
+            }
+            recorder.render_jsonl()
+        };
+        let jsonl = run();
+        assert_eq!(jsonl, run(), "same clock + registries => same bytes");
+        assert_eq!(jsonl.lines().count(), 4);
+        let first = jsonl.lines().next().unwrap();
+        assert!(
+            first.starts_with("{\"seq\":0,\"at_micros\":250,"),
+            "{first}"
+        );
+        assert!(first.contains("\"depth{q=\\\"admit\\\"}\":1"), "{first}");
+        assert!(first.contains("\"rounds_total\":1"), "{first}");
+        assert!(first.contains("\"lat_count\":1"), "{first}");
+        assert!(first.contains("\"lat_p50\":"), "{first}");
+        assert!(first.contains("\"lat_p99\":"), "{first}");
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_at_capacity() {
+        let recorder = TelemetryRecorder::new(3);
+        for at in 0..5u64 {
+            recorder.sample(at * 100, [&registry_at(at + 1)]);
+        }
+        assert_eq!(recorder.samples_taken(), 5);
+        assert_eq!(recorder.evicted(), 2);
+        assert_eq!(recorder.capacity(), 3);
+        let retained = recorder.snapshot();
+        let seqs: Vec<u64> = retained.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, [2, 3, 4], "oldest evicted first, seq never reused");
+        assert_eq!(retained[0].at_micros, 200);
+    }
+
+    #[test]
+    fn later_registries_win_shared_keys() {
+        let a = Registry::new();
+        a.gauge_set("shared", "S.", &[], 1.0);
+        let b = Registry::new();
+        b.gauge_set("shared", "S.", &[], 2.0);
+        let recorder = TelemetryRecorder::new(2);
+        recorder.sample(5, [&a, &b]);
+        let snap = recorder.snapshot();
+        assert_eq!(snap[0].values, vec![("shared".to_owned(), 2.0)]);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let recorder = TelemetryRecorder::new(0);
+        recorder.sample(1, [&registry_at(1)]);
+        recorder.sample(2, [&registry_at(2)]);
+        assert_eq!(recorder.snapshot().len(), 1);
+        assert_eq!(recorder.snapshot()[0].seq, 1);
+    }
+}

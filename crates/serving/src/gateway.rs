@@ -191,11 +191,13 @@ impl Gateway {
     }
 
     /// Allocates the query context for one row request: the next trace id
-    /// from the gateway's journal, at the operator-supplied tick.
+    /// from the gateway's journal, at the operator-supplied tick, carrying
+    /// the wire-level request id (when the serving layer lent one).
     fn new_ctx(&self, ops: &OpsContext) -> QueryCtx {
         QueryCtx {
             trace_id: lock(&self.traces).next_trace_id(),
             tick: ops.tick,
+            request_id: ops.request_id,
         }
     }
 
@@ -225,6 +227,7 @@ impl Gateway {
             let mut traces = lock(&self.traces);
             let root = traces.begin_span(profile.tick, "query");
             traces.span_attr(root, "trace_id", profile.trace_id.to_string());
+            traces.span_attr(root, "request_id", profile.request_id.to_string());
             traces.span_attr(root, "op", profile.op.to_owned());
             traces.span_attr(root, "table", profile.table.clone());
             traces.span_attr(root, "query", query_str.clone());
@@ -253,6 +256,7 @@ impl Gateway {
         }
         self.flight.record(FlightEntry {
             trace_id: profile.trace_id,
+            request_id: profile.request_id,
             tick: profile.tick,
             op: profile.op.to_owned(),
             query: query_str,
@@ -379,6 +383,7 @@ impl Gateway {
             .map(|e| {
                 Json::object([
                     ("trace_id", Json::from(e.trace_id)),
+                    ("request_id", Json::from(e.request_id)),
                     ("tick", Json::from(e.tick)),
                     ("op", Json::from(e.op.as_str())),
                     ("query", Json::from(e.query.as_str())),
@@ -445,6 +450,7 @@ fn explain_json(profile: &QueryProfile) -> Json {
             ("from", Json::string(profile.from.to_string())),
             ("to", Json::string(profile.to.to_string())),
             ("trace_id", Json::from(profile.trace_id)),
+            ("request_id", Json::from(profile.request_id)),
             ("tick", Json::from(profile.tick)),
             ("stages", Json::Array(stage_items)),
             ("cost", Json::from(profile.cost())),

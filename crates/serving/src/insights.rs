@@ -135,6 +135,7 @@ fn slow_queries_json(gateway: &Gateway) -> Json {
         .map(|e| {
             Json::object([
                 ("trace_id", Json::from(e.trace_id)),
+                ("request_id", Json::from(e.request_id)),
                 ("op", Json::from(e.op.as_str())),
                 ("query", Json::from(e.query.as_str())),
                 ("cost", Json::from(e.cost)),

@@ -29,6 +29,11 @@ pub struct OpsContext<'a> {
     /// Simulation tick of the request (0 when no clock is wired) — stamped
     /// into query traces and flight-recorder entries.
     pub tick: u64,
+    /// Wire-level request id assigned by the serving listener at accept
+    /// (0 for in-process requests) — stamped into query traces and
+    /// flight-recorder entries so they join to the server's request
+    /// timeline and the `x-spotlake-request-id` response header.
+    pub request_id: u64,
     /// Archive data-quality report, surfaced through `/quality`.
     pub quality: Option<&'a QualityReport>,
     /// What startup recovery replayed, when the archive runs durably —

@@ -22,18 +22,28 @@
 //! * **Graceful shutdown** — [`ServerHandle::shutdown`] stops accepting,
 //!   drains queued and in-flight requests, joins every thread, and
 //!   returns a [`ServerReport`] with flushed metrics.
+//!
+//! The engine is also where the request lifecycle is observed: every
+//! connection gets a request id at accept (echoed back in the
+//! `x-spotlake-request-id` header on every response, including shed
+//! 503s) and a phase timeline — queue wait, parse, handle, write —
+//! recorded into the `spotlake_server_phase_micros` histogram and the
+//! slow-request recorder behind `/debug/requests`. When telemetry is
+//! enabled, a dedicated sampler thread snapshots every registry into a
+//! ring buffer served at `/debug/telemetry` as JSONL.
 
-use super::metrics::{ServerMetrics, ServerTotals};
+use super::metrics::{PhaseStats, ServerMetrics, ServerTotals};
 use super::shared::SharedArchive;
 use super::wire::{self, WireLimits};
 use crate::gateway::Gateway;
 use crate::http::HttpResponse;
+use crate::json::Json;
 use crate::ops::OpsContext;
-use spotlake_obs::Registry;
+use spotlake_obs::{PhaseSpan, Registry, RequestRecord, RequestRecorder, TelemetryRecorder};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -66,6 +76,13 @@ pub struct ServerConfig {
     pub limits: WireLimits,
     /// Simulation tick stamped into query traces (0 when unclocked).
     pub tick: u64,
+    /// When set, a dedicated sampler thread snapshots every registry at
+    /// this interval into the telemetry ring buffer (`/debug/telemetry`).
+    pub telemetry_interval: Option<Duration>,
+    /// Telemetry ring-buffer capacity in samples (oldest evicted beyond it).
+    pub telemetry_capacity: usize,
+    /// How many of the slowest requests `/debug/requests` retains.
+    pub request_log: usize,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +97,9 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             limits: WireLimits::default(),
             tick: 0,
+            telemetry_interval: None,
+            telemetry_capacity: 1024,
+            request_log: 64,
         }
     }
 }
@@ -93,6 +113,12 @@ pub struct ServerReport {
     /// The final merged Prometheus exposition (server + gateway +
     /// archive-snapshot families), flushed at shutdown.
     pub metrics_text: String,
+    /// Per-phase latency summaries (`queue_wait`/`parse`/`handle`/`write`)
+    /// over every request the server finished.
+    pub phases: Vec<PhaseStats>,
+    /// The telemetry ring buffer rendered as JSONL, when telemetry was
+    /// enabled (one final sample is taken at shutdown).
+    pub telemetry_jsonl: Option<String>,
 }
 
 /// The serving engine. Construct with [`Server::start`].
@@ -110,6 +136,25 @@ struct ServerState {
     write_timeout: Duration,
     limits: WireLimits,
     tick: u64,
+    /// Slowest-request timeline recorder behind `/debug/requests`.
+    requests: RequestRecorder,
+    /// Telemetry ring buffer behind `/debug/telemetry` (None = disabled).
+    telemetry: Option<TelemetryRecorder>,
+    /// Wire-level request ids, assigned at accept starting from 1.
+    next_request_id: AtomicU64,
+    /// Epoch for telemetry sample timestamps (micros since start).
+    started: Instant,
+}
+
+/// One admitted connection in flight from the listener to a worker.
+#[derive(Debug)]
+struct Admitted {
+    conn: TcpStream,
+    /// Request id assigned at accept, echoed as `x-spotlake-request-id`.
+    request_id: u64,
+    /// When the listener accepted the connection — the epoch every phase
+    /// timestamp of this request is an offset from.
+    accepted: Instant,
 }
 
 impl Server {
@@ -127,10 +172,16 @@ impl Server {
             write_timeout: config.write_timeout.max(Duration::from_millis(1)),
             limits: config.limits,
             tick: config.tick,
+            requests: RequestRecorder::new(config.request_log),
+            telemetry: config
+                .telemetry_interval
+                .map(|_| TelemetryRecorder::new(config.telemetry_capacity)),
+            next_request_id: AtomicU64::new(1),
+            started: Instant::now(),
         });
         let stop = Arc::new(AtomicBool::new(false));
 
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Admitted>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
 
         let mut workers = Vec::with_capacity(config.workers.max(1));
@@ -150,11 +201,25 @@ impl Server {
             .name("spotlake-listener".to_owned())
             .spawn(move || accept_loop(&listener, &accept_state, &accept_stop, tx, retry_after))?;
 
+        let sampler = match config.telemetry_interval {
+            Some(interval) => {
+                let sampler_state = Arc::clone(&state);
+                let sampler_stop = Arc::clone(&stop);
+                Some(
+                    std::thread::Builder::new()
+                        .name("spotlake-telemetry".to_owned())
+                        .spawn(move || sampler_loop(&sampler_state, &sampler_stop, interval))?,
+                )
+            }
+            None => None,
+        };
+
         Ok(ServerHandle {
             addr,
             stop,
             acceptor: Some(acceptor),
             workers,
+            sampler,
             state,
         })
     }
@@ -168,6 +233,7 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
     state: Arc<ServerState>,
 }
 
@@ -192,10 +258,25 @@ impl ServerHandle {
         self.state.metrics.totals()
     }
 
+    /// The slowest-request timeline recorder (`/debug/requests`).
+    pub fn requests(&self) -> &RequestRecorder {
+        &self.state.requests
+    }
+
+    /// The telemetry ring buffer, when telemetry is enabled.
+    pub fn telemetry(&self) -> Option<&TelemetryRecorder> {
+        self.state.telemetry.as_ref()
+    }
+
     /// Stops accepting, drains queued and in-flight requests, joins all
     /// threads, and returns the final report with flushed metrics.
     pub fn shutdown(mut self) -> ServerReport {
         self.stop_and_join();
+        // One last sample so the archived time series covers the full run
+        // even when the interval is longer than the server's lifetime.
+        if let Some(telemetry) = &self.state.telemetry {
+            take_sample(&self.state, telemetry);
+        }
         let snapshot = self.state.archive.snapshot();
         let registries: [&Registry; 3] = [
             self.state.metrics.registry(),
@@ -205,6 +286,8 @@ impl ServerHandle {
         ServerReport {
             totals: self.state.metrics.totals(),
             metrics_text: Registry::render_merged(registries),
+            phases: self.state.metrics.phase_stats(),
+            telemetry_jsonl: self.state.telemetry.as_ref().map(|t| t.render_jsonl()),
         }
     }
 
@@ -228,6 +311,9 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
+        }
     }
 }
 
@@ -241,7 +327,7 @@ fn accept_loop(
     listener: &TcpListener,
     state: &ServerState,
     stop: &AtomicBool,
-    tx: SyncSender<TcpStream>,
+    tx: SyncSender<Admitted>,
     retry_after_secs: u32,
 ) {
     loop {
@@ -255,22 +341,44 @@ fn accept_loop(
             drop(conn);
             break;
         }
+        let request_id = state.next_request_id.fetch_add(1, Ordering::Relaxed);
         state.metrics.connection_accepted();
         // Count the admission before the send: the receiving worker's
         // matching `dequeued` is ordered after it by the channel.
         state.metrics.enqueued();
-        match tx.try_send(conn) {
+        let admitted = Admitted {
+            conn,
+            request_id,
+            accepted: Instant::now(),
+        };
+        match tx.try_send(admitted) {
             Ok(()) => {}
-            Err(TrySendError::Full(mut conn)) => {
+            Err(TrySendError::Full(admitted)) => {
                 state.metrics.dequeued();
                 state.metrics.shed();
+                let mut conn = admitted.conn;
                 let _ = conn.set_write_timeout(Some(state.write_timeout));
                 let response = HttpResponse::error(503, "admission queue full; retry shortly");
                 let _ = wire::write_response(
                     &mut conn,
                     &response,
-                    &[("retry-after", retry_after_secs.to_string())],
+                    &[
+                        ("retry-after", retry_after_secs.to_string()),
+                        ("x-spotlake-request-id", admitted.request_id.to_string()),
+                    ],
                 );
+                // The client's request head may still be in flight; close
+                // half-open and drain briefly so it does not RST the 503
+                // out of the client's receive buffer.
+                let _ = conn.shutdown(std::net::Shutdown::Write);
+                let _ = conn.set_read_timeout(Some(Duration::from_millis(50)));
+                let mut scratch = [0u8; 4096];
+                for _ in 0..8 {
+                    match io::Read::read(&mut conn, &mut scratch) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                }
             }
             Err(TrySendError::Disconnected(_)) => break,
         }
@@ -279,24 +387,48 @@ fn accept_loop(
     // their `recv` errors out and they exit.
 }
 
-fn worker_loop(state: &ServerState, rx: &Mutex<Receiver<TcpStream>>) {
+fn worker_loop(state: &ServerState, rx: &Mutex<Receiver<Admitted>>) {
     loop {
         // Hold the receiver lock only for the dequeue, not the handling,
         // so the pool keeps pulling work while this thread serves.
-        let conn = match lock(rx).recv() {
-            Ok(conn) => conn,
+        let admitted = match lock(rx).recv() {
+            Ok(admitted) => admitted,
             Err(_) => break,
         };
         state.metrics.dequeued();
-        let mut conn = conn;
-        serve_connection(state, &mut conn);
+        let mut admitted = admitted;
+        let dequeued_micros = elapsed_micros(admitted.accepted);
+        serve_connection(
+            state,
+            &mut admitted.conn,
+            admitted.request_id,
+            admitted.accepted,
+            dequeued_micros,
+        );
     }
+}
+
+/// Microseconds elapsed since `epoch`, saturating into `u64`.
+fn elapsed_micros(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Handles one connection end to end. Never panics outward: the handler
 /// is wrapped in `catch_unwind`, and every wire error maps to a status
 /// or a silent close.
-fn serve_connection(state: &ServerState, conn: &mut TcpStream) {
+///
+/// Every phase timestamp is an offset in microseconds from `accepted`,
+/// sampled through a single forward-moving cursor so the recorded spans
+/// are contiguous and can never overlap or run backwards:
+/// `queue_wait` ends where `parse` starts, `parse` where `handle`
+/// starts, `handle` where `write` starts.
+fn serve_connection(
+    state: &ServerState,
+    conn: &mut TcpStream,
+    request_id: u64,
+    accepted: Instant,
+    dequeued_micros: u64,
+) {
     let start = Instant::now();
     state.metrics.request_started();
     let _ = conn.set_nodelay(true);
@@ -305,6 +437,11 @@ fn serve_connection(state: &ServerState, conn: &mut TcpStream) {
 
     let parsed = wire::read_head(conn, &state.limits)
         .and_then(|head| wire::parse_head(&head, &state.limits));
+    let parse_end = elapsed_micros(accepted).max(dequeued_micros);
+    let target = match &parsed {
+        Ok(request) => request.path_and_query(),
+        Err(_) => "-".to_owned(),
+    };
     // An oversized head leaves unread bytes in the socket buffer; closing
     // over them would RST the 431 out of the client's hands, so that path
     // drains (bounded) before the connection drops.
@@ -335,6 +472,14 @@ fn serve_connection(state: &ServerState, conn: &mut TcpStream) {
                     )),
                     "504".into(),
                 )
+            } else if request.path() == "/debug/requests" {
+                let resp = debug_requests_json(state);
+                let label = resp.status.to_string();
+                (Some(resp), label)
+            } else if request.path() == "/debug/telemetry" {
+                let resp = debug_telemetry(state);
+                let label = resp.status.to_string();
+                (Some(resp), label)
             } else {
                 let snapshot = state.archive.snapshot();
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -342,6 +487,7 @@ fn serve_connection(state: &ServerState, conn: &mut TcpStream) {
                     let ops = OpsContext {
                         registries: &registries,
                         tick: state.tick,
+                        request_id,
                         ..OpsContext::default()
                     };
                     state.gateway.handle(&snapshot, &request, &ops)
@@ -371,14 +517,17 @@ fn serve_connection(state: &ServerState, conn: &mut TcpStream) {
             }
         }
     };
+    let handle_end = elapsed_micros(accepted).max(parse_end);
 
     if let Some(response) = &response {
-        if let Err(e) = wire::write_response(conn, response, &[]) {
+        let extras = [("x-spotlake-request-id", request_id.to_string())];
+        if let Err(e) = wire::write_response(conn, response, &extras) {
             if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
                 state.metrics.slow_client_closed();
             }
         }
     }
+    let write_end = elapsed_micros(accepted).max(handle_end);
     if drain_excess {
         let _ = conn.set_read_timeout(Some(Duration::from_millis(50)));
         let mut scratch = [0u8; 4096];
@@ -391,4 +540,119 @@ fn serve_connection(state: &ServerState, conn: &mut TcpStream) {
     }
     let micros = start.elapsed().as_secs_f64() * 1_000_000.0;
     state.metrics.request_finished(&status_label, micros);
+
+    let phases = vec![
+        span("queue_wait", 0, dequeued_micros),
+        span("parse", dequeued_micros, parse_end),
+        span("handle", parse_end, handle_end),
+        span("write", handle_end, write_end),
+    ];
+    for phase in &phases {
+        state
+            .metrics
+            .phase(phase.phase, phase.duration_micros() as f64);
+    }
+    state.requests.record(RequestRecord {
+        request_id,
+        target,
+        status: status_label,
+        total_micros: elapsed_micros(accepted),
+        phases,
+    });
+}
+
+/// Builds one phase span from cursor offsets.
+fn span(phase: &'static str, start_micros: u64, end_micros: u64) -> PhaseSpan {
+    PhaseSpan {
+        phase,
+        start_micros,
+        end_micros,
+    }
+}
+
+/// `/debug/requests`: the slowest request timelines as JSON.
+fn debug_requests_json(state: &ServerState) -> HttpResponse {
+    let entries: Vec<Json> = state
+        .requests
+        .snapshot()
+        .iter()
+        .map(|r| {
+            let phases: Vec<Json> = r
+                .phases
+                .iter()
+                .map(|p| {
+                    Json::object([
+                        ("phase", Json::from(p.phase)),
+                        ("start_micros", Json::from(p.start_micros)),
+                        ("end_micros", Json::from(p.end_micros)),
+                        ("duration_micros", Json::from(p.duration_micros())),
+                    ])
+                })
+                .collect();
+            Json::object([
+                ("request_id", Json::from(r.request_id)),
+                ("target", Json::from(r.target.as_str())),
+                ("status", Json::from(r.status.as_str())),
+                ("total_micros", Json::from(r.total_micros)),
+                ("phases", Json::Array(phases)),
+            ])
+        })
+        .collect();
+    HttpResponse::json(
+        Json::object([
+            ("capacity", Json::from(state.requests.capacity() as u64)),
+            ("observed", Json::from(state.requests.observed())),
+            ("requests", Json::Array(entries)),
+        ])
+        .render(),
+    )
+}
+
+/// `/debug/telemetry`: the telemetry ring buffer as JSONL (404 when the
+/// server runs without a sampler).
+fn debug_telemetry(state: &ServerState) -> HttpResponse {
+    match &state.telemetry {
+        Some(telemetry) => HttpResponse::plain(telemetry.render_jsonl()),
+        None => HttpResponse::error(404, "telemetry disabled; start with a telemetry interval"),
+    }
+}
+
+/// One telemetry sample: progress counters first so the sample sees its
+/// own sequence number, then a snapshot of every registry the server
+/// owns (server, gateway HTTP, archive store).
+fn take_sample(state: &ServerState, telemetry: &TelemetryRecorder) {
+    state
+        .metrics
+        .telemetry_progress(telemetry.samples_taken() + 1, telemetry.evicted());
+    let snapshot = state.archive.snapshot();
+    let at_micros = elapsed_micros(state.started);
+    telemetry.sample(
+        at_micros,
+        [
+            state.metrics.registry(),
+            state.gateway.http_metrics(),
+            snapshot.metrics(),
+        ],
+    );
+}
+
+/// The dedicated telemetry sampler thread: samples every `interval`,
+/// sleeping in short slices so shutdown is honored promptly.
+fn sampler_loop(state: &ServerState, stop: &AtomicBool, interval: Duration) {
+    let interval = interval.max(Duration::from_millis(1));
+    let Some(telemetry) = &state.telemetry else {
+        return;
+    };
+    while !stop.load(Ordering::SeqCst) {
+        take_sample(state, telemetry);
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let slice = (interval - slept).min(Duration::from_millis(10));
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+    }
 }

@@ -16,8 +16,15 @@
 //! Chaos modes exercise the overload envelope end to end: slow clients
 //! (drip-fed heads), malformed and oversized requests, connection churn,
 //! and mid-request disconnects.
+//!
+//! Since schema version 2 the report also *correlates* client and server
+//! views: every response's echoed `x-spotlake-request-id` is recorded,
+//! the slowest clean GETs are listed with their server-side request ids
+//! (joinable against `/debug/requests`), and the rendered JSON folds in
+//! the server's per-phase quantiles (`queue_wait`/`parse`/`handle`/
+//! `write`) so one document answers "where did the latency go".
 
-use super::metrics::ServerTotals;
+use super::metrics::{PhaseStats, ServerTotals};
 use crate::json::Json;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -280,6 +287,13 @@ pub struct LoadReport {
     pub statuses: BTreeMap<u16, u64>,
     /// Chaos actions sent, by kind (deterministic per seed).
     pub chaos_sent: BTreeMap<String, u64>,
+    /// Responses carrying an `x-spotlake-request-id` header (every
+    /// server-originated response should; a shortfall vs `completed`
+    /// means a non-spotlake hop answered).
+    pub responses_with_id: u64,
+    /// The slowest clean GETs with their echoed server request ids,
+    /// slowest first — joinable against the server's `/debug/requests`.
+    pub slowest: Vec<SlowSample>,
     /// Client-observed latency quantiles over clean GETs, microseconds.
     pub p50_micros: f64,
     /// 90th percentile, microseconds.
@@ -292,6 +306,20 @@ pub struct LoadReport {
     pub duration_micros: u64,
 }
 
+/// One slow clean GET, correlated to the server by request id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowSample {
+    /// Client-observed latency in whole microseconds.
+    pub latency_micros: u64,
+    /// The server-assigned id echoed in `x-spotlake-request-id`.
+    pub request_id: u64,
+    /// The path-and-query that was requested.
+    pub path: String,
+}
+
+/// How many slow samples the report keeps.
+const SLOWEST_KEPT: usize = 5;
+
 impl LoadReport {
     /// Responses in the 5xx range (shed 503s included).
     pub fn fivexx(&self) -> u64 {
@@ -302,9 +330,13 @@ impl LoadReport {
             .sum()
     }
 
-    /// Renders the `BENCH_serving.json` document, optionally folding in
-    /// the server's own totals (when the caller owns the server too).
-    pub fn to_json(&self, server: Option<&ServerTotals>) -> String {
+    /// Renders the `BENCH_serving.json` document (schema version 2),
+    /// optionally folding in the server's own totals and per-phase
+    /// latency summaries (when the caller owns the server too).
+    ///
+    /// All exported latency quantiles are rounded to whole microseconds
+    /// so the document diffs cleanly across runs.
+    pub fn to_json(&self, server: Option<&ServerTotals>, phases: &[PhaseStats]) -> String {
         let statuses = Json::Object(
             self.statuses
                 .iter()
@@ -332,9 +364,37 @@ impl LoadReport {
             ]),
             None => Json::Null,
         };
+        // Flat `{phase}_{stat}` keys so dashboards can address
+        // `queue_wait_p99` etc. without nested lookups.
+        let server_phases = Json::Object(
+            phases
+                .iter()
+                .flat_map(|p| {
+                    [
+                        (format!("{}_count", p.phase), Json::from(p.count)),
+                        (format!("{}_p50", p.phase), Json::from(p.p50_micros)),
+                        (format!("{}_p90", p.phase), Json::from(p.p90_micros)),
+                        (format!("{}_p99", p.phase), Json::from(p.p99_micros)),
+                    ]
+                })
+                .collect(),
+        );
+        let slowest = Json::Array(
+            self.slowest
+                .iter()
+                .map(|s| {
+                    Json::object([
+                        ("latency_micros", Json::from(s.latency_micros)),
+                        ("request_id", Json::from(s.request_id)),
+                        ("path", Json::from(s.path.as_str())),
+                    ])
+                })
+                .collect(),
+        );
+        let round = |micros: f64| Json::from(micros.round().max(0.0) as u64);
         Json::object([
             ("bench", Json::from("serving")),
-            ("version", Json::from(1u64)),
+            ("version", Json::from(2u64)),
             ("seed", Json::from(self.seed)),
             ("mode", Json::string(&self.mode)),
             ("chaos", Json::string(&self.chaos_profile)),
@@ -351,9 +411,17 @@ impl LoadReport {
             (
                 "latency_micros",
                 Json::object([
-                    ("p50", Json::from(self.p50_micros)),
-                    ("p90", Json::from(self.p90_micros)),
-                    ("p99", Json::from(self.p99_micros)),
+                    ("p50", round(self.p50_micros)),
+                    ("p90", round(self.p90_micros)),
+                    ("p99", round(self.p99_micros)),
+                ]),
+            ),
+            ("server_phases", server_phases),
+            (
+                "request_correlation",
+                Json::object([
+                    ("responses_with_id", Json::from(self.responses_with_id)),
+                    ("slowest", slowest),
                 ]),
             ),
             ("throughput_rps", Json::from(self.throughput_rps)),
@@ -370,6 +438,9 @@ struct ClientTally {
     io_errors: u64,
     statuses: BTreeMap<u16, u64>,
     chaos_sent: BTreeMap<String, u64>,
+    responses_with_id: u64,
+    /// Clean-GET samples with an echoed request id, for the slowest-N cut.
+    samples: Vec<SlowSample>,
 }
 
 /// Runs the configured load against `addr` and summarizes what came
@@ -399,9 +470,13 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
     let mut chaos_sent = BTreeMap::new();
     let mut completed = 0u64;
     let mut io_errors = 0u64;
+    let mut responses_with_id = 0u64;
+    let mut slowest: Vec<SlowSample> = Vec::new();
     for tally in tallies {
         completed += tally.completed;
         io_errors += tally.io_errors;
+        responses_with_id += tally.responses_with_id;
+        slowest.extend(tally.samples);
         for (status, n) in tally.statuses {
             *statuses.entry(status).or_insert(0) += n;
         }
@@ -409,6 +484,14 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
             *chaos_sent.entry(kind).or_insert(0) += n;
         }
     }
+    // Slowest first; ties break on request id so same-seed runs against a
+    // deterministic server render the same list.
+    slowest.sort_by(|a, b| {
+        b.latency_micros
+            .cmp(&a.latency_micros)
+            .then(a.request_id.cmp(&b.request_id))
+    });
+    slowest.truncate(SLOWEST_KEPT);
 
     let quantile = |q: f64| {
         registry
@@ -426,6 +509,8 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
         io_errors,
         statuses,
         chaos_sent,
+        responses_with_id,
+        slowest,
         p50_micros: quantile(0.50),
         p90_micros: quantile(0.90),
         p99_micros: quantile(0.99),
@@ -460,14 +545,18 @@ fn run_client(
         };
         let outcome = execute(addr, config, action);
         let latency = scheduled.elapsed();
-        record(registry, action.kind, &outcome, latency, &mut tally);
+        record(registry, action, &outcome, latency, &mut tally);
     }
     tally
 }
 
 enum Outcome {
-    /// A complete response with this status came back.
-    Status(u16),
+    /// A complete response came back, with the server's echoed request
+    /// id when the `x-spotlake-request-id` header was present.
+    Status {
+        status: u16,
+        request_id: Option<u64>,
+    },
     /// The socket failed (connect, write, or read).
     IoError,
     /// The action hung up on purpose; no response expected.
@@ -477,7 +566,7 @@ enum Outcome {
 impl Outcome {
     fn as_str(&self) -> &'static str {
         match self {
-            Outcome::Status(_) => "response",
+            Outcome::Status { .. } => "response",
             Outcome::IoError => "io_error",
             Outcome::Dropped => "dropped",
         }
@@ -486,7 +575,7 @@ impl Outcome {
 
 fn record(
     registry: &Registry,
-    kind: ActionKind,
+    action: &Action,
     outcome: &Outcome,
     latency: Duration,
     tally: &mut ClientTally,
@@ -494,26 +583,40 @@ fn record(
     registry.counter_add(
         REQUESTS_TOTAL,
         "Load-generator actions executed, by kind and outcome",
-        &[("kind", kind.as_str()), ("outcome", outcome.as_str())],
+        &[
+            ("kind", action.kind.as_str()),
+            ("outcome", outcome.as_str()),
+        ],
         1,
     );
-    if kind != ActionKind::Get {
+    if action.kind != ActionKind::Get {
         *tally
             .chaos_sent
-            .entry(kind.as_str().to_owned())
+            .entry(action.kind.as_str().to_owned())
             .or_insert(0) += 1;
     }
     match outcome {
-        Outcome::Status(status) => {
+        Outcome::Status { status, request_id } => {
             tally.completed += 1;
             *tally.statuses.entry(*status).or_insert(0) += 1;
-            if kind == ActionKind::Get {
+            if request_id.is_some() {
+                tally.responses_with_id += 1;
+            }
+            if action.kind == ActionKind::Get {
+                let micros = latency.as_secs_f64() * 1_000_000.0;
                 registry.histogram_record(
                     LATENCY_MICROS,
                     "Client-observed request latency in microseconds",
                     &[],
-                    latency.as_secs_f64() * 1_000_000.0,
+                    micros,
                 );
+                if let Some(id) = request_id {
+                    tally.samples.push(SlowSample {
+                        latency_micros: micros.round().max(0.0) as u64,
+                        request_id: *id,
+                        path: action.path.clone(),
+                    });
+                }
             }
         }
         Outcome::IoError => tally.io_errors += 1,
@@ -523,10 +626,16 @@ fn record(
 
 fn execute(addr: SocketAddr, config: &LoadConfig, action: &Action) -> Outcome {
     match action.kind {
-        ActionKind::Get => match fetch(addr, &action.path, config.io_timeout) {
-            Ok((status, _)) => Outcome::Status(status),
-            Err(_) => Outcome::IoError,
-        },
+        ActionKind::Get => {
+            let head = format!(
+                "GET {} HTTP/1.1\r\nhost: spotlake\r\nconnection: close\r\n\r\n",
+                action.path
+            );
+            match exchange(addr, head.as_bytes(), config.io_timeout, None) {
+                Ok((status, request_id)) => Outcome::Status { status, request_id },
+                Err(_) => Outcome::IoError,
+            }
+        }
         ActionKind::Slow => {
             let head = format!(
                 "GET {} HTTP/1.1\r\nhost: spotlake\r\nconnection: close\r\n\r\n",
@@ -564,7 +673,7 @@ fn execute(addr: SocketAddr, config: &LoadConfig, action: &Action) -> Outcome {
 /// Sends `payload` and reads a full response.
 fn send_raw(addr: SocketAddr, payload: &[u8], timeout: Duration) -> Outcome {
     match exchange(addr, payload, timeout, None) {
-        Ok(status) => Outcome::Status(status),
+        Ok((status, request_id)) => Outcome::Status { status, request_id },
         Err(_) => Outcome::IoError,
     }
 }
@@ -583,7 +692,7 @@ fn send_raw_chunked(
         config.io_timeout,
         Some((chunks, config.slow_chunk_delay)),
     ) {
-        Ok(status) => Outcome::Status(status),
+        Ok((status, request_id)) => Outcome::Status { status, request_id },
         Err(_) => Outcome::IoError,
     }
 }
@@ -593,7 +702,7 @@ fn exchange(
     payload: &[u8],
     timeout: Duration,
     drip: Option<(usize, Duration)>,
-) -> io::Result<u16> {
+) -> io::Result<(u16, Option<u64>)> {
     let mut conn = TcpStream::connect_timeout(&addr, timeout)?;
     conn.set_read_timeout(Some(timeout))?;
     conn.set_write_timeout(Some(timeout))?;
@@ -609,14 +718,37 @@ fn exchange(
         }
     }
     let mut response = Vec::new();
-    conn.read_to_end(&mut response)?;
-    parse_status(&response)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unparseable response"))
+    // A shed or error response can be followed by an RST (the server
+    // closes while our request bytes are still in flight); whatever was
+    // buffered before the reset still counts as the answer.
+    let read_result = conn.read_to_end(&mut response);
+    match parse_status(&response) {
+        Some(status) => Ok((status, parse_request_id(&response))),
+        None => {
+            read_result?;
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unparseable response",
+            ))
+        }
+    }
 }
 
 /// Issues one clean GET and returns `(status, body)`. Shared by the
 /// loadgen, the CLI, and the integration tests.
 pub fn fetch(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<(u16, String)> {
+    let (status, body, _) = fetch_with_id(addr, path, timeout)?;
+    Ok((status, body))
+}
+
+/// Issues one clean GET and returns `(status, body, request_id)`, where
+/// `request_id` is the server's echoed `x-spotlake-request-id` (None if
+/// the header was missing or unparseable).
+pub fn fetch_with_id(
+    addr: SocketAddr,
+    path: &str,
+    timeout: Duration,
+) -> io::Result<(u16, String, Option<u64>)> {
     let mut conn = TcpStream::connect_timeout(&addr, timeout)?;
     conn.set_read_timeout(Some(timeout))?;
     conn.set_write_timeout(Some(timeout))?;
@@ -631,7 +763,23 @@ pub fn fetch(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<(u16
         Some(at) => String::from_utf8_lossy(&response[at..]).into_owned(),
         None => String::new(),
     };
-    Ok((status, body))
+    Ok((status, body, parse_request_id(&response)))
+}
+
+/// Pulls the echoed `x-spotlake-request-id` out of a raw response head.
+fn parse_request_id(response: &[u8]) -> Option<u64> {
+    let head_end = find_body(response).unwrap_or(response.len());
+    let head = std::str::from_utf8(response.get(..head_end)?).ok()?;
+    for line in head.split("\r\n").skip(1) {
+        let (name, value) = match line.split_once(':') {
+            Some(pair) => pair,
+            None => continue,
+        };
+        if name.trim().eq_ignore_ascii_case("x-spotlake-request-id") {
+            return value.trim().parse().ok();
+        }
+    }
+    None
 }
 
 fn parse_status(response: &[u8]) -> Option<u16> {
@@ -746,26 +894,60 @@ mod tests {
             io_errors: 0,
             statuses: [(200u16, 19u64), (503, 1)].into_iter().collect(),
             chaos_sent: BTreeMap::new(),
-            p50_micros: 120.0,
-            p90_micros: 400.0,
-            p99_micros: 900.0,
+            responses_with_id: 20,
+            slowest: vec![SlowSample {
+                latency_micros: 901,
+                request_id: 17,
+                path: "/query?table=sps".into(),
+            }],
+            p50_micros: 120.4,
+            p90_micros: 400.5,
+            p99_micros: 900.9,
             throughput_rps: 1234.5,
             duration_micros: 16_000,
         };
-        let json = report.to_json(Some(&ServerTotals::default()));
+        let phases = [PhaseStats {
+            phase: "queue_wait",
+            count: 20,
+            p50_micros: 3,
+            p90_micros: 9,
+            p99_micros: 14,
+        }];
+        let json = report.to_json(Some(&ServerTotals::default()), &phases);
         for key in [
             "\"bench\":\"serving\"",
+            "\"version\":2",
             "\"seed\":7",
+            // Quantiles export as whole microseconds (rounded).
             "\"p50\":120",
-            "\"p90\":400",
-            "\"p99\":900",
+            "\"p90\":401",
+            "\"p99\":901",
             "\"throughput_rps\":1234.5",
             "\"statuses\":{\"200\":19,\"503\":1}",
             "\"worker_panics\":0",
+            "\"queue_wait_count\":20",
+            "\"queue_wait_p99\":14",
+            "\"responses_with_id\":20",
+            "\"request_id\":17",
         ] {
             assert!(json.contains(key), "{key} missing from {json}");
         }
         assert_eq!(report.fivexx(), 1);
-        assert!(report.to_json(None).contains("\"server\":null"));
+        assert!(report.to_json(None, &[]).contains("\"server\":null"));
+        assert!(report.to_json(None, &[]).contains("\"server_phases\":{}"));
+    }
+
+    #[test]
+    fn request_id_header_parsing() {
+        let with =
+            b"HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\nx-spotlake-request-id: 42\r\n\r\nok";
+        assert_eq!(parse_request_id(with), Some(42));
+        let cased = b"HTTP/1.1 503 Unavailable\r\nX-Spotlake-Request-Id: 7\r\n\r\n";
+        assert_eq!(parse_request_id(cased), Some(7));
+        let without = b"HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\n\r\nok";
+        assert_eq!(parse_request_id(without), None);
+        // An id in the body must not count.
+        let body_only = b"HTTP/1.1 200 OK\r\n\r\nx-spotlake-request-id: 9";
+        assert_eq!(parse_request_id(body_only), None);
     }
 }

@@ -5,7 +5,7 @@
 //! counters the shutdown report needs are mirrored in atomics so the
 //! engine can read totals without parsing the exposition text.
 
-use spotlake_obs::Registry;
+use spotlake_obs::{Registry, REQUEST_PHASES};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const CONNECTIONS_TOTAL: &str = "spotlake_server_connections_total";
@@ -18,6 +18,9 @@ const PANICS_TOTAL: &str = "spotlake_server_worker_panics_total";
 const INFLIGHT: &str = "spotlake_server_inflight";
 const QUEUE_DEPTH: &str = "spotlake_server_queue_depth";
 const REQUEST_MICROS: &str = "spotlake_server_request_micros";
+const PHASE_MICROS: &str = "spotlake_server_phase_micros";
+const TELEMETRY_SAMPLES_TOTAL: &str = "spotlake_telemetry_samples_total";
+const TELEMETRY_EVICTED_TOTAL: &str = "spotlake_telemetry_evicted_total";
 
 /// Shared counters and gauges for the TCP serving path.
 #[derive(Debug, Default)]
@@ -134,6 +137,60 @@ impl ServerMetrics {
         );
     }
 
+    /// One lifecycle phase of a request completed, taking `micros`.
+    /// `phase` must be one of [`REQUEST_PHASES`].
+    pub fn phase(&self, phase: &'static str, micros: f64) {
+        debug_assert!(REQUEST_PHASES.contains(&phase), "unknown phase {phase:?}");
+        self.registry.histogram_record(
+            PHASE_MICROS,
+            "Per-request lifecycle phase durations in microseconds",
+            &[("phase", phase)],
+            micros,
+        );
+    }
+
+    /// Mirrors the telemetry recorder's running totals into counters, so
+    /// the sampling progress is visible in `/metrics` and inside the
+    /// samples themselves. Called by the sampler thread before each
+    /// sample with the totals *including* the sample being taken.
+    pub fn telemetry_progress(&self, samples_taken: u64, evicted: u64) {
+        self.registry.counter_set(
+            TELEMETRY_SAMPLES_TOTAL,
+            "Telemetry samples taken since server start",
+            &[],
+            samples_taken,
+        );
+        self.registry.counter_set(
+            TELEMETRY_EVICTED_TOTAL,
+            "Telemetry ring-buffer samples evicted to stay within capacity",
+            &[],
+            evicted,
+        );
+    }
+
+    /// Per-phase quantile summaries of the phase histogram, one entry per
+    /// [`REQUEST_PHASES`] name that has observations, in wire order.
+    /// Quantiles are rounded to whole microseconds — these feed the
+    /// integer-quantile BENCH_serving.json v2 schema.
+    pub fn phase_stats(&self) -> Vec<PhaseStats> {
+        let summaries = self.registry.histogram_summaries(PHASE_MICROS);
+        REQUEST_PHASES
+            .iter()
+            .filter_map(|phase| {
+                let summary = summaries
+                    .iter()
+                    .find(|s| s.labels.iter().any(|(k, v)| k == "phase" && v == *phase))?;
+                Some(PhaseStats {
+                    phase,
+                    count: summary.count,
+                    p50_micros: summary.p50.round() as u64,
+                    p90_micros: summary.p90.round() as u64,
+                    p99_micros: summary.p99.round() as u64,
+                })
+            })
+            .collect()
+    }
+
     /// A request was answered 504 after its deadline elapsed.
     pub fn deadline_exceeded(&self) {
         self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
@@ -193,6 +250,21 @@ impl ServerMetrics {
     }
 }
 
+/// One lifecycle phase's latency summary, rounded to whole microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Phase name (one of [`REQUEST_PHASES`]).
+    pub phase: &'static str,
+    /// Requests that recorded this phase.
+    pub count: u64,
+    /// Estimated median duration.
+    pub p50_micros: u64,
+    /// Estimated 90th percentile duration.
+    pub p90_micros: u64,
+    /// Estimated 99th percentile duration.
+    pub p99_micros: u64,
+}
+
 /// Monotonic totals mirrored out of [`ServerMetrics`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerTotals {
@@ -250,5 +322,36 @@ mod tests {
         assert!(text.contains("spotlake_server_inflight 0"));
         assert!(text.contains("spotlake_server_queue_depth 0"));
         assert!(text.contains("spotlake_server_request_micros_count 1"));
+    }
+
+    #[test]
+    fn phase_histogram_and_stats_round_trip() {
+        let m = ServerMetrics::new();
+        for micros in [100.0, 200.0, 400.0] {
+            m.phase("queue_wait", micros);
+        }
+        m.phase("handle", 5_000.0);
+        let text = m.registry().render();
+        assert!(text.contains("spotlake_server_phase_micros_count{phase=\"queue_wait\"} 3"));
+        assert!(text.contains("spotlake_server_phase_micros_count{phase=\"handle\"} 1"));
+
+        let stats = m.phase_stats();
+        // Wire order, only observed phases present.
+        let phases: Vec<&str> = stats.iter().map(|s| s.phase).collect();
+        assert_eq!(phases, ["queue_wait", "handle"]);
+        let qw = stats[0];
+        assert_eq!(qw.count, 3);
+        assert!(qw.p50_micros <= qw.p90_micros && qw.p90_micros <= qw.p99_micros);
+        assert!(qw.p50_micros > 0);
+    }
+
+    #[test]
+    fn telemetry_progress_mirrors_monotonic_counters() {
+        let m = ServerMetrics::new();
+        m.telemetry_progress(3, 0);
+        m.telemetry_progress(5, 2);
+        let text = m.registry().render();
+        assert!(text.contains("spotlake_telemetry_samples_total 5"));
+        assert!(text.contains("spotlake_telemetry_evicted_total 2"));
     }
 }

@@ -26,6 +26,6 @@ pub mod wire;
 
 pub use engine::{Server, ServerConfig, ServerHandle, ServerReport};
 pub use loadgen::{ChaosProfile, LoadConfig, LoadMode, LoadReport};
-pub use metrics::{ServerMetrics, ServerTotals};
+pub use metrics::{PhaseStats, ServerMetrics, ServerTotals};
 pub use shared::SharedArchive;
 pub use wire::{WireError, WireLimits};

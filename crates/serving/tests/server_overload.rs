@@ -283,15 +283,19 @@ fn seeded_loadgen_runs_are_deterministic_and_panic_free() {
     assert!(report.throughput_rps > 0.0);
 
     // The scoreboard document carries the acceptance keys.
-    let json = report.to_json(Some(&server.totals));
+    let json = report.to_json(Some(&server.totals), &server.phases);
     for key in [
         "\"bench\":\"serving\"",
+        "\"version\":2",
         "\"seed\":20220901",
         "\"p50\":",
         "\"p90\":",
         "\"p99\":",
         "\"throughput_rps\":",
         "\"worker_panics\":0",
+        "\"queue_wait_p99\":",
+        "\"handle_p99\":",
+        "\"write_p99\":",
     ] {
         assert!(json.contains(key), "{key} missing from {json}");
     }

@@ -567,6 +567,7 @@ mod tests {
         let ctx = QueryCtx {
             trace_id: 9,
             tick: 3,
+            request_id: 0,
         };
         let q = Query::measure("score").filter("instance_type", "m5.large");
         let (rows, profile) = db.query_profiled("sps", &q, ctx).unwrap();

@@ -36,6 +36,9 @@ pub struct QueryProfile {
     /// Trace id correlating this profile with journal spans and flight
     /// records (0 when the query ran without a context).
     pub trace_id: u64,
+    /// Wire-level request id (0 for in-process queries) — joins the
+    /// profile to the server's request timeline.
+    pub request_id: u64,
     /// Simulation tick of the request.
     pub tick: u64,
     /// Tables examined while resolving the query (1 once resolved).
@@ -71,9 +74,11 @@ impl QueryProfile {
         }
     }
 
-    /// Stamps the query context (trace id and tick) into the profile.
+    /// Stamps the query context (trace id, request id, tick) into the
+    /// profile.
     pub fn with_ctx(mut self, ctx: QueryCtx) -> Self {
         self.trace_id = ctx.trace_id;
+        self.request_id = ctx.request_id;
         self.tick = ctx.tick;
         self
     }
@@ -152,9 +157,11 @@ mod tests {
         let p = QueryProfile::start("latest", "price").with_ctx(QueryCtx {
             trace_id: 7,
             tick: 42,
+            request_id: 19,
         });
         assert_eq!(p.trace_id, 7);
         assert_eq!(p.tick, 42);
+        assert_eq!(p.request_id, 19);
         assert_eq!(p.op, "latest");
     }
 
