@@ -16,12 +16,16 @@
 //! `query` builds the row request from flags and, with `--explain`,
 //! prints the query plan and per-stage cost profile instead of rows;
 //! `plan` prints the Figure 1 query-plan numbers; `experiment` runs a
-//! scaled-down Section 5.4 experiment and prints Tables 3 and 4.
+//! scaled-down Section 5.4 experiment and prints Tables 3 and 4;
+//! `slo-eval` replays a dumped telemetry time-series through the SLO
+//! engine offline and prints the same verdict document `/debug/slo`
+//! serves.
 
 use spotlake::experiment::{ExperimentConfig, FulfillmentExperiment};
 use spotlake::prediction;
 use spotlake::{CollectorConfig, SimCloud, SimConfig, SpotLake};
 use spotlake_collector::{AccountPool, FaultPlan, IoFaultPlan, PlannerStrategy, QueryPlanner};
+use spotlake_obs::{SloSet, SloTracker, TelemetrySample};
 use spotlake_serving::server::{loadgen, ChaosProfile, LoadConfig, LoadMode};
 use spotlake_serving::{ArchiveService, HttpRequest, Server, ServerConfig, SharedArchive};
 use spotlake_timestream::Database;
@@ -53,6 +57,7 @@ USAGE:
                    [--requests N] [--mode closed|open] [--interval-ms N]
                    [--chaos none|light|heavy] [--out FILE]
                    [--telemetry-out FILE] [--telemetry-interval-ms N]
+  spotlake slo-eval --telemetry FILE
   spotlake help
 ";
 
@@ -83,6 +88,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "mc" => cmd_mc(&parsed),
         "serve" => cmd_serve(&parsed),
         "loadgen" => cmd_loadgen(&parsed),
+        "slo-eval" => cmd_slo_eval(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -504,10 +510,14 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
             if telemetry_out.is_some() && config.telemetry_interval.is_none() {
                 config.telemetry_interval = Some(Duration::from_millis(50));
             }
+            let sampling = config.telemetry_interval.is_some();
             let handle =
                 Server::start(SharedArchive::new(db), config).map_err(|e| e.to_string())?;
             eprintln!("self-serving {archive} on {}", handle.addr());
             let report = loadgen::run(handle.addr(), &load);
+            if sampling {
+                probe_slo_exemplars(handle.addr(), load.io_timeout)?;
+            }
             let server = handle.shutdown();
             let telemetry = server.telemetry_jsonl.clone();
             (report, Some(server), telemetry)
@@ -515,12 +525,47 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         (None, None) => return Err("loadgen needs --addr HOST:PORT or --archive FILE".into()),
     };
 
+    // The SLO verdict must be a pure function of the telemetry stream:
+    // replaying the dumped series offline has to reproduce the live
+    // report byte for byte (exemplars excepted — those join the request
+    // ring, which telemetry does not carry).
+    if let (Some(server), Some(jsonl)) = (&server_report, &telemetry_jsonl) {
+        if let Some(live) = &server.slo {
+            let mut tracker = SloTracker::new(SloSet::serving_defaults());
+            for sample in &TelemetrySample::parse_jsonl(jsonl)? {
+                tracker.observe(sample);
+            }
+            let offline = tracker.report();
+            if offline.samples == live.samples {
+                let mut live = live.clone();
+                for objective in &mut live.objectives {
+                    objective.exemplar_request_ids.clear();
+                }
+                if live.render_json() != offline.render_json() {
+                    return Err("slo offline replay disagrees with the live report".into());
+                }
+                eprintln!(
+                    "slo offline replay agrees with the live report ({} samples)",
+                    offline.samples
+                );
+            } else {
+                // The ring evicted early samples, so the replay starts
+                // mid-stream and counter deltas cannot line up.
+                eprintln!(
+                    "slo offline replay skipped: ring holds {} of {} samples",
+                    offline.samples, live.samples
+                );
+            }
+        }
+    }
+
     let totals = server_report.as_ref().map(|r| r.totals);
     let phases = server_report
         .as_ref()
         .map(|r| r.phases.as_slice())
         .unwrap_or(&[]);
-    let json = report.to_json(totals.as_ref(), phases);
+    let slo = server_report.as_ref().and_then(|r| r.slo.as_ref());
+    let json = report.to_json(totals.as_ref(), phases, slo);
     std::fs::write(&out, format!("{json}\n")).map_err(|e| format!("cannot write {out}: {e}"))?;
     if let Some(path) = &telemetry_out {
         let jsonl = telemetry_jsonl
@@ -548,6 +593,90 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
             ));
         }
     }
+    Ok(())
+}
+
+/// Fetches `/debug/slo` from a live server and checks that every
+/// exemplar request id the verdict cites resolves to a record at
+/// `/debug/requests` — the join an operator would follow by hand.
+fn probe_slo_exemplars(addr: SocketAddr, timeout: Duration) -> Result<(), String> {
+    let (status, slo_body) = loadgen::fetch(addr, "/debug/slo", timeout)
+        .map_err(|e| format!("/debug/slo probe: {e}"))?;
+    if status != 200 {
+        return Err(format!(
+            "/debug/slo answered {status} with telemetry sampling on"
+        ));
+    }
+    let ids = exemplar_ids(&slo_body);
+    if ids.is_empty() {
+        eprintln!("slo probe: no exemplars cited (every objective within budget)");
+        return Ok(());
+    }
+    let (status, requests_body) = loadgen::fetch(addr, "/debug/requests", timeout)
+        .map_err(|e| format!("/debug/requests probe: {e}"))?;
+    if status != 200 {
+        return Err(format!("/debug/requests answered {status}"));
+    }
+    for id in &ids {
+        if !requests_body.contains(&format!("\"request_id\":{id},")) {
+            return Err(format!(
+                "exemplar request {id} cited by /debug/slo is missing from /debug/requests"
+            ));
+        }
+    }
+    eprintln!(
+        "slo probe: {} exemplar id(s) resolved at /debug/requests",
+        ids.len()
+    );
+    Ok(())
+}
+
+/// Pulls every id out of the `"exemplar_request_ids":[...]` arrays of a
+/// `/debug/slo` body.
+fn exemplar_ids(slo_body: &str) -> Vec<u64> {
+    let needle = "\"exemplar_request_ids\":[";
+    let mut ids = Vec::new();
+    let mut rest = slo_body;
+    while let Some(pos) = rest.find(needle) {
+        rest = &rest[pos + needle.len()..];
+        let end = rest.find(']').unwrap_or(0);
+        for part in rest[..end].split(',') {
+            if let Ok(id) = part.trim().parse::<u64>() {
+                ids.push(id);
+            }
+        }
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// `slo-eval`: replay a dumped telemetry time-series (the JSONL that
+/// `loadgen --telemetry-out` or `/debug/telemetry` produces) through
+/// the SLO engine offline and print the verdict document. The replay
+/// is deterministic — the same input always yields byte-identical
+/// output — and matches the server's live `/debug/slo` except for
+/// exemplars, which only the live request ring can supply.
+fn cmd_slo_eval(args: &Args) -> Result<(), String> {
+    let path = args.require("telemetry")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let samples = TelemetrySample::parse_jsonl(&text)?;
+    let mut tracker = SloTracker::new(SloSet::serving_defaults());
+    for sample in &samples {
+        tracker.observe(sample);
+    }
+    let report = tracker.report();
+    eprintln!(
+        "replayed {} sample(s): verdict {} (worst state {})",
+        report.samples,
+        if report.healthy {
+            "healthy"
+        } else {
+            "unhealthy"
+        },
+        report.worst_state().as_str()
+    );
+    println!("{}", report.render_json());
     Ok(())
 }
 
@@ -822,15 +951,29 @@ mod tests {
         .unwrap();
         let json = std::fs::read_to_string(&bench).unwrap();
         assert!(json.contains("\"bench\":\"serving\""), "{json}");
-        assert!(json.contains("\"version\":2"), "{json}");
+        assert!(json.contains("\"version\":3"), "{json}");
         assert!(json.contains("\"planned\":16"), "{json}");
         assert!(json.contains("\"worker_panics\":0"), "{json}");
         assert!(json.contains("\"queue_wait_p99\":"), "{json}");
+        // Sampling was on, so the scoreboard carries the SLO verdict.
+        assert!(json.contains("\"slo\":{"), "{json}");
+        assert!(json.contains("\"name\":\"availability\""), "{json}");
+        assert!(json.contains("\"budget_remaining\":"), "{json}");
         // The telemetry artifact is JSONL with registry samples.
         let jsonl = std::fs::read_to_string(&telemetry).unwrap();
         let first = jsonl.lines().next().unwrap_or_default();
         assert!(first.starts_with("{\"seq\":0,"), "{first}");
         assert!(jsonl.contains("spotlake_server_requests_total"), "{jsonl}");
+        // The offline evaluator replays that artifact; its verdict
+        // document opens with the SLO schema header.
+        run(&strings(&["slo-eval", "--telemetry", &telemetry_str])).unwrap();
+        assert!(run(&strings(&["slo-eval"])).is_err());
+        assert!(run(&strings(&[
+            "slo-eval",
+            "--telemetry",
+            "/nonexistent/telemetry.jsonl"
+        ]))
+        .is_err());
         // Bad knobs are rejected before any socket work.
         assert!(run(&strings(&["loadgen", "--chaos", "cosmic"])).is_err());
         assert!(run(&strings(&["loadgen", "--mode", "sideways"])).is_err());

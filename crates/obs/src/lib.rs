@@ -36,6 +36,12 @@
 //! * [`QualityMonitor`] — archive data-quality tracking: per-(dataset ×
 //!   key) coverage, staleness, and gap detection, exported as
 //!   `spotlake_archive_*` gauges and the `/quality` report.
+//! * [`SloTracker`] / [`BurnTracker`] — the deterministic SLO engine:
+//!   declarative objectives ([`SloSet`]) evaluated over the telemetry
+//!   sample stream with error-budget accounting and multi-window
+//!   (fast/slow) burn-rate alerting, ok → warning → page. Verdicts are a
+//!   pure function of the fed samples, so the live `/debug/slo` endpoint
+//!   and the offline `spotlake slo-eval` replay agree byte-for-byte.
 //!
 //! Durations recorded here are denominated in deterministic units — ticks
 //! or work units (API calls, rows, bytes) — never nanoseconds, which is
@@ -63,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod burn;
 mod clock;
 mod flight;
 mod health;
@@ -71,8 +78,10 @@ mod lifecycle;
 pub mod names;
 mod quality;
 mod registry;
+mod slo;
 mod telemetry;
 
+pub use burn::{AlertState, AlertTransition, BurnPolicy, BurnTracker};
 pub use clock::{Clock, ManualClock};
 pub use flight::{FlightEntry, FlightRecorder, QueryCtx};
 pub use health::{ComponentHealth, HealthReport, Readiness};
@@ -80,4 +89,5 @@ pub use journal::{JournalError, SpanId, TraceJournal, JOURNAL_SCHEMA, JOURNAL_VE
 pub use lifecycle::{PhaseSpan, RequestRecord, RequestRecorder, REQUEST_PHASES};
 pub use quality::{DatasetQuality, KeyQuality, QualityMonitor, QualityReport};
 pub use registry::{log_linear_buckets, HistogramSummary, MetricKind, Registry};
+pub use slo::{ObjectiveVerdict, SloReport, SloSet, SloSignal, SloSpec, SloTracker};
 pub use telemetry::{TelemetryRecorder, TelemetrySample};

@@ -302,6 +302,30 @@ pub const METRIC_FAMILIES: &[MetricFamilyDef] = &[
         help: "Handler panics caught and converted to 500s by worker isolation",
     },
     MetricFamilyDef {
+        name: "spotlake_slo_alert_state",
+        kind: Gauge,
+        layer: "slo",
+        help: "Current alert state per objective (0 ok, 1 warning, 2 page)",
+    },
+    MetricFamilyDef {
+        name: "spotlake_slo_alert_transitions_total",
+        kind: Counter,
+        layer: "slo",
+        help: "Alert state transitions, by objective and destination state",
+    },
+    MetricFamilyDef {
+        name: "spotlake_slo_budget_remaining_ratio",
+        kind: Gauge,
+        layer: "slo",
+        help: "Unspent error budget per objective, 0 through 1",
+    },
+    MetricFamilyDef {
+        name: "spotlake_slo_evaluations_total",
+        kind: Counter,
+        layer: "slo",
+        help: "Telemetry samples evaluated by the SLO tracker",
+    },
+    MetricFamilyDef {
         name: "spotlake_store_compression_ratio",
         kind: Gauge,
         layer: "store",

@@ -38,6 +38,122 @@ pub struct TelemetrySample {
     pub values: Vec<(String, f64)>,
 }
 
+impl TelemetrySample {
+    /// Parses samples back from the [`TelemetryRecorder::render_jsonl`]
+    /// wire format: one `{"seq":N,"at_micros":N,"metrics":{...}}` object
+    /// per line, blank lines skipped. This is the offline half of the
+    /// SLO determinism contract — `spotlake slo-eval` replays a dumped
+    /// series through the same [`SloTracker`](crate::SloTracker) the
+    /// live server runs. Errors name the offending 1-based line.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<TelemetrySample>, String> {
+        let mut out = Vec::new();
+        for (index, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            out.push(
+                Self::parse_line(line).map_err(|e| format!("telemetry line {}: {e}", index + 1))?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Parses one rendered sample line.
+    fn parse_line(line: &str) -> Result<TelemetrySample, String> {
+        let rest = line
+            .strip_prefix("{\"seq\":")
+            .ok_or("expected {\"seq\":...")?;
+        let (seq, rest) = take_u64(rest)?;
+        let rest = rest
+            .strip_prefix(",\"at_micros\":")
+            .ok_or("expected \"at_micros\"")?;
+        let (at_micros, rest) = take_u64(rest)?;
+        let mut rest = rest
+            .strip_prefix(",\"metrics\":{")
+            .ok_or("expected \"metrics\" object")?;
+        let mut values: Vec<(String, f64)> = Vec::new();
+        if let Some(after) = rest.strip_prefix("}}") {
+            if !after.is_empty() {
+                return Err("trailing data after sample object".to_owned());
+            }
+            return Ok(TelemetrySample {
+                seq,
+                at_micros,
+                values,
+            });
+        }
+        loop {
+            let body = rest.strip_prefix('"').ok_or("expected metric key")?;
+            let (key, body) = take_string(body)?;
+            let body = body.strip_prefix(':').ok_or("expected ':' after key")?;
+            let (value, body) = take_f64(body)?;
+            values.push((key, value));
+            if let Some(next) = body.strip_prefix(',') {
+                rest = next;
+                continue;
+            }
+            let after = body
+                .strip_prefix("}}")
+                .ok_or("expected ',' or '}}' after value")?;
+            if !after.is_empty() {
+                return Err("trailing data after sample object".to_owned());
+            }
+            break;
+        }
+        // The renderer emits keys sorted; re-sorting makes parsed samples
+        // safe for the binary-search lookups downstream even if the file
+        // was assembled by hand.
+        values.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(TelemetrySample {
+            seq,
+            at_micros,
+            values,
+        })
+    }
+}
+
+/// Consumes a leading unsigned integer.
+fn take_u64(s: &str) -> Result<(u64, &str), String> {
+    let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    let (digits, rest) = s.split_at(end);
+    digits
+        .parse()
+        .map(|v| (v, rest))
+        .map_err(|_| format!("expected integer, found {:?}", &s[..s.len().min(12)]))
+}
+
+/// Consumes a leading JSON number.
+fn take_f64(s: &str) -> Result<(f64, &str), String> {
+    let end = s
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(s.len());
+    let (digits, rest) = s.split_at(end);
+    digits
+        .parse()
+        .map(|v| (v, rest))
+        .map_err(|_| format!("expected number, found {:?}", &s[..s.len().min(12)]))
+}
+
+/// Consumes a JSON string body up to its closing quote, handling the
+/// `\\` and `\"` escapes [`escape_json`] emits.
+fn take_string(s: &str) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &s[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '"')) => out.push('"'),
+                other => return Err(format!("unsupported escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     samples: VecDeque<TelemetrySample>,
@@ -100,6 +216,13 @@ impl TelemetryRecorder {
     /// The retained samples, oldest first.
     pub fn snapshot(&self) -> Vec<TelemetrySample> {
         lock(&self.inner).samples.iter().cloned().collect()
+    }
+
+    /// The newest retained sample, if any — what incremental consumers
+    /// (the [`SloTracker`](crate::SloTracker) wiring) feed forward right
+    /// after [`sample`](Self::sample) returns.
+    pub fn latest(&self) -> Option<TelemetrySample> {
+        lock(&self.inner).samples.back().cloned()
     }
 
     /// Total samples ever taken (including those since evicted).
@@ -219,5 +342,91 @@ mod tests {
         recorder.sample(2, [&registry_at(2)]);
         assert_eq!(recorder.snapshot().len(), 1);
         assert_eq!(recorder.snapshot()[0].seq, 1);
+    }
+
+    /// The serving sampler pattern: a dedicated thread samples until
+    /// signalled, takes one final flush sample on the way out, and the
+    /// join must observe that flush — no sample may be lost between the
+    /// stop signal and thread exit.
+    #[test]
+    fn sampler_thread_join_loses_no_final_sample() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let recorder = Arc::new(TelemetryRecorder::new(4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let sampler = {
+            let (recorder, stop) = (Arc::clone(&recorder), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let registry = registry_at(7);
+                let mut at = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    at += 10;
+                    recorder.sample(at, [&registry]);
+                    std::thread::yield_now();
+                }
+                at += 10;
+                (recorder.sample(at, [&registry]), at)
+            })
+        };
+        while recorder.samples_taken() < 3 {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+        let (final_seq, final_at) = sampler.join().expect("sampler thread");
+
+        assert_eq!(final_seq, recorder.samples_taken() - 1);
+        let last = recorder.latest().expect("ring is non-empty");
+        assert_eq!(last.seq, final_seq, "final flush sample was lost");
+        assert_eq!(last.at_micros, final_at);
+        assert_eq!(recorder.snapshot().last(), Some(&last));
+    }
+
+    /// Wraparound under an injected clock: far past capacity, the ring
+    /// holds exactly the newest N samples with their original seq and
+    /// timestamps intact.
+    #[test]
+    fn wraparound_keeps_the_newest_samples_under_manual_clock() {
+        let clock = ManualClock::new(0);
+        let recorder = TelemetryRecorder::new(4);
+        for tick in 1..=10u64 {
+            clock.advance(250);
+            recorder.sample(clock.now(), [&registry_at(tick)]);
+        }
+        assert_eq!(recorder.samples_taken(), 10);
+        assert_eq!(recorder.evicted(), 6);
+        let retained = recorder.snapshot();
+        let seqs: Vec<u64> = retained.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, [6, 7, 8, 9]);
+        let stamps: Vec<u64> = retained.iter().map(|s| s.at_micros).collect();
+        assert_eq!(stamps, [1750, 2000, 2250, 2500]);
+        assert_eq!(recorder.latest().as_ref(), retained.last());
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_parse() {
+        let clock = ManualClock::new(0);
+        let recorder = TelemetryRecorder::new(8);
+        for tick in 1..=3u64 {
+            clock.advance(250);
+            recorder.sample(clock.now(), [&registry_at(tick)]);
+        }
+        let parsed =
+            TelemetrySample::parse_jsonl(&recorder.render_jsonl()).expect("round-trip parse");
+        assert_eq!(parsed, recorder.snapshot());
+        // Label-carrying keys survive the escape round trip verbatim.
+        assert!(parsed[0]
+            .values
+            .iter()
+            .any(|(k, v)| k == "depth{q=\"admit\"}" && *v == 1.0));
+
+        // Blank lines are tolerated; malformed lines are named.
+        assert_eq!(TelemetrySample::parse_jsonl("\n\n"), Ok(Vec::new()));
+        let err = TelemetrySample::parse_jsonl("{\"seq\":0}\n").unwrap_err();
+        assert!(err.starts_with("telemetry line 1:"), "{err}");
+        let err =
+            TelemetrySample::parse_jsonl("{\"seq\":0,\"at_micros\":1,\"metrics\":{}}garbage\n")
+                .unwrap_err();
+        assert!(err.contains("trailing data"), "{err}");
     }
 }

@@ -106,6 +106,14 @@ impl Gateway {
         lock(&self.traces).render()
     }
 
+    /// Appends one event to the trace journal — how the serving engine
+    /// records SLO alert transitions alongside the query spans, so
+    /// `/debug/traces` shows alerts in stream order with the traffic
+    /// that caused them.
+    pub fn record_event(&self, tick: u64, name: &str, attrs: &[(&str, String)]) {
+        lock(&self.traces).event(tick, name, attrs);
+    }
+
     /// Routes a request, recording it in the gateway's registry.
     ///
     /// Response *size* stands in for latency in the histogram: handler

@@ -39,7 +39,10 @@ use crate::gateway::Gateway;
 use crate::http::HttpResponse;
 use crate::json::Json;
 use crate::ops::OpsContext;
-use spotlake_obs::{PhaseSpan, Registry, RequestRecord, RequestRecorder, TelemetryRecorder};
+use spotlake_obs::{
+    AlertState, HealthReport, PhaseSpan, Readiness, Registry, RequestRecord, RequestRecorder,
+    SloReport, SloSet, SloTracker, TelemetryRecorder,
+};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -83,6 +86,11 @@ pub struct ServerConfig {
     pub telemetry_capacity: usize,
     /// How many of the slowest requests `/debug/requests` retains.
     pub request_log: usize,
+    /// The SLO objectives evaluated over the telemetry stream. Active
+    /// only when `telemetry_interval` is set (the engine has no sample
+    /// stream to judge otherwise); served at `/debug/slo`, folded into
+    /// `/health`, and reported at shutdown.
+    pub slo: SloSet,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +108,7 @@ impl Default for ServerConfig {
             telemetry_interval: None,
             telemetry_capacity: 1024,
             request_log: 64,
+            slo: SloSet::serving_defaults(),
         }
     }
 }
@@ -119,6 +128,9 @@ pub struct ServerReport {
     /// The telemetry ring buffer rendered as JSONL, when telemetry was
     /// enabled (one final sample is taken at shutdown).
     pub telemetry_jsonl: Option<String>,
+    /// The final SLO verdicts (covering the shutdown flush sample), with
+    /// exemplar request ids attached — present iff telemetry was enabled.
+    pub slo: Option<SloReport>,
 }
 
 /// The serving engine. Construct with [`Server::start`].
@@ -140,6 +152,9 @@ struct ServerState {
     requests: RequestRecorder,
     /// Telemetry ring buffer behind `/debug/telemetry` (None = disabled).
     telemetry: Option<TelemetryRecorder>,
+    /// SLO tracker fed one sample at a time by [`take_sample`] (None
+    /// when telemetry is disabled — no stream, no verdicts).
+    slo: Option<Mutex<SloTracker>>,
     /// Wire-level request ids, assigned at accept starting from 1.
     next_request_id: AtomicU64,
     /// Epoch for telemetry sample timestamps (micros since start).
@@ -176,6 +191,9 @@ impl Server {
             telemetry: config
                 .telemetry_interval
                 .map(|_| TelemetryRecorder::new(config.telemetry_capacity)),
+            slo: config
+                .telemetry_interval
+                .map(|_| Mutex::new(SloTracker::new(config.slo.clone()))),
             next_request_id: AtomicU64::new(1),
             started: Instant::now(),
         });
@@ -288,6 +306,11 @@ impl ServerHandle {
             metrics_text: Registry::render_merged(registries),
             phases: self.state.metrics.phase_stats(),
             telemetry_jsonl: self.state.telemetry.as_ref().map(|t| t.render_jsonl()),
+            slo: self.state.slo.as_ref().map(|slo| {
+                let mut report = lock(slo).report();
+                report.attach_exemplars(&self.state.requests.snapshot());
+                report
+            }),
         }
     }
 
@@ -463,7 +486,22 @@ fn serve_connection(
             None => (None, "aborted".into()),
         },
         Ok(request) => {
-            if start.elapsed() >= state.deadline {
+            // The debug surfaces are exempt from the request deadline:
+            // an operator diagnosing an overloaded server needs them
+            // most exactly when the data plane is timing out.
+            if request.path() == "/debug/requests" {
+                let resp = debug_requests_json(state);
+                let label = resp.status.to_string();
+                (Some(resp), label)
+            } else if request.path() == "/debug/telemetry" {
+                let resp = debug_telemetry(state);
+                let label = resp.status.to_string();
+                (Some(resp), label)
+            } else if request.path() == "/debug/slo" {
+                let resp = debug_slo(state);
+                let label = resp.status.to_string();
+                (Some(resp), label)
+            } else if start.elapsed() >= state.deadline {
                 state.metrics.deadline_exceeded();
                 (
                     Some(HttpResponse::error(
@@ -472,20 +510,14 @@ fn serve_connection(
                     )),
                     "504".into(),
                 )
-            } else if request.path() == "/debug/requests" {
-                let resp = debug_requests_json(state);
-                let label = resp.status.to_string();
-                (Some(resp), label)
-            } else if request.path() == "/debug/telemetry" {
-                let resp = debug_telemetry(state);
-                let label = resp.status.to_string();
-                (Some(resp), label)
             } else {
                 let snapshot = state.archive.snapshot();
+                let slo_health = slo_health_report(state);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     let registries: [&Registry; 1] = [state.metrics.registry()];
                     let ops = OpsContext {
                         registries: &registries,
+                        health: slo_health.as_ref(),
                         tick: state.tick,
                         request_id,
                         ..OpsContext::default()
@@ -617,6 +649,37 @@ fn debug_telemetry(state: &ServerState) -> HttpResponse {
     }
 }
 
+/// `/debug/slo`: the current SLO report as deterministic JSON, with
+/// exemplar request ids (joinable at `/debug/requests`) attached to
+/// alerting objectives. 404 when telemetry — and with it the SLO
+/// engine — is disabled.
+fn debug_slo(state: &ServerState) -> HttpResponse {
+    match &state.slo {
+        Some(slo) => {
+            let mut report = lock(slo).report();
+            report.attach_exemplars(&state.requests.snapshot());
+            HttpResponse::json(report.render_json())
+        }
+        None => HttpResponse::error(404, "slo engine disabled; start with a telemetry interval"),
+    }
+}
+
+/// The SLO engine's contribution to `/health`: worst alert state mapped
+/// onto readiness — a page-level burn makes the server report unhealthy
+/// (503) so orchestrators stop routing to it before users feel it.
+fn slo_health_report(state: &ServerState) -> Option<HealthReport> {
+    let slo = state.slo.as_ref()?;
+    let (alert, detail) = lock(slo).health_component();
+    let readiness = match alert {
+        AlertState::Ok => Readiness::Ready,
+        AlertState::Warning => Readiness::Degraded,
+        AlertState::Page => Readiness::Unhealthy,
+    };
+    let mut report = HealthReport::new();
+    report.push("slo", readiness, detail);
+    Some(report)
+}
+
 /// One telemetry sample: progress counters first so the sample sees its
 /// own sequence number, then a snapshot of every registry the server
 /// owns (server, gateway HTTP, archive store).
@@ -634,6 +697,36 @@ fn take_sample(state: &ServerState, telemetry: &TelemetryRecorder) {
             snapshot.metrics(),
         ],
     );
+    // Feed the sample just taken to the SLO tracker. The verdict gauges
+    // written back here land in the *next* sample, so the evaluated
+    // stream itself stays a pure function of the serving signals.
+    if let Some(slo) = &state.slo {
+        let Some(sample) = telemetry.latest() else {
+            return;
+        };
+        let mut tracker = lock(slo);
+        let transitions = tracker.observe(&sample);
+        state.metrics.slo_progress(&tracker.report());
+        drop(tracker);
+        for (objective, transition) in &transitions {
+            state
+                .metrics
+                .slo_transition(objective, transition.to.as_str());
+            state.gateway.record_event(
+                state.tick,
+                "slo_alert",
+                &[
+                    ("at_micros", transition.at_micros.to_string()),
+                    ("fast_burn", format!("{:.4}", transition.fast_burn)),
+                    ("from", transition.from.as_str().to_owned()),
+                    ("objective", objective.clone()),
+                    ("sample_seq", transition.seq.to_string()),
+                    ("slow_burn", format!("{:.4}", transition.slow_burn)),
+                    ("to", transition.to.as_str().to_owned()),
+                ],
+            );
+        }
+    }
 }
 
 /// The dedicated telemetry sampler thread: samples every `interval`,

@@ -23,6 +23,11 @@
 //! (joinable against `/debug/requests`), and the rendered JSON folds in
 //! the server's per-phase quantiles (`queue_wait`/`parse`/`handle`/
 //! `write`) so one document answers "where did the latency go".
+//!
+//! Schema version 3 adds the SLO verdict block — per-objective alert
+//! states, error budgets, burn rates, and exemplar request ids from the
+//! server's final [`SloReport`] — and rounds every float field to fixed
+//! precision so regenerated documents are byte-stable.
 
 use super::metrics::{PhaseStats, ServerTotals};
 use crate::json::Json;
@@ -30,6 +35,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use spotlake_obs::Registry;
+use spotlake_obs::SloReport;
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -330,13 +336,21 @@ impl LoadReport {
             .sum()
     }
 
-    /// Renders the `BENCH_serving.json` document (schema version 2),
-    /// optionally folding in the server's own totals and per-phase
-    /// latency summaries (when the caller owns the server too).
+    /// Renders the `BENCH_serving.json` document (schema version 3),
+    /// optionally folding in the server's own totals, per-phase latency
+    /// summaries, and final SLO verdicts (when the caller owns the
+    /// server too).
     ///
     /// All exported latency quantiles are rounded to whole microseconds
-    /// so the document diffs cleanly across runs.
-    pub fn to_json(&self, server: Option<&ServerTotals>, phases: &[PhaseStats]) -> String {
+    /// and every remaining float (throughput, burns, budgets) to fixed
+    /// decimal precision, so regenerated documents are byte-stable
+    /// across identical runs.
+    pub fn to_json(
+        &self,
+        server: Option<&ServerTotals>,
+        phases: &[PhaseStats],
+        slo: Option<&SloReport>,
+    ) -> String {
         let statuses = Json::Object(
             self.statuses
                 .iter()
@@ -391,10 +405,60 @@ impl LoadReport {
                 })
                 .collect(),
         );
+        // Fixed-precision float rounding: 4 decimals for ratios/burns,
+        // 3 for throughput — enough resolution, byte-stable diffs.
+        let round4 = |v: f64| {
+            Json::Number(if v.is_finite() {
+                (v * 10_000.0).round() / 10_000.0
+            } else {
+                0.0
+            })
+        };
+        let slo_json = match slo {
+            Some(report) => {
+                let objectives: Vec<Json> = report
+                    .objectives
+                    .iter()
+                    .map(|o| {
+                        let exemplars: Vec<Json> = o
+                            .exemplar_request_ids
+                            .iter()
+                            .map(|id| Json::from(*id))
+                            .collect();
+                        let page_transitions = o
+                            .transitions
+                            .iter()
+                            .filter(|t| t.to == spotlake_obs::AlertState::Page)
+                            .count() as u64;
+                        Json::object([
+                            ("name", Json::from(o.name.as_str())),
+                            ("signal", Json::string(o.signal.label())),
+                            ("target", round4(o.target)),
+                            ("state", Json::from(o.state.as_str())),
+                            ("healthy", Json::from(o.healthy)),
+                            ("good", round4(o.good)),
+                            ("bad", round4(o.bad)),
+                            ("budget_remaining", round4(o.budget_remaining)),
+                            ("fast_burn", round4(o.fast_burn)),
+                            ("slow_burn", round4(o.slow_burn)),
+                            ("page_transitions", Json::from(page_transitions)),
+                            ("exemplar_request_ids", Json::Array(exemplars)),
+                        ])
+                    })
+                    .collect();
+                Json::object([
+                    ("healthy", Json::from(report.healthy)),
+                    ("state", Json::from(report.worst_state().as_str())),
+                    ("samples", Json::from(report.samples)),
+                    ("objectives", Json::Array(objectives)),
+                ])
+            }
+            None => Json::Null,
+        };
         let round = |micros: f64| Json::from(micros.round().max(0.0) as u64);
         Json::object([
             ("bench", Json::from("serving")),
-            ("version", Json::from(2u64)),
+            ("version", Json::from(3u64)),
             ("seed", Json::from(self.seed)),
             ("mode", Json::string(&self.mode)),
             ("chaos", Json::string(&self.chaos_profile)),
@@ -424,9 +488,17 @@ impl LoadReport {
                     ("slowest", slowest),
                 ]),
             ),
-            ("throughput_rps", Json::from(self.throughput_rps)),
+            (
+                "throughput_rps",
+                Json::Number(if self.throughput_rps.is_finite() {
+                    (self.throughput_rps * 1_000.0).round() / 1_000.0
+                } else {
+                    0.0
+                }),
+            ),
             ("duration_micros", Json::from(self.duration_micros)),
             ("server", server),
+            ("slo", slo_json),
         ])
         .render()
     }
@@ -913,10 +985,10 @@ mod tests {
             p90_micros: 9,
             p99_micros: 14,
         }];
-        let json = report.to_json(Some(&ServerTotals::default()), &phases);
+        let json = report.to_json(Some(&ServerTotals::default()), &phases, None);
         for key in [
             "\"bench\":\"serving\"",
-            "\"version\":2",
+            "\"version\":3",
             "\"seed\":7",
             // Quantiles export as whole microseconds (rounded).
             "\"p50\":120",
@@ -929,12 +1001,39 @@ mod tests {
             "\"queue_wait_p99\":14",
             "\"responses_with_id\":20",
             "\"request_id\":17",
+            "\"slo\":null",
         ] {
             assert!(json.contains(key), "{key} missing from {json}");
         }
         assert_eq!(report.fivexx(), 1);
-        assert!(report.to_json(None, &[]).contains("\"server\":null"));
-        assert!(report.to_json(None, &[]).contains("\"server_phases\":{}"));
+        assert!(report.to_json(None, &[], None).contains("\"server\":null"));
+        assert!(report
+            .to_json(None, &[], None)
+            .contains("\"server_phases\":{}"));
+
+        // Float fields are rounded to fixed precision so regenerated
+        // documents diff byte-stably.
+        let noisy = LoadReport {
+            throughput_rps: 1_234.567_891_23,
+            ..report.clone()
+        };
+        let json = noisy.to_json(None, &[], None);
+        assert!(json.contains("\"throughput_rps\":1234.568"), "{json}");
+
+        // With an SLO report attached, the verdict block is rendered.
+        let tracker = spotlake_obs::SloTracker::new(spotlake_obs::SloSet::serving_defaults());
+        let json = noisy.to_json(None, &[], Some(&tracker.report()));
+        for key in [
+            "\"slo\":{\"healthy\":true",
+            "\"state\":\"ok\"",
+            "\"name\":\"availability\"",
+            "\"signal\":\"phase_latency:handle\"",
+            "\"budget_remaining\":1",
+            "\"page_transitions\":0",
+            "\"exemplar_request_ids\":[]",
+        ] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
     }
 
     #[test]

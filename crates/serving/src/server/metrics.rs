@@ -5,7 +5,7 @@
 //! counters the shutdown report needs are mirrored in atomics so the
 //! engine can read totals without parsing the exposition text.
 
-use spotlake_obs::{Registry, REQUEST_PHASES};
+use spotlake_obs::{Registry, SloReport, REQUEST_PHASES};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const CONNECTIONS_TOTAL: &str = "spotlake_server_connections_total";
@@ -21,6 +21,10 @@ const REQUEST_MICROS: &str = "spotlake_server_request_micros";
 const PHASE_MICROS: &str = "spotlake_server_phase_micros";
 const TELEMETRY_SAMPLES_TOTAL: &str = "spotlake_telemetry_samples_total";
 const TELEMETRY_EVICTED_TOTAL: &str = "spotlake_telemetry_evicted_total";
+const SLO_STATE: &str = "spotlake_slo_alert_state";
+const SLO_TRANSITIONS_TOTAL: &str = "spotlake_slo_alert_transitions_total";
+const SLO_BUDGET_REMAINING: &str = "spotlake_slo_budget_remaining_ratio";
+const SLO_EVALUATIONS_TOTAL: &str = "spotlake_slo_evaluations_total";
 
 /// Shared counters and gauges for the TCP serving path.
 #[derive(Debug, Default)]
@@ -165,6 +169,43 @@ impl ServerMetrics {
             "Telemetry ring-buffer samples evicted to stay within capacity",
             &[],
             evicted,
+        );
+    }
+
+    /// Mirrors the SLO tracker's latest verdicts into the registry after
+    /// each evaluated sample: one evaluation counter plus per-objective
+    /// alert-state and budget gauges, so `/metrics` (and the telemetry
+    /// samples themselves) carry the scoreboard.
+    pub fn slo_progress(&self, report: &SloReport) {
+        self.registry.counter_set(
+            SLO_EVALUATIONS_TOTAL,
+            "Telemetry samples evaluated by the SLO tracker",
+            &[],
+            report.samples,
+        );
+        for objective in &report.objectives {
+            self.registry.gauge_set(
+                SLO_STATE,
+                "Current alert state per objective (0 ok, 1 warning, 2 page)",
+                &[("objective", objective.name.as_str())],
+                objective.state.severity() as f64,
+            );
+            self.registry.gauge_set(
+                SLO_BUDGET_REMAINING,
+                "Unspent error budget per objective, 0 through 1",
+                &[("objective", objective.name.as_str())],
+                objective.budget_remaining,
+            );
+        }
+    }
+
+    /// An objective's alert state machine moved to `to`.
+    pub fn slo_transition(&self, objective: &str, to: &str) {
+        self.registry.counter_add(
+            SLO_TRANSITIONS_TOTAL,
+            "Alert state transitions, by objective and destination state",
+            &[("objective", objective), ("to", to)],
+            1,
         );
     }
 
@@ -343,6 +384,31 @@ mod tests {
         assert_eq!(qw.count, 3);
         assert!(qw.p50_micros <= qw.p90_micros && qw.p90_micros <= qw.p99_micros);
         assert!(qw.p50_micros > 0);
+    }
+
+    #[test]
+    fn slo_progress_mirrors_verdicts_into_the_registry() {
+        use spotlake_obs::{SloSet, SloTracker};
+        let m = ServerMetrics::new();
+        let tracker = SloTracker::new(SloSet::serving_defaults());
+        m.slo_progress(&tracker.report());
+        m.slo_transition("availability", "page");
+        let text = m.registry().render();
+        assert!(text.contains("spotlake_slo_evaluations_total 0"), "{text}");
+        assert!(
+            text.contains("spotlake_slo_alert_state{objective=\"availability\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("spotlake_slo_budget_remaining_ratio{objective=\"handle_latency\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "spotlake_slo_alert_transitions_total{objective=\"availability\",to=\"page\"} 1"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

@@ -283,10 +283,10 @@ fn seeded_loadgen_runs_are_deterministic_and_panic_free() {
     assert!(report.throughput_rps > 0.0);
 
     // The scoreboard document carries the acceptance keys.
-    let json = report.to_json(Some(&server.totals), &server.phases);
+    let json = report.to_json(Some(&server.totals), &server.phases, server.slo.as_ref());
     for key in [
         "\"bench\":\"serving\"",
-        "\"version\":2",
+        "\"version\":3",
         "\"seed\":20220901",
         "\"p50\":",
         "\"p90\":",
