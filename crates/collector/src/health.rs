@@ -97,6 +97,10 @@ pub struct RoundHealth {
     pub price: DatasetHealth,
     /// Dead-letter queue depth after the round.
     pub dead_letter_depth: usize,
+    /// Shard commits refused or failed this round (sharded archive
+    /// only): each is one dataset×region batch dropped while every
+    /// other shard committed normally.
+    pub shards_failed: usize,
 }
 
 impl RoundHealth {

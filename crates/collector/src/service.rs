@@ -26,7 +26,8 @@ use spotlake_obs::{
     TraceJournal,
 };
 use spotlake_timestream::{
-    Database, IoFaultPlan, Record, RecoveryReport, TableOptions, TsError, WalStats, WriteMode,
+    Database, IoFaultPlan, Record, RecoveryReport, ShardCommitOutcome, ShardFaultConfig, ShardKey,
+    ShardSetHealth, ShardedArchive, TableOptions, TsError, WalStats, WriteMode,
 };
 use spotlake_types::Catalog;
 use std::collections::BTreeSet;
@@ -70,6 +71,16 @@ pub struct CollectorConfig {
     /// Deterministic disk-fault injection behind the WAL and checkpoint
     /// writers (only meaningful with [`CollectorConfig::wal_dir`]).
     pub io_faults: Option<IoFaultPlan>,
+    /// Shard the durable archive by dataset × region (only meaningful
+    /// with [`CollectorConfig::wal_dir`]): each shard gets its own WAL,
+    /// checkpoint, and recovery, so a torn write in one dataset×region
+    /// degrades that shard instead of the whole archive.
+    pub shards: bool,
+    /// Restrict [`CollectorConfig::io_faults`] to a single shard (only
+    /// meaningful with [`CollectorConfig::shards`]): every other shard
+    /// runs fault-free, which is how the shard-loss drill proves fault
+    /// isolation.
+    pub io_fault_shard: Option<ShardKey>,
 }
 
 impl Default for CollectorConfig {
@@ -87,6 +98,8 @@ impl Default for CollectorConfig {
             wal_dir: None,
             checkpoint_every: 8,
             io_faults: None,
+            shards: false,
+            io_fault_shard: None,
         }
     }
 }
@@ -189,6 +202,11 @@ pub struct CollectorService {
     /// ([`CollectorConfig::wal_dir`]); `None` keeps the legacy in-memory
     /// write path untouched.
     durability: Option<Durability>,
+    /// The sharded archive when the service runs with
+    /// [`CollectorConfig::shards`]: per-dataset×region WALs, checkpoints,
+    /// and quarantine. Mutually exclusive with `durability`; `db` is then
+    /// the merged read view rebuilt from every healthy shard.
+    sharded: Option<ShardedArchive>,
 }
 
 impl CollectorService {
@@ -231,13 +249,24 @@ impl CollectorService {
         // With a WAL directory configured, the database is whatever
         // recovery reconstructs (checkpoint + replay); the tables are
         // then ensured rather than created, since a recovered archive
-        // already has them.
-        let (mut db, durability) = match &config.wal_dir {
+        // already has them. Sharded mode recovers each dataset×region
+        // fault domain independently and merges the healthy ones.
+        let (mut db, durability, sharded) = match &config.wal_dir {
+            Some(dir) if config.shards => {
+                let keys = shard_keys(catalog, &config);
+                let faults = config.io_faults.map(|plan| ShardFaultConfig {
+                    plan,
+                    only: config.io_fault_shard.clone(),
+                });
+                let (archive, db) =
+                    ShardedArchive::open(dir, &keys, config.checkpoint_every, faults)?;
+                (db, None, Some(archive))
+            }
             Some(dir) => {
                 let (db, d) = Durability::open(dir, config.io_faults, config.checkpoint_every)?;
-                (db, Some(d))
+                (db, Some(d), None)
             }
-            None => (Database::new(), None),
+            None => (Database::new(), None, None),
         };
         ensure_table(
             &mut db,
@@ -282,21 +311,23 @@ impl CollectorService {
         // The cloud advances one tick per round, so a live key is
         // expected every tick; any larger delta is a coverage gap.
         let mut quality = QualityMonitor::new(1);
-        let start_tick = durability
+        let recovery = durability
             .as_ref()
-            .and_then(|d| d.recovery.last_tick)
-            .unwrap_or(0);
+            .map(|d| &d.recovery)
+            .or_else(|| sharded.as_ref().map(|s| s.recovery()));
+        let start_tick = recovery.and_then(|r| r.last_tick).unwrap_or(0);
         let clock = ManualClock::new(start_tick);
-        let dead_letters = match &durability {
-            Some(d) => load_dead_letters(&d.dir),
-            None => Vec::new(),
+        let dead_letters = match (&durability, &sharded) {
+            (Some(d), _) => load_dead_letters(&d.dir),
+            (None, Some(s)) => load_dead_letters(s.root()),
+            (None, None) => Vec::new(),
         };
-        if let Some(d) = &durability {
+        if let Some(r) = recovery {
             // Every recovered series becomes a tracked key as of the last
             // committed tick, so post-restart staleness and gaps measure
             // from the crash point instead of silently resetting.
             prime_quality(&mut quality, &db, start_tick);
-            record_recovery_observations(&metrics, &mut journal, &clock, &d.recovery);
+            record_recovery_observations(&metrics, &mut journal, &clock, r);
         }
 
         Ok(CollectorService {
@@ -318,6 +349,7 @@ impl CollectorService {
             totals: CollectStats::default(),
             quality,
             durability,
+            sharded,
         })
     }
 
@@ -352,14 +384,33 @@ impl CollectorService {
     }
 
     /// What startup recovery found and replayed, when the service runs
-    /// durably ([`CollectorConfig::wal_dir`]).
+    /// durably ([`CollectorConfig::wal_dir`]). In sharded mode this is
+    /// the aggregate across every shard's independent recovery.
     pub fn recovery_report(&self) -> Option<&RecoveryReport> {
-        self.durability.as_ref().map(|d| &d.recovery)
+        self.durability
+            .as_ref()
+            .map(|d| &d.recovery)
+            .or_else(|| self.sharded.as_ref().map(|s| s.recovery()))
     }
 
-    /// The WAL's counters, when the service runs durably.
+    /// The WAL's counters, when the service runs durably. In sharded
+    /// mode the counters are summed over every live shard's WAL.
     pub fn wal_stats(&self) -> Option<WalStats> {
-        self.durability.as_ref().map(|d| d.wal.stats())
+        self.durability
+            .as_ref()
+            .map(|d| d.wal.stats())
+            .or_else(|| self.sharded.as_ref().map(|s| s.wal_stats()))
+    }
+
+    /// Per-shard health rows, when the service runs sharded
+    /// ([`CollectorConfig::shards`]).
+    pub fn shard_health(&self) -> Option<ShardSetHealth> {
+        self.sharded.as_ref().map(|s| s.health())
+    }
+
+    /// The sharded archive itself, when the service runs sharded.
+    pub fn sharded_archive(&self) -> Option<&ShardedArchive> {
+        self.sharded.as_ref()
     }
 
     /// The collector's metric registry (`spotlake_collector_*` and
@@ -481,6 +532,38 @@ impl CollectorService {
             };
             report.push("store/wal", readiness, detail);
         }
+        if let Some(s) = &self.sharded {
+            // Shards are independent fault domains, so the component
+            // aggregates: unhealthy only when every shard is lost,
+            // degraded (still serving) while any shard is impaired.
+            let h = s.health();
+            let (readiness, detail) = if h.all_lost() {
+                (
+                    Readiness::Unhealthy,
+                    format!(
+                        "all {} shards lost; restart or fsck --repair required",
+                        h.total()
+                    ),
+                )
+            } else if h.degraded() {
+                let impaired: Vec<String> = h
+                    .impaired()
+                    .map(|r| format!("{}/{} {}", r.dataset, r.region, r.state.as_str()))
+                    .collect();
+                (
+                    Readiness::Degraded,
+                    format!(
+                        "{}/{} shards healthy; impaired: {}",
+                        h.healthy(),
+                        h.total(),
+                        impaired.join(", ")
+                    ),
+                )
+            } else {
+                (Readiness::Ready, format!("{} shards healthy", h.total()))
+            };
+            report.push("store/wal", readiness, detail);
+        }
         report
     }
 
@@ -554,6 +637,14 @@ impl CollectorService {
     /// postpones the rotation to the next round (the log still holds
     /// everything); a crash fault surfaces as the round's error.
     fn maintain_durability(&mut self) -> Result<(), CollectError> {
+        if let Some(s) = &mut self.sharded {
+            save_dead_letters(s.root(), &self.dead_letters)?;
+            // Per-shard checkpoint crashes are absorbed inside the
+            // archive (that shard alone degrades); only a root-manifest
+            // failure — outside every fault domain — is round-fatal.
+            s.maintain()?;
+            return Ok(());
+        }
         let Some(d) = &mut self.durability else {
             return Ok(());
         };
@@ -706,8 +797,7 @@ impl CollectorService {
             );
         }
 
-        if let Some(d) = &self.durability {
-            let s = d.wal.stats();
+        if let Some(s) = self.wal_stats() {
             let m = &self.metrics;
             // WAL counters are running totals on the log itself, so they
             // are scraped with `counter_set`, like the fault injectors.
@@ -747,6 +837,53 @@ impl CollectorService {
                     "Disk faults injected into the WAL and checkpoint writers, per kind.",
                     &[("kind", kind)],
                     *count,
+                );
+            }
+        }
+
+        if let Some(archive) = &self.sharded {
+            let h = archive.health();
+            let m = &self.metrics;
+            m.gauge_set(
+                "spotlake_shard_count",
+                "Shards (dataset × region fault domains) in the archive.",
+                &[],
+                h.total() as f64,
+            );
+            m.gauge_set(
+                "spotlake_shard_quarantined_count",
+                "Shards quarantined pending fsck --repair.",
+                &[],
+                h.quarantined().count() as f64,
+            );
+            for row in &h.shards {
+                let labels = [
+                    ("dataset", row.dataset.as_str()),
+                    ("region", row.region.as_str()),
+                ];
+                m.gauge_set(
+                    "spotlake_shard_state",
+                    "Shard state: 0 healthy, 1 failed (wal dead), 2 quarantined.",
+                    &labels,
+                    row.state.code() as f64,
+                );
+                m.gauge_set(
+                    "spotlake_shard_points",
+                    "Points held by the shard's database.",
+                    &labels,
+                    row.points as f64,
+                );
+                m.counter_set(
+                    "spotlake_shard_commits_total",
+                    "Round batches committed through the shard's WAL.",
+                    &labels,
+                    row.commits,
+                );
+                m.counter_set(
+                    "spotlake_shard_commit_failures_total",
+                    "Round batches a shard failed to commit (dropped for the round).",
+                    &labels,
+                    row.commit_failures,
                 );
             }
         }
@@ -832,23 +969,33 @@ impl CollectorService {
         match commit_with_retry(
             &mut self.db,
             &mut self.durability,
+            &mut self.sharded,
             SPS_TABLE,
             tick,
             &outcome.records,
             &self.policy,
             &mut health.sps.retries,
         ) {
-            Ok(written) => {
-                for r in &outcome.records {
+            Ok(commit) => {
+                let stored: &[Record] = commit.partial.as_deref().unwrap_or(&outcome.records);
+                for r in stored {
                     self.quality.observe("sps", &record_key(r), tick);
                 }
-                stats.sps_records = outcome.records.len();
-                stats.records_written += written;
-                health.sps.records = outcome.records.len();
-                if outcome.records.is_empty() && !failing.is_empty() {
+                stats.sps_records = stored.len();
+                stats.records_written += commit.written;
+                health.sps.records = stored.len();
+                health.shards_failed += commit.shard_failures.len();
+                if health.sps.error.is_none() {
+                    health.sps.error = commit.first_failure();
+                }
+                let lost_everything = stored.is_empty() && !outcome.records.is_empty();
+                if (outcome.records.is_empty() && !failing.is_empty()) || lost_everything {
                     health.sps.status = DatasetStatus::Failed;
                     self.sps_breaker.record_failure(tick);
-                } else if !failing.is_empty() || health.sps.retries > 0 {
+                } else if !failing.is_empty()
+                    || health.sps.retries > 0
+                    || !commit.shard_failures.is_empty()
+                {
                     health.sps.status = DatasetStatus::Degraded;
                     self.sps_breaker.record_success();
                 } else {
@@ -888,27 +1035,43 @@ impl CollectorService {
                 match commit_with_retry(
                     &mut self.db,
                     &mut self.durability,
+                    &mut self.sharded,
                     ADVISOR_TABLE,
                     tick,
                     &outcome.records,
                     &self.policy,
                     &mut health.advisor.retries,
                 ) {
-                    Ok(written) => {
+                    Ok(commit) => {
                         // Score and savings share a key; the monitor
                         // dedupes same-tick observations.
-                        for r in &outcome.records {
+                        let stored: &[Record] =
+                            commit.partial.as_deref().unwrap_or(&outcome.records);
+                        for r in stored {
                             self.quality.observe("advisor", &record_key(r), tick);
                         }
-                        stats.advisor_records = outcome.records.len();
-                        stats.records_written += written;
-                        health.advisor.records = outcome.records.len();
-                        health.advisor.status = if health.advisor.retries > 0 {
-                            DatasetStatus::Degraded
+                        stats.advisor_records = stored.len();
+                        stats.records_written += commit.written;
+                        health.advisor.records = stored.len();
+                        health.shards_failed += commit.shard_failures.len();
+                        if health.advisor.error.is_none() {
+                            health.advisor.error = commit.first_failure();
+                        }
+                        if stored.is_empty() && !outcome.records.is_empty() {
+                            // Every shard refused its slice: nothing of
+                            // this dataset landed this round.
+                            health.advisor.status = DatasetStatus::Failed;
+                            self.advisor_breaker.record_failure(tick);
                         } else {
-                            DatasetStatus::Ok
-                        };
-                        self.advisor_breaker.record_success();
+                            health.advisor.status = if health.advisor.retries > 0
+                                || !commit.shard_failures.is_empty()
+                            {
+                                DatasetStatus::Degraded
+                            } else {
+                                DatasetStatus::Ok
+                            };
+                            self.advisor_breaker.record_success();
+                        }
                     }
                     Err(e) if e.is_retryable() => {
                         // Change-point table: the next successful round
@@ -957,29 +1120,45 @@ impl CollectorService {
                 match commit_with_retry(
                     &mut self.db,
                     &mut self.durability,
+                    &mut self.sharded,
                     PRICE_TABLE,
                     tick,
                     &records,
                     &self.policy,
                     &mut health.price.retries,
                 ) {
-                    Ok(written) => {
+                    Ok(commit) => {
                         // The price API only reports *changes*; a clean
                         // sweep therefore refreshes every key the monitor
                         // has ever seen, not just the changed ones.
-                        for r in &records {
+                        let stored: &[Record] = commit.partial.as_deref().unwrap_or(&records);
+                        for r in stored {
                             self.quality.observe("price", &record_key(r), tick);
                         }
-                        self.quality.observe_sweep("price", tick);
-                        stats.price_records = records.len();
-                        stats.records_written += written;
-                        health.price.records = records.len();
-                        health.price.status = if health.price.retries > 0 {
-                            DatasetStatus::Degraded
+                        stats.price_records = stored.len();
+                        stats.records_written += commit.written;
+                        health.price.records = stored.len();
+                        health.shards_failed += commit.shard_failures.len();
+                        if health.price.error.is_none() {
+                            health.price.error = commit.first_failure();
+                        }
+                        if stored.is_empty() && !records.is_empty() {
+                            health.price.status = DatasetStatus::Failed;
+                            self.price_breaker.record_failure(tick);
                         } else {
-                            DatasetStatus::Ok
-                        };
-                        self.price_breaker.record_success();
+                            // A clean sweep only counts when every shard
+                            // took its slice.
+                            if commit.shard_failures.is_empty() {
+                                self.quality.observe_sweep("price", tick);
+                            }
+                            health.price.status =
+                                if health.price.retries > 0 || !commit.shard_failures.is_empty() {
+                                    DatasetStatus::Degraded
+                                } else {
+                                    DatasetStatus::Ok
+                                };
+                            self.price_breaker.record_success();
+                        }
                     }
                     Err(e) if e.is_retryable() => {
                         // Buffer instead of dropping: the sweep succeeded
@@ -1157,23 +1336,69 @@ fn record_recovery_observations(
     }
 }
 
+/// What [`commit_with_retry`] stored.
+struct CommitResult {
+    /// Points the store accepted (change-point tables skip repeats).
+    written: usize,
+    /// The records that actually committed when the sharded archive
+    /// dropped some shards' batches; `None` means the whole input batch
+    /// committed (the single-WAL and in-memory paths are all-or-nothing).
+    partial: Option<Vec<Record>>,
+    /// Shards that refused or failed their batch (sharded archive only).
+    shard_failures: Vec<spotlake_timestream::ShardHealthRow>,
+}
+
+impl CommitResult {
+    fn all(written: usize) -> CommitResult {
+        CommitResult {
+            written,
+            partial: None,
+            shard_failures: Vec::new(),
+        }
+    }
+
+    /// The first failed shard, rendered for a dataset's health record.
+    fn first_failure(&self) -> Option<String> {
+        self.shard_failures
+            .first()
+            .map(|f| format!("shard {}/{}: {}", f.dataset, f.region, f.detail))
+    }
+}
+
 /// Commits a batch durably: append to the WAL (retrying transient disk
 /// faults within the round's budget), then apply in memory. The apply
 /// bypasses the store's write-throttle — once a frame is fsynced the
 /// batch *is* committed, and memory must match what replay would
-/// rebuild. Without durability configured this is [`write_with_retry`],
-/// unchanged.
+/// rebuild. With a sharded archive the batch fans out per region and a
+/// failed shard drops only its own slice — never an `Err` — so partial
+/// storage degrades the dataset instead of killing the round. Without
+/// durability configured this is [`write_with_retry`], unchanged.
+#[allow(clippy::too_many_arguments)]
 fn commit_with_retry(
     db: &mut Database,
     durability: &mut Option<Durability>,
+    sharded: &mut Option<ShardedArchive>,
     table: &str,
     tick: u64,
     records: &[Record],
     policy: &RetryPolicy,
     retries: &mut usize,
-) -> Result<usize, TsError> {
+) -> Result<CommitResult, TsError> {
+    if let Some(archive) = sharded {
+        let options = db.table(table)?.options();
+        let out: ShardCommitOutcome =
+            archive.commit(db, table, options, tick, records, policy.max_attempts);
+        *retries += out.retries as usize;
+        return Ok(CommitResult {
+            written: out.written,
+            partial: Some(out.committed),
+            shard_failures: out.failures,
+        });
+    }
     let Some(d) = durability else {
-        return write_with_retry(db, table, records, policy, retries);
+        return Ok(CommitResult::all(write_with_retry(
+            db, table, records, policy, retries,
+        )?));
     };
     let options = db.table(table)?.options();
     let mut attempt = 0;
@@ -1187,7 +1412,31 @@ fn commit_with_retry(
             Err(e) => return Err(e),
         }
     }
-    db.apply_committed(table, records)
+    Ok(CommitResult::all(db.apply_committed(table, records)?))
+}
+
+/// The shard keys a fresh sharded archive starts with: every enabled
+/// dataset table × every catalog region. [`ShardedArchive::open`] unions
+/// these with whatever the on-disk manifest already names, so a region
+/// added to the catalog later simply grows a new shard.
+fn shard_keys(catalog: &Catalog, config: &CollectorConfig) -> Vec<ShardKey> {
+    let mut tables = Vec::new();
+    if config.collect_sps {
+        tables.push(SPS_TABLE);
+    }
+    if config.collect_advisor {
+        tables.push(ADVISOR_TABLE);
+    }
+    if config.collect_price {
+        tables.push(PRICE_TABLE);
+    }
+    let mut keys = Vec::new();
+    for table in tables {
+        for region in catalog.regions() {
+            keys.push(ShardKey::new(table, region.code()));
+        }
+    }
+    keys
 }
 
 /// Writes a batch, retrying store throttles within the round's budget.

@@ -28,7 +28,7 @@ use spotlake_collector::{AccountPool, FaultPlan, IoFaultPlan, PlannerStrategy, Q
 use spotlake_obs::{SloSet, SloTracker, TelemetrySample};
 use spotlake_serving::server::{loadgen, ChaosProfile, LoadConfig, LoadMode};
 use spotlake_serving::{ArchiveService, HttpRequest, Server, ServerConfig, SharedArchive};
-use spotlake_timestream::Database;
+use spotlake_timestream::{Database, ShardKey};
 use spotlake_types::{Catalog, SimDuration};
 use std::collections::HashMap;
 use std::io::BufRead as _;
@@ -43,8 +43,9 @@ USAGE:
   spotlake collect --out FILE [--days N] [--tick-minutes N] [--types a,b,c] [--seed N]
                    [--faults none|light|moderate|heavy]
                    [--wal-dir DIR] [--checkpoint-every N] [--io-faults none|transient|crash]
+                   [--shards] [--io-fault-shard DATASET/REGION] [--health]
                    [--metrics] [--trace FILE]
-  spotlake fsck --wal-dir DIR
+  spotlake fsck --wal-dir DIR [--repair]
   spotlake get --archive FILE PATH
   spotlake query --archive FILE --table NAME [--measure M] [--instance-type T]
                  [--region R] [--az Z] [--from N] [--to N] [--limit N] [--explain]
@@ -64,7 +65,7 @@ USAGE:
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!("\n{USAGE}");
@@ -73,15 +74,20 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// Runs one command. `Ok(code)` is the process exit code — nonzero only
+/// from `fsck`, whose verdict ladder (0 clean, 1 degraded, 2 corrupt or
+/// quarantined) scripts branch on; every other command is 0-or-`Err`.
+fn run(args: &[String]) -> Result<u8, String> {
     let Some(command) = args.first() else {
         return Err("no command given".into());
     };
     let parsed = Args::parse(&args[1..])?;
+    if command.as_str() == "fsck" {
+        return cmd_fsck(&parsed);
+    }
     match command.as_str() {
         "plan" => cmd_plan(&parsed),
         "collect" => cmd_collect(&parsed),
-        "fsck" => cmd_fsck(&parsed),
         "get" => cmd_get(&parsed),
         "query" => cmd_query(&parsed),
         "experiment" => cmd_experiment(&parsed),
@@ -95,6 +101,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown command: {other}")),
     }
+    .map(|()| 0)
 }
 
 /// Parsed `--key value` flags plus positional arguments.
@@ -104,7 +111,7 @@ struct Args {
 }
 
 /// Flags that take no value (presence is the value).
-const SWITCHES: [&str; 2] = ["metrics", "explain"];
+const SWITCHES: [&str; 5] = ["metrics", "explain", "shards", "repair", "health"];
 
 impl Args {
     fn parse(raw: &[String]) -> Result<Args, String> {
@@ -204,6 +211,19 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
     if io_faults.is_some() && wal_dir.is_none() {
         return Err("--io-faults needs --wal-dir (disk faults target the write-ahead log)".into());
     }
+    let shards = args.get("shards").is_some();
+    if shards && wal_dir.is_none() {
+        return Err("--shards needs --wal-dir (shards are on-disk fault domains)".into());
+    }
+    let io_fault_shard = match args.get("io-fault-shard") {
+        None => None,
+        Some(spec) => Some(ShardKey::parse(spec).ok_or_else(|| {
+            format!("bad --io-fault-shard {spec:?} (expected DATASET/REGION, e.g. sps/us-east-1)")
+        })?),
+    };
+    if io_fault_shard.is_some() && !shards {
+        return Err("--io-fault-shard needs --shards".into());
+    }
 
     let sim = SimConfig {
         tick: SimDuration::from_mins(tick_minutes),
@@ -217,6 +237,8 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
             wal_dir,
             checkpoint_every,
             io_faults,
+            shards,
+            io_fault_shard,
             ..CollectorConfig::default()
         })
         .build()
@@ -263,8 +285,30 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
             wal.frames_appended, wal.bytes_appended, wal.checkpoints, wal.wal_bytes
         ));
     }
+    if let Some(h) = lake.collector().shard_health() {
+        let impaired: Vec<String> = h
+            .impaired()
+            .map(|r| format!("{}/{} {}", r.dataset, r.region, r.state.as_str()))
+            .collect();
+        say(format!(
+            "shards: {}/{} healthy{}",
+            h.healthy(),
+            h.total(),
+            if impaired.is_empty() {
+                String::new()
+            } else {
+                format!("; impaired: {}", impaired.join(", "))
+            }
+        ));
+    }
     if emit_metrics {
         print!("{}", lake.metrics_text());
+    }
+    // With --health, stdout (additionally) carries the `/health` JSON
+    // body — what the shard-loss drill greps for `degraded`.
+    if args.get("health").is_some() {
+        let response = lake.http_get("/health").map_err(|e| e.to_string())?;
+        println!("{}", response.body_text());
     }
     if let Some(trace) = args.get("trace") {
         std::fs::write(trace, lake.trace_text())
@@ -274,19 +318,39 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `fsck`: offline integrity check of a durable archive directory. Prints
-/// what the checkpoint and WAL contain and what recovery would do;
-/// exits nonzero when the directory needs repair (torn tail, stale temp
-/// file, or unreadable checkpoint).
-fn cmd_fsck(args: &Args) -> Result<(), String> {
+/// `fsck`: offline integrity check of a durable archive directory. A
+/// sharded root (it has a `shards.map` manifest) gets a per-shard
+/// verdict table and the 0/1/2 exit ladder (clean / degraded /
+/// corrupt-or-quarantined); `--repair` truncates every shard to its
+/// committed prefix and clears quarantine markers, re-admitting the
+/// shard on the next `collect --shards`. A single-WAL directory keeps
+/// the original behaviour: print the report, exit nonzero when the
+/// directory needs recovery.
+fn cmd_fsck(args: &Args) -> Result<u8, String> {
     let dir = std::path::PathBuf::from(args.require("wal-dir")?);
+    if spotlake_timestream::is_sharded_root(&dir) {
+        let report = if args.get("repair").is_some() {
+            spotlake_timestream::repair_shards(&dir)
+        } else {
+            spotlake_timestream::fsck_shards(&dir)
+        }
+        .map_err(|e| e.to_string())?;
+        println!("{}", report.render());
+        return Ok(report.exit_code());
+    }
+    if args.get("repair").is_some() {
+        // Single-WAL repair is exactly startup recovery: truncate the
+        // torn tail, drop stale temp files, keep the committed prefix.
+        let (_db, report) = spotlake_timestream::recover(&dir).map_err(|e| e.to_string())?;
+        println!("{}", report.render());
+    }
     let report = spotlake_timestream::fsck(&dir).map_err(|e| e.to_string())?;
     println!("{}", report.render());
     if report.clean() {
-        Ok(())
+        Ok(0)
     } else {
         Err(format!(
-            "{} needs recovery (run collect with --wal-dir to repair)",
+            "{} needs recovery (run collect with --wal-dir, or fsck --repair)",
             dir.display()
         ))
     }

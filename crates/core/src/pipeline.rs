@@ -195,6 +195,7 @@ impl SpotLake {
         let health = self.collector.health_report();
         let stats = self.collector.stats();
         let quality = self.collector.quality_report();
+        let shard_health = self.collector.shard_health();
         let registries = [self.collector.metrics()];
         let ops = OpsContext {
             registries: &registries,
@@ -206,6 +207,7 @@ impl SpotLake {
             request_id: 0,
             quality: Some(&quality),
             recovery: self.collector.recovery_report(),
+            shards: shard_health.as_ref(),
         };
         Ok(self
             .gateway

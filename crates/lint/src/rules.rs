@@ -42,7 +42,7 @@ pub fn is_rule(name: &str) -> bool {
 
 const DETERMINISM_CRATES: &[&str] = &["cloud-sim", "cloud-api", "collector", "timestream"];
 /// The codec/WAL/recovery trio: decode paths where a panic is data loss.
-const PARSER_FILES: &[&str] = &["codec.rs", "wal.rs", "recovery.rs"];
+const PARSER_FILES: &[&str] = &["codec.rs", "wal.rs", "recovery.rs", "shard.rs"];
 /// Functions allowed to touch raw filesystem APIs: the designated
 /// fsync-then-rename helpers plus `Wal::open` (which owns the log handle).
 const DURABILITY_FNS: &[&str] = &["atomic_write", "truncate_sync", "open"];

@@ -302,6 +302,42 @@ pub const METRIC_FAMILIES: &[MetricFamilyDef] = &[
         help: "Handler panics caught and converted to 500s by worker isolation",
     },
     MetricFamilyDef {
+        name: "spotlake_shard_commit_failures_total",
+        kind: Counter,
+        layer: "store",
+        help: "Round batches a shard failed to commit, by dataset and region",
+    },
+    MetricFamilyDef {
+        name: "spotlake_shard_commits_total",
+        kind: Counter,
+        layer: "store",
+        help: "Round batches committed through a shard's WAL, by dataset and region",
+    },
+    MetricFamilyDef {
+        name: "spotlake_shard_count",
+        kind: Gauge,
+        layer: "store",
+        help: "Shards (dataset x region fault domains) in the archive",
+    },
+    MetricFamilyDef {
+        name: "spotlake_shard_points",
+        kind: Gauge,
+        layer: "store",
+        help: "Points held by each shard's database",
+    },
+    MetricFamilyDef {
+        name: "spotlake_shard_quarantined_count",
+        kind: Gauge,
+        layer: "store",
+        help: "Shards quarantined pending fsck --repair",
+    },
+    MetricFamilyDef {
+        name: "spotlake_shard_state",
+        kind: Gauge,
+        layer: "store",
+        help: "Per-shard state (0 healthy, 1 failed, 2 quarantined)",
+    },
+    MetricFamilyDef {
         name: "spotlake_slo_alert_state",
         kind: Gauge,
         layer: "slo",

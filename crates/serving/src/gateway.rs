@@ -291,9 +291,10 @@ impl Gateway {
             Ok(v) => v,
             Err(resp) => return resp,
         };
+        let degraded = degraded_shards(request, &table, ops);
         match db.query_profiled(&table, &q, self.new_ctx(ops)) {
             Ok((rows, profile)) => {
-                let (response, returned) = ArchiveService::respond_rows(request, rows);
+                let (response, returned) = ArchiveService::respond_rows(request, rows, &degraded);
                 self.complete(request, profile, returned, response)
             }
             Err(e) => store_error(e),
@@ -306,9 +307,10 @@ impl Gateway {
             Ok(v) => v,
             Err(resp) => return resp,
         };
+        let degraded = degraded_shards(request, &table, ops);
         match db.latest_profiled(&table, &q, self.new_ctx(ops)) {
             Ok((rows, profile)) => {
-                let (response, returned) = ArchiveService::respond_rows(request, rows);
+                let (response, returned) = ArchiveService::respond_rows(request, rows, &degraded);
                 self.complete(request, profile, returned, response)
             }
             Err(e) => store_error(e),
@@ -326,9 +328,10 @@ impl Gateway {
             Ok(v) => v,
             Err(resp) => return resp,
         };
+        let degraded = degraded_shards(request, &table, ops);
         match db.value_at_profiled(&table, &q, at, self.new_ctx(ops)) {
             Ok((rows, profile)) => {
-                let (response, returned) = ArchiveService::respond_rows(request, rows);
+                let (response, returned) = ArchiveService::respond_rows(request, rows, &degraded);
                 self.complete(request, profile, returned, response)
             }
             Err(e) => store_error(e),
@@ -360,6 +363,7 @@ impl Gateway {
                 )
             }
         };
+        let degraded = degraded_shards(request, &table, ops);
         match db.query_window_profiled(&table, &q, window, agg, self.new_ctx(ops)) {
             Ok((rows, profile)) => {
                 let returned = rows.len() as u64;
@@ -373,8 +377,9 @@ impl Gateway {
                         ])
                     })
                     .collect();
-                let response =
-                    HttpResponse::json(Json::object([("windows", Json::Array(items))]).render());
+                let mut fields = vec![("windows", Json::Array(items))];
+                fields.extend(degraded_fields(&degraded));
+                let response = HttpResponse::json(Json::object(fields).render());
                 self.complete(request, profile, returned, response)
             }
             Err(e) => store_error(e),
@@ -530,7 +535,14 @@ impl ArchiveService {
 
     /// Serialises rows to the requested format, applying `limit`. Also
     /// returns how many rows the response carries, for the query profile.
-    fn respond_rows(request: &HttpRequest, mut rows: Vec<Row>) -> (HttpResponse, u64) {
+    /// Non-empty `degraded` (impaired shards the request touches) flags
+    /// the JSON body as a partial answer; CSV stays schema-stable and
+    /// unannotated.
+    fn respond_rows(
+        request: &HttpRequest,
+        mut rows: Vec<Row>,
+        degraded: &[String],
+    ) -> (HttpResponse, u64) {
         let limit = match request.param("limit") {
             Some(s) => match s.parse::<usize>() {
                 Ok(n) => n,
@@ -545,13 +557,12 @@ impl ArchiveService {
             Some("csv") => HttpResponse::csv(rows_to_csv(&rows)),
             Some("json") | None => {
                 let items: Vec<Json> = rows.iter().map(row_to_json).collect();
-                HttpResponse::json(
-                    Json::object([
-                        ("rows", Json::Array(items)),
-                        ("truncated", Json::from(truncated)),
-                    ])
-                    .render(),
-                )
+                let mut fields = vec![
+                    ("rows", Json::Array(items)),
+                    ("truncated", Json::from(truncated)),
+                ];
+                fields.extend(degraded_fields(degraded));
+                HttpResponse::json(Json::object(fields).render())
             }
             Some(other) => {
                 return (
@@ -562,6 +573,39 @@ impl ArchiveService {
         };
         (response, returned)
     }
+}
+
+/// The impaired (quarantined or failed) shards a row request touches:
+/// the request's table crossed with its `region` filter — no region
+/// filter means every region's shard is in scope. Empty when the
+/// archive is unsharded or every relevant shard is healthy. The merged
+/// view already excludes lost shards' unrecovered data, so a non-empty
+/// result means "these rows are missing a slice", not "this answer is
+/// wrong".
+fn degraded_shards(request: &HttpRequest, table: &str, ops: &OpsContext) -> Vec<String> {
+    let Some(shards) = ops.shards else {
+        return Vec::new();
+    };
+    let region = request.param("region");
+    shards
+        .impaired()
+        .filter(|r| r.dataset == table)
+        .filter(|r| region.is_none_or(|want| r.region == want))
+        .map(|r| format!("{}/{}", r.dataset, r.region))
+        .collect()
+}
+
+/// The JSON fields flagging a partial answer, when `degraded` is
+/// non-empty: `"degraded":true` plus the impaired shard list.
+fn degraded_fields(degraded: &[String]) -> Vec<(&'static str, Json)> {
+    if degraded.is_empty() {
+        return Vec::new();
+    }
+    let shards: Vec<Json> = degraded.iter().map(Json::string).collect();
+    vec![
+        ("degraded", Json::from(true)),
+        ("quarantined_shards", Json::Array(shards)),
+    ]
 }
 
 /// The router shared by [`Gateway::handle`] and [`ArchiveService::handle`].

@@ -19,7 +19,7 @@ use crate::ops::OpsContext;
 use spotlake_analysis::{align_step, pearson, spearman, Histogram};
 use spotlake_collector::{DatasetHealth, RoundHealth};
 use spotlake_obs::{DatasetQuality, HistogramSummary};
-use spotlake_timestream::{Database, Query, Row};
+use spotlake_timestream::{Database, Query, Row, ShardHealthRow};
 
 /// Histogram families whose quantiles `/stats` surfaces. A fixed list
 /// keeps the section's key set stable across runs regardless of which
@@ -85,9 +85,34 @@ pub(crate) fn stats(db: &Database, gateway: &Gateway, ops: &OpsContext) -> HttpR
             ]),
         ));
     }
+    if let Some(s) = ops.shards {
+        let rows: Vec<Json> = s.shards.iter().map(shard_row_json).collect();
+        fields.push((
+            "shards",
+            Json::object([
+                ("total", Json::from(s.total() as u64)),
+                ("healthy", Json::from(s.healthy() as u64)),
+                ("quarantined", Json::from(s.quarantined().count() as u64)),
+                ("rows", Json::Array(rows)),
+            ]),
+        ));
+    }
     fields.push(("quantiles", quantiles_json(db, gateway, ops)));
     fields.push(("slow_queries", slow_queries_json(gateway)));
     HttpResponse::json(Json::object(fields).render())
+}
+
+fn shard_row_json(r: &ShardHealthRow) -> Json {
+    Json::object([
+        ("dataset", Json::from(r.dataset.as_str())),
+        ("region", Json::from(r.region.as_str())),
+        ("state", Json::from(r.state.as_str())),
+        ("detail", Json::from(r.detail.as_str())),
+        ("points", Json::from(r.points as u64)),
+        ("last_tick", r.last_tick.map_or(Json::Null, Json::from)),
+        ("commits", Json::from(r.commits)),
+        ("commit_failures", Json::from(r.commit_failures)),
+    ])
 }
 
 /// Renders p50/p90/p99 summaries for the fixed [`QUANTILE_FAMILIES`],
@@ -155,13 +180,21 @@ pub(crate) fn quality(ops: &OpsContext) -> HttpResponse {
         .map(|report| report.datasets.iter().map(dataset_quality_json).collect())
         .unwrap_or_default();
     let tick = ops.quality.map_or(0, |r| r.tick);
-    HttpResponse::json(
-        Json::object([
-            ("tick", Json::from(tick)),
-            ("datasets", Json::Array(datasets)),
-        ])
-        .render(),
-    )
+    let mut fields = vec![
+        ("tick", Json::from(tick)),
+        ("datasets", Json::Array(datasets)),
+    ];
+    if let Some(s) = ops.shards {
+        // Sharded archives list their impaired fault domains here, so a
+        // dashboard reading coverage also sees which dataset×region
+        // slices the coverage currently excludes.
+        let impaired: Vec<Json> = s
+            .impaired()
+            .map(|r| Json::string(format!("{}/{}", r.dataset, r.region)))
+            .collect();
+        fields.push(("quarantined_shards", Json::Array(impaired)));
+    }
+    HttpResponse::json(Json::object(fields).render())
 }
 
 fn dataset_quality_json(d: &DatasetQuality) -> Json {
@@ -203,6 +236,7 @@ fn round_to_json(h: &RoundHealth) -> Json {
         ("tick", Json::from(h.tick)),
         ("degraded", Json::from(h.is_degraded())),
         ("dead_letter_depth", Json::from(h.dead_letter_depth as u64)),
+        ("shards_failed", Json::from(h.shards_failed as u64)),
         ("sps", dataset(&h.sps)),
         ("advisor", dataset(&h.advisor)),
         ("price", dataset(&h.price)),

@@ -12,7 +12,7 @@
 
 use spotlake_collector::{CollectStats, RoundHealth};
 use spotlake_obs::{HealthReport, QualityReport, Registry};
-use spotlake_timestream::RecoveryReport;
+use spotlake_timestream::{RecoveryReport, ShardSetHealth};
 
 /// Borrowed operational state for one request.
 #[derive(Debug, Clone, Copy, Default)]
@@ -39,6 +39,12 @@ pub struct OpsContext<'a> {
     /// What startup recovery replayed, when the archive runs durably —
     /// surfaced through `/stats`.
     pub recovery: Option<&'a RecoveryReport>,
+    /// Per-shard health when the archive runs sharded — drives the
+    /// degraded-query annotation on data endpoints and the shard
+    /// sections of `/quality` and `/stats`. Queries that touch a
+    /// quarantined or failed shard still answer from the merged view,
+    /// flagged rather than refused.
+    pub shards: Option<&'a ShardSetHealth>,
 }
 
 impl OpsContext<'_> {

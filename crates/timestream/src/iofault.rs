@@ -177,7 +177,7 @@ impl IoFaultState {
 /// FNV-1a over the decision key — the same hash the store's write
 /// throttling and the simulator use, inlined to keep this crate
 /// dependency-free.
-fn hash_u64(kind: &str, scope: &str, attempt: u64, seed: u64) -> u64 {
+pub(crate) fn hash_u64(kind: &str, scope: &str, attempt: u64, seed: u64) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for chunk in [
         b"io-fault".as_slice(),

@@ -57,6 +57,7 @@ mod query;
 mod record;
 mod recovery;
 mod series;
+mod shard;
 mod table;
 mod wal;
 
@@ -68,5 +69,10 @@ pub use profile::QueryProfile;
 pub use query::{Aggregate, Query, Row, WindowRow};
 pub use record::Record;
 pub use recovery::{fsck, recover, FsckReport, RecoveryReport};
+pub use shard::{
+    fsck_shards, is_sharded_root, manifest_path, repair_shards, shard_dir, ShardCommitOutcome,
+    ShardFaultConfig, ShardFsckRow, ShardHealthRow, ShardKey, ShardSetHealth, ShardSetReport,
+    ShardState, ShardVerdict, ShardedArchive,
+};
 pub use table::{Table, TableOptions, WriteMode};
 pub use wal::{Wal, WalStats};

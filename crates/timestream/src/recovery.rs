@@ -173,6 +173,9 @@ pub struct FsckReport {
     pub torn_detail: Option<String>,
     /// Distinct round ticks covered by checkpoint + log together.
     pub rounds: u64,
+    /// The newest round tick among intact WAL frames, if any — the
+    /// recoverable watermark shard fsck compares against the manifest.
+    pub last_tick: Option<u64>,
     /// Per-table point counts of the state recovery would produce.
     pub tables: Vec<(String, usize)>,
 }
@@ -282,6 +285,7 @@ pub fn fsck(dir: &Path) -> Result<FsckReport, TsError> {
         report.wal_frames = scan.frames.len() as u64;
     }
     report.rounds = ticks.len() as u64;
+    report.last_tick = ticks.last().copied();
     report.tables = db
         .table_names()
         .into_iter()

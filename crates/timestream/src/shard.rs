@@ -1,0 +1,1425 @@
+//! Sharded fault-isolated archive: dataset × region fault domains.
+//!
+//! The single-WAL durability layer ([`crate::Wal`] + [`crate::recover`])
+//! makes the whole archive one fault domain: a torn write or bit flip in
+//! any dataset takes down everything. This module generalizes that
+//! machinery so each **dataset × region** pair is its own shard with its
+//! own WAL, checkpoint rotation, and crash recovery:
+//!
+//! ```text
+//! root/
+//!   shards.map                  manifest: key -> (last_tick, checkpoint_tick)
+//!   shard-sps-us-test-1/
+//!     wal.log                   per-shard WAL (SPWL format)
+//!     checkpoint.db             per-shard snapshot
+//!     QUARANTINE                present only while quarantined
+//!   shard-price-eu-test-1/
+//!     ...
+//! ```
+//!
+//! The manifest is the committed-data watermark: after every round it
+//! records, per shard, the newest acked round tick and the tick the last
+//! checkpoint covered, written atomically via [`crate::atomic_write`].
+//! On open, each shard runs independent recovery and is compared against
+//! its watermark:
+//!
+//! * **Auto-heal** — a torn tail past the watermark was an in-flight,
+//!   never-acked round; recovery truncates it and the shard rejoins
+//!   silently (the committed prefix is intact).
+//! * **Quarantine** — recovery yields *less* than the watermark (a
+//!   committed frame was corrupted, a checkpoint fails to load, the dir
+//!   was damaged): the shard is excluded from the merged database, a
+//!   `QUARANTINE` marker records why, and every other shard keeps
+//!   serving. [`repair_shards`] (the `fsck --repair` path) truncates to
+//!   the surviving committed prefix, lowers the watermark to match, and
+//!   clears the marker so the next open re-admits the shard.
+//!
+//! Commits fan out to shards with bounded parallelism; a crash fault in
+//! one shard fails only that shard's batch for the round — the round
+//! itself, and every other shard, proceed.
+
+use crate::codec::{self, Cursor};
+use crate::crc::crc32;
+use crate::db::Database;
+use crate::error::TsError;
+use crate::iofault::IoFaultPlan;
+use crate::record::Record;
+use crate::recovery::{fsck, recover, RecoveryReport};
+use crate::table::TableOptions;
+use crate::wal::{Wal, WalStats};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+const MANIFEST_MAGIC: &[u8; 4] = b"SPSM";
+const MANIFEST_VERSION: u8 = 1;
+const MANIFEST_FILE: &str = "shards.map";
+const QUARANTINE_FILE: &str = "QUARANTINE";
+/// Shards whose batches are appended concurrently per commit wave.
+const COMMIT_PARALLELISM: usize = 4;
+
+/// Identifies one fault domain: a dataset (table) in one region.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShardKey {
+    /// The dataset (table name): `sps`, `advisor`, `price`.
+    pub dataset: String,
+    /// The region whose records this shard owns.
+    pub region: String,
+}
+
+impl ShardKey {
+    /// Builds a key from a dataset (table) name and a region.
+    pub fn new(dataset: &str, region: &str) -> Self {
+        ShardKey {
+            dataset: dataset.to_owned(),
+            region: region.to_owned(),
+        }
+    }
+
+    /// Parses `dataset/region`, the CLI spelling of a key.
+    pub fn parse(spec: &str) -> Option<ShardKey> {
+        let (dataset, region) = spec.split_once('/')?;
+        if dataset.is_empty() || region.is_empty() {
+            return None;
+        }
+        Some(ShardKey::new(dataset, region))
+    }
+
+    /// The shard's directory name under the archive root, with any
+    /// non-portable characters replaced.
+    pub fn dir_name(&self) -> String {
+        fn sanitize(s: &str) -> String {
+            s.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        format!(
+            "shard-{}-{}",
+            sanitize(&self.dataset),
+            sanitize(&self.region)
+        )
+    }
+}
+
+impl std::fmt::Display for ShardKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.dataset, self.region)
+    }
+}
+
+/// The path of a shard's directory under `root`.
+pub fn shard_dir(root: &Path, key: &ShardKey) -> PathBuf {
+    root.join(key.dir_name())
+}
+
+/// The shard map manifest inside an archive root.
+pub fn manifest_path(root: &Path) -> PathBuf {
+    root.join(MANIFEST_FILE)
+}
+
+/// Whether `root` holds a sharded archive (a shard map manifest exists).
+pub fn is_sharded_root(root: &Path) -> bool {
+    manifest_path(root).exists()
+}
+
+/// Disk-fault injection for a sharded archive: the base plan's rates are
+/// applied per shard under a seed derived from `(seed, dataset, region)`,
+/// so every shard rolls an independent, reproducible fault sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFaultConfig {
+    /// Rates and base seed.
+    pub plan: IoFaultPlan,
+    /// When set, only this shard receives injected faults — the induced
+    /// single-shard-loss drill.
+    pub only: Option<ShardKey>,
+}
+
+/// One shard's committed-data watermark in the manifest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct ManifestEntry {
+    /// Newest round tick whose commit was acked to the collector.
+    last_tick: Option<u64>,
+    /// Round tick the last successful checkpoint covered.
+    checkpoint_tick: Option<u64>,
+}
+
+/// A quarantined shard: excluded from serving, awaiting `fsck --repair`.
+#[derive(Debug, Clone)]
+struct Quarantined {
+    reason: String,
+    entry: ManifestEntry,
+}
+
+/// One live (non-quarantined) shard.
+#[derive(Debug)]
+struct Shard {
+    dir: PathBuf,
+    wal: Wal,
+    db: Database,
+    last_tick: Option<u64>,
+    checkpoint_tick: Option<u64>,
+    rounds_since_checkpoint: u64,
+    commits: u64,
+    commit_failures: u64,
+}
+
+/// A shard's health classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Committing and serving normally.
+    Healthy,
+    /// A crash fault killed the shard's WAL mid-run; its committed prefix
+    /// still serves, and a restart runs recovery.
+    Failed,
+    /// Recovery could not verify the committed prefix; excluded from
+    /// queries until `fsck --repair` re-admits it.
+    Quarantined,
+}
+
+impl ShardState {
+    /// Stable lowercase name, used in reports and metric values.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardState::Healthy => "healthy",
+            ShardState::Failed => "failed",
+            ShardState::Quarantined => "quarantined",
+        }
+    }
+
+    /// Numeric encoding for the `spotlake_shard_state` gauge.
+    pub fn code(self) -> u64 {
+        match self {
+            ShardState::Healthy => 0,
+            ShardState::Failed => 1,
+            ShardState::Quarantined => 2,
+        }
+    }
+}
+
+/// One row of [`ShardSetHealth`].
+#[derive(Debug, Clone)]
+pub struct ShardHealthRow {
+    /// The shard's dataset.
+    pub dataset: String,
+    /// The shard's region.
+    pub region: String,
+    /// Health classification.
+    pub state: ShardState,
+    /// Why, for failed/quarantined shards; empty when healthy.
+    pub detail: String,
+    /// Points in the shard's database (0 while quarantined).
+    pub points: usize,
+    /// Batches committed since open.
+    pub commits: u64,
+    /// Batches that failed to commit since open.
+    pub commit_failures: u64,
+    /// Newest acked round tick.
+    pub last_tick: Option<u64>,
+}
+
+/// Per-shard health of the whole archive, for `/health`, `/quality`,
+/// `/stats`, and the `spotlake_shard_*` metric families.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSetHealth {
+    /// One row per shard, sorted by (dataset, region).
+    pub shards: Vec<ShardHealthRow>,
+}
+
+impl ShardSetHealth {
+    /// Total shards, quarantined included.
+    pub fn total(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shards committing and serving normally.
+    pub fn healthy(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.state == ShardState::Healthy)
+            .count()
+    }
+
+    /// Rows that are not healthy, in order.
+    pub fn impaired(&self) -> impl Iterator<Item = &ShardHealthRow> {
+        self.shards
+            .iter()
+            .filter(|s| s.state != ShardState::Healthy)
+    }
+
+    /// Quarantined rows, in order.
+    pub fn quarantined(&self) -> impl Iterator<Item = &ShardHealthRow> {
+        self.shards
+            .iter()
+            .filter(|s| s.state == ShardState::Quarantined)
+    }
+
+    /// Whether any shard is failed or quarantined (the archive still
+    /// serves, degraded).
+    pub fn degraded(&self) -> bool {
+        self.shards.iter().any(|s| s.state != ShardState::Healthy)
+    }
+
+    /// Whether every shard is lost — the only case `/health` reports the
+    /// store unhealthy.
+    pub fn all_lost(&self) -> bool {
+        !self.shards.is_empty() && self.shards.iter().all(|s| s.state != ShardState::Healthy)
+    }
+}
+
+/// What one [`ShardedArchive::commit`] call did.
+#[derive(Debug, Clone, Default)]
+pub struct ShardCommitOutcome {
+    /// Records stored across all shards that accepted their batch.
+    pub written: usize,
+    /// The records that were durably committed (quarantined/failed
+    /// shards' records are not in here).
+    pub committed: Vec<Record>,
+    /// Transient-fault retries absorbed across shards.
+    pub retries: u64,
+    /// Shards that could not commit this round, with why.
+    pub failures: Vec<ShardHealthRow>,
+}
+
+/// An archive sharded by dataset × region, each shard an independent
+/// WAL + checkpoint fault domain. See the [module docs](self).
+#[derive(Debug)]
+pub struct ShardedArchive {
+    root: PathBuf,
+    checkpoint_every: u64,
+    faults: Option<ShardFaultConfig>,
+    shards: BTreeMap<ShardKey, Shard>,
+    quarantined: BTreeMap<ShardKey, Quarantined>,
+    recovery: RecoveryReport,
+}
+
+impl ShardedArchive {
+    /// Opens (or creates) a sharded archive under `root`, recovering
+    /// every shard named by the manifest or by `keys` independently.
+    /// Shards whose committed prefix cannot be verified are quarantined —
+    /// never a reason for this call to fail. Returns the archive plus the
+    /// merged database rebuilt from every healthy shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::Corrupt`] if the root manifest itself is
+    /// mangled (outside any shard's fault domain) or [`TsError::Io`] on
+    /// root-level filesystem failure.
+    pub fn open(
+        root: &Path,
+        keys: &[ShardKey],
+        checkpoint_every: u64,
+        faults: Option<ShardFaultConfig>,
+    ) -> Result<(ShardedArchive, Database), TsError> {
+        std::fs::create_dir_all(root)?;
+        let manifest = read_manifest(root)?;
+        let mut all_keys: BTreeSet<ShardKey> = manifest.keys().cloned().collect();
+        all_keys.extend(keys.iter().cloned());
+
+        let mut archive = ShardedArchive {
+            root: root.to_owned(),
+            checkpoint_every,
+            faults,
+            shards: BTreeMap::new(),
+            quarantined: BTreeMap::new(),
+            recovery: RecoveryReport::default(),
+        };
+        let mut merged = Database::new();
+        for key in all_keys {
+            let entry = manifest.get(&key).copied().unwrap_or_default();
+            archive.admit_shard(&key, entry, &mut merged)?;
+        }
+        archive.recovery.point_count = merged.point_count();
+        archive.write_manifest()?;
+        Ok((archive, merged))
+    }
+
+    /// Recovers one shard into the archive: healthy, or quarantined with
+    /// a marker on disk. Only root-level I/O failures propagate.
+    fn admit_shard(
+        &mut self,
+        key: &ShardKey,
+        entry: ManifestEntry,
+        merged: &mut Database,
+    ) -> Result<(), TsError> {
+        let dir = shard_dir(&self.root, key);
+        let marker = dir.join(QUARANTINE_FILE);
+        if marker.exists() {
+            let reason = std::fs::read_to_string(&marker)
+                .unwrap_or_else(|_| "quarantine marker unreadable".to_owned());
+            self.quarantined
+                .insert(key.clone(), Quarantined { reason, entry });
+            return Ok(());
+        }
+        let (db, report) = match recover(&dir) {
+            Ok(pair) => pair,
+            Err(e) => {
+                let reason = format!("recovery failed: {e}");
+                self.quarantine_on_disk(key, entry, &reason)?;
+                return Ok(());
+            }
+        };
+        let checkpoint_tick = entry.checkpoint_tick.filter(|_| report.checkpoint_loaded);
+        let recovered_tick = match (checkpoint_tick, report.last_tick) {
+            (Some(c), Some(f)) => Some(c.max(f)),
+            (c, f) => c.or(f),
+        };
+        if let Some(acked) = entry.last_tick {
+            if recovered_tick.is_none_or(|r| r < acked) {
+                let reason = format!(
+                    "committed rounds lost: manifest acked tick {acked}, recovered {}",
+                    match recovered_tick {
+                        Some(r) => r.to_string(),
+                        None => "nothing".to_owned(),
+                    }
+                );
+                self.quarantine_on_disk(key, entry, &reason)?;
+                return Ok(());
+            }
+        }
+        let mut wal = match Wal::open(&dir) {
+            Ok(w) => w,
+            Err(e) => {
+                let reason = format!("wal open failed: {e}");
+                self.quarantine_on_disk(key, entry, &reason)?;
+                return Ok(());
+            }
+        };
+        if let Some(cfg) = &self.faults {
+            wal.set_faults(derive_plan(cfg, key));
+        }
+        self.recovery.checkpoint_loaded |= report.checkpoint_loaded;
+        self.recovery.checkpoint_points = self
+            .recovery
+            .checkpoint_points
+            .saturating_add(report.checkpoint_points);
+        self.recovery.frames_replayed = self
+            .recovery
+            .frames_replayed
+            .saturating_add(report.frames_replayed);
+        self.recovery.records_replayed = self
+            .recovery
+            .records_replayed
+            .saturating_add(report.records_replayed);
+        self.recovery.rounds_recovered = self
+            .recovery
+            .rounds_recovered
+            .saturating_add(report.rounds_recovered);
+        self.recovery.bytes_truncated = self
+            .recovery
+            .bytes_truncated
+            .saturating_add(report.bytes_truncated);
+        if let Some(detail) = &report.truncated_detail {
+            if self.recovery.truncated_detail.is_none() {
+                self.recovery.truncated_detail = Some(format!("shard {key}: {detail}"));
+            }
+        }
+        self.recovery.last_tick = self.recovery.last_tick.max(recovered_tick);
+        merge_into(merged, &db)?;
+        self.shards.insert(
+            key.clone(),
+            Shard {
+                dir,
+                wal,
+                db,
+                last_tick: recovered_tick.max(entry.last_tick),
+                checkpoint_tick,
+                rounds_since_checkpoint: 0,
+                commits: 0,
+                commit_failures: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Quarantines a shard, writing the marker atomically so the state
+    /// survives restarts.
+    fn quarantine_on_disk(
+        &mut self,
+        key: &ShardKey,
+        entry: ManifestEntry,
+        reason: &str,
+    ) -> Result<(), TsError> {
+        let dir = shard_dir(&self.root, key);
+        std::fs::create_dir_all(&dir)?;
+        codec::atomic_write(&dir.join(QUARANTINE_FILE), reason.as_bytes())?;
+        self.quarantined.insert(
+            key.clone(),
+            Quarantined {
+                reason: reason.to_owned(),
+                entry,
+            },
+        );
+        Ok(())
+    }
+
+    /// Commits one dataset's round batch, fanned out to its region
+    /// shards with bounded parallelism. Each shard appends to its own
+    /// WAL (absorbing transient faults up to `max_attempts` tries) and,
+    /// on success, applies the batch to both its shard database and
+    /// `merged`. A shard that fails — quarantined, dead, or killed by a
+    /// crash fault mid-append — contributes a failure row and drops its
+    /// batch for this round; every other shard commits normally.
+    pub fn commit(
+        &mut self,
+        merged: &mut Database,
+        table: &str,
+        options: TableOptions,
+        tick: u64,
+        records: &[Record],
+        max_attempts: u32,
+    ) -> ShardCommitOutcome {
+        let mut outcome = ShardCommitOutcome::default();
+        let mut groups: BTreeMap<String, Vec<Record>> = BTreeMap::new();
+        for r in records {
+            let region = r.dimension_value("region").unwrap_or("none").to_owned();
+            groups.entry(region).or_default().push(r.clone());
+        }
+        let mut work: Vec<(ShardKey, Vec<Record>)> = Vec::new();
+        for (region, batch) in groups {
+            let key = ShardKey::new(table, &region);
+            if let Some(q) = self.quarantined.get(&key) {
+                outcome.failures.push(failure_row(
+                    &key,
+                    ShardState::Quarantined,
+                    &format!("quarantined: {}", q.reason),
+                ));
+                continue;
+            }
+            if !self.shards.contains_key(&key) {
+                let entry = ManifestEntry::default();
+                let mut scratch = Database::new();
+                if let Err(e) = self.admit_shard(&key, entry, &mut scratch) {
+                    outcome.failures.push(failure_row(
+                        &key,
+                        ShardState::Failed,
+                        &format!("shard open failed: {e}"),
+                    ));
+                    continue;
+                }
+                if let Some(q) = self.quarantined.get(&key) {
+                    outcome.failures.push(failure_row(
+                        &key,
+                        ShardState::Quarantined,
+                        &format!("quarantined: {}", q.reason),
+                    ));
+                    continue;
+                }
+            }
+            work.push((key, batch));
+        }
+
+        let wanted: BTreeSet<ShardKey> = work.iter().map(|(k, _)| k.clone()).collect();
+        let mut shard_refs: Vec<&mut Shard> = self
+            .shards
+            .iter_mut()
+            .filter(|(k, _)| wanted.contains(*k))
+            .map(|(_, s)| s)
+            .collect();
+        // Both `work` and `shard_refs` are in key order, so zipping pairs
+        // each batch with its shard.
+        let mut pairs: Vec<(&ShardKey, &mut Shard, &[Record])> = work
+            .iter()
+            .zip(shard_refs.drain(..))
+            .map(|((key, batch), shard)| (key, shard, batch.as_slice()))
+            .collect();
+
+        for wave in pairs.chunks_mut(COMMIT_PARALLELISM) {
+            let results: Vec<(Result<usize, TsError>, u64)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter_mut()
+                    .map(|(_, shard, batch)| {
+                        let shard: &mut Shard = shard;
+                        let batch: &[Record] = batch;
+                        scope.spawn(move || {
+                            commit_one(shard, table, options, tick, batch, max_attempts)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(r) => r,
+                        Err(_) => (
+                            Err(TsError::Corrupt {
+                                detail: "shard commit thread panicked".to_owned(),
+                            }),
+                            0,
+                        ),
+                    })
+                    .collect()
+            });
+            for ((key, shard, batch), (result, retries)) in wave.iter().zip(results) {
+                outcome.retries = outcome.retries.saturating_add(retries);
+                match result {
+                    Ok(written) => {
+                        // The shard acked: mirror the batch into the
+                        // merged serving view.
+                        if let Err(e) = merged.apply_committed(table, batch) {
+                            outcome.failures.push(failure_row(
+                                key,
+                                ShardState::Failed,
+                                &format!("merged apply failed: {e}"),
+                            ));
+                            continue;
+                        }
+                        outcome.written = outcome.written.saturating_add(written);
+                        outcome.committed.extend(batch.iter().cloned());
+                    }
+                    Err(e) => {
+                        let state = if shard.wal.is_dead() {
+                            ShardState::Failed
+                        } else {
+                            ShardState::Healthy
+                        };
+                        outcome.failures.push(failure_row(
+                            key,
+                            state,
+                            &format!("commit failed: {e}"),
+                        ));
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Per-round maintenance: rotates checkpoints on shards that reached
+    /// the cadence (transient faults postpone to the next round; crash
+    /// faults kill only that shard) and rewrites the manifest watermark
+    /// atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for root-level manifest I/O failure — shard
+    /// faults are isolated, never propagated.
+    pub fn maintain(&mut self) -> Result<(), TsError> {
+        for shard in self.shards.values_mut() {
+            if shard.wal.is_dead() || self.checkpoint_every == 0 {
+                continue;
+            }
+            if shard.rounds_since_checkpoint >= self.checkpoint_every {
+                match shard.wal.checkpoint(&shard.db) {
+                    Ok(()) => {
+                        shard.checkpoint_tick = shard.last_tick;
+                        shard.rounds_since_checkpoint = 0;
+                    }
+                    // Transient: retry at the next round's maintenance.
+                    Err(e) if e.is_retryable() => {}
+                    // Crash: this shard is dead until restart; the torn
+                    // temp file is never renamed, so its committed state
+                    // (checkpoint + full WAL) is intact for recovery.
+                    Err(_) => {}
+                }
+            }
+        }
+        self.write_manifest()
+    }
+
+    /// Rewrites the shard map manifest from current in-memory watermarks.
+    fn write_manifest(&self) -> Result<(), TsError> {
+        let mut entries: BTreeMap<ShardKey, ManifestEntry> = BTreeMap::new();
+        for (key, shard) in &self.shards {
+            entries.insert(
+                key.clone(),
+                ManifestEntry {
+                    last_tick: shard.last_tick,
+                    checkpoint_tick: shard.checkpoint_tick,
+                },
+            );
+        }
+        for (key, q) in &self.quarantined {
+            entries.insert(key.clone(), q.entry);
+        }
+        codec::atomic_write(&manifest_path(&self.root), &encode_manifest(&entries)?)
+    }
+
+    /// Aggregate recovery report from the last [`ShardedArchive::open`].
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The archive root directory (the one holding the shard manifest).
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Per-shard health rows, sorted by (dataset, region).
+    pub fn health(&self) -> ShardSetHealth {
+        let mut rows: BTreeMap<ShardKey, ShardHealthRow> = BTreeMap::new();
+        for (key, shard) in &self.shards {
+            let (state, detail) = if shard.wal.is_dead() {
+                (
+                    ShardState::Failed,
+                    "wal dead after crash fault; restart required".to_owned(),
+                )
+            } else {
+                (ShardState::Healthy, String::new())
+            };
+            rows.insert(
+                key.clone(),
+                ShardHealthRow {
+                    dataset: key.dataset.clone(),
+                    region: key.region.clone(),
+                    state,
+                    detail,
+                    points: shard.db.point_count(),
+                    commits: shard.commits,
+                    commit_failures: shard.commit_failures,
+                    last_tick: shard.last_tick,
+                },
+            );
+        }
+        for (key, q) in &self.quarantined {
+            rows.insert(
+                key.clone(),
+                ShardHealthRow {
+                    dataset: key.dataset.clone(),
+                    region: key.region.clone(),
+                    state: ShardState::Quarantined,
+                    detail: q.reason.clone(),
+                    points: 0,
+                    commits: 0,
+                    commit_failures: 0,
+                    last_tick: q.entry.last_tick,
+                },
+            );
+        }
+        ShardSetHealth {
+            shards: rows.into_values().collect(),
+        }
+    }
+
+    /// WAL counters summed across every live shard (`dead` is set when
+    /// *any* shard's log is dead).
+    pub fn wal_stats(&self) -> WalStats {
+        let mut total = WalStats::default();
+        let mut faults: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for shard in self.shards.values() {
+            let s = shard.wal.stats();
+            total.frames_appended = total.frames_appended.saturating_add(s.frames_appended);
+            total.bytes_appended = total.bytes_appended.saturating_add(s.bytes_appended);
+            total.checkpoints = total.checkpoints.saturating_add(s.checkpoints);
+            total.wal_bytes = total.wal_bytes.saturating_add(s.wal_bytes);
+            total.dead |= s.dead;
+            for (kind, n) in s.faults_injected {
+                let slot = faults.entry(kind).or_insert(0);
+                *slot = slot.saturating_add(n);
+            }
+        }
+        total.faults_injected = faults.into_iter().collect();
+        total
+    }
+
+    /// Saves each healthy shard's database as `state.db` inside its shard
+    /// directory — the per-shard byte-identity artifact crash tests
+    /// compare across same-seed runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::Io`] on filesystem failure.
+    pub fn save_shard_states(&self) -> Result<(), TsError> {
+        for shard in self.shards.values() {
+            shard.db.save(shard.dir.join("state.db"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Appends one shard's batch with transient-fault retries, applying it
+/// to the shard database on success. Runs on a commit worker thread.
+fn commit_one(
+    shard: &mut Shard,
+    table: &str,
+    options: TableOptions,
+    tick: u64,
+    batch: &[Record],
+    max_attempts: u32,
+) -> (Result<usize, TsError>, u64) {
+    let mut retries: u64 = 0;
+    let mut attempt: u32 = 0;
+    loop {
+        attempt = attempt.saturating_add(1);
+        match shard.wal.append(table, options, tick, batch) {
+            Ok(()) => break,
+            Err(e) if e.is_retryable() && attempt < max_attempts.max(1) => {
+                retries = retries.saturating_add(1);
+            }
+            Err(e) => {
+                shard.commit_failures = shard.commit_failures.saturating_add(1);
+                return (Err(e), retries);
+            }
+        }
+    }
+    if shard.db.table(table).is_err() {
+        if let Err(e) = shard.db.create_table(table, options) {
+            shard.commit_failures = shard.commit_failures.saturating_add(1);
+            return (Err(e), retries);
+        }
+    }
+    match shard.db.apply_committed(table, batch) {
+        Ok(written) => {
+            shard.last_tick = Some(shard.last_tick.map_or(tick, |t| t.max(tick)));
+            shard.rounds_since_checkpoint = shard.rounds_since_checkpoint.saturating_add(1);
+            shard.commits = shard.commits.saturating_add(1);
+            (Ok(written), retries)
+        }
+        Err(e) => {
+            shard.commit_failures = shard.commit_failures.saturating_add(1);
+            (Err(e), retries)
+        }
+    }
+}
+
+/// A failure row for [`ShardCommitOutcome`].
+fn failure_row(key: &ShardKey, state: ShardState, detail: &str) -> ShardHealthRow {
+    ShardHealthRow {
+        dataset: key.dataset.clone(),
+        region: key.region.clone(),
+        state,
+        detail: detail.to_owned(),
+        points: 0,
+        commits: 0,
+        commit_failures: 0,
+        last_tick: None,
+    }
+}
+
+/// Rebuilds `merged` series from one recovered shard database.
+fn merge_into(merged: &mut Database, shard_db: &Database) -> Result<(), TsError> {
+    for (name, table) in shard_db.tables() {
+        if merged.table(name).is_err() {
+            merged.create_table(name, table.options())?;
+        }
+        let dst = merged.table_mut(name)?;
+        for (measure, series) in table.series_entries() {
+            dst.insert_series_raw(series.dimensions.clone(), measure, series.points().to_vec());
+        }
+    }
+    Ok(())
+}
+
+/// Derives a shard's fault plan: independent seed per (dataset, region),
+/// zeroed when the drill targets a different single shard.
+fn derive_plan(cfg: &ShardFaultConfig, key: &ShardKey) -> IoFaultPlan {
+    if let Some(only) = &cfg.only {
+        if only != key {
+            return IoFaultPlan::none(cfg.plan.seed);
+        }
+    }
+    let mut plan = cfg.plan;
+    // Independent, reproducible seed per shard, via the fault layer's own
+    // FNV derivation hash.
+    plan.seed = crate::iofault::hash_u64(&key.dataset, &key.region, 0, cfg.plan.seed);
+    plan
+}
+
+// ---- manifest codec ----------------------------------------------------
+
+fn encode_manifest(entries: &BTreeMap<ShardKey, ManifestEntry>) -> Result<Vec<u8>, TsError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MANIFEST_MAGIC);
+    out.push(MANIFEST_VERSION);
+    codec::put_len(&mut out, entries.len(), "shard manifest entries")?;
+    for (key, e) in entries {
+        codec::put_str(&mut out, &key.dataset)?;
+        codec::put_str(&mut out, &key.region)?;
+        put_opt_u64(&mut out, e.last_tick);
+        put_opt_u64(&mut out, e.checkpoint_tick);
+    }
+    let checksum = crc32(&out);
+    codec::put_u32(&mut out, checksum);
+    Ok(out)
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(n) => {
+            out.push(1);
+            codec::put_u64(out, n);
+        }
+        None => out.push(0),
+    }
+}
+
+fn read_opt_u64(c: &mut Cursor<'_>) -> Result<Option<u64>, TsError> {
+    match c.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(c.u64()?)),
+        f => Err(TsError::Corrupt {
+            detail: format!("bad manifest option flag {f}"),
+        }),
+    }
+}
+
+fn read_manifest(root: &Path) -> Result<BTreeMap<ShardKey, ManifestEntry>, TsError> {
+    let path = manifest_path(root);
+    if !path.exists() {
+        return Ok(BTreeMap::new());
+    }
+    decode_manifest(&std::fs::read(&path)?)
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<BTreeMap<ShardKey, ManifestEntry>, TsError> {
+    let corrupt = |detail: &str| TsError::Corrupt {
+        detail: format!("shard manifest: {detail}"),
+    };
+    let body_bytes = bytes
+        .len()
+        .checked_sub(4)
+        .ok_or_else(|| corrupt("too short"))?;
+    let body = bytes
+        .get(..body_bytes)
+        .ok_or_else(|| corrupt("too short"))?;
+    let stored =
+        codec::read_u32_le(bytes, body_bytes).ok_or_else(|| corrupt("missing checksum"))?;
+    if crc32(body) != stored {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let mut c = Cursor::new(body);
+    if c.take(4)? != MANIFEST_MAGIC.as_slice() {
+        return Err(corrupt("bad magic"));
+    }
+    let version = c.u8()?;
+    if version != MANIFEST_VERSION {
+        return Err(corrupt(&format!("unsupported version {version}")));
+    }
+    let count = c.u32()? as usize;
+    // Each entry needs at least 10 bytes; bound the loop by what exists.
+    if count > c.remaining() / 10 {
+        return Err(corrupt("entry count implausible for manifest size"));
+    }
+    let mut entries = BTreeMap::new();
+    for _ in 0..count {
+        let dataset = c.str_()?;
+        let region = c.str_()?;
+        let last_tick = read_opt_u64(&mut c)?;
+        let checkpoint_tick = read_opt_u64(&mut c)?;
+        entries.insert(
+            ShardKey { dataset, region },
+            ManifestEntry {
+                last_tick,
+                checkpoint_tick,
+            },
+        );
+    }
+    if !c.is_done() {
+        return Err(corrupt("trailing data"));
+    }
+    Ok(entries)
+}
+
+// ---- fsck / repair -----------------------------------------------------
+
+/// A shard's offline verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardVerdict {
+    /// Checkpoint loads, no torn tail, watermark satisfied.
+    Clean,
+    /// Recoverable damage only: a torn (unacked) tail or stale checkpoint
+    /// temp file that the next recovery truncates or discards.
+    Degraded,
+    /// A quarantine marker is present; `--repair` clears it.
+    Quarantined,
+    /// Committed data is lost: the checkpoint is unreadable or recovery
+    /// would yield less than the manifest watermark.
+    Corrupt,
+}
+
+impl ShardVerdict {
+    /// Stable lowercase name for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardVerdict::Clean => "clean",
+            ShardVerdict::Degraded => "degraded",
+            ShardVerdict::Quarantined => "quarantined",
+            ShardVerdict::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// One row of a [`ShardSetReport`].
+#[derive(Debug, Clone)]
+pub struct ShardFsckRow {
+    /// The shard's dataset.
+    pub dataset: String,
+    /// The shard's region.
+    pub region: String,
+    /// The verdict.
+    pub verdict: ShardVerdict,
+    /// Points recovery would produce for this shard.
+    pub points: usize,
+    /// Distinct round ticks covered by checkpoint + log.
+    pub rounds: u64,
+    /// What is wrong, when something is; empty when clean.
+    pub detail: String,
+}
+
+/// The per-shard verdict table `spotlake fsck` prints for a sharded
+/// archive, with the exit-code policy (0 clean / 1 degraded / 2 corrupt
+/// or quarantined).
+#[derive(Debug, Clone, Default)]
+pub struct ShardSetReport {
+    /// One row per manifest shard, sorted by (dataset, region).
+    pub rows: Vec<ShardFsckRow>,
+    /// Repair actions taken, in order (empty for a plain fsck).
+    pub actions: Vec<String>,
+}
+
+impl ShardSetReport {
+    /// The process exit code the verdicts map to: 0 when every shard is
+    /// clean, 1 when the worst is degraded (self-healing damage), 2 when
+    /// any shard is corrupt or quarantined.
+    pub fn exit_code(&self) -> u8 {
+        let worst = self
+            .rows
+            .iter()
+            .map(|r| r.verdict)
+            .fold(ShardVerdict::Clean, |acc, v| match (acc, v) {
+                (ShardVerdict::Corrupt, _) | (_, ShardVerdict::Corrupt) => ShardVerdict::Corrupt,
+                (ShardVerdict::Quarantined, _) | (_, ShardVerdict::Quarantined) => {
+                    ShardVerdict::Quarantined
+                }
+                (ShardVerdict::Degraded, _) | (_, ShardVerdict::Degraded) => ShardVerdict::Degraded,
+                _ => ShardVerdict::Clean,
+            });
+        match worst {
+            ShardVerdict::Clean => 0,
+            ShardVerdict::Degraded => 1,
+            ShardVerdict::Quarantined | ShardVerdict::Corrupt => 2,
+        }
+    }
+
+    /// Whether every shard is clean.
+    pub fn clean(&self) -> bool {
+        self.exit_code() == 0
+    }
+
+    /// A deterministic, aligned verdict table.
+    pub fn render(&self) -> String {
+        let clean_n = self
+            .rows
+            .iter()
+            .filter(|r| r.verdict == ShardVerdict::Clean)
+            .count();
+        let mut out = format!(
+            "shard fsck: {} shards, {} clean (exit {})\n",
+            self.rows.len(),
+            clean_n,
+            self.exit_code()
+        );
+        let mut w_dataset = "DATASET".len();
+        let mut w_region = "REGION".len();
+        let mut w_verdict = "VERDICT".len();
+        let mut w_points = "POINTS".len();
+        for r in &self.rows {
+            w_dataset = w_dataset.max(r.dataset.chars().count());
+            w_region = w_region.max(r.region.chars().count());
+            w_verdict = w_verdict.max(r.verdict.as_str().chars().count());
+            w_points = w_points.max(r.points.to_string().chars().count());
+        }
+        out.push_str(&format!(
+            "  {:<w_dataset$}  {:<w_region$}  {:<w_verdict$}  {:>w_points$}  {:>6}  DETAIL\n",
+            "DATASET", "REGION", "VERDICT", "POINTS", "ROUNDS"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "  {:<w_dataset$}  {:<w_region$}  {:<w_verdict$}  {:>w_points$}  {:>6}  {}\n",
+                r.dataset,
+                r.region,
+                r.verdict.as_str(),
+                r.points,
+                r.rounds,
+                r.detail
+            ));
+        }
+        for a in &self.actions {
+            out.push_str(&format!("  repair: {a}\n"));
+        }
+        out
+    }
+}
+
+/// Builds one shard's fsck row from its directory and manifest entry.
+fn fsck_row(root: &Path, key: &ShardKey, entry: ManifestEntry) -> ShardFsckRow {
+    let dir = shard_dir(root, key);
+    let quarantined = dir.join(QUARANTINE_FILE).exists();
+    let report = match fsck(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            return ShardFsckRow {
+                dataset: key.dataset.clone(),
+                region: key.region.clone(),
+                verdict: ShardVerdict::Corrupt,
+                points: 0,
+                rounds: 0,
+                detail: format!("fsck failed: {e}"),
+            }
+        }
+    };
+    let checkpoint_tick = entry
+        .checkpoint_tick
+        .filter(|_| report.checkpoint_present && report.checkpoint_ok);
+    let recovered_tick = match (checkpoint_tick, report.last_tick) {
+        (Some(c), Some(f)) => Some(c.max(f)),
+        (c, f) => c.or(f),
+    };
+    let lost = entry
+        .last_tick
+        .is_some_and(|acked| recovered_tick.is_none_or(|r| r < acked));
+    let mut details: Vec<String> = Vec::new();
+    if !report.checkpoint_ok {
+        details.push(format!(
+            "checkpoint corrupt: {}",
+            report.checkpoint_detail.clone().unwrap_or_default()
+        ));
+    }
+    if lost {
+        details.push(format!(
+            "committed rounds lost (manifest acked tick {}, recoverable {})",
+            entry.last_tick.unwrap_or(0),
+            match recovered_tick {
+                Some(r) => r.to_string(),
+                None => "nothing".to_owned(),
+            }
+        ));
+    }
+    if report.torn_bytes > 0 {
+        details.push(format!(
+            "torn tail: {} bytes ({})",
+            report.torn_bytes,
+            report.torn_detail.clone().unwrap_or_default()
+        ));
+    }
+    if report.stale_tmp {
+        details.push("stale checkpoint temp file".to_owned());
+    }
+    if quarantined {
+        details.push("quarantine marker present".to_owned());
+    }
+    let verdict = if !report.checkpoint_ok || lost {
+        ShardVerdict::Corrupt
+    } else if quarantined {
+        ShardVerdict::Quarantined
+    } else if !report.clean() {
+        ShardVerdict::Degraded
+    } else {
+        ShardVerdict::Clean
+    };
+    let points = report.tables.iter().map(|(_, p)| p).sum();
+    ShardFsckRow {
+        dataset: key.dataset.clone(),
+        region: key.region.clone(),
+        verdict,
+        points,
+        rounds: report.rounds,
+        detail: details.join("; "),
+    }
+}
+
+/// Scans every manifest shard without mutating anything and returns the
+/// per-shard verdict table.
+///
+/// # Errors
+///
+/// Returns [`TsError::Corrupt`] if the root manifest is mangled or
+/// [`TsError::Io`] on root-level filesystem failure.
+pub fn fsck_shards(root: &Path) -> Result<ShardSetReport, TsError> {
+    let manifest = read_manifest(root)?;
+    let rows = manifest
+        .iter()
+        .map(|(key, entry)| fsck_row(root, key, *entry))
+        .collect();
+    Ok(ShardSetReport {
+        rows,
+        actions: Vec::new(),
+    })
+}
+
+/// Repairs every shard to its surviving committed prefix: drops
+/// unreadable checkpoints, truncates torn WAL tails, lowers the manifest
+/// watermark to what is actually recoverable, and clears quarantine
+/// markers — after which the next open re-admits every shard. Returns
+/// the post-repair verdict table with the actions taken.
+///
+/// # Errors
+///
+/// Returns [`TsError::Corrupt`] if the root manifest is mangled or
+/// [`TsError::Io`] on root-level filesystem failure.
+pub fn repair_shards(root: &Path) -> Result<ShardSetReport, TsError> {
+    let mut manifest = read_manifest(root)?;
+    let mut actions = Vec::new();
+    for (key, entry) in manifest.iter_mut() {
+        let dir = shard_dir(root, key);
+        let checkpoint = dir.join("checkpoint.db");
+        if checkpoint.exists() && Database::load(&checkpoint).is_err() {
+            std::fs::remove_file(&checkpoint)?;
+            entry.checkpoint_tick = None;
+            actions.push(format!("{key}: dropped unreadable checkpoint"));
+        }
+        let (_, report) = match recover(&dir) {
+            Ok(pair) => pair,
+            Err(e) => {
+                actions.push(format!("{key}: recovery still failing: {e}"));
+                continue;
+            }
+        };
+        if report.bytes_truncated > 0 {
+            actions.push(format!(
+                "{key}: truncated {} torn bytes",
+                report.bytes_truncated
+            ));
+        }
+        let checkpoint_tick = entry.checkpoint_tick.filter(|_| report.checkpoint_loaded);
+        let recovered_tick = match (checkpoint_tick, report.last_tick) {
+            (Some(c), Some(f)) => Some(c.max(f)),
+            (c, f) => c.or(f),
+        };
+        if entry.last_tick != recovered_tick {
+            actions.push(format!(
+                "{key}: watermark {} -> {}",
+                render_tick(entry.last_tick),
+                render_tick(recovered_tick)
+            ));
+            entry.last_tick = recovered_tick;
+        }
+        entry.checkpoint_tick = checkpoint_tick;
+        let marker = dir.join(QUARANTINE_FILE);
+        if marker.exists() {
+            std::fs::remove_file(&marker)?;
+            actions.push(format!("{key}: cleared quarantine marker"));
+        }
+    }
+    codec::atomic_write(&manifest_path(root), &encode_manifest(&manifest)?)?;
+    let mut report = fsck_shards(root)?;
+    report.actions = actions;
+    Ok(report)
+}
+
+fn render_tick(t: Option<u64>) -> String {
+    match t {
+        Some(t) => t.to_string(),
+        None => "none".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spotlake-ts-shard-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    fn batch(region: &str, tick: u64) -> Vec<Record> {
+        (0..3u64)
+            .map(|i| {
+                Record::new(tick * 600 + i, "score", (tick + i) as f64)
+                    .dimension("instance_type", "m5.large")
+                    .dimension("region", region)
+                    .dimension("az", format!("{region}a"))
+            })
+            .collect()
+    }
+
+    fn keys() -> Vec<ShardKey> {
+        vec![
+            ShardKey::new("sps", "eu-test-1"),
+            ShardKey::new("sps", "us-test-1"),
+        ]
+    }
+
+    fn run_rounds(root: &Path, rounds: u64, faults: Option<ShardFaultConfig>) -> Database {
+        let (mut archive, mut merged) = ShardedArchive::open(root, &keys(), 2, faults).unwrap();
+        let _ = merged.create_table("sps", TableOptions::default());
+        for tick in 1..=rounds {
+            let mut records = batch("eu-test-1", tick);
+            records.extend(batch("us-test-1", tick));
+            archive.commit(
+                &mut merged,
+                "sps",
+                TableOptions::default(),
+                tick,
+                &records,
+                3,
+            );
+            archive.maintain().unwrap();
+        }
+        merged
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_rejects_corruption() {
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            ShardKey::new("sps", "us-test-1"),
+            ManifestEntry {
+                last_tick: Some(9),
+                checkpoint_tick: None,
+            },
+        );
+        entries.insert(
+            ShardKey::new("price", "eu-test-1"),
+            ManifestEntry {
+                last_tick: None,
+                checkpoint_tick: Some(4),
+            },
+        );
+        let bytes = encode_manifest(&entries).unwrap();
+        assert_eq!(decode_manifest(&bytes).unwrap(), entries);
+        let mut mangled = bytes.clone();
+        mangled[10] ^= 0x40;
+        assert!(matches!(
+            decode_manifest(&mangled),
+            Err(TsError::Corrupt { .. })
+        ));
+        assert!(decode_manifest(&bytes[..3]).is_err());
+    }
+
+    #[test]
+    fn commit_fans_out_and_merged_view_matches_shards() {
+        let root = tempdir("fanout");
+        let merged = run_rounds(&root, 4, None);
+        assert_eq!(merged.point_count(), 4 * 6);
+        // Reopen: the merged rebuild equals the pre-crash view.
+        let (archive, reopened) = ShardedArchive::open(&root, &keys(), 2, None).unwrap();
+        assert_eq!(reopened.point_count(), merged.point_count());
+        let health = archive.health();
+        assert_eq!(health.total(), 2);
+        assert_eq!(health.healthy(), 2);
+        assert!(!health.degraded());
+        // Checkpoints rotated during the run (cadence 2, 4 rounds).
+        assert!(shard_dir(&root, &keys()[0]).join("checkpoint.db").exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn crash_fault_in_one_shard_leaves_the_other_committing() {
+        let root = tempdir("isolate");
+        let target = ShardKey::new("sps", "eu-test-1");
+        let cfg = ShardFaultConfig {
+            plan: IoFaultPlan {
+                torn_write_rate: 1.0,
+                ..IoFaultPlan::none(7)
+            },
+            only: Some(target.clone()),
+        };
+        let (mut archive, mut merged) = ShardedArchive::open(&root, &keys(), 2, Some(cfg)).unwrap();
+        merged.create_table("sps", TableOptions::default()).unwrap();
+        let mut records = batch("eu-test-1", 1);
+        records.extend(batch("us-test-1", 1));
+        let outcome = archive.commit(&mut merged, "sps", TableOptions::default(), 1, &records, 3);
+        assert_eq!(outcome.written, 3, "us shard committed");
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].region, "eu-test-1");
+        assert_eq!(outcome.committed.len(), 3);
+        let health = archive.health();
+        assert_eq!(health.healthy(), 1);
+        assert!(health.degraded());
+        assert!(!health.all_lost());
+        archive.maintain().unwrap();
+        // Only the committed region's records are in the merged view.
+        let rows = merged.query("sps", &Query::measure("score")).unwrap();
+        assert!(rows.iter().all(|r| r
+            .dimensions
+            .iter()
+            .any(|(k, v)| k == "region" && v == "us-test-1")));
+        // Restart: the torn tail was never acked, so the shard self-heals
+        // without quarantine.
+        drop(archive);
+        let (archive, merged2) = ShardedArchive::open(&root, &keys(), 2, None).unwrap();
+        assert_eq!(archive.health().healthy(), 2);
+        assert_eq!(merged2.point_count(), 3);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupting_committed_frames_quarantines_only_that_shard() {
+        let root = tempdir("quarantine");
+        let before = run_rounds(&root, 3, None);
+        assert_eq!(before.point_count(), 18);
+        // Flip a byte inside the committed region of one shard's WAL.
+        let wal = shard_dir(&root, &ShardKey::new("sps", "eu-test-1")).join("wal.log");
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&wal, &bytes).unwrap();
+
+        let (archive, merged) = ShardedArchive::open(&root, &keys(), 2, None).unwrap();
+        let health = archive.health();
+        assert_eq!(health.healthy(), 1);
+        let quarantined: Vec<_> = health.quarantined().collect();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].region, "eu-test-1");
+        assert!(
+            quarantined[0].detail.contains("committed rounds lost"),
+            "{}",
+            quarantined[0].detail
+        );
+        // The healthy shard's data survives byte-identically.
+        let rows = merged.query("sps", &Query::measure("score")).unwrap();
+        assert_eq!(rows.len(), 9);
+        // fsck says corrupt (exit 2); repair clears it (exit 0) and the
+        // next open re-admits the shard with the surviving prefix.
+        let fsck_report = fsck_shards(&root).unwrap();
+        assert_eq!(fsck_report.exit_code(), 2, "{}", fsck_report.render());
+        drop(archive);
+        let repaired = repair_shards(&root).unwrap();
+        assert_eq!(repaired.exit_code(), 0, "{}", repaired.render());
+        assert!(repaired
+            .actions
+            .iter()
+            .any(|a| a.contains("cleared quarantine marker")));
+        let (archive, _) = ShardedArchive::open(&root, &keys(), 2, None).unwrap();
+        assert_eq!(archive.health().healthy(), 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn same_seed_recovery_is_byte_identical_per_shard() {
+        let root_a = tempdir("det-a");
+        let root_b = tempdir("det-b");
+        let cfg = || {
+            Some(ShardFaultConfig {
+                plan: IoFaultPlan::transient(11),
+                only: None,
+            })
+        };
+        run_rounds(&root_a, 5, cfg());
+        run_rounds(&root_b, 5, cfg());
+        for key in keys() {
+            let (a, b) = (
+                std::fs::read(shard_dir(&root_a, &key).join("wal.log")).unwrap(),
+                std::fs::read(shard_dir(&root_b, &key).join("wal.log")).unwrap(),
+            );
+            assert_eq!(a, b, "same-seed WAL bytes for {key}");
+        }
+        assert_eq!(
+            std::fs::read(manifest_path(&root_a)).unwrap(),
+            std::fs::read(manifest_path(&root_b)).unwrap()
+        );
+        std::fs::remove_dir_all(&root_a).ok();
+        std::fs::remove_dir_all(&root_b).ok();
+    }
+
+    #[test]
+    fn verdict_table_renders_deterministically() {
+        let root = tempdir("render");
+        run_rounds(&root, 2, None);
+        let a = fsck_shards(&root).unwrap();
+        let b = fsck_shards(&root).unwrap();
+        assert_eq!(a.render(), b.render());
+        assert!(a.render().contains("DATASET"));
+        assert!(a.clean());
+        assert_eq!(a.exit_code(), 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
