@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conc;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod scan;
@@ -34,6 +36,7 @@ use std::path::{Path, PathBuf};
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     let mut metric_literals: Vec<(String, usize, String)> = Vec::new();
+    let mut lock_edges: Vec<conc::LockEdge> = Vec::new();
 
     let crates_dir = root.join("crates");
     for crate_dir in sorted_dirs(&crates_dir)? {
@@ -54,12 +57,25 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             for (line, name) in analysis.metric_literals {
                 metric_literals.push((rel.clone(), line, name));
             }
+            lock_edges.extend(analysis.lock_edges);
         }
     }
 
     findings.extend(check_manifest_usage(root, &metric_literals));
+    findings.extend(conc::lock_order_findings(&lock_edges));
     findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(findings)
+}
+
+/// Analyzes a single file like `analyze_workspace` does, including the
+/// intra-file slice of the lock-order cycle check (cross-file cycles
+/// need the full workspace graph). This is what `--check-file` runs.
+pub fn analyze_file(crate_name: &str, rel_path: &str, source: &str) -> Vec<Finding> {
+    let analysis = analyze_source(crate_name, rel_path, source);
+    let mut findings = analysis.findings;
+    findings.extend(conc::lock_order_findings(&analysis.lock_edges));
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    findings
 }
 
 /// Reverse direction of the metrics contract: every family in the

@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use spotlake_lint::{analyze_source, analyze_workspace, render_json, Finding, RULES};
+use spotlake_lint::{analyze_file, analyze_workspace, render_json, Finding, RULES};
 
 const USAGE: &str = "\
 spotlake-lint — workspace invariant checker
@@ -96,7 +96,7 @@ fn run() -> Result<Vec<Finding>, String> {
             .unwrap_or_else(|| file.to_string_lossy().into_owned());
         let source = std::fs::read_to_string(file)
             .map_err(|e| format!("reading {}: {e}", file.display()))?;
-        analyze_source(&crate_name, &rel, &source).findings
+        analyze_file(&crate_name, &rel, &source)
     } else {
         let root = opts.root.clone().unwrap_or_else(find_root);
         analyze_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?

@@ -33,6 +33,26 @@ pub const RULES: &[(&str, &str)] = &[
         "allow-syntax",
         "lint:allow directives must name a known rule and carry a non-empty justification",
     ),
+    (
+        "lock-order",
+        "lock acquisition order is acyclic across the workspace (deadlock freedom)",
+    ),
+    (
+        "hold-across-blocking",
+        "no lock guard held across fs I/O, socket ops, channel send/recv, join, or sleep",
+    ),
+    (
+        "poison-safe",
+        "serving/obs lock acquisitions recover from poisoning via unwrap_or_else(PoisonError::into_inner), never .unwrap()/.expect()",
+    ),
+    (
+        "channel-topology",
+        "serving/collector channels are bounded sync_channels and spawned threads have a reachable join",
+    ),
+    (
+        "guard-into-spawn",
+        "no lock guard captured into a spawned closure",
+    ),
 ];
 
 /// Whether `name` is a recognized rule.
@@ -72,6 +92,9 @@ pub struct FileAnalysis {
     /// `spotlake_*` metric-name literals in non-test code, with lines —
     /// input to the workspace-level reverse manifest check.
     pub metric_literals: Vec<(usize, String)>,
+    /// Lock acquisition-order edges — input to the workspace-level
+    /// lock-order cycle check.
+    pub lock_edges: Vec<crate::conc::LockEdge>,
 }
 
 /// One parsed `lint:allow(<rule>): justification` directive.
@@ -385,6 +408,15 @@ pub fn analyze_source(crate_name: &str, rel_path: &str, source: &str) -> FileAna
             }
         }
     }
+
+    // ---- structural concurrency pass --------------------------------
+    let conc = crate::conc::analyze_concurrency(crate_name, rel_path, &stripped);
+    for f in conc.findings {
+        if !allowed(&f.rule, f.line) {
+            findings.push(f);
+        }
+    }
+    analysis.lock_edges = conc.edges;
 
     analysis.findings.extend(findings);
     analysis.findings.sort_by_key(|f| f.line);

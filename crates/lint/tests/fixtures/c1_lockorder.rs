@@ -1,0 +1,19 @@
+// Fixture: two functions acquire the same pair of locks in opposite
+// orders — a potential deadlock the lock-order rule must report.
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn ab(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = lock(a);
+    let gb = lock(b);
+    *ga + *gb
+}
+
+pub fn ba(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let gb = lock(b);
+    let ga = lock(a);
+    *ga + *gb
+}

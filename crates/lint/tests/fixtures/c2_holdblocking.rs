@@ -1,0 +1,8 @@
+// Fixture: a lock guard stays live across file I/O — every other
+// thread contending on the lock now waits on the disk.
+use std::sync::{Mutex, PoisonError};
+
+pub fn flush_under_lock(m: &Mutex<Vec<u8>>) {
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    std::fs::write("/tmp/out", &g[..]).ok();
+}

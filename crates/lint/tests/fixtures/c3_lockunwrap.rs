@@ -1,0 +1,8 @@
+// Fixture: `.lock().unwrap()` turns one panic into a permanent outage —
+// every later acquisition of the poisoned lock panics too.
+use std::sync::Mutex;
+
+pub fn bump(m: &Mutex<u64>) {
+    let mut g = m.lock().unwrap();
+    *g += 1;
+}

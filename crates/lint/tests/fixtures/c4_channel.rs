@@ -1,0 +1,7 @@
+// Fixture: an unbounded channel (no backpressure) and a detached
+// spawn (no reachable join) — both channel-topology violations.
+pub fn fanout() {
+    let (tx, rx) = std::sync::mpsc::channel::<u32>();
+    std::thread::spawn(move || drop(tx));
+    drop(rx);
+}

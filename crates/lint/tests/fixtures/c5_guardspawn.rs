@@ -1,0 +1,13 @@
+// Fixture: a lock guard captured into a spawned closure — the lock is
+// now held by a thread the acquirer no longer controls.
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn leak(m: &'static Mutex<u64>) {
+    let g = lock(m);
+    let h = std::thread::spawn(move || drop(g));
+    h.join().ok();
+}

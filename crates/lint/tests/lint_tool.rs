@@ -5,7 +5,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use spotlake_lint::{analyze_source, Finding};
+use spotlake_lint::{analyze_file, analyze_source, Finding};
 
 fn fixture(name: &str) -> (PathBuf, String) {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -133,6 +133,122 @@ fn cfg_test_regions_are_exempt() {
     assert!(findings("test_mod.rs", "serving", "crates/serving/src/x.rs").is_empty());
 }
 
+// ---- concurrency rules -------------------------------------------------
+
+/// Like `findings`, but through `analyze_file` so the intra-file slice
+/// of the lock-order cycle check runs too (the `--check-file` path).
+fn file_findings(name: &str, as_crate: &str, as_path: &str) -> Vec<Finding> {
+    let (_, source) = fixture(name);
+    analyze_file(as_crate, as_path, &source)
+}
+
+#[test]
+fn c1_opposite_lock_orders_are_a_cycle() {
+    let hits = file_findings("c1_lockorder.rs", "obs", "crates/obs/src/x.rs");
+    assert_eq!(rules_of(&hits), ["lock-order"]);
+    assert!(hits[0].message.contains("fn ab"), "{}", hits[0].message);
+    assert!(hits[0].message.contains("fn ba"), "{}", hits[0].message);
+    // Concurrency rules only apply to the threaded crates.
+    assert!(file_findings("c1_lockorder.rs", "cloud-sim", "crates/cloud-sim/src/x.rs").is_empty());
+}
+
+#[test]
+fn c1_consistent_lock_order_is_clean() {
+    let src = "\
+use std::sync::{Mutex, MutexGuard, PoisonError};
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+pub fn one(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 { let ga = lock(a); let gb = lock(b); *ga + *gb }
+pub fn two(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 { let ga = lock(a); let gb = lock(b); *gb + *ga }
+";
+    assert!(analyze_file("obs", "crates/obs/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn c2_guard_across_file_io_is_flagged() {
+    let hits = file_findings("c2_holdblocking.rs", "obs", "crates/obs/src/x.rs");
+    assert_eq!(rules_of(&hits), ["hold-across-blocking"]);
+    assert!(hits[0].message.contains("fs::write"), "{}", hits[0].message);
+    assert!(hits[0].message.contains("`m`"), "{}", hits[0].message);
+}
+
+#[test]
+fn c2_blocking_through_the_guard_itself_is_exempt() {
+    // The shared-receiver worker idiom: the lock exists to serialize
+    // access to the Receiver, so recv *through the guard* is its purpose.
+    let src = "\
+use std::sync::mpsc::Receiver;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+pub fn pump(rx: &Mutex<Receiver<u8>>) {
+    loop {
+        let x = match lock(rx).recv() {
+            Ok(x) => x,
+            Err(_) => break,
+        };
+        drop(x);
+    }
+}
+";
+    assert!(analyze_file("serving", "crates/serving/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn c3_unwrap_on_lock_is_poison_unsafe() {
+    let hits = file_findings("c3_lockunwrap.rs", "obs", "crates/obs/src/x.rs");
+    assert_eq!(rules_of(&hits), ["poison-safe"]);
+    assert!(
+        hits[0].message.contains("PoisonError::into_inner"),
+        "{}",
+        hits[0].message
+    );
+    // Poison-safety is a serving/obs requirement; timestream (outside
+    // the parser trio) is out of scope.
+    assert!(file_findings(
+        "c3_lockunwrap.rs",
+        "timestream",
+        "crates/timestream/src/store.rs"
+    )
+    .is_empty());
+}
+
+#[test]
+fn c4_unbounded_channel_and_detached_spawn_are_flagged() {
+    let hits = file_findings("c4_channel.rs", "serving", "crates/serving/src/x.rs");
+    assert_eq!(rules_of(&hits), ["channel-topology", "channel-topology"]);
+    assert!(
+        hits[0].message.contains("sync_channel"),
+        "{}",
+        hits[0].message
+    );
+    assert!(hits[1].message.contains("detached"), "{}", hits[1].message);
+    // Channel topology is a serving/collector rule.
+    assert!(file_findings("c4_channel.rs", "obs", "crates/obs/src/x.rs").is_empty());
+}
+
+#[test]
+fn c4_bounded_channel_with_joined_spawn_is_clean() {
+    let src = "\
+pub fn fanout() {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<u32>(8);
+    let h = std::thread::spawn(move || drop(tx));
+    drop(rx);
+    h.join().ok();
+}
+";
+    assert!(analyze_file("serving", "crates/serving/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn c5_guard_captured_into_spawn_is_flagged() {
+    let hits = file_findings("c5_guardspawn.rs", "obs", "crates/obs/src/x.rs");
+    assert_eq!(rules_of(&hits), ["guard-into-spawn"]);
+    assert!(hits[0].message.contains("`g`"), "{}", hits[0].message);
+}
+
 // ---- binary contract ---------------------------------------------------
 
 fn lint_bin() -> Command {
@@ -192,21 +308,36 @@ fn binary_exits_two_on_usage_error() {
 
 #[test]
 fn binary_lists_rules() {
+    // The listing is the complete rule table, in order: a new rule
+    // cannot ship without appearing here (and thus in the docs test).
     let out = lint_bin()
         .arg("--list-rules")
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for rule in [
-        "determinism",
-        "fail-closed",
-        "durability",
-        "metrics-contract",
-        "unchecked-arith",
-    ] {
-        assert!(stdout.contains(rule), "missing {rule} in {stdout}");
-    }
+    let listed: Vec<&str> = stdout
+        .lines()
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    let expected: Vec<&str> = spotlake_lint::RULES.iter().map(|(name, _)| *name).collect();
+    assert_eq!(listed, expected);
+    assert_eq!(
+        expected,
+        [
+            "determinism",
+            "fail-closed",
+            "durability",
+            "metrics-contract",
+            "unchecked-arith",
+            "allow-syntax",
+            "lock-order",
+            "hold-across-blocking",
+            "poison-safe",
+            "channel-topology",
+            "guard-into-spawn",
+        ]
+    );
 }
 
 #[test]

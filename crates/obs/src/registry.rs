@@ -304,10 +304,14 @@ impl Registry {
     pub fn render_merged<'a>(registries: impl IntoIterator<Item = &'a Registry>) -> String {
         let mut merged: BTreeMap<String, Family> = BTreeMap::new();
         for registry in registries {
-            for (name, family) in lock(&registry.families).iter() {
+            // Hold each registry's lock only for the snapshot clone;
+            // the merge and render below run against the copy, so a
+            // scrape never stalls the threads recording metrics.
+            let families = lock(&registry.families).clone();
+            for (name, family) in families {
                 match merged.entry(name.clone()) {
                     Entry::Vacant(e) => {
-                        e.insert(family.clone());
+                        e.insert(family);
                     }
                     Entry::Occupied(mut e) => {
                         let existing = e.get_mut();
@@ -592,6 +596,25 @@ mod tests {
         let r = Registry::new();
         r.counter_add("m", "M.", &[], 1);
         r.gauge_set("m", "M.", &[], 1.0);
+    }
+
+    #[test]
+    fn poisoned_registry_recovers_for_later_readers_and_writers() {
+        // The kind-mismatch assert fires while the families guard is
+        // held, genuinely poisoning the Mutex — exactly what a worker
+        // panic mid-record does. Every later acquisition must recover
+        // via PoisonError::into_inner, not propagate the panic forever.
+        let r = Registry::new();
+        r.counter_add("m", "M.", &[], 1);
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.gauge_set("m", "M.", &[], 1.0);
+        }));
+        assert!(poison.is_err(), "mismatch must panic under the guard");
+        // Reads recover and see the pre-panic state…
+        assert!(r.render().contains("m 1"), "{}", r.render());
+        // …and writes keep accumulating on the recovered lock.
+        r.counter_add("m", "M.", &[], 2);
+        assert!(r.render().contains("m 3"), "{}", r.render());
     }
 
     #[test]

@@ -245,8 +245,12 @@ impl TelemetryRecorder {
     /// metric keys sorted. Values use the same formatting as the
     /// Prometheus exposition (integral floats render without `.0`).
     pub fn render_jsonl(&self) -> String {
+        // Snapshot under the lock, format outside it: rendering the
+        // whole series is O(samples) string work that the sampler
+        // thread must never wait behind.
+        let samples: Vec<TelemetrySample> = lock(&self.inner).samples.iter().cloned().collect();
         let mut out = String::new();
-        for sample in lock(&self.inner).samples.iter() {
+        for sample in &samples {
             out.push_str(&format!(
                 "{{\"seq\":{},\"at_micros\":{},\"metrics\":{{",
                 sample.seq, sample.at_micros

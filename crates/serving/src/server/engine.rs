@@ -86,6 +86,11 @@ pub struct ServerConfig {
     pub telemetry_capacity: usize,
     /// How many of the slowest requests `/debug/requests` retains.
     pub request_log: usize,
+    /// Fault-injection hook: a request for exactly this path panics
+    /// inside the worker's `catch_unwind` boundary, exercising the same
+    /// poison-recovery path a real handler bug would. `None` (the
+    /// default) disables the hook; tests and drills set it.
+    pub panic_route: Option<String>,
     /// The SLO objectives evaluated over the telemetry stream. Active
     /// only when `telemetry_interval` is set (the engine has no sample
     /// stream to judge otherwise); served at `/debug/slo`, folded into
@@ -108,6 +113,7 @@ impl Default for ServerConfig {
             telemetry_interval: None,
             telemetry_capacity: 1024,
             request_log: 64,
+            panic_route: None,
             slo: SloSet::serving_defaults(),
         }
     }
@@ -155,6 +161,9 @@ struct ServerState {
     /// SLO tracker fed one sample at a time by [`take_sample`] (None
     /// when telemetry is disabled — no stream, no verdicts).
     slo: Option<Mutex<SloTracker>>,
+    /// Fault-injection path that panics inside the worker (see
+    /// [`ServerConfig::panic_route`]).
+    panic_route: Option<String>,
     /// Wire-level request ids, assigned at accept starting from 1.
     next_request_id: AtomicU64,
     /// Epoch for telemetry sample timestamps (micros since start).
@@ -194,6 +203,7 @@ impl Server {
             slo: config
                 .telemetry_interval
                 .map(|_| Mutex::new(SloTracker::new(config.slo.clone()))),
+            panic_route: config.panic_route.clone(),
             next_request_id: AtomicU64::new(1),
             started: Instant::now(),
         });
@@ -514,6 +524,14 @@ fn serve_connection(
                 let snapshot = state.archive.snapshot();
                 let slo_health = slo_health_report(state);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    // Deliberate fault hook: the injected panic crosses
+                    // the same unwind boundary a real handler bug would,
+                    // so the poison-recovery drill below tests the
+                    // genuine article.
+                    assert!(
+                        state.panic_route.as_deref() != Some(request.path()),
+                        "injected worker panic (panic_route)"
+                    );
                     let registries: [&Registry; 1] = [state.metrics.registry()];
                     let ops = OpsContext {
                         registries: &registries,
@@ -704,10 +722,14 @@ fn take_sample(state: &ServerState, telemetry: &TelemetryRecorder) {
         let Some(sample) = telemetry.latest() else {
             return;
         };
+        // Narrow the tracker guard to the pure observe/report work:
+        // recording the progress gauges takes the registry lock, and
+        // nesting that under the SLO lock would order the two.
         let mut tracker = lock(slo);
         let transitions = tracker.observe(&sample);
-        state.metrics.slo_progress(&tracker.report());
+        let report = tracker.report();
         drop(tracker);
+        state.metrics.slo_progress(&report);
         for (objective, transition) in &transitions {
             state
                 .metrics

@@ -98,6 +98,38 @@ fn hostile_wire_input_fails_closed_and_the_server_keeps_serving() {
 }
 
 #[test]
+fn a_worker_panic_does_not_break_later_requests() {
+    // Poison-recovery drill: a handler panic crosses the worker's
+    // catch_unwind boundary; shared state must keep serving afterwards.
+    let handle = start(ServerConfig {
+        panic_route: Some("/boom".to_owned()),
+        ..quick()
+    });
+
+    // The panicking request itself gets a clean 500 with its id echoed.
+    let response = send_raw(&handle, b"GET /boom HTTP/1.1\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.1 500 "), "{response}");
+    assert!(response.contains("x-spotlake-request-id:"), "{response}");
+
+    // The post-panic regression: later requests still get 200s.
+    let (status, body) = fetch(handle.addr(), "/tables", Duration::from_secs(5)).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("sps"), "{body}");
+    // The metrics surface (Mutex-backed registries) survived too, and
+    // recorded the panic.
+    let (status, metrics) = fetch(handle.addr(), "/metrics", Duration::from_secs(5)).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("spotlake_server_worker_panics_total 1"),
+        "{metrics}"
+    );
+
+    let report = handle.shutdown();
+    assert_eq!(report.totals.worker_panics, 1, "{:?}", report.totals);
+    assert!(report.totals.served >= 2, "{:?}", report.totals);
+}
+
+#[test]
 fn full_admission_queue_sheds_503_with_retry_after() {
     // One worker, a queue of one: the third idle connection must be shed.
     let handle = start(ServerConfig {
